@@ -1,0 +1,211 @@
+//! Data placement: SRAM globals, flash-window constants and strings,
+//! `.data` initializer images.
+//!
+//! Placement rules mirror an AVR-class linker script:
+//!
+//! * non-`const` globals go to SRAM starting at the profile's base; their
+//!   non-zero initializers also produce flash-resident images (`.data`
+//!   costs both memories, `.bss` costs SRAM only),
+//! * `const` globals and code-referenced string literals go to the flash
+//!   window at `0x8000` (readable, not writable),
+//! * the call stack grows down from the top of SRAM toward the globals.
+
+use std::collections::BTreeSet;
+
+use mcu::Profile;
+use tcil::intern::StrId;
+use tcil::ir::*;
+use tcil::types::{size_of, Type};
+use tcil::visit;
+use tcil::CompileError;
+
+/// The result of placement.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// Address of each global, indexed by [`GlobalId`].
+    pub global_addr: Vec<u16>,
+    /// Address of each code-referenced string literal (by [`StrId`] index;
+    /// `0` when the string is not placed).
+    pub str_addr: Vec<u16>,
+    /// One past the highest SRAM address used by globals.
+    pub static_top: u16,
+    /// Total SRAM bytes used by globals.
+    pub static_bytes: u32,
+    /// `.data` images: SRAM address → initializer bytes.
+    pub data_init: Vec<(u16, Vec<u8>)>,
+    /// Flash-window images (const globals, strings).
+    pub rodata: Vec<(u16, Vec<u8>)>,
+    /// Whether static data overflowed the profile's SRAM (the image is
+    /// still produced for size measurement; running it would fault).
+    pub sram_overflow: bool,
+}
+
+/// Computes placement for `program` on `profile`.
+///
+/// # Errors
+///
+/// Returns an error when the flash window overflows (even size
+/// measurement is meaningless then).
+pub fn layout(program: &Program, profile: &Profile) -> Result<Layout, CompileError> {
+    let mut l = Layout::default();
+    let structs = &program.structs;
+
+    // Which strings does code actually reference? (Init::Str renders
+    // inline into the global's image; only expression-referenced strings
+    // need their own placement.)
+    let mut used_strings: BTreeSet<u32> = BTreeSet::new();
+    for f in &program.functions {
+        visit::walk_stmts(&f.body, &mut |s| {
+            visit::stmt_exprs(s, &mut |e| {
+                visit::walk_expr(e, &mut |x| {
+                    if let ExprKind::Str(id) = &x.kind {
+                        used_strings.insert(id.0);
+                    }
+                });
+            });
+        });
+    }
+
+    let mut sram = profile.sram_base() as u32;
+    let mut flash = 0x8000u32;
+    l.global_addr = vec![0; program.globals.len()];
+
+    for (i, g) in program.globals.iter().enumerate() {
+        let size = size_of(&g.ty, structs);
+        if g.is_const {
+            l.global_addr[i] = flash as u16;
+            let mut image = Vec::with_capacity(size as usize);
+            render_init(&g.ty, &g.init, structs, program, &mut image);
+            image.resize(size as usize, 0);
+            l.rodata.push((flash as u16, image));
+            flash += size;
+        } else {
+            l.global_addr[i] = sram as u16;
+            if g.init != Init::Zero {
+                let mut image = Vec::with_capacity(size as usize);
+                render_init(&g.ty, &g.init, structs, program, &mut image);
+                image.resize(size as usize, 0);
+                l.data_init.push((sram as u16, image));
+            }
+            sram += size;
+        }
+    }
+
+    l.str_addr = vec![0; program.strings.len()];
+    for (id, bytes) in program.strings.iter() {
+        if !used_strings.contains(&id.0) {
+            continue;
+        }
+        l.str_addr[id.0 as usize] = flash as u16;
+        let mut image = bytes.to_vec();
+        image.push(0);
+        flash += image.len() as u32;
+        l.rodata.push((flash as u16 - image.len() as u16, image));
+    }
+
+    l.static_top = sram.min(0x7FFF) as u16;
+    l.static_bytes = sram - profile.sram_base() as u32;
+    l.sram_overflow = sram > profile.sram_end() as u32;
+    if flash >= 0xF000 {
+        return Err(CompileError::generic(format!(
+            "flash window overflow: {} bytes of const data",
+            flash - 0x8000
+        )));
+    }
+    Ok(l)
+}
+
+/// Renders an initializer into little-endian bytes for `ty`.
+fn render_init(ty: &Type, init: &Init, structs: &[tcil::types::StructDef], program: &Program, out: &mut Vec<u8>) {
+    let size = size_of(ty, structs) as usize;
+    match (ty, init) {
+        (_, Init::Zero) => out.extend(std::iter::repeat(0).take(size)),
+        (Type::Int(k), Init::Int(v)) => {
+            let w = k.wrap(*v) as u64;
+            out.extend(&w.to_le_bytes()[..k.size() as usize]);
+        }
+        (Type::Ptr(..), Init::Int(v)) => {
+            // Only null is accepted by lowering; zero-fill all words.
+            debug_assert_eq!(*v, 0);
+            out.extend(std::iter::repeat(0).take(size));
+        }
+        (Type::Array(elem, n), Init::List(items)) => {
+            for item in items {
+                render_init(elem, item, structs, program, out);
+            }
+            let elem_size = size_of(elem, structs) as usize;
+            for _ in items.len()..*n as usize {
+                out.extend(std::iter::repeat(0).take(elem_size));
+            }
+        }
+        (Type::Array(_, n), Init::Str(id)) => {
+            let bytes = program.strings.get(StrId(id.0));
+            out.extend_from_slice(bytes);
+            for _ in bytes.len()..*n as usize {
+                out.push(0);
+            }
+        }
+        (Type::Struct(sid), Init::List(items)) => {
+            let fields = &structs[sid.0 as usize].fields;
+            for (field, item) in fields.iter().zip(items.iter()) {
+                render_init(&field.ty, item, structs, program, out);
+            }
+            for field in fields.iter().skip(items.len()) {
+                out.extend(std::iter::repeat(0).take(size_of(&field.ty, structs) as usize));
+            }
+        }
+        (t, i) => {
+            debug_assert!(false, "initializer shape mismatch: {t} with {i:?}");
+            out.extend(std::iter::repeat(0).take(size));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_and_flash_are_separate() {
+        let p = tcil::parse_and_lower(
+            "uint16_t a = 7;
+             const uint8_t t[4] = {1,2,3,4};
+             uint8_t b;
+             void main() { }",
+        )
+        .unwrap();
+        let l = layout(&p, &Profile::mica2()).unwrap();
+        assert_eq!(l.global_addr[0], 0x0100); // a
+        assert!(l.global_addr[1] >= 0x8000); // t (const)
+        assert_eq!(l.global_addr[2], 0x0102); // b
+        assert_eq!(l.static_bytes, 3);
+        assert_eq!(l.data_init.len(), 1);
+        assert_eq!(l.data_init[0].1, vec![7, 0]);
+        assert_eq!(l.rodata[0].1, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreferenced_strings_not_placed() {
+        let p = tcil::parse_and_lower(
+            "char msg[6] = \"hi\";
+             void main() { }",
+        )
+        .unwrap();
+        let l = layout(&p, &Profile::mica2()).unwrap();
+        // The string renders into the global image, not as rodata.
+        assert!(l.rodata.is_empty());
+        assert_eq!(l.data_init[0].1, vec![b'h', b'i', 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn overflow_detected_not_fatal() {
+        let p = tcil::parse_and_lower(
+            "uint8_t big[5000];
+             void main() { }",
+        )
+        .unwrap();
+        let l = layout(&p, &Profile::mica2()).unwrap();
+        assert!(l.sram_overflow);
+        assert_eq!(l.static_bytes, 5000);
+    }
+}

@@ -1,0 +1,168 @@
+//! The backend: the GCC stage of the paper's toolchain.
+//!
+//! Translates a (possibly cured and optimized) [`tcil::Program`] into an
+//! M16 [`mcu::Image`]:
+//!
+//! * [`opt`] — deliberately **weak, intraprocedural** optimizations of the
+//!   class a stock compiler applies: constant folding, algebraic
+//!   identities, constant branch folding, unreachable-code removal, and
+//!   the shared local check eliminator. Figure 2's "gcc" bar is this
+//!   module alone; the gap to the cXprop bars is the paper's point.
+//! * [`layout`] — data placement: SRAM globals, flash-resident `const`
+//!   data and string literals, `.data` initializer images (which cost
+//!   flash *and* SRAM, like on a real AVR).
+//! * [`gen`] — stack-machine code generation, including fat-pointer
+//!   loads/stores, `Check` lowering to compare-and-[`Trap`] sequences
+//!   tagged with FLIDs, and `atomic` lowering per
+//!   [`tcil::ir::AtomicStyle`].
+//!
+//! The emitted image carries the host-side FLID table and, in the verbose
+//! error modes, references the on-node message globals so their cost is
+//! visible in the size metrics.
+//!
+//! [`Trap`]: mcu::isa::Instr::Trap
+//!
+//! # Example
+//!
+//! ```
+//! use backend::{compile, BackendOptions};
+//! use mcu::{Machine, Profile, RunState};
+//!
+//! let program = tcil::parse_and_lower(
+//!     "uint16_t out;
+//!      void main() { out = 6 * 7; }",
+//! ).unwrap();
+//! let image = compile(&program, Profile::mica2(), &BackendOptions::default()).unwrap();
+//! let mut m = Machine::new(&image);
+//! m.run(10_000);
+//! assert_eq!(m.state, RunState::Halted);
+//! ```
+
+pub mod gen;
+pub mod layout;
+pub mod opt;
+
+use mcu::{Image, Profile};
+use tcil::{CompileError, Program};
+
+/// Backend configuration.
+#[derive(Debug, Clone)]
+pub struct BackendOptions {
+    /// Apply the weak GCC-class optimizer before code generation.
+    pub optimize: bool,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions { optimize: true }
+    }
+}
+
+/// Compiles `program` to an M16 image for `profile`.
+///
+/// # Errors
+///
+/// Returns an error if the program has no `main` or on malformed IR.
+/// Static data overflowing the profile's SRAM is *not* an error — the
+/// paper's Figure 3(b) measures exactly such configurations — but the
+/// image's `static_bytes` will exceed the profile's SRAM and running it
+/// will fault.
+pub fn compile(
+    program: &Program,
+    profile: Profile,
+    options: &BackendOptions,
+) -> Result<Image, CompileError> {
+    let mut program = program.clone();
+    if options.optimize {
+        opt::optimize(&mut program);
+    }
+    let layout = layout::layout(&program, &profile)?;
+    gen::generate(&program, &layout, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu::{Machine, RunState};
+
+    fn run_src(src: &str, cycles: u64) -> (Machine, Image) {
+        let program = tcil::parse_and_lower(src).unwrap();
+        let image = compile(&program, Profile::mica2(), &BackendOptions::default()).unwrap();
+        let mut m = Machine::new(&image);
+        m.run(cycles);
+        (m, image)
+    }
+
+    #[test]
+    fn globals_and_arithmetic() {
+        let (m, img) = run_src(
+            "uint16_t a = 100;
+             uint16_t b;
+             void main() { b = (uint16_t)(a * 3 + 7); }",
+            10_000,
+        );
+        assert_eq!(m.state, RunState::Halted);
+        let b_addr = img.find_global_addr("b").unwrap();
+        assert_eq!(m.ram_peek16(b_addr), 307);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let (m, img) = run_src(
+            "uint8_t buf[10];
+             uint16_t sum;
+             void main() {
+                 uint8_t i;
+                 for (i = 0; i < 10; i++) { buf[i] = i; }
+                 for (i = 0; i < 10; i++) { sum += buf[i]; }
+             }",
+            100_000,
+        );
+        assert_eq!(m.state, RunState::Halted, "fault: {:?}", m.fault);
+        let sum_addr = img.find_global_addr("sum").unwrap();
+        assert_eq!(m.ram_peek16(sum_addr), 45);
+    }
+
+    #[test]
+    fn struct_copies_and_pointers() {
+        let (m, img) = run_src(
+            "struct msg { uint8_t len; uint16_t body; };
+             struct msg a;
+             struct msg b;
+             uint16_t out;
+             void fill(struct msg * m) { m->len = 3; m->body = 999; }
+             void main() { fill(&a); b = a; out = b.body; }",
+            100_000,
+        );
+        assert_eq!(m.state, RunState::Halted, "fault: {:?}", m.fault);
+        let out = img.find_global_addr("out").unwrap();
+        assert_eq!(m.ram_peek16(out), 999);
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let (m, img) = run_src(
+            "int16_t out;
+             void main() { int16_t a; a = -5; out = (int16_t)(a / 2); }",
+            10_000,
+        );
+        assert_eq!(m.state, RunState::Halted);
+        let out = img.find_global_addr("out").unwrap();
+        assert_eq!(m.ram_peek16(out) as i16, -2);
+    }
+
+    #[test]
+    fn const_data_lives_in_flash() {
+        let (m, img) = run_src(
+            "const uint16_t tab[3] = {10, 20, 30};
+             uint16_t out;
+             void main() { out = tab[2]; }",
+            10_000,
+        );
+        assert_eq!(m.state, RunState::Halted, "fault: {:?}", m.fault);
+        let out = img.find_global_addr("out").unwrap();
+        assert_eq!(m.ram_peek16(out), 30);
+        let tab = img.find_global_addr("tab").unwrap();
+        assert!(tab >= 0x8000, "const table placed in the flash window");
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end execution tests for cured (safety-checked) programs:
+//! nesC-lite/TCL source → CCured instrumentation → backend → M16.
+//!
+//! These pin the core soundness property of the reproduction: curing
+//! must not change the observable behaviour of correct programs, and
+//! must convert memory-safety violations into FLID-tagged traps instead
+//! of silent corruption.
+
+use backend::{compile, BackendOptions};
+use ccured::{cure, CureOptions};
+use mcu::{Fault, Machine, Profile, RunState};
+
+fn build(src: &str, cured: bool) -> (Machine, mcu::Image) {
+    let mut program = tcil::parse_and_lower(src).unwrap();
+    if cured {
+        cure(&mut program, &CureOptions::default()).unwrap();
+    }
+    let image = compile(&program, Profile::mica2(), &BackendOptions::default()).unwrap();
+    let m = Machine::new(&image);
+    (m, image)
+}
+
+fn run(src: &str, cured: bool, cycles: u64) -> (Machine, mcu::Image) {
+    let (mut m, img) = build(src, cured);
+    m.run(cycles);
+    (m, img)
+}
+
+const SUM_PROGRAM: &str = "
+    uint8_t buf[8];
+    uint16_t sum;
+    uint16_t total(uint8_t * p, uint8_t n) {
+        uint16_t s;
+        uint8_t i;
+        s = 0;
+        for (i = 0; i < n; i++) { s += p[i]; }
+        return s;
+    }
+    void main() {
+        uint8_t i;
+        for (i = 0; i < 8; i++) { buf[i] = (uint8_t)(i * 2); }
+        sum = total(buf, 8);
+    }
+";
+
+#[test]
+fn cured_program_computes_same_result() {
+    let (mu, iu) = run(SUM_PROGRAM, false, 1_000_000);
+    let (mc, ic) = run(SUM_PROGRAM, true, 1_000_000);
+    assert_eq!(mu.state, RunState::Halted, "unsafe fault: {:?}", mu.fault);
+    assert_eq!(mc.state, RunState::Halted, "cured fault: {:?}", mc.fault_message());
+    let a = iu.find_global_addr("sum").unwrap();
+    let b = ic.find_global_addr("sum").unwrap();
+    assert_eq!(mu.ram_peek16(a), 56);
+    assert_eq!(mc.ram_peek16(b), 56);
+}
+
+#[test]
+fn cured_program_costs_more_code_and_data() {
+    let (_, iu) = build(SUM_PROGRAM, false);
+    let (_, ic) = build(SUM_PROGRAM, true);
+    assert!(ic.code_bytes() > iu.code_bytes(), "checks add code");
+    assert!(ic.sram_bytes() >= iu.sram_bytes(), "fat pointers add data");
+    assert!(ic.surviving_checks() > 0);
+    assert_eq!(iu.surviving_checks(), 0);
+}
+
+#[test]
+fn out_of_bounds_write_traps_in_cured_build() {
+    let src = "
+        uint8_t buf[4];
+        uint8_t victim;
+        void smash(uint8_t * p, uint8_t n) {
+            uint8_t i;
+            for (i = 0; i < n; i++) { p[i] = 0xAA; }
+        }
+        void main() { smash(buf, 200); }
+    ";
+    // Unsafe build: silently runs off the end of buf (no trap).
+    let (mu, iu) = run(src, false, 1_000_000);
+    assert_eq!(mu.state, RunState::Halted, "unsafe corrupts silently: {:?}", mu.fault);
+    let victim = iu.find_global_addr("victim").unwrap();
+    assert_eq!(mu.ram_peek(victim), 0xAA, "silent corruption of the neighbour");
+
+    // Cured build: traps with a FLID the host can decode.
+    let (mc, _) = run(src, true, 1_000_000);
+    assert_eq!(mc.state, RunState::Faulted);
+    assert!(matches!(mc.fault, Some(Fault::SafetyTrap(_))));
+    let msg = mc.fault_message().unwrap();
+    assert!(msg.contains("smash"), "FLID decodes to the faulting function: {msg}");
+}
+
+#[test]
+fn null_dereference_traps() {
+    let src = "
+        uint8_t g;
+        uint8_t read(uint8_t * p) { return *p; }
+        void main() { uint8_t * q; g = read(q); }
+    ";
+    let (mc, _) = run(src, true, 100_000);
+    assert_eq!(mc.state, RunState::Faulted);
+    assert!(matches!(mc.fault, Some(Fault::SafetyTrap(_))));
+}
+
+#[test]
+fn backward_pointer_arithmetic_checked() {
+    let src = "
+        uint8_t buf[8];
+        uint8_t g;
+        void walk(uint8_t * p) {
+            p = p - 1;
+            g = *p;
+        }
+        void main() { walk(buf); }
+    ";
+    let (mc, _) = run(src, true, 100_000);
+    assert_eq!(mc.state, RunState::Faulted, "walking before buf[0] must trap");
+}
+
+#[test]
+fn in_bounds_backward_arithmetic_allowed() {
+    let src = "
+        uint8_t buf[8];
+        uint8_t g;
+        void walk(uint8_t * p) {
+            p = p + 4;
+            p = p - 2;
+            g = *p;
+        }
+        void main() { buf[2] = 77; walk(buf); }
+    ";
+    let (mc, img) = run(src, true, 100_000);
+    assert_eq!(mc.state, RunState::Halted, "fault: {:?}", mc.fault_message());
+    let g = img.find_global_addr("g").unwrap();
+    assert_eq!(mc.ram_peek(g), 77);
+}
+
+#[test]
+fn struct_pointers_work_cured() {
+    let src = "
+        struct msg { uint8_t len; uint16_t body; };
+        struct msg m;
+        uint16_t out;
+        void fill(struct msg * p) { p->len = 9; p->body = 1234; }
+        void main() { fill(&m); out = m.body; }
+    ";
+    let (mc, img) = run(src, true, 100_000);
+    assert_eq!(mc.state, RunState::Halted, "fault: {:?}", mc.fault_message());
+    let out = img.find_global_addr("out").unwrap();
+    assert_eq!(mc.ram_peek16(out), 1234);
+}
+
+#[test]
+fn verbose_mode_bloats_ram_flid_does_not() {
+    let mut base = tcil::parse_and_lower(SUM_PROGRAM).unwrap();
+    let mut verbose = base.clone();
+    cure(&mut base, &CureOptions { error_mode: ccured::ErrorMode::Flid, ..Default::default() })
+        .unwrap();
+    cure(
+        &mut verbose,
+        &CureOptions { error_mode: ccured::ErrorMode::VerboseRam, ..Default::default() },
+    )
+    .unwrap();
+    let flid = compile(&base, Profile::mica2(), &BackendOptions::default()).unwrap();
+    let verb = compile(&verbose, Profile::mica2(), &BackendOptions::default()).unwrap();
+    assert!(verb.sram_bytes() > flid.sram_bytes(), "verbose strings cost SRAM");
+    assert!(verb.flash_bytes() > flid.flash_bytes(), "and flash");
+}

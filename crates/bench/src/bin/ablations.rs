@@ -1,0 +1,95 @@
+//! §2.1 ablations: the paper's specific claims about individual passes.
+//!
+//! * source-level inlining before the backend beats backend-only builds,
+//! * strong DCE is worth a few percent of code size,
+//! * copy propagation feeds precision,
+//! * atomic-section optimization removes/demotes sections.
+
+use bench::{must_build, pct_change};
+use cxprop::CxpropOptions;
+use safe_tinyos::BuildConfig;
+
+fn main() {
+    println!("§2.1 ablations (totals over all twelve applications)\n");
+
+    // --- inlining before the backend (≈5% smaller, per the paper) ---
+    let mut with_inline = 0u64;
+    let mut without_inline = 0u64;
+    // --- strong DCE worth 3–5% ---
+    let mut with_dce = 0u64;
+    let mut without_dce = 0u64;
+    let mut atomics_removed = 0usize;
+    let mut atomics_demoted = 0usize;
+    let mut copies = 0usize;
+
+    for name in tosapps::APP_NAMES {
+        let spec = tosapps::spec(name).unwrap();
+        let full = must_build(&spec, &BuildConfig::safe_flid_inline_cxprop());
+        with_inline += full.metrics.code_bytes as u64;
+        with_dce += full.metrics.code_bytes as u64;
+        if let Some(cx) = &full.metrics.cxprop {
+            atomics_removed += cx.atomics.removed;
+            atomics_demoted += cx.atomics.demoted;
+            copies += cx.copies_propagated;
+        }
+
+        // No inliner.
+        let no_inline = must_build(&spec, &BuildConfig::safe_flid_cxprop());
+        without_inline += no_inline.metrics.code_bytes as u64;
+
+        // cXprop with DCE disabled.
+        let out = nesc::compile(&tosapps::source_set(), spec.config).unwrap();
+        let mut program = out.program;
+        ccured::cure(&mut program, &ccured::CureOptions::default()).unwrap();
+        cxprop::optimize(
+            &mut program,
+            &CxpropOptions { dce: false, ..CxpropOptions::default() },
+        );
+        ccured::errmsg::prune_unused_messages(&mut program);
+        let image = backend::compile(
+            &program,
+            spec.platform.clone(),
+            &backend::BackendOptions::default(),
+        )
+        .unwrap();
+        without_dce += image.code_bytes() as u64;
+    }
+
+    println!(
+        "inlining before the backend:   {:+.1}% code vs. cXprop-without-inliner (paper: ≈-5%)",
+        pct_change(without_inline, with_inline)
+    );
+    println!(
+        "strong whole-program DCE:      {:+.1}% code vs. cXprop-without-DCE (paper: -3..-5%)",
+        pct_change(without_dce, with_dce)
+    );
+    println!("atomic sections removed:       {atomics_removed}");
+    println!("atomic sections demoted:       {atomics_demoted} (no IRQ-bit save needed)");
+    println!("copies propagated:             {copies}");
+
+    // Domain ablation: pluggable abstract domains.
+    println!("\npluggable-domain ablation (surviving checks, all apps):");
+    for (label, domain) in
+        [("constants", cxprop::DomainKind::Constants), ("intervals", cxprop::DomainKind::Intervals)]
+    {
+        let mut surviving = 0usize;
+        let mut inserted = 0usize;
+        for name in tosapps::APP_NAMES {
+            let spec = tosapps::spec(name).unwrap();
+            let out = nesc::compile(&tosapps::source_set(), spec.config).unwrap();
+            let mut program = out.program;
+            let stats = ccured::cure(&mut program, &ccured::CureOptions::default()).unwrap();
+            inserted += stats.checks_inserted;
+            cxprop::optimize(&mut program, &CxpropOptions { domain, ..CxpropOptions::default() });
+            ccured::errmsg::prune_unused_messages(&mut program);
+            let image = backend::compile(
+                &program,
+                spec.platform.clone(),
+                &backend::BackendOptions::default(),
+            )
+            .unwrap();
+            surviving += image.surviving_checks();
+        }
+        println!("  {label:<12} {surviving:>5} of {inserted} survive");
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (§3). Each binary prints one figure:
+//!
+//! | Binary | Reproduces |
+//! |--------|-----------|
+//! | `fig2_checks` | Figure 2: % of inserted checks removed by 4 optimizer stacks |
+//! | `fig3a_code_size` | Figure 3(a): Δ code size under 7 configurations |
+//! | `fig3b_data_size` | Figure 3(b): Δ static data size |
+//! | `fig3c_duty_cycle` | Figure 3(c): Δ duty cycle over simulated minutes |
+//! | `runtime_footprint` | §2.3: the runtime-library reduction story |
+//! | `ablations` | §2.1 claims: early inlining, strong DCE, copy-prop, atomic optimization |
+
+use safe_tinyos::{build_app, Build, BuildConfig};
+use tosapps::AppSpec;
+
+/// Builds one app under one config, panicking with context on failure
+/// (experiment harnesses want loud failures).
+pub fn must_build(spec: &AppSpec, config: &BuildConfig) -> Build {
+    build_app(spec, config).unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name, config.name))
+}
+
+/// Percent change of `new` relative to `base`.
+pub fn pct_change(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (new as f64 - base as f64) * 100.0 / base as f64
+}
+
+/// Formats a row of right-aligned cells after a left-aligned label.
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<28}");
+    for c in cells {
+        s.push_str(&format!("{c:>12}"));
+    }
+    s
+}
+
+/// Simulated seconds for duty-cycle runs: the paper uses 3 minutes; a
+/// smaller default keeps the harness quick. Override with the
+/// `STOS_SECONDS` environment variable.
+pub fn sim_seconds() -> u64 {
+    std::env::var("STOS_SECONDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+}

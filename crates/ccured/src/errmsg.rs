@@ -1,0 +1,194 @@
+//! Error-message configurations (§3.2, Figure 3 bars 1–4).
+//!
+//! A failed check must tell the developer *where* and *why*. The paper
+//! explores four encodings with wildly different node-side costs:
+//!
+//! | Mode | On the node | Cost |
+//! |------|-------------|------|
+//! | [`ErrorMode::VerboseRam`] | full message strings in SRAM (AVR string literals live in SRAM by default) | catastrophic RAM |
+//! | [`ErrorMode::VerboseRom`] | strings in flash, read via program-memory loads | large flash, extra code per check |
+//! | [`ErrorMode::Terse`] | only a check-kind code | cheap but nearly useless messages |
+//! | [`ErrorMode::Flid`] | a 16-bit failure-location id; the *host* keeps the decompression table | cheap **and** precise |
+//!
+//! This module materializes the message strings as program globals (RAM
+//! or ROM according to the mode) named `__ccured_msg_<flid>`, so that the
+//! downstream optimizers treat them exactly like the paper's methodology:
+//! when an optimizer removes a check, its message becomes unreferenced
+//! and is swept, which is how Figure 2 counts surviving checks.
+
+use tcil::ir::{Global, Init, Program};
+use tcil::types::{IntKind, Type};
+
+/// The four error-message configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorMode {
+    /// Full message strings kept in SRAM.
+    VerboseRam,
+    /// Full message strings kept in flash.
+    VerboseRom,
+    /// Only a one-byte check-kind code; no location info.
+    Terse,
+    /// 16-bit compressed failure-location identifiers (the paper's FLIDs).
+    #[default]
+    Flid,
+}
+
+/// Prefix of the synthesized message globals.
+pub const MSG_PREFIX: &str = "__ccured_msg_";
+
+/// Materializes error messages for the checks recorded in
+/// `program.flid_messages` according to `mode`. Returns the added
+/// `(ram, rom)` byte counts.
+pub fn attach_messages(program: &mut Program, mode: ErrorMode) -> (u32, u32) {
+    match mode {
+        ErrorMode::Terse | ErrorMode::Flid => (0, 0),
+        ErrorMode::VerboseRam | ErrorMode::VerboseRom => {
+            let rom = mode == ErrorMode::VerboseRom;
+            let mut ram_bytes = 0;
+            let mut rom_bytes = 0;
+            let messages = program.flid_messages.clone();
+            for (flid, msg) in &messages {
+                let bytes = msg.as_bytes().to_vec();
+                let id = program.strings.intern(&bytes);
+                let len = bytes.len() as u32 + 1;
+                program.globals.push(Global {
+                    name: format!("{MSG_PREFIX}{flid}"),
+                    ty: Type::Array(Box::new(Type::Int(IntKind::I8)), len),
+                    init: Init::Str(id),
+                    norace: false,
+                    is_const: rom,
+                    racy: false,
+                });
+                if rom {
+                    rom_bytes += len;
+                } else {
+                    // AVR-style: the literal occupies flash (initializer
+                    // image) *and* SRAM (runtime copy).
+                    ram_bytes += len;
+                    rom_bytes += len;
+                }
+            }
+            (ram_bytes, rom_bytes)
+        }
+    }
+}
+
+/// Removes message globals whose FLID no longer appears in any surviving
+/// check — the "unique string becomes unreferenced" sweep of the paper's
+/// Figure 2 methodology. Called by the DCE passes. Returns how many
+/// messages were swept.
+pub fn prune_unused_messages(program: &mut Program) -> usize {
+    use std::collections::HashSet;
+    use tcil::ir::Stmt;
+    use tcil::visit;
+
+    let mut live: HashSet<u16> = HashSet::new();
+    for f in &program.functions {
+        visit::walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Check(c) = s {
+                live.insert(c.flid.0);
+            }
+        });
+    }
+    let before = program.globals.len();
+    // Message globals are never referenced by code, so removal does not
+    // shift any GlobalId used by expressions *only if* they were appended
+    // last. They are (attach_messages pushes at the end), but an optimizer
+    // may run multiple times; be conservative and only drop the tail.
+    while let Some(g) = program.globals.last() {
+        let Some(flid) = g.name.strip_prefix(MSG_PREFIX).and_then(|s| s.parse::<u16>().ok())
+        else {
+            break;
+        };
+        if live.contains(&flid) {
+            break;
+        }
+        program.globals.pop();
+    }
+    // Non-tail unreachable messages are replaced with zero-size tombstones
+    // (cannot be removed without renumbering GlobalIds).
+    let mut swept = before - program.globals.len();
+    for g in &mut program.globals {
+        if let Some(flid) = g.name.strip_prefix(MSG_PREFIX).and_then(|s| s.parse::<u16>().ok()) {
+            if !live.contains(&flid) && !matches!(g.ty, Type::Array(_, 0)) {
+                g.ty = Type::Array(Box::new(Type::Int(IntKind::I8)), 0);
+                g.init = Init::Zero;
+                swept += 1;
+            }
+        }
+    }
+    swept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cure, CureOptions};
+
+    fn prog() -> Program {
+        tcil::parse_and_lower(
+            "uint8_t g;
+             uint8_t read(uint8_t * p) { return *p; }
+             void main() { read(&g); }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flid_mode_adds_no_strings() {
+        let mut p = prog();
+        let stats =
+            cure(&mut p, &CureOptions { error_mode: ErrorMode::Flid, ..Default::default() })
+                .unwrap();
+        assert_eq!(stats.message_bytes, (0, 0));
+        assert!(!p.globals.iter().any(|g| g.name.starts_with(MSG_PREFIX)));
+        assert!(!p.flid_messages.is_empty(), "host table still populated");
+    }
+
+    #[test]
+    fn verbose_ram_costs_both_ram_and_rom() {
+        let mut p = prog();
+        let stats = cure(
+            &mut p,
+            &CureOptions { error_mode: ErrorMode::VerboseRam, ..Default::default() },
+        )
+        .unwrap();
+        let (ram, rom) = stats.message_bytes;
+        assert!(ram > 0);
+        assert_eq!(ram, rom);
+    }
+
+    #[test]
+    fn verbose_rom_costs_only_rom() {
+        let mut p = prog();
+        let stats = cure(
+            &mut p,
+            &CureOptions { error_mode: ErrorMode::VerboseRom, ..Default::default() },
+        )
+        .unwrap();
+        let (ram, rom) = stats.message_bytes;
+        assert_eq!(ram, 0);
+        assert!(rom > 0);
+        assert!(p.globals.iter().any(|g| g.name.starts_with(MSG_PREFIX) && g.is_const));
+    }
+
+    #[test]
+    fn pruning_drops_messages_of_removed_checks() {
+        let mut p = prog();
+        cure(&mut p, &CureOptions { error_mode: ErrorMode::VerboseRam, ..Default::default() })
+            .unwrap();
+        let with_msgs =
+            p.globals.iter().filter(|g| g.name.starts_with(MSG_PREFIX)).count();
+        assert!(with_msgs > 0);
+        // Remove every check, then prune.
+        for f in &mut p.functions {
+            tcil::visit::walk_stmts_mut(&mut f.body, &mut |s| {
+                if matches!(s, tcil::ir::Stmt::Check(_)) {
+                    *s = tcil::ir::Stmt::Nop;
+                }
+            });
+        }
+        let swept = prune_unused_messages(&mut p);
+        assert!(swept > 0);
+    }
+}

@@ -1,0 +1,514 @@
+//! Check insertion: the heart of the CCured transformation.
+//!
+//! After kind inference has retyped every declaration, this pass rewrites
+//! each untrusted function so that
+//!
+//! * every dereference of a SAFE pointer is preceded by a
+//!   [`CheckKind::NonNull`],
+//! * every dereference of a FSEQ/SEQ fat pointer is preceded by an
+//!   [`CheckKind::Upper`] / [`CheckKind::Bounds`] check,
+//! * every direct array access whose index is not a provably in-range
+//!   constant gets a [`CheckKind::IndexBound`],
+//! * fresh pointers (`&x`, string literals) flowing into fat contexts are
+//!   wrapped in [`ExprKind::MakeFat`] carrying the bounds of the referent
+//!   object,
+//! * and — per §2.2 — any statement whose inserted check involves a
+//!   variable from the nesC non-atomic variable report is wrapped in an
+//!   `atomic` lock, because an interrupt could otherwise retarget the
+//!   pointer between the check and the use.
+//!
+//! Every check receives a unique FLID and a message recorded in
+//! [`Program::flid_messages`].
+
+use tcil::ir::*;
+use tcil::types::{size_of, IntKind, PtrKind, StructDef, Type};
+use tcil::visit;
+use tcil::CompileError;
+
+use crate::CureOptions;
+
+/// What the instrumenter added.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inserted {
+    /// Number of checks inserted.
+    pub checks: usize,
+    /// Number of lock (atomic) wrappers inserted around racy checks.
+    pub locks: usize,
+}
+
+/// Runs the instrumentation pass over every untrusted function.
+///
+/// # Errors
+///
+/// Returns an error on pointer flows the kind system cannot represent
+/// (these indicate an inference bug or a trusted-boundary violation).
+pub fn instrument(program: &mut Program, options: &CureOptions) -> Result<Inserted, CompileError> {
+    let structs = program.structs.clone();
+    let globals: Vec<(Type, bool)> =
+        program.globals.iter().map(|g| (g.ty.clone(), g.racy)).collect();
+    // Parameter types post-kind-application, for call-argument coercion.
+    let param_tys: Vec<Vec<Type>> = program
+        .functions
+        .iter()
+        .map(|f| f.param_ids().map(|id| f.local_ty(id).clone()).collect())
+        .collect();
+    let str_lens: Vec<u32> = program.strings.iter().map(|(_, s)| s.len() as u32).collect();
+    let mut inserted = Inserted::default();
+    let mut next_flid: u16 = 1;
+    let mut messages = Vec::new();
+
+    for fi in 0..program.functions.len() {
+        if program.functions[fi].trusted {
+            continue;
+        }
+        let mut func = std::mem::replace(
+            &mut program.functions[fi],
+            Function::new("<in-flight>", Type::Void),
+        );
+        let body = std::mem::take(&mut func.body);
+        let mut cx = Instrumenter {
+            structs: &structs,
+            globals: &globals,
+            param_tys: &param_tys,
+            str_lens: &str_lens,
+            func: &mut func,
+            options,
+            next_flid: &mut next_flid,
+            messages: &mut messages,
+            inserted: &mut inserted,
+            atomic_depth: 0,
+            racy_flag: false,
+            site: 0,
+            errors: Vec::new(),
+        };
+        let new_body = cx.rw_block(body);
+        if let Some(e) = cx.errors.into_iter().next() {
+            return Err(e);
+        }
+        func.body = new_body;
+        program.functions[fi] = func;
+    }
+    program.flid_messages = messages;
+    Ok(inserted)
+}
+
+/// How a place is being accessed (reserved for future read/write-specific
+/// policies; checks are currently identical for both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Access {
+    Read,
+    Write,
+}
+
+struct Instrumenter<'a> {
+    structs: &'a [StructDef],
+    globals: &'a [(Type, bool)],
+    param_tys: &'a [Vec<Type>],
+    str_lens: &'a [u32],
+    func: &'a mut Function,
+    options: &'a CureOptions,
+    next_flid: &'a mut u16,
+    messages: &'a mut Vec<(u16, String)>,
+    inserted: &'a mut Inserted,
+    atomic_depth: u32,
+    racy_flag: bool,
+    site: u32,
+    errors: Vec<CompileError>,
+}
+
+impl Instrumenter<'_> {
+    fn fresh_flid(&mut self, what: &str) -> Flid {
+        let flid = *self.next_flid;
+        *self.next_flid += 1;
+        self.site += 1;
+        self.messages.push((flid, format!("{}:{}: {what}", self.func.name, self.site)));
+        Flid(flid)
+    }
+
+    fn push_check(&mut self, out: &mut Block, kind: CheckKind, what: &str) {
+        let flid = self.fresh_flid(what);
+        self.inserted.checks += 1;
+        out.push(Stmt::Check(Check { kind, flid }));
+    }
+
+    fn err(&mut self, msg: String) {
+        self.errors.push(CompileError::generic(msg));
+    }
+
+    fn rw_block(&mut self, b: Block) -> Block {
+        let mut out = Vec::with_capacity(b.len());
+        for s in b {
+            self.rw_stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn rw_stmt(&mut self, s: Stmt, out: &mut Block) {
+        let start = out.len();
+        let saved_racy = self.racy_flag;
+        self.racy_flag = false;
+        match s {
+            Stmt::Assign(place, e) => {
+                let e = self.rw_expr(e, out);
+                let place = self.rw_place(place, out, Access::Write);
+                let e = self.coerce(e, &place.ty.clone(), out);
+                out.push(Stmt::Assign(place, e));
+            }
+            Stmt::Call { dst, func, args } => {
+                let params = self.param_tys[func.0 as usize].clone();
+                let args: Vec<Expr> = args
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        let a = self.rw_expr(a, out);
+                        match params.get(i) {
+                            Some(pty) => self.coerce(a, &pty.clone(), out),
+                            None => a,
+                        }
+                    })
+                    .collect();
+                let dst = dst.map(|d| self.rw_place(d, out, Access::Write));
+                out.push(Stmt::Call { dst, func, args });
+            }
+            Stmt::BuiltinCall { dst, which, args } => {
+                let args: Vec<Expr> =
+                    args.into_iter().map(|a| self.rw_expr(a, out)).collect();
+                let dst = dst.map(|d| self.rw_place(d, out, Access::Write));
+                out.push(Stmt::BuiltinCall { dst, which, args });
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let cond = self.rw_expr(cond, out);
+                let then_ = self.rw_block(then_);
+                let else_ = self.rw_block(else_);
+                out.push(Stmt::If { cond, then_, else_ });
+            }
+            Stmt::While { cond, body } => {
+                // Condition checks must re-run each iteration: restructure
+                // to `while (1) { <checks>; if (!cond) break; body }` when
+                // rewriting the condition produced statements.
+                let mut pre = Vec::new();
+                let cond = self.rw_expr(cond, &mut pre);
+                let body = self.rw_block(body);
+                if pre.is_empty() {
+                    out.push(Stmt::While { cond, body });
+                } else {
+                    let mut wb = pre;
+                    wb.push(Stmt::If { cond, then_: Vec::new(), else_: vec![Stmt::Break] });
+                    wb.extend(body);
+                    out.push(Stmt::While { cond: Expr::bool_val(true), body: wb });
+                }
+            }
+            Stmt::Return(Some(e)) => {
+                let e = self.rw_expr(e, out);
+                let ret = self.func.ret.clone();
+                let e = self.coerce(e, &ret, out);
+                out.push(Stmt::Return(Some(e)));
+            }
+            Stmt::Atomic { body, style } => {
+                self.atomic_depth += 1;
+                let body = self.rw_block(body);
+                self.atomic_depth -= 1;
+                out.push(Stmt::Atomic { body, style });
+            }
+            Stmt::Block(b) => {
+                let b = self.rw_block(b);
+                out.push(Stmt::Block(b));
+            }
+            other => out.push(other),
+        }
+        // §2.2: lock the check + use when a racy variable is involved.
+        let had_check = out[start..].iter().any(|s| matches!(s, Stmt::Check(_)));
+        if self.racy_flag
+            && had_check
+            && self.options.lock_racy_checks
+            && self.atomic_depth == 0
+        {
+            let seq: Vec<Stmt> = out.drain(start..).collect();
+            out.push(Stmt::Atomic { body: seq, style: AtomicStyle::SaveRestore });
+            self.inserted.locks += 1;
+        }
+        self.racy_flag |= saved_racy;
+    }
+
+    // ----- places -----
+
+    fn rw_place(&mut self, place: Place, out: &mut Block, _access: Access) -> Place {
+        let Place { base, elems, .. } = place;
+        let (base, mut ty) = match base {
+            PlaceBase::Local(id) => {
+                let ty = self.func.local_ty(id).clone();
+                (PlaceBase::Local(id), ty)
+            }
+            PlaceBase::Global(g) => {
+                let ty = self.globals[g.0 as usize].0.clone();
+                (PlaceBase::Global(g), ty)
+            }
+            PlaceBase::Deref(e) => {
+                let e = self.rw_expr(*e, out);
+                let e = self.check_deref(e, out);
+                let ty = match &e.ty {
+                    Type::Ptr(t, _) => (**t).clone(),
+                    other => {
+                        self.err(format!("deref of non-pointer {other}"));
+                        Type::u8()
+                    }
+                };
+                (PlaceBase::Deref(Box::new(e)), ty)
+            }
+        };
+        let mut new_elems = Vec::with_capacity(elems.len());
+        for el in elems {
+            match el {
+                PlaceElem::Field { sid, idx } => {
+                    ty = self.structs[sid.0 as usize].fields[idx as usize].ty.clone();
+                    new_elems.push(PlaceElem::Field { sid, idx });
+                }
+                PlaceElem::Index(i) => {
+                    let i = self.rw_expr(*i, out);
+                    let n = match &ty {
+                        Type::Array(elem, n) => {
+                            let n = *n;
+                            ty = (**elem).clone();
+                            n
+                        }
+                        other => {
+                            self.err(format!("index into non-array {other}"));
+                            1
+                        }
+                    };
+                    // Skip the check for provably in-range constants.
+                    let needs = match i.as_const() {
+                        Some(v) => v < 0 || v as u64 >= n as u64,
+                        None => true,
+                    };
+                    if needs {
+                        self.push_check(
+                            out,
+                            CheckKind::IndexBound { idx: i.clone(), n },
+                            "array index out of bounds",
+                        );
+                    }
+                    new_elems.push(PlaceElem::Index(Box::new(i)));
+                }
+            }
+        }
+        Place { base, elems: new_elems, ty }
+    }
+
+    /// Hoists a pointer about to be dereferenced into a temp (unless it is
+    /// already a simple load) and emits the kind-appropriate check.
+    fn check_deref(&mut self, e: Expr, out: &mut Block) -> Expr {
+        let (pointee, kind) = match &e.ty {
+            Type::Ptr(t, k) => ((**t).clone(), *k),
+            _ => return e,
+        };
+        if kind == PtrKind::Thin {
+            return e; // trusted code
+        }
+        if expr_touches_racy(&e, self.globals) {
+            self.racy_flag = true;
+        }
+        let simple = matches!(
+            &e.kind,
+            ExprKind::Load(Place { base: PlaceBase::Local(_), elems, .. }) if elems.is_empty()
+        );
+        let ptr = if simple {
+            e
+        } else {
+            let t = self.func.add_temp(e.ty.clone());
+            let ty = e.ty.clone();
+            out.push(Stmt::Assign(Place::local(t, ty.clone()), e));
+            Expr::load(Place::local(t, ty))
+        };
+        let len = size_of(&pointee, self.structs);
+        match kind {
+            PtrKind::Safe => {
+                self.push_check(out, CheckKind::NonNull(ptr.clone()), "null dereference")
+            }
+            PtrKind::Fseq => self.push_check(
+                out,
+                CheckKind::Upper { ptr: ptr.clone(), len },
+                "pointer past end of object",
+            ),
+            PtrKind::Seq => self.push_check(
+                out,
+                CheckKind::Bounds { ptr: ptr.clone(), len },
+                "pointer outside object bounds",
+            ),
+            PtrKind::Thin => unreachable!(),
+        }
+        ptr
+    }
+
+    // ----- expressions -----
+
+    fn rw_expr(&mut self, e: Expr, out: &mut Block) -> Expr {
+        let Expr { ty, kind } = e;
+        match kind {
+            ExprKind::Load(p) => {
+                let p = self.rw_place(p, out, Access::Read);
+                Expr { ty: p.ty.clone(), kind: ExprKind::Load(p) }
+            }
+            ExprKind::AddrOf(p) => {
+                let p = self.rw_place(p, out, Access::Read);
+                Expr::addr_of(p)
+            }
+            ExprKind::Unary(op, a) => {
+                let a = self.rw_expr(*a, out);
+                Expr { ty, kind: ExprKind::Unary(op, Box::new(a)) }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let a = self.rw_expr(*a, out);
+                let b = self.rw_expr(*b, out);
+                let ty = match op {
+                    BinOp::PtrAdd | BinOp::PtrSub => a.ty.clone(),
+                    _ => ty,
+                };
+                Expr { ty, kind: ExprKind::Binary(op, Box::new(a), Box::new(b)) }
+            }
+            ExprKind::Cast(a) => {
+                let a = self.rw_expr(*a, out);
+                if ty.is_ptr() && a.ty.is_ptr() {
+                    // Pointer casts are representation no-ops; keep the
+                    // (kind-annotated) operand type.
+                    a
+                } else {
+                    Expr { ty, kind: ExprKind::Cast(Box::new(a)) }
+                }
+            }
+            k @ (ExprKind::Const(_) | ExprKind::Str(_) | ExprKind::SizeOf(_)) => Expr { ty, kind: k },
+            ExprKind::MakeFat { .. } => {
+                self.err("MakeFat encountered before curing".into());
+                Expr { ty, kind: ExprKind::Const(0) }
+            }
+        }
+    }
+
+    // ----- kind coercion -----
+
+    /// Coerces `e` to exactly `target` (used for assignments and returns
+    /// where the destination type is known).
+    fn coerce(&mut self, e: Expr, target: &Type, out: &mut Block) -> Expr {
+        let Type::Ptr(_, tk) = target else { return e };
+        let ek = match &e.ty {
+            Type::Ptr(_, k) => *k,
+            // Null constants lowered as typed pointer consts.
+            _ => return e,
+        };
+        if e.as_const() == Some(0) {
+            // Null: all-zero representation works for every kind.
+            return Expr { ty: target.clone(), kind: ExprKind::Const(0) };
+        }
+        match (ek, tk) {
+            (a, b) if a == *b => e,
+            (PtrKind::Thin, PtrKind::Safe) => Expr { ty: target.clone(), kind: e.kind },
+            (PtrKind::Thin, PtrKind::Fseq | PtrKind::Seq) => {
+                self.make_fat(e, target.clone(), out)
+            }
+            (a, b) => {
+                self.err(format!("pointer kind mismatch: {a:?} value in {b:?} context"));
+                e
+            }
+        }
+    }
+
+    /// Builds a `MakeFat` wrapping a fresh thin pointer with the bounds of
+    /// its referent object.
+    fn make_fat(&mut self, e: Expr, target: Type, out: &mut Block) -> Expr {
+        let seq = matches!(&target, Type::Ptr(_, PtrKind::Seq));
+        let (val, base, end) = match &e.kind {
+            ExprKind::AddrOf(place) => {
+                // The referent object: if the place ends in an index, the
+                // bounds are those of the whole array; otherwise the
+                // single object.
+                let mut obj = place.clone();
+                let mut indexed = false;
+                if matches!(obj.elems.last(), Some(PlaceElem::Index(_))) {
+                    obj.elems.pop();
+                    obj.ty = self.place_ty(&obj);
+                    indexed = true;
+                }
+                let (elem_ty, n) = match &obj.ty {
+                    Type::Array(t, n) => ((**t).clone(), *n),
+                    t => (t.clone(), 1),
+                };
+                let base = if matches!(obj.ty, Type::Array(..)) {
+                    let zero = Expr::const_int(0, IntKind::U16);
+                    Expr::addr_of(obj.clone().index(zero, elem_ty.clone()))
+                } else {
+                    Expr::addr_of(obj.clone())
+                };
+                let end = Expr::binary(
+                    BinOp::PtrAdd,
+                    base.clone(),
+                    Expr::const_int(n as i64, IntKind::U16),
+                    base.ty.clone(),
+                );
+                let _ = indexed;
+                (e.clone(), if seq { Some(base) } else { None }, end)
+            }
+            ExprKind::Str(id) => {
+                let len = self.str_lens.get(id.0 as usize).copied().unwrap_or(0);
+                let end = Expr::binary(
+                    BinOp::PtrAdd,
+                    e.clone(),
+                    Expr::const_int(len as i64 + 1, IntKind::U16),
+                    e.ty.clone(),
+                );
+                (e.clone(), if seq { Some(e.clone()) } else { None }, end)
+            }
+            _ => {
+                self.err(format!("cannot fatten pointer expression of type {}", e.ty));
+                return e;
+            }
+        };
+        let _ = out;
+        Expr {
+            ty: target,
+            kind: ExprKind::MakeFat {
+                val: Box::new(val),
+                base: base.map(Box::new),
+                end: Box::new(end),
+            },
+        }
+    }
+
+    fn place_ty(&self, p: &Place) -> Type {
+        let mut ty = match &p.base {
+            PlaceBase::Local(id) => self.func.local_ty(*id).clone(),
+            PlaceBase::Global(g) => self.globals[g.0 as usize].0.clone(),
+            PlaceBase::Deref(e) => match &e.ty {
+                Type::Ptr(t, _) => (**t).clone(),
+                _ => Type::u8(),
+            },
+        };
+        for el in &p.elems {
+            match el {
+                PlaceElem::Field { sid, idx } => {
+                    ty = self.structs[sid.0 as usize].fields[*idx as usize].ty.clone();
+                }
+                PlaceElem::Index(_) => {
+                    if let Type::Array(t, _) = ty {
+                        ty = *t;
+                    }
+                }
+            }
+        }
+        ty
+    }
+}
+
+/// Whether evaluating `e` reads any global from the non-atomic report.
+fn expr_touches_racy(e: &Expr, globals: &[(Type, bool)]) -> bool {
+    let mut racy = false;
+    visit::walk_expr(e, &mut |x| {
+        if let ExprKind::Load(p) = &x.kind {
+            if let PlaceBase::Global(g) = &p.base {
+                if globals[g.0 as usize].1 {
+                    racy = true;
+                }
+            }
+        }
+    });
+    racy
+}

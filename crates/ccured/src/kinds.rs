@@ -1,0 +1,494 @@
+//! Whole-program pointer-kind inference.
+//!
+//! Every *pointer slot* — a global, local, struct field, parameter,
+//! return value, or indirect cell — is classified into a CCured kind:
+//!
+//! * **SAFE**: never used with arithmetic → 1 word, null check only,
+//! * **FSEQ**: forward arithmetic only → 2 words (value + end),
+//! * **SEQ**: arbitrary arithmetic → 3 words (value + base + end).
+//!
+//! Slots connected by assignments, argument passing, or returns must have
+//! the same physical representation, so the solver unifies them
+//! (union-find) and joins their kind requirements — the same structure as
+//! CCured's constraint system, minus WILD (the source language has no
+//! unchecked casts). Pointers reached through other pointers are
+//! approximated by one *indirect* slot per pointer type shape, and taking
+//! the address of a pointer unifies it with the matching indirect slot,
+//! keeping the analysis sound for pointer-to-pointer code.
+
+use std::collections::HashMap;
+
+use tcil::ir::*;
+use tcil::types::{PtrKind, Type};
+use tcil::visit;
+
+/// A pointer slot in the constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Slot {
+    Global(u32),
+    /// (function, local index) — parameters included.
+    Local(u32, u32),
+    /// (struct, field index) — shared by every instance of the struct.
+    Field(u32, u32),
+    /// Function return value.
+    Ret(u32),
+    /// All pointers of a given type shape reached through a dereference.
+    Indirect(u32),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    arith: bool,
+    backward: bool,
+}
+
+/// The solved kind assignment.
+#[derive(Debug, Clone, Default)]
+pub struct Solution {
+    index: HashMap<Slot, usize>,
+    parent: Vec<usize>,
+    flags: Vec<Flags>,
+    fingerprints: HashMap<String, u32>,
+}
+
+/// Census of inferred kinds, reported in experiment output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindSummary {
+    /// SAFE slots.
+    pub safe: usize,
+    /// FSEQ slots.
+    pub fseq: usize,
+    /// SEQ slots.
+    pub seq: usize,
+}
+
+impl Solution {
+    fn slot(&mut self, s: Slot) -> usize {
+        if let Some(&i) = self.index.get(&s) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.index.insert(s, i);
+        self.parent.push(i);
+        self.flags.push(Flags::default());
+        i
+    }
+
+    fn find(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        self.parent[rb] = ra;
+        let fb = self.flags[rb];
+        let fa = &mut self.flags[ra];
+        fa.arith |= fb.arith;
+        fa.backward |= fb.backward;
+    }
+
+    fn mark(&mut self, i: usize, backward: bool) {
+        let r = self.find(i);
+        self.flags[r].arith = true;
+        self.flags[r].backward |= backward;
+    }
+
+    fn kind_of_idx(&self, i: usize) -> PtrKind {
+        let f = self.flags[self.find(i)];
+        match (f.arith, f.backward) {
+            (false, _) => PtrKind::Safe,
+            (true, false) => PtrKind::Fseq,
+            (true, true) => PtrKind::Seq,
+        }
+    }
+
+    fn kind_of(&self, s: Slot) -> PtrKind {
+        match self.index.get(&s) {
+            Some(&i) => self.kind_of_idx(i),
+            None => PtrKind::Safe,
+        }
+    }
+
+    fn fingerprint(&mut self, ty: &Type) -> u32 {
+        let key = shape_key(ty);
+        let next = self.fingerprints.len() as u32;
+        *self.fingerprints.entry(key).or_insert(next)
+    }
+
+    /// Per-root kind census.
+    pub fn summary(&self) -> KindSummary {
+        let mut s = KindSummary::default();
+        for i in 0..self.parent.len() {
+            if self.find(i) != i {
+                continue;
+            }
+            match self.kind_of_idx(i) {
+                PtrKind::Safe | PtrKind::Thin => s.safe += 1,
+                PtrKind::Fseq => s.fseq += 1,
+                PtrKind::Seq => s.seq += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Canonical type shape ignoring kind annotations.
+fn shape_key(ty: &Type) -> String {
+    match ty {
+        Type::Void => "v".into(),
+        Type::Int(k) => format!("i{}", k.size() * if k.signed() { 10 } else { 1 }),
+        Type::Ptr(t, _) => format!("p({})", shape_key(t)),
+        Type::Array(t, n) => format!("a{n}({})", shape_key(t)),
+        Type::Struct(sid) => format!("s{}", sid.0),
+    }
+}
+
+/// Runs the inference over `program`.
+pub fn infer(program: &Program) -> Solution {
+    let mut sol = Solution::default();
+    let mut cx = Cx { sol: &mut sol, prog: program, func: 0 };
+    for (fi, f) in program.functions.iter().enumerate() {
+        cx.func = fi as u32;
+        cx.scan_block(&f.body);
+    }
+    sol
+}
+
+struct Cx<'a> {
+    sol: &'a mut Solution,
+    prog: &'a Program,
+    func: u32,
+}
+
+impl Cx<'_> {
+    /// The constraint slot a place's *pointer value* lives in, if the
+    /// place is pointer-typed.
+    fn place_slot(&mut self, p: &Place) -> Option<usize> {
+        if !p.ty.is_ptr() {
+            return None;
+        }
+        // Last field projection wins; otherwise the base.
+        let mut slot = match &p.base {
+            PlaceBase::Local(id) => Slot::Local(self.func, id.0),
+            PlaceBase::Global(g) => Slot::Global(g.0),
+            PlaceBase::Deref(_) => {
+                let fp = self.sol.fingerprint(&p.ty);
+                Slot::Indirect(fp)
+            }
+        };
+        for el in &p.elems {
+            if let PlaceElem::Field { sid, idx } = el {
+                slot = Slot::Field(sid.0, *idx);
+            }
+        }
+        Some(self.sol.slot(slot))
+    }
+
+    /// The slot an expression's pointer value flows out of.
+    fn expr_slot(&mut self, e: &Expr) -> Option<usize> {
+        if !e.ty.is_ptr() {
+            return None;
+        }
+        match &e.kind {
+            ExprKind::Load(p) => self.place_slot(p),
+            ExprKind::Binary(BinOp::PtrAdd | BinOp::PtrSub, a, _) => self.expr_slot(a),
+            ExprKind::Cast(a) => self.expr_slot(a),
+            // Fresh pointers have no slot; they adapt to their context.
+            ExprKind::AddrOf(_) | ExprKind::Str(_) | ExprKind::Const(_) => None,
+            _ => None,
+        }
+    }
+
+    fn unify_opt(&mut self, a: Option<usize>, b: Option<usize>) {
+        if let (Some(a), Some(b)) = (a, b) {
+            self.sol.union(a, b);
+        }
+    }
+
+    fn scan_expr(&mut self, e: &Expr) {
+        visit::walk_expr(e, &mut |x| {
+            match &x.kind {
+                ExprKind::Binary(op @ (BinOp::PtrAdd | BinOp::PtrSub), a, b) => {
+                    // Mark arithmetic on the pointer's slot. Negative or
+                    // non-constant? A constant non-negative PtrAdd keeps
+                    // FSEQ; PtrSub or negative constants force SEQ.
+                    let backward = matches!(op, BinOp::PtrSub)
+                        || b.as_const().map(|v| v < 0).unwrap_or(false);
+                    if let Some(s) = self.expr_slot_shallow(a) {
+                        self.sol.mark(s, backward);
+                    }
+                }
+                ExprKind::AddrOf(p) if p.ty.is_ptr() => {
+                    // &ptr escapes: unify with the indirect slot so writes
+                    // through the alias are representation-compatible.
+                    let fp = self.sol.fingerprint(&p.ty);
+                    let ind = self.sol.slot(Slot::Indirect(fp));
+                    let ps = self.place_slot_of(p);
+                    self.unify_opt(ps, Some(ind));
+                }
+                ExprKind::Load(p) => {
+                    // Deref of a pointer loaded from somewhere: nothing to
+                    // do beyond slot existence; handled lazily.
+                    let _ = p;
+                }
+                _ => {}
+            }
+        });
+    }
+
+    // Helpers usable inside the walk closure (no double borrow of self).
+    fn expr_slot_shallow(&mut self, e: &Expr) -> Option<usize> {
+        self.expr_slot(e)
+    }
+
+    fn place_slot_of(&mut self, p: &Place) -> Option<usize> {
+        self.place_slot(p)
+    }
+
+    fn scan_block(&mut self, block: &Block) {
+        for s in block {
+            match s {
+                Stmt::Assign(place, e) => {
+                    if place.ty.is_ptr() {
+                        let ps = self.place_slot(place);
+                        let es = self.expr_slot(e);
+                        self.unify_opt(ps, es);
+                    }
+                    self.scan_expr(e);
+                    self.scan_place(place);
+                }
+                Stmt::Call { dst, func, args } => {
+                    let callee = func.0;
+                    let callee_fn = &self.prog.functions[callee as usize];
+                    for (i, a) in args.iter().enumerate() {
+                        if a.ty.is_ptr() && (i as u32) < callee_fn.params {
+                            let ps = self.sol.slot(Slot::Local(callee, i as u32));
+                            let es = self.expr_slot(a);
+                            self.unify_opt(Some(ps), es);
+                        }
+                        self.scan_expr(a);
+                    }
+                    if let Some(d) = dst {
+                        if d.ty.is_ptr() {
+                            let rs = self.sol.slot(Slot::Ret(callee));
+                            let ds = self.place_slot(d);
+                            self.unify_opt(Some(rs), ds);
+                        }
+                        self.scan_place(d);
+                    }
+                }
+                Stmt::BuiltinCall { dst, args, .. } => {
+                    for a in args {
+                        self.scan_expr(a);
+                    }
+                    if let Some(d) = dst {
+                        self.scan_place(d);
+                    }
+                }
+                Stmt::If { cond, then_, else_ } => {
+                    self.scan_expr(cond);
+                    self.scan_block(then_);
+                    self.scan_block(else_);
+                }
+                Stmt::While { cond, body } => {
+                    self.scan_expr(cond);
+                    self.scan_block(body);
+                }
+                Stmt::Return(Some(e)) => {
+                    if e.ty.is_ptr() {
+                        let rs = self.sol.slot(Slot::Ret(self.func));
+                        let es = self.expr_slot(e);
+                        self.unify_opt(Some(rs), es);
+                    }
+                    self.scan_expr(e);
+                }
+                Stmt::Atomic { body, .. } | Stmt::Block(body) => self.scan_block(body),
+                _ => {}
+            }
+        }
+    }
+
+    fn scan_place(&mut self, p: &Place) {
+        visit::walk_place(p, &mut |e| {
+            // Expressions inside places (deref bases, indices).
+            let _ = e;
+        });
+        // Re-walk for pointer arithmetic inside the place.
+        if let PlaceBase::Deref(e) = &p.base {
+            self.scan_expr(e);
+        }
+        for el in &p.elems {
+            if let PlaceElem::Index(e) = el {
+                self.scan_expr(e);
+            }
+        }
+    }
+}
+
+/// Rewrites all declared types in `program` with the inferred kinds.
+pub fn apply(program: &mut Program, sol: &Solution) {
+    let kind_of = |slot: Slot| sol.kind_of(slot);
+
+    fn rewrite(ty: &Type, outer: PtrKind, sol: &Solution) -> Type {
+        match ty {
+            Type::Ptr(inner, _) => {
+                // Nested pointers take their indirect slot's kind.
+                let inner_kind = match &**inner {
+                    t @ Type::Ptr(..) => match sol.fingerprints.get(&shape_key(t)) {
+                        Some(&fp) => sol.kind_of(Slot::Indirect(fp)),
+                        None => PtrKind::Safe,
+                    },
+                    _ => PtrKind::Safe,
+                };
+                Type::Ptr(Box::new(rewrite(inner, inner_kind, sol)), outer)
+            }
+            Type::Array(t, n) => Type::Array(Box::new(rewrite(t, outer, sol)), *n),
+            other => other.clone(),
+        }
+    }
+
+    let sol_ref = sol;
+    for (gi, g) in program.globals.iter_mut().enumerate() {
+        if contains_ptr(&g.ty) {
+            let k = kind_of(Slot::Global(gi as u32));
+            g.ty = rewrite(&g.ty, k, sol_ref);
+        }
+    }
+    for (si, sd) in program.structs.iter_mut().enumerate() {
+        for (fi, field) in sd.fields.iter_mut().enumerate() {
+            if contains_ptr(&field.ty) {
+                let k = kind_of(Slot::Field(si as u32, fi as u32));
+                field.ty = rewrite(&field.ty, k, sol_ref);
+            }
+        }
+    }
+    for (fi, f) in program.functions.iter_mut().enumerate() {
+        if f.trusted {
+            continue;
+        }
+        for (li, l) in f.locals.iter_mut().enumerate() {
+            if contains_ptr(&l.ty) {
+                let k = kind_of(Slot::Local(fi as u32, li as u32));
+                l.ty = rewrite(&l.ty, k, sol_ref);
+            }
+        }
+        if contains_ptr(&f.ret) {
+            let k = kind_of(Slot::Ret(fi as u32));
+            f.ret = rewrite(&f.ret, k, sol_ref);
+        }
+    }
+}
+
+fn contains_ptr(ty: &Type) -> bool {
+    match ty {
+        Type::Ptr(..) => true,
+        Type::Array(t, _) => contains_ptr(t),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcil::parse_and_lower;
+
+    fn kinds_of(src: &str) -> tcil::Program {
+        let mut p = parse_and_lower(src).unwrap();
+        let sol = infer(&p);
+        apply(&mut p, &sol);
+        p
+    }
+
+    fn local_kind(p: &tcil::Program, func: &str, local: &str) -> PtrKind {
+        let f = &p.functions[p.find_function(func).unwrap().0 as usize];
+        let l = f.locals.iter().find(|l| l.name == local).unwrap();
+        match &l.ty {
+            Type::Ptr(_, k) => *k,
+            other => panic!("{local} is not a pointer: {other}"),
+        }
+    }
+
+    #[test]
+    fn no_arith_is_safe() {
+        let p = kinds_of("uint8_t g; uint8_t f(uint8_t * p) { return *p; } void main() { f(&g); }");
+        assert_eq!(local_kind(&p, "f", "p"), PtrKind::Safe);
+    }
+
+    #[test]
+    fn forward_arith_is_fseq() {
+        let p = kinds_of(
+            "uint8_t buf[4];
+             uint8_t f(uint8_t * p) { return p[1]; }
+             void main() { f(buf); }",
+        );
+        assert_eq!(local_kind(&p, "f", "p"), PtrKind::Fseq);
+    }
+
+    #[test]
+    fn backward_arith_is_seq() {
+        let p = kinds_of(
+            "uint8_t buf[4];
+             uint8_t f(uint8_t * p) { p = p - 1; return *p; }
+             void main() { f(buf); }",
+        );
+        assert_eq!(local_kind(&p, "f", "p"), PtrKind::Seq);
+    }
+
+    #[test]
+    fn kinds_flow_through_assignment() {
+        let p = kinds_of(
+            "uint8_t buf[4];
+             void f(uint8_t * p) { uint8_t * q; q = p; q = q + 1; *q = 0; }
+             void main() { f(buf); }",
+        );
+        // q does arithmetic; p must share its representation.
+        assert_eq!(local_kind(&p, "f", "p"), PtrKind::Fseq);
+        assert_eq!(local_kind(&p, "f", "q"), PtrKind::Fseq);
+    }
+
+    #[test]
+    fn kinds_flow_through_calls_and_returns() {
+        let p = kinds_of(
+            "uint8_t buf[4];
+             uint8_t * pick(uint8_t * p) { return p; }
+             void main() { uint8_t * q; q = pick(buf); q = q + 1; *q = 0; }",
+        );
+        assert_eq!(local_kind(&p, "pick", "p"), PtrKind::Fseq);
+        assert_eq!(local_kind(&p, "main", "q"), PtrKind::Fseq);
+    }
+
+    #[test]
+    fn struct_field_kinds_are_shared() {
+        let p = kinds_of(
+            "struct holder { uint8_t * ptr; };
+             struct holder a;
+             struct holder b;
+             uint8_t buf[4];
+             void main() { a.ptr = buf; a.ptr = a.ptr + 1; b.ptr = buf; *b.ptr = 0; }",
+        );
+        // One instance does arithmetic → the field kind is FSEQ for all.
+        let Type::Ptr(_, k) = &p.structs[0].fields[0].ty else { panic!() };
+        assert_eq!(*k, PtrKind::Fseq);
+    }
+
+    #[test]
+    fn summary_counts_roots() {
+        let mut p = parse_and_lower(
+            "uint8_t buf[4];
+             uint8_t f(uint8_t * p) { return p[1]; }
+             uint8_t g(uint8_t * p) { return *p; }
+             void main() { f(buf); g(buf); }",
+        )
+        .unwrap();
+        let sol = infer(&p);
+        let s = sol.summary();
+        assert!(s.fseq >= 1);
+        apply(&mut p, &sol);
+    }
+}

@@ -1,0 +1,77 @@
+//! CCured's local check optimizer.
+//!
+//! The paper observes (§3.1) that GCC and the CCured optimizer remove
+//! roughly the same population of "easy" checks — trivially satisfiable
+//! ones and locally redundant repeats. This pass implements that tier:
+//!
+//! * null checks on addresses that cannot be null (`&x`, string literals,
+//!   freshly built fat pointers over `&x`),
+//! * index checks with in-range constant indices (defensive; the
+//!   instrumenter already skips those),
+//! * straight-line **redundant check elimination**: an identical check
+//!   earlier in the same block with no intervening write to its operands
+//!   or intervening call dominates a later one.
+//!
+//! Whole-program reasoning (interval analysis, pointer analysis, inlining
+//! for context sensitivity) lives in the `cxprop` crate — that is the
+//! paper's headline result, not this tier.
+
+
+use tcil::checkopt;
+use tcil::Program;
+
+/// Runs the local optimizer; returns the number of checks removed.
+///
+/// Delegates to [`tcil::checkopt`], which implements the shared
+/// trivially-satisfiable + straight-line-redundancy tier (the same tier
+/// the backend's GCC stand-in applies independently, per Figure 2).
+pub fn optimize_checks(program: &mut Program) -> usize {
+    checkopt::remove_local_checks(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cure, CureOptions};
+
+    fn cured(src: &str, local_optimize: bool) -> Program {
+        let mut p = tcil::parse_and_lower(src).unwrap();
+        let opts = CureOptions { local_optimize, ..CureOptions::default() };
+        cure(&mut p, &opts).unwrap();
+        p
+    }
+
+    #[test]
+    fn addr_of_null_checks_removed() {
+        let src = "uint8_t g;
+             uint8_t read(uint8_t * p) { return *p; }
+             void main() { uint8_t x; x = 0; if (x) { } }";
+        let with = cured(src, false).count_checks();
+        let without = cured(src, true).count_checks();
+        assert!(without <= with);
+    }
+
+    #[test]
+    fn redundant_sequential_checks_removed() {
+        // Two derefs of the same pointer in a row: the second check is
+        // dominated by the first.
+        let src = "uint8_t a;
+             uint8_t f(uint8_t * p) { uint8_t x; x = *p; x = (uint8_t)(x + *p); return x; }
+             void main() { f(&a); }";
+        let unopt = cured(src, false);
+        let opt = cured(src, true);
+        assert!(opt.count_checks() < unopt.count_checks());
+    }
+
+    #[test]
+    fn call_invalidates_memory() {
+        let src = "uint8_t a;
+             void touch() { }
+             uint8_t f(uint8_t * p) { uint8_t x; x = *p; touch(); x = (uint8_t)(x + *p); return x; }
+             void main() { f(&a); }";
+        let opt = cured(src, true);
+        // Both checks must survive: the call could retarget p (through a
+        // global alias in general).
+        assert_eq!(opt.count_checks(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! The CCured runtime-library footprint model (§2.3).
+//!
+//! The original CCured runtime is several thousand lines of x86/POSIX C.
+//! The paper reports that a minimally-ported version costs **1.6 KB of
+//! RAM (40% of a Mica2's 4 KB) and 33 KB of ROM (26% of its flash)**, and
+//! that after removing OS and x86 dependencies, dropping garbage
+//! collection (TinyOS allocates statically), and running the improved DCE
+//! over the remainder, the runtime shrinks to **2 bytes of RAM and 314
+//! bytes of ROM**.
+//!
+//! We cannot port the literal x86 runtime to the M16, so this module is an
+//! explicit *model*: a component inventory whose per-component sizes are
+//! calibrated to sum to the paper's aggregates. The `runtime_footprint`
+//! experiment walks the same reduction steps the paper describes and
+//! reports the staged totals. The *tuned* runtime footprint is attached to
+//! every cured program as real globals so that RAM/ROM metrics include it.
+
+use tcil::ir::{Global, Init, Program};
+use tcil::types::{IntKind, Type};
+
+/// One component of the (modeled) CCured runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeComponent {
+    /// Component name.
+    pub name: &'static str,
+    /// SRAM bytes.
+    pub ram: u32,
+    /// Flash bytes.
+    pub rom: u32,
+    /// Why the component exists / why it can be removed.
+    pub note: &'static str,
+}
+
+/// The reduction stages of §2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeStage {
+    /// Straight port: everything included.
+    NaivePort,
+    /// OS (files/signals) and x86 (alignment) dependencies removed by hand.
+    OsX86Removed,
+    /// Garbage collection compiled out (static allocation model).
+    GcDropped,
+    /// Improved whole-program DCE over the remainder.
+    AfterDce,
+}
+
+/// Inventory of the naive runtime port. Sizes are calibrated so that the
+/// full set totals ≈1638 B RAM / ≈33 KB ROM and the post-reduction set
+/// totals 2 B RAM / 314 B ROM, the paper's reported endpoints.
+pub const NAIVE_COMPONENTS: &[RuntimeComponent] = &[
+    RuntimeComponent {
+        name: "gc",
+        ram: 1024,
+        rom: 14000,
+        note: "Boehm-style collector; TinyOS allocates statically → removable",
+    },
+    RuntimeComponent {
+        name: "file_io_wrappers",
+        ram: 256,
+        rom: 9000,
+        note: "checked stdio wrappers; no filesystem on a mote → removable",
+    },
+    RuntimeComponent {
+        name: "signal_handlers",
+        ram: 128,
+        rom: 2400,
+        note: "POSIX signal glue for fault reporting → removable",
+    },
+    RuntimeComponent {
+        name: "x86_alignment_checks",
+        ram: 0,
+        rom: 1800,
+        note: "4-byte alignment verification; M16 pointers are byte-aligned → removable",
+    },
+    RuntimeComponent {
+        name: "wild_pointer_support",
+        ram: 192,
+        rom: 4200,
+        note: "RTTI and tag tables for WILD pointers; no WILD kinds here → removable",
+    },
+    RuntimeComponent {
+        name: "format_string_helpers",
+        ram: 36,
+        rom: 1286,
+        note: "printf-class message formatting → dead once FLIDs are used",
+    },
+    RuntimeComponent {
+        name: "check_failure_handler",
+        ram: 2,
+        rom: 182,
+        note: "records the FLID and halts the node — always needed",
+    },
+    RuntimeComponent {
+        name: "fat_pointer_helpers",
+        ram: 0,
+        rom: 132,
+        note: "out-of-line bounds helpers for cold paths — always needed",
+    },
+];
+
+/// The runtime model attached to a cured program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeModel {
+    /// Whether this is the naive port (for the §2.3 experiment) or the
+    /// tuned runtime (the default for every other experiment).
+    pub naive: bool,
+    /// SRAM bytes contributed.
+    pub ram_bytes: u32,
+    /// Flash bytes contributed.
+    pub rom_bytes: u32,
+}
+
+impl RuntimeModel {
+    /// Builds the model for the chosen flavour.
+    pub fn new(naive: bool) -> RuntimeModel {
+        let (ram, rom) = footprint_at(if naive {
+            RuntimeStage::NaivePort
+        } else {
+            RuntimeStage::AfterDce
+        });
+        RuntimeModel { naive, ram_bytes: ram, rom_bytes: rom }
+    }
+}
+
+/// Total `(ram, rom)` footprint at a reduction stage.
+pub fn footprint_at(stage: RuntimeStage) -> (u32, u32) {
+    let keep = |c: &&RuntimeComponent| match stage {
+        RuntimeStage::NaivePort => true,
+        RuntimeStage::OsX86Removed => !matches!(
+            c.name,
+            "file_io_wrappers" | "signal_handlers" | "x86_alignment_checks"
+        ),
+        RuntimeStage::GcDropped => !matches!(
+            c.name,
+            "file_io_wrappers" | "signal_handlers" | "x86_alignment_checks" | "gc"
+        ),
+        RuntimeStage::AfterDce => {
+            matches!(c.name, "check_failure_handler" | "fat_pointer_helpers")
+        }
+    };
+    let ram = NAIVE_COMPONENTS.iter().filter(keep).map(|c| c.ram).sum();
+    let rom = NAIVE_COMPONENTS.iter().filter(keep).map(|c| c.rom).sum();
+    (ram, rom)
+}
+
+/// Name of the runtime state global (kept alive by the DCE passes).
+pub const RT_STATE_NAME: &str = "__ccured_rt_state";
+/// Name of the runtime code blob (modeled as const data).
+pub const RT_CODE_NAME: &str = "__ccured_rt_code";
+
+/// Attaches the runtime footprint to the program as real globals so that
+/// the backend's size accounting sees it.
+pub fn attach_runtime(program: &mut Program, model: &RuntimeModel) {
+    if model.ram_bytes > 0 {
+        program.globals.push(Global {
+            name: RT_STATE_NAME.to_string(),
+            ty: Type::Array(Box::new(Type::Int(IntKind::U8)), model.ram_bytes),
+            init: Init::Zero,
+            norace: false,
+            is_const: false,
+            racy: false,
+        });
+    }
+    if model.rom_bytes > 0 {
+        program.globals.push(Global {
+            name: RT_CODE_NAME.to_string(),
+            ty: Type::Array(Box::new(Type::Int(IntKind::U8)), model.rom_bytes),
+            init: Init::Zero,
+            norace: false,
+            is_const: true,
+            racy: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_footprint_matches_paper_aggregates() {
+        let (ram, rom) = footprint_at(RuntimeStage::NaivePort);
+        // ≈1.6 KB RAM, ≈33 KB ROM.
+        assert_eq!(ram, 1638);
+        assert_eq!(rom, 33000);
+    }
+
+    #[test]
+    fn tuned_footprint_matches_paper_endpoint() {
+        let (ram, rom) = footprint_at(RuntimeStage::AfterDce);
+        assert_eq!(ram, 2);
+        assert_eq!(rom, 314);
+    }
+
+    #[test]
+    fn stages_shrink_monotonically() {
+        let stages = [
+            RuntimeStage::NaivePort,
+            RuntimeStage::OsX86Removed,
+            RuntimeStage::GcDropped,
+            RuntimeStage::AfterDce,
+        ];
+        let mut prev = (u32::MAX, u32::MAX);
+        for s in stages {
+            let f = footprint_at(s);
+            assert!(f.0 <= prev.0 && f.1 <= prev.1, "{s:?} grew");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn attach_adds_globals() {
+        let mut p = tcil::parse_and_lower("void main() { }").unwrap();
+        attach_runtime(&mut p, &RuntimeModel::new(false));
+        assert!(p.find_global(RT_STATE_NAME).is_some());
+        assert!(p.find_global(RT_CODE_NAME).is_some());
+    }
+}

@@ -1,0 +1,341 @@
+//! Safe TinyOS: the toolchain driver.
+//!
+//! This crate wires the stages of the paper's Figure 1 into named
+//! pipeline configurations — one per bar of Figures 2 and 3 — and
+//! collects the metrics the evaluation reports: code size, static data
+//! size, checks inserted/surviving, and duty cycle.
+//!
+//! ```text
+//! nesC-lite ──▶ [CCured + error mode] ──▶ [inliner] ──▶ [cXprop] ──▶ backend ──▶ M16 image
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use safe_tinyos::{build_app, BuildConfig};
+//!
+//! let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+//! let unsafe_build = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
+//! let safe_build = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
+//! assert!(safe_build.metrics.checks_inserted > 0);
+//! assert!(safe_build.metrics.checks_surviving < safe_build.metrics.checks_inserted);
+//! // Optimized safe code lands near the unsafe baseline (Figure 3a).
+//! let ratio = safe_build.metrics.code_bytes as f64 / unsafe_build.metrics.code_bytes as f64;
+//! assert!(ratio < 1.6, "ratio {ratio}");
+//! ```
+
+use backend::BackendOptions;
+use ccured::{cure, CureOptions, CureStats, ErrorMode};
+use cxprop::{CxpropOptions, CxpropStats};
+use mcu::{Image, Machine, RunState};
+use tcil::{CompileError, Program};
+use tosapps::AppSpec;
+
+/// A named toolchain configuration (one bar of the paper's figures).
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Short name used in experiment output.
+    pub name: &'static str,
+    /// Run the CCured stage.
+    pub safe: bool,
+    /// Error-message configuration (safe builds).
+    pub error_mode: ErrorMode,
+    /// Run CCured's local check optimizer.
+    pub ccured_optimize: bool,
+    /// Run the source-level inliner before cXprop.
+    pub inline: bool,
+    /// Run the cXprop whole-program optimizer.
+    pub cxprop: bool,
+    /// Use the naive (unported) runtime footprint (§2.3 experiment).
+    pub naive_runtime: bool,
+}
+
+impl BuildConfig {
+    /// The paper's baseline: unsafe, unoptimized (plain nesC + gcc).
+    pub fn unsafe_baseline() -> Self {
+        BuildConfig {
+            name: "unsafe",
+            safe: false,
+            error_mode: ErrorMode::Flid,
+            ccured_optimize: false,
+            inline: false,
+            cxprop: false,
+            naive_runtime: false,
+        }
+    }
+
+    /// Figure 3 bar 7: unsafe, inlined and optimized by cXprop (the
+    /// "new baseline").
+    pub fn unsafe_optimized() -> Self {
+        BuildConfig { name: "unsafe+cxprop", inline: true, cxprop: true, ..Self::unsafe_baseline() }
+    }
+
+    /// Figure 3 bar 1: safe, verbose error messages in SRAM.
+    pub fn safe_verbose_ram() -> Self {
+        BuildConfig {
+            name: "safe-verbose-ram",
+            safe: true,
+            error_mode: ErrorMode::VerboseRam,
+            ccured_optimize: true,
+            inline: false,
+            cxprop: false,
+            naive_runtime: false,
+        }
+    }
+
+    /// Figure 3 bar 2: safe, verbose error messages in ROM.
+    pub fn safe_verbose_rom() -> Self {
+        BuildConfig {
+            name: "safe-verbose-rom",
+            error_mode: ErrorMode::VerboseRom,
+            ..Self::safe_verbose_ram()
+        }
+    }
+
+    /// Figure 3 bar 3: safe, terse error messages.
+    pub fn safe_terse() -> Self {
+        BuildConfig { name: "safe-terse", error_mode: ErrorMode::Terse, ..Self::safe_verbose_ram() }
+    }
+
+    /// Figure 3 bar 4: safe, FLID-compressed error messages.
+    pub fn safe_flid() -> Self {
+        BuildConfig { name: "safe-flid", error_mode: ErrorMode::Flid, ..Self::safe_verbose_ram() }
+    }
+
+    /// Figure 3 bar 5: safe + FLIDs + cXprop (no inliner).
+    pub fn safe_flid_cxprop() -> Self {
+        BuildConfig { name: "safe-flid-cxprop", cxprop: true, ..Self::safe_flid() }
+    }
+
+    /// Figure 3 bar 6: safe + FLIDs + inliner + cXprop (the full stack).
+    pub fn safe_flid_inline_cxprop() -> Self {
+        BuildConfig { name: "safe-flid-inline-cxprop", inline: true, cxprop: true, ..Self::safe_flid() }
+    }
+
+    /// Figure 2 config 1: gcc alone (checks inserted, nothing else).
+    pub fn fig2_gcc_only() -> Self {
+        BuildConfig { name: "gcc", ccured_optimize: false, ..Self::safe_flid() }
+    }
+
+    /// Figure 2 config 2: CCured optimizer + gcc.
+    pub fn fig2_ccured_gcc() -> Self {
+        BuildConfig { name: "ccured+gcc", ..Self::safe_flid() }
+    }
+
+    /// Figure 2 config 3: CCured optimizer + cXprop (no inliner) + gcc.
+    pub fn fig2_ccured_cxprop_gcc() -> Self {
+        BuildConfig { name: "ccured+cxprop+gcc", ..Self::safe_flid_cxprop() }
+    }
+
+    /// Figure 2 config 4: CCured optimizer + inliner + cXprop + gcc.
+    pub fn fig2_full() -> Self {
+        BuildConfig { name: "ccured+inline+cxprop+gcc", ..Self::safe_flid_inline_cxprop() }
+    }
+
+    /// The seven Figure 3 bars, in the paper's order.
+    pub fn fig3_bars() -> Vec<BuildConfig> {
+        vec![
+            Self::safe_verbose_ram(),
+            Self::safe_verbose_rom(),
+            Self::safe_terse(),
+            Self::safe_flid(),
+            Self::safe_flid_cxprop(),
+            Self::safe_flid_inline_cxprop(),
+            Self::unsafe_optimized(),
+        ]
+    }
+
+    /// The four Figure 2 optimizer stacks, in the paper's order.
+    pub fn fig2_stacks() -> Vec<BuildConfig> {
+        vec![
+            Self::fig2_gcc_only(),
+            Self::fig2_ccured_gcc(),
+            Self::fig2_ccured_cxprop_gcc(),
+            Self::fig2_full(),
+        ]
+    }
+}
+
+/// Metrics collected from one build.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Code (text) bytes.
+    pub code_bytes: u32,
+    /// Total flash bytes (code + rodata + data initializers + vectors).
+    pub flash_bytes: u32,
+    /// Static SRAM bytes (the paper's "static data size").
+    pub sram_bytes: u32,
+    /// Checks inserted by CCured (zero for unsafe builds).
+    pub checks_inserted: usize,
+    /// Distinct check sites surviving in the final machine code — the
+    /// Figure 2 survivor census.
+    pub checks_surviving: usize,
+    /// Locks inserted around racy checks.
+    pub locks_inserted: usize,
+    /// Cure-stage statistics, if the build was safe.
+    pub cure: Option<CureStats>,
+    /// cXprop statistics, if it ran.
+    pub cxprop: Option<CxpropStats>,
+}
+
+/// A finished build.
+#[derive(Debug, Clone)]
+pub struct Build {
+    /// The linked image.
+    pub image: Image,
+    /// Collected metrics.
+    pub metrics: Metrics,
+    /// The final IR (for inspection).
+    pub program: Program,
+}
+
+/// Compiles `spec` under `config`.
+///
+/// # Errors
+///
+/// Propagates compile errors from any stage.
+pub fn build_app(spec: &AppSpec, config: &BuildConfig) -> Result<Build, CompileError> {
+    let out = nesc::compile(&tosapps::source_set(), spec.config)?;
+    build_program(out.program, spec.platform.clone(), config)
+}
+
+/// Compiles an already-lowered program under `config` (used by tests and
+/// by experiments that synthesize programs directly).
+///
+/// # Errors
+///
+/// Propagates compile errors from any stage.
+pub fn build_program(
+    mut program: Program,
+    platform: mcu::Profile,
+    config: &BuildConfig,
+) -> Result<Build, CompileError> {
+    let mut metrics = Metrics::default();
+    if config.safe {
+        let opts = CureOptions {
+            error_mode: config.error_mode,
+            local_optimize: config.ccured_optimize,
+            lock_racy_checks: true,
+            naive_runtime: config.naive_runtime,
+        };
+        let stats = cure(&mut program, &opts)?;
+        metrics.checks_inserted = stats.checks_inserted;
+        metrics.locks_inserted = stats.locks_inserted;
+        metrics.cure = Some(stats);
+    }
+    if config.cxprop || config.inline {
+        let opts = CxpropOptions {
+            inline: config.inline,
+            // cXprop-off-but-inline-on is used by ablations: run only the
+            // inliner by disabling every other pass.
+            dce: config.cxprop,
+            copyprop: config.cxprop,
+            atomic_opt: config.cxprop,
+            refine_races: config.cxprop,
+            max_rounds: if config.cxprop { 3 } else { 0 },
+            ..CxpropOptions::default()
+        };
+        let stats = cxprop::optimize(&mut program, &opts);
+        metrics.cxprop = Some(stats);
+        // Sweep messages whose checks were removed (Figure 2 methodology:
+        // strings of eliminated checks become unreferenced).
+        ccured::errmsg::prune_unused_messages(&mut program);
+    }
+    let image = backend::compile(&program, platform, &BackendOptions { optimize: true })?;
+    metrics.code_bytes = image.code_bytes();
+    metrics.flash_bytes = image.flash_bytes();
+    metrics.sram_bytes = image.sram_bytes();
+    metrics.checks_surviving = image.surviving_checks();
+    Ok(Build { image, metrics, program })
+}
+
+/// Result of a duty-cycle simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Awake / total cycles, in percent.
+    pub duty_cycle_percent: f64,
+    /// Final machine state.
+    pub state: RunState,
+    /// Fault message, if the node trapped.
+    pub fault: Option<String>,
+    /// LED register transitions observed.
+    pub led_transitions: u64,
+    /// Radio bytes transmitted.
+    pub radio_tx_bytes: usize,
+    /// UART bytes emitted.
+    pub uart_bytes: usize,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// Runs `build` in `spec`'s context for `seconds` of simulated time
+/// (overriding the context default).
+pub fn simulate(build: &Build, spec: &AppSpec, seconds: u64) -> SimResult {
+    let mut ctx = spec.context.clone();
+    ctx.seconds = seconds;
+    let mut m = Machine::new(&build.image);
+    // Rebuild periodic injections for the overridden duration.
+    let hz = build.image.profile.clock_hz;
+    m.set_waveform(ctx.waveform.clone());
+    for inj in &ctx.injections {
+        if inj.at < ctx.duration_cycles(hz) {
+            m.inject_rx_bytes(inj.at, &inj.packet.frame_bytes());
+        }
+    }
+    // Extend periodic patterns beyond the stock context if needed.
+    extend_injections(&spec.context, &mut m, hz, ctx.duration_cycles(hz));
+    m.run(ctx.duration_cycles(hz));
+    SimResult {
+        duty_cycle_percent: m.duty_cycle_percent(),
+        state: m.state,
+        fault: m.fault_message(),
+        led_transitions: m.devices.leds.transitions,
+        radio_tx_bytes: m.radio_out.len(),
+        uart_bytes: m.uart_out.len(),
+        instructions: m.instr_count,
+    }
+}
+
+/// If the stock context's injections form a periodic pattern shorter than
+/// the requested duration, repeat the pattern to cover it.
+fn extend_injections(stock: &tosapps::Context, m: &mut Machine, hz: u64, until: u64) {
+    let stock_dur = stock.duration_cycles(hz);
+    if stock.injections.is_empty() || until <= stock_dur {
+        return;
+    }
+    let mut t = stock_dur;
+    while t < until {
+        for inj in &stock.injections {
+            let at = inj.at + t;
+            if at < until {
+                m.inject_rx_bytes(at, &inj.packet.frame_bytes());
+            }
+        }
+        t += stock_dur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blink_runs_unsafe_and_safe() {
+        let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+        for config in [BuildConfig::unsafe_baseline(), BuildConfig::safe_flid_inline_cxprop()] {
+            let b = build_app(&spec, &config).unwrap();
+            let r = simulate(&b, &spec, 3);
+            assert_eq!(r.state, RunState::Sleeping, "{}: fault {:?}", config.name, r.fault);
+            assert!(r.led_transitions >= 4, "{}: LEDs toggled {}", config.name, r.led_transitions);
+            assert!(r.duty_cycle_percent < 50.0, "{}: duty {}", config.name, r.duty_cycle_percent);
+        }
+    }
+
+    #[test]
+    fn fig3_bar_order_is_paper_order() {
+        let bars = BuildConfig::fig3_bars();
+        assert_eq!(bars.len(), 7);
+        assert_eq!(bars[0].name, "safe-verbose-ram");
+        assert_eq!(bars[6].name, "unsafe+cxprop");
+    }
+}

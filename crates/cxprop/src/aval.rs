@@ -1,0 +1,236 @@
+//! Abstract values: the reduced product of an integer interval domain and
+//! a fat-pointer bounds domain.
+//!
+//! Pointer values do not track *which* object they point into — only the
+//! three quantities the inserted checks actually test:
+//!
+//! * nullness,
+//! * `room` = `end - val` in bytes (how much referent is left),
+//! * `back` = `val - base` in bytes (how far past the base we are).
+//!
+//! This is enough to decide every [`tcil::ir::CheckKind`], and it joins
+//! cleanly across pointers into different objects because each fat
+//! pointer's bounds are its own.
+
+use tcil::ir::*;
+use tcil::types::{size_of, IntKind, StructDef, Type};
+
+use crate::ival::Ival;
+
+/// Three-valued nullness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Definitely null.
+    Yes,
+    /// Definitely not null.
+    No,
+    /// Unknown.
+    Maybe,
+}
+
+impl Tri {
+    /// Lattice join.
+    pub fn join(self, other: Tri) -> Tri {
+        if self == other {
+            self
+        } else {
+            Tri::Maybe
+        }
+    }
+}
+
+/// Abstract pointer: nullness plus fat bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct APtr {
+    /// Is the value null?
+    pub null: Tri,
+    /// `end - val` in bytes.
+    pub room: Ival,
+    /// `val - base` in bytes.
+    pub back: Ival,
+}
+
+impl APtr {
+    /// A completely unknown pointer.
+    pub fn top() -> APtr {
+        APtr { null: Tri::Maybe, room: Ival::any(), back: Ival::any() }
+    }
+
+    /// The null pointer.
+    pub fn null() -> APtr {
+        APtr { null: Tri::Yes, room: Ival::any(), back: Ival::any() }
+    }
+
+    /// A non-null pointer with `room` bytes ahead and `back` bytes behind.
+    pub fn object(room: Ival, back: Ival) -> APtr {
+        APtr { null: Tri::No, room, back }
+    }
+
+    /// Lattice join.
+    pub fn join(self, o: APtr) -> APtr {
+        APtr { null: self.null.join(o.null), room: self.room.join(o.room), back: self.back.join(o.back) }
+    }
+
+    /// Advances the pointer by `delta` bytes.
+    pub fn advance(self, delta: Ival) -> APtr {
+        APtr {
+            null: self.null,
+            room: Ival::binop(BinOp::Sub, self.room, delta, IntKind::I32),
+            back: Ival::binop(BinOp::Add, self.back, delta, IntKind::I32),
+        }
+    }
+}
+
+/// An abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AVal {
+    /// Unreachable.
+    Bot,
+    /// Integer interval.
+    Int(Ival),
+    /// Pointer.
+    Ptr(APtr),
+    /// Anything.
+    Top,
+}
+
+impl AVal {
+    /// Lattice join.
+    pub fn join(self, o: AVal) -> AVal {
+        match (self, o) {
+            (AVal::Bot, x) | (x, AVal::Bot) => x,
+            (AVal::Int(a), AVal::Int(b)) => AVal::Int(a.join(b)),
+            (AVal::Ptr(a), AVal::Ptr(b)) => AVal::Ptr(a.join(b)),
+            _ => AVal::Top,
+        }
+    }
+
+    /// Widening for loop heads.
+    pub fn widen(self, next: AVal, kind: IntKind) -> AVal {
+        match (self, next) {
+            (AVal::Int(a), AVal::Int(b)) => AVal::Int(a.widen(b, kind)),
+            (AVal::Ptr(a), AVal::Ptr(b)) => AVal::Ptr(APtr {
+                null: a.null.join(b.null),
+                room: a.room.widen(b.room, IntKind::I32),
+                back: a.back.widen(b.back, IntKind::I32),
+            }),
+            (a, b) => a.join(b),
+        }
+    }
+
+    /// The constant value, if exactly one integer is possible.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            AVal::Int(i) => i.as_const(),
+            _ => None,
+        }
+    }
+
+    /// Truth of this value as a branch condition, if decidable.
+    pub fn truth(self) -> Option<bool> {
+        match self {
+            AVal::Int(i) => {
+                if i.never_zero() {
+                    Some(true)
+                } else if i.always_zero() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            AVal::Ptr(p) => match p.null {
+                Tri::Yes => Some(false),
+                Tri::No => Some(true),
+                Tri::Maybe => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The pointer view, if this is a pointer.
+    pub fn as_ptr(self) -> Option<APtr> {
+        match self {
+            AVal::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Top for a given type.
+    pub fn top_for(ty: &Type) -> AVal {
+        match ty {
+            Type::Int(k) => AVal::Int(Ival::top(*k)),
+            Type::Ptr(..) => AVal::Ptr(APtr::top()),
+            _ => AVal::Top,
+        }
+    }
+}
+
+/// Computes the abstract value of `&place` (and thus of the `MakeFat` the
+/// CCured stage builds over it): `back` is the byte offset into the
+/// bounds object (the instrumenter strips one trailing index to find it),
+/// `room` is the remainder.
+pub fn addr_of_value(
+    place: &Place,
+    place_ty_resolver: impl Fn(&Place) -> Type,
+    structs: &[StructDef],
+    eval_index: impl Fn(&Expr) -> Ival,
+) -> APtr {
+    // Mirror `ccured::instrument::make_fat`: the bounds object is the
+    // place with one trailing index stripped.
+    let mut obj = place.clone();
+    let mut idx: Option<Ival> = None;
+    if let Some(PlaceElem::Index(i)) = obj.elems.last() {
+        idx = Some(eval_index(i));
+        obj.elems.pop();
+        obj.ty = place_ty_resolver(&obj);
+    }
+    let obj_size = size_of(&obj.ty, structs) as i64;
+    let elem_size = match &obj.ty {
+        Type::Array(t, _) => size_of(t, structs) as i64,
+        _ => obj_size.max(1),
+    };
+    let back = match idx {
+        Some(i) => Ival::binop(BinOp::Mul, i, Ival::const_(elem_size), IntKind::I32),
+        None => Ival::const_(0),
+    };
+    let room = Ival::binop(BinOp::Sub, Ival::const_(obj_size), back, IntKind::I32);
+    APtr::object(room, back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_preserve_decidability_when_equal() {
+        let a = AVal::Int(Ival::const_(3));
+        let b = AVal::Int(Ival::const_(3));
+        assert_eq!(a.join(b).as_const(), Some(3));
+        let c = AVal::Int(Ival::const_(5));
+        assert_eq!(a.join(c).as_const(), None);
+    }
+
+    #[test]
+    fn ptr_join_keeps_common_bounds() {
+        let a = APtr::object(Ival::const_(8), Ival::const_(0));
+        let b = APtr::object(Ival::const_(16), Ival::const_(0));
+        let j = a.join(b);
+        assert_eq!(j.null, Tri::No);
+        assert_eq!(j.room, Ival::Range(8, 16));
+    }
+
+    #[test]
+    fn advance_tracks_room_and_back() {
+        let p = APtr::object(Ival::const_(8), Ival::const_(0));
+        let q = p.advance(Ival::const_(3));
+        assert_eq!(q.room.as_const(), Some(5));
+        assert_eq!(q.back.as_const(), Some(3));
+    }
+
+    #[test]
+    fn truth_of_pointers() {
+        assert_eq!(AVal::Ptr(APtr::null()).truth(), Some(false));
+        assert_eq!(AVal::Ptr(APtr::object(Ival::const_(1), Ival::const_(0))).truth(), Some(true));
+        assert_eq!(AVal::Ptr(APtr::top()).truth(), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Block-local copy propagation (§2.1: "eliminates useless variables and
+//! increases cXprop's dataflow analysis precision slightly").
+//!
+//! After inlining, caller bodies are full of `__inl_* = x; use(__inl_*)`
+//! chains. Within one block (and with no intervening write to either
+//! side), a use of the copy can read the original instead, turning the
+//! copy into a dead store for DCE to sweep.
+
+use std::collections::HashMap;
+
+use tcil::ir::*;
+use tcil::visit;
+use tcil::Program;
+
+/// Runs copy propagation; returns the number of loads redirected.
+pub fn run(program: &mut Program) -> usize {
+    let mut redirected = 0;
+    for f in &mut program.functions {
+        // Locals whose address escapes can alias; skip them.
+        let mut addr_taken = vec![false; f.locals.len()];
+        visit::walk_stmts(&f.body, &mut |s| {
+            visit::stmt_exprs(s, &mut |e| {
+                visit::walk_expr(e, &mut |x| {
+                    if let ExprKind::AddrOf(p) = &x.kind {
+                        if let PlaceBase::Local(id) = &p.base {
+                            addr_taken[id.0 as usize] = true;
+                        }
+                    }
+                });
+            });
+        });
+        redirected += prop_block(&mut f.body, &addr_taken);
+    }
+    redirected
+}
+
+fn prop_block(b: &mut Block, addr_taken: &[bool]) -> usize {
+    let mut n = 0;
+    // copy[a] = b  means  "a currently equals local b".
+    let mut copies: HashMap<u32, u32> = HashMap::new();
+    for s in b.iter_mut() {
+        // First rewrite uses in this statement.
+        visit::stmt_exprs_mut(s, &mut |e| {
+            visit::walk_expr_mut(e, &mut |x| {
+                if let ExprKind::Load(p) = &mut x.kind {
+                    if p.elems.is_empty() {
+                        if let PlaceBase::Local(id) = &mut p.base {
+                            if let Some(src) = copies.get(&id.0) {
+                                id.0 = *src;
+                                n += 1;
+                            }
+                        }
+                    }
+                }
+            });
+        });
+        // Then account for this statement's effects.
+        match s {
+            Stmt::Assign(p, e) if p.elems.is_empty() => {
+                if let PlaceBase::Local(dst) = &p.base {
+                    let dst = dst.0;
+                    // Any existing copies of dst are invalidated.
+                    copies.retain(|a, b| *a != dst && *b != dst);
+                    if let ExprKind::Load(src) = &e.kind {
+                        if src.elems.is_empty() {
+                            if let PlaceBase::Local(sid) = &src.base {
+                                if !addr_taken[dst as usize]
+                                    && !addr_taken[sid.0 as usize]
+                                    && p.ty.is_scalar()
+                                {
+                                    copies.insert(dst, sid.0);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Store to a global or through a pointer: globals do
+                    // not affect local copies; pointer stores may hit
+                    // address-taken locals, which we excluded.
+                }
+            }
+            Stmt::Assign(_, _) => {}
+            Stmt::Call { dst, .. } | Stmt::BuiltinCall { dst, .. } => {
+                if let Some(p) = dst {
+                    if let PlaceBase::Local(d) = &p.base {
+                        let d = d.0;
+                        copies.retain(|a, b| *a != d && *b != d);
+                    }
+                }
+            }
+            Stmt::If { then_, else_, .. } => {
+                n += prop_block(then_, addr_taken);
+                n += prop_block(else_, addr_taken);
+                copies.clear();
+            }
+            Stmt::While { body, .. } => {
+                n += prop_block(body, addr_taken);
+                copies.clear();
+            }
+            Stmt::Atomic { body, .. } | Stmt::Block(body) => {
+                n += prop_block(body, addr_taken);
+                copies.clear();
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirects_through_copies() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             void f(uint8_t x) { uint8_t y; y = x; g = y; }
+             void main() { f(1); }",
+        )
+        .unwrap();
+        let n = run(&mut p);
+        assert!(n >= 1);
+        // g = y became g = x; y is now a dead store.
+        let stats = crate::dce::run(&mut p);
+        assert!(stats.stores_removed >= 1);
+    }
+
+    #[test]
+    fn respects_reassignment() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             void f(uint8_t x) { uint8_t y; y = x; x = 9; g = y; }
+             void main() { f(1); }",
+        )
+        .unwrap();
+        run(&mut p);
+        // y must NOT be replaced by x after x changed; execution still
+        // correct — verified by the engine-level tests; here just ensure
+        // the copy map dropped the pair (no redirect of the final load).
+        let f = &p.functions[p.find_function("f").unwrap().0 as usize];
+        let Stmt::Assign(_, e) = f.body.last().unwrap() else { panic!() };
+        let ExprKind::Load(pl) = &e.kind else { panic!() };
+        let PlaceBase::Local(id) = &pl.base else { panic!() };
+        assert_eq!(f.locals[id.0 as usize].name, "y");
+    }
+
+    #[test]
+    fn skips_address_taken_locals() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             void touch(uint8_t * p) { *p = 5; }
+             void f(uint8_t x) { uint8_t y; y = x; touch(&y); g = y; }
+             void main() { f(1); }",
+        )
+        .unwrap();
+        run(&mut p);
+        let f = &p.functions[p.find_function("f").unwrap().0 as usize];
+        let Stmt::Assign(_, e) = f.body.last().unwrap() else { panic!() };
+        let ExprKind::Load(pl) = &e.kind else { panic!() };
+        let PlaceBase::Local(id) = &pl.base else { panic!() };
+        assert_eq!(f.locals[id.0 as usize].name, "y");
+    }
+}

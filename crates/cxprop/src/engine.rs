@@ -1,0 +1,992 @@
+//! The whole-program dataflow engine.
+//!
+//! Flow-sensitive within functions, context-insensitive across them (the
+//! paper's §3.1 explains that this context insensitivity is exactly why
+//! the source-level inliner matters: inlining a check gives its operands
+//! call-site-specific values). Globals are handled with the TinyOS
+//! concurrency model in mind:
+//!
+//! * a global never touched by interrupt-reachable code is refined
+//!   flow-sensitively,
+//! * a global touched by interrupt code is only refined *inside an
+//!   `atomic` section* (handlers cannot interleave there) — this is the
+//!   concurrency awareness §2.1 describes,
+//! * address-taken globals are never refined (stores through pointers).
+//!
+//! The engine runs in two phases: a fixpoint **analysis** that stabilizes
+//! per-function entry values, return summaries, and whole-program global
+//! values; then a **transform** pass that folds constant expressions and
+//! branches and deletes checks the analysis proves redundant.
+
+use tcil::ir::*;
+use tcil::types::{size_of, IntKind, Type};
+use tcil::visit;
+use tcil::Program;
+
+use crate::aval::{addr_of_value, APtr, AVal, Tri};
+use crate::ival::Ival;
+
+/// Which abstract integer domain the engine plugs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainKind {
+    /// Flat constant lattice (cXprop's cheapest domain).
+    Constants,
+    /// Full interval domain.
+    #[default]
+    Intervals,
+}
+
+/// What the transform phase changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Checks proven redundant and removed.
+    pub checks_removed: usize,
+    /// Branches with decided conditions folded.
+    pub branches_folded: usize,
+    /// Expressions replaced by constants.
+    pub consts_folded: usize,
+}
+
+/// Pre-computed program facts.
+#[derive(Debug, Clone, Default)]
+pub struct Summaries {
+    /// `writes[f][g]`: function `f` (transitively) writes global `g`.
+    pub writes: Vec<Vec<bool>>,
+    /// Function (transitively) stores through a pointer.
+    pub indirect_writes: Vec<bool>,
+    /// Global has its address taken somewhere.
+    pub addr_taken: Vec<bool>,
+    /// Global is accessed by interrupt-reachable code.
+    pub async_touched: Vec<bool>,
+    /// Function reachable from any root.
+    pub reachable: Vec<bool>,
+}
+
+/// Computes [`Summaries`] for `program`.
+pub fn summarize(program: &Program) -> Summaries {
+    let nf = program.functions.len();
+    let ng = program.globals.len();
+    let mut s = Summaries {
+        writes: vec![vec![false; ng]; nf],
+        indirect_writes: vec![false; nf],
+        addr_taken: vec![false; ng],
+        async_touched: vec![false; ng],
+        reachable: vec![false; nf],
+    };
+    let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nf];
+    for (fi, f) in program.functions.iter().enumerate() {
+        visit::walk_stmts(&f.body, &mut |st| {
+            let mut dest = |p: &Place| {
+                match &p.base {
+                    PlaceBase::Global(g) => s.writes[fi][g.0 as usize] = true,
+                    PlaceBase::Deref(_) => s.indirect_writes[fi] = true,
+                    _ => {}
+                }
+            };
+            match st {
+                Stmt::Assign(p, _) => dest(p),
+                Stmt::Call { dst, func, .. } => {
+                    callees[fi].push(func.0);
+                    if let Some(p) = dst {
+                        dest(p);
+                    }
+                }
+                Stmt::BuiltinCall { dst: Some(p), .. } => dest(p),
+                _ => {}
+            }
+            visit::stmt_exprs(st, &mut |e| {
+                visit::walk_expr(e, &mut |x| {
+                    if let ExprKind::AddrOf(p) = &x.kind {
+                        if let PlaceBase::Global(g) = &p.base {
+                            s.addr_taken[g.0 as usize] = true;
+                        }
+                    }
+                });
+            });
+        });
+    }
+    // Transitive closure of writes / indirect writes.
+    loop {
+        let mut changed = false;
+        for fi in 0..nf {
+            for &c in &callees[fi] {
+                let c = c as usize;
+                if s.indirect_writes[c] && !s.indirect_writes[fi] {
+                    s.indirect_writes[fi] = true;
+                    changed = true;
+                }
+                for g in 0..ng {
+                    if s.writes[c][g] && !s.writes[fi][g] {
+                        s.writes[fi][g] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Reachability and async context.
+    let mut async_fn = vec![false; nf];
+    let roots: Vec<u32> = program
+        .entry
+        .iter()
+        .map(|f| f.0)
+        .chain(program.functions.iter().enumerate().filter_map(|(i, f)| {
+            f.interrupt.map(|_| i as u32)
+        }))
+        .collect();
+    let mut work = roots.clone();
+    while let Some(f) = work.pop() {
+        if std::mem::replace(&mut s.reachable[f as usize], true) {
+            continue;
+        }
+        work.extend(callees[f as usize].iter().copied());
+    }
+    let mut work: Vec<u32> = program
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.interrupt.is_some())
+        .map(|(i, _)| i as u32)
+        .collect();
+    while let Some(f) = work.pop() {
+        if std::mem::replace(&mut async_fn[f as usize], true) {
+            continue;
+        }
+        work.extend(callees[f as usize].iter().copied());
+    }
+    // Globals touched by async code.
+    for (fi, f) in program.functions.iter().enumerate() {
+        if !async_fn[fi] {
+            continue;
+        }
+        visit::walk_stmts(&f.body, &mut |st| {
+            let mut touch = |p: &Place| {
+                if let PlaceBase::Global(g) = &p.base {
+                    s.async_touched[g.0 as usize] = true;
+                }
+            };
+            match st {
+                Stmt::Assign(p, _) => touch(p),
+                Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => {
+                    touch(p)
+                }
+                _ => {}
+            }
+            visit::stmt_exprs(st, &mut |e| {
+                visit::walk_expr(e, &mut |x| {
+                    if let ExprKind::Load(p) | ExprKind::AddrOf(p) = &x.kind {
+                        if let PlaceBase::Global(g) = &p.base {
+                            s.async_touched[g.0 as usize] = true;
+                        }
+                    }
+                });
+            });
+        });
+    }
+    s
+}
+
+/// The flow environment at a program point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Env {
+    locals: Vec<AVal>,
+    globals: Vec<AVal>,
+    reachable: bool,
+}
+
+impl Env {
+    fn join_from(&mut self, other: &Env) -> bool {
+        if !other.reachable {
+            return false;
+        }
+        if !self.reachable {
+            *self = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        for (a, b) in self.locals.iter_mut().zip(&other.locals) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        for (a, b) in self.globals.iter_mut().zip(&other.globals) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// The analysis engine.
+pub struct Engine {
+    /// Chosen integer domain.
+    pub domain: DomainKind,
+    /// Program facts.
+    pub sums: Summaries,
+    /// Whole-program abstract value of each global.
+    pub wpv: Vec<AVal>,
+    /// Join of argument values at every call site, per function.
+    pub entry: Vec<Option<Vec<AVal>>>,
+    /// Return-value summaries.
+    pub retv: Vec<AVal>,
+    changed: bool,
+}
+
+impl Engine {
+    /// Runs the fixpoint analysis over `program`.
+    pub fn analyze(program: &Program, domain: DomainKind) -> Engine {
+        let sums = summarize(program);
+        let ng = program.globals.len();
+        let nf = program.functions.len();
+        let mut wpv = Vec::with_capacity(ng);
+        for (gi, g) in program.globals.iter().enumerate() {
+            let v = if sums.addr_taken[gi] {
+                AVal::top_for(&g.ty)
+            } else {
+                match (&g.ty, &g.init) {
+                    (Type::Int(k), Init::Zero) => AVal::Int(Ival::const_(0)).normed(domain, *k),
+                    (Type::Int(k), Init::Int(v)) => {
+                        AVal::Int(Ival::const_(k.wrap(*v))).normed(domain, *k)
+                    }
+                    (Type::Ptr(..), Init::Zero | Init::Int(_)) => AVal::Ptr(APtr::null()),
+                    _ => AVal::top_for(&g.ty),
+                }
+            };
+            wpv.push(v);
+        }
+        let mut eng = Engine {
+            domain,
+            sums,
+            wpv,
+            entry: vec![None; nf],
+            retv: vec![AVal::Bot; nf],
+            changed: true,
+        };
+        // Roots have no parameters.
+        for (i, f) in program.functions.iter().enumerate() {
+            if program.entry == Some(FuncId(i as u32)) || f.interrupt.is_some() {
+                eng.entry[i] = Some(vec![]);
+            }
+        }
+        let mut rounds = 0;
+        while eng.changed && rounds < 12 {
+            eng.changed = false;
+            rounds += 1;
+            for fi in 0..nf {
+                if !eng.sums.reachable[fi] || eng.entry[fi].is_none() {
+                    continue;
+                }
+                let mut body = program.functions[fi].body.clone();
+                let mut stats = EngineStats::default();
+                eng.walk_function(program, fi, &mut body, false, &mut stats);
+            }
+        }
+        eng
+    }
+
+    /// Applies the analysis results: folds constants and branches, deletes
+    /// proven checks. Returns what changed.
+    pub fn transform(&mut self, program: &mut Program) -> EngineStats {
+        let mut stats = EngineStats::default();
+        let snapshot = program.clone();
+        for fi in 0..program.functions.len() {
+            if !self.sums.reachable[fi] || self.entry[fi].is_none() {
+                continue;
+            }
+            let mut body = std::mem::take(&mut program.functions[fi].body);
+            self.walk_function(&snapshot, fi, &mut body, true, &mut stats);
+            program.functions[fi].body = body;
+        }
+        for f in &mut program.functions {
+            visit::sweep_nops(&mut f.body);
+        }
+        stats
+    }
+
+    fn entry_env(&self, program: &Program, fi: usize) -> Env {
+        let f = &program.functions[fi];
+        let mut locals: Vec<AVal> =
+            f.locals.iter().map(|l| AVal::top_for(&l.ty)).collect();
+        if let Some(params) = &self.entry[fi] {
+            for (i, v) in params.iter().enumerate() {
+                if i < locals.len() {
+                    locals[i] = *v;
+                }
+            }
+        }
+        Env { locals, globals: self.wpv.clone(), reachable: true }
+    }
+
+    fn walk_function(
+        &mut self,
+        program: &Program,
+        fi: usize,
+        body: &mut Block,
+        transform: bool,
+        stats: &mut EngineStats,
+    ) {
+        let mut env = self.entry_env(program, fi);
+        let mut w = Walker {
+            eng: self,
+            prog: program,
+            fidx: fi,
+            atomic: 0,
+            transform,
+            loop_breaks: Vec::new(),
+        };
+        w.walk_block(body, &mut env, stats);
+        // A void function falling off the end "returns" unit.
+        if program.functions[fi].ret == Type::Void && env.reachable {
+            // nothing to record
+        }
+    }
+}
+
+trait Normed {
+    fn normed(self, domain: DomainKind, kind: IntKind) -> Self;
+}
+
+impl Normed for AVal {
+    /// In the constants domain, non-singleton intervals collapse to top.
+    fn normed(self, domain: DomainKind, kind: IntKind) -> AVal {
+        match (domain, self) {
+            (DomainKind::Constants, AVal::Int(i)) => {
+                if i.as_const().is_some() {
+                    self
+                } else {
+                    AVal::Int(Ival::top(kind))
+                }
+            }
+            _ => self,
+        }
+    }
+}
+
+struct Walker<'a> {
+    eng: &'a mut Engine,
+    prog: &'a Program,
+    fidx: usize,
+    atomic: u32,
+    transform: bool,
+    loop_breaks: Vec<Vec<Env>>,
+}
+
+impl Walker<'_> {
+    fn func(&self) -> &Function {
+        &self.prog.functions[self.fidx]
+    }
+
+    /// Whether loads of global `g` may use the flow-sensitive value.
+    fn refinable(&self, g: usize) -> bool {
+        if self.eng.sums.addr_taken[g] {
+            return false;
+        }
+        if !self.eng.sums.async_touched[g] {
+            return true;
+        }
+        // Async-touched globals: only inside atomic sections, and always
+        // within interrupt handlers themselves (nothing preempts them).
+        self.atomic > 0 || self.func().interrupt.is_some()
+    }
+
+    // ----- evaluation -----
+
+    fn eval(&self, e: &Expr, env: &Env) -> AVal {
+        let v = match &e.kind {
+            ExprKind::Const(c) => match &e.ty {
+                Type::Ptr(..) if *c == 0 => AVal::Ptr(APtr::null()),
+                Type::Int(_) => AVal::Int(Ival::const_(*c)),
+                _ => AVal::Top,
+            },
+            ExprKind::Str(id) => {
+                let len = self.prog.strings.get(*id).len() as i64;
+                AVal::Ptr(APtr::object(Ival::const_(len + 1), Ival::const_(0)))
+            }
+            ExprKind::SizeOf(t) => {
+                AVal::Int(Ival::const_(size_of(t, &self.prog.structs) as i64))
+            }
+            ExprKind::Load(p) => self.eval_place(p, env),
+            ExprKind::AddrOf(p) => AVal::Ptr(addr_of_value(
+                p,
+                |pl| self.place_ty(pl),
+                &self.prog.structs,
+                |i| match self.eval(i, env) {
+                    AVal::Int(iv) => iv,
+                    _ => Ival::any(),
+                },
+            )),
+            ExprKind::MakeFat { val, .. } => self.eval(val, env),
+            ExprKind::Unary(op, a) => match self.eval(a, env) {
+                AVal::Int(i) => {
+                    let k = a.ty.as_int().unwrap_or(IntKind::U16);
+                    AVal::Int(Ival::unop(*op, i, k))
+                }
+                AVal::Ptr(p) if *op == UnOp::Not => match p.null {
+                    Tri::Yes => AVal::Int(Ival::const_(1)),
+                    Tri::No => AVal::Int(Ival::const_(0)),
+                    Tri::Maybe => AVal::Int(Ival::Range(0, 1)),
+                },
+                _ => AVal::top_for(&e.ty),
+            },
+            ExprKind::Binary(op, a, b) => self.eval_binary(*op, a, b, env, &e.ty),
+            ExprKind::Cast(a) => match (self.eval(a, env), e.ty.as_int()) {
+                (AVal::Int(i), Some(k)) => AVal::Int(i.cast(k)),
+                (v @ AVal::Ptr(_), None) if e.ty.is_ptr() => v,
+                _ => AVal::top_for(&e.ty),
+            },
+        };
+        match e.ty.as_int() {
+            Some(k) => v.normed(self.eng.domain, k),
+            None => v,
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr, env: &Env, ty: &Type) -> AVal {
+        let va = self.eval(a, env);
+        let vb = self.eval(b, env);
+        match op {
+            BinOp::PtrAdd | BinOp::PtrSub => {
+                let elem = match &a.ty {
+                    Type::Ptr(t, _) => size_of(t, &self.prog.structs) as i64,
+                    _ => 1,
+                };
+                let (AVal::Ptr(p), AVal::Int(i)) = (va, vb) else {
+                    return AVal::Ptr(APtr::top());
+                };
+                let mut delta = Ival::binop(BinOp::Mul, i, Ival::const_(elem), IntKind::I32);
+                if op == BinOp::PtrSub {
+                    delta = Ival::unop(UnOp::Neg, delta, IntKind::I32);
+                }
+                AVal::Ptr(p.advance(delta))
+            }
+            BinOp::Eq | BinOp::Ne if a.ty.is_ptr() || b.ty.is_ptr() => {
+                let decided = match (va.as_ptr().map(|p| p.null), vb.as_ptr().map(|p| p.null)) {
+                    (Some(Tri::Yes), Some(Tri::Yes)) => Some(true),
+                    (Some(Tri::Yes), Some(Tri::No)) | (Some(Tri::No), Some(Tri::Yes)) => {
+                        Some(false)
+                    }
+                    _ => None,
+                };
+                match decided {
+                    Some(eq) => {
+                        let t = if op == BinOp::Eq { eq } else { !eq };
+                        AVal::Int(Ival::const_(t as i64))
+                    }
+                    None => AVal::Int(Ival::Range(0, 1)),
+                }
+            }
+            _ => {
+                let (AVal::Int(ia), AVal::Int(ib)) = (va, vb) else {
+                    return AVal::top_for(ty);
+                };
+                let k = a.ty.as_int().or_else(|| b.ty.as_int()).unwrap_or(IntKind::U16);
+                AVal::Int(Ival::binop(op, ia, ib, k))
+            }
+        }
+    }
+
+    fn eval_place(&self, p: &Place, env: &Env) -> AVal {
+        if !p.elems.is_empty() {
+            return AVal::top_for(&p.ty);
+        }
+        match &p.base {
+            PlaceBase::Local(id) => env.locals[id.0 as usize],
+            PlaceBase::Global(g) => {
+                let gi = g.0 as usize;
+                if self.refinable(gi) {
+                    env.globals[gi]
+                } else {
+                    self.eng.wpv[gi]
+                }
+            }
+            PlaceBase::Deref(_) => AVal::top_for(&p.ty),
+        }
+    }
+
+    fn place_ty(&self, p: &Place) -> Type {
+        let mut ty = match &p.base {
+            PlaceBase::Local(id) => self.func().locals[id.0 as usize].ty.clone(),
+            PlaceBase::Global(g) => self.prog.globals[g.0 as usize].ty.clone(),
+            PlaceBase::Deref(e) => match &e.ty {
+                Type::Ptr(t, _) => (**t).clone(),
+                _ => Type::u8(),
+            },
+        };
+        for el in &p.elems {
+            match el {
+                PlaceElem::Field { sid, idx } => {
+                    ty = self.prog.structs[sid.0 as usize].fields[*idx as usize].ty.clone();
+                }
+                PlaceElem::Index(_) => {
+                    if let Type::Array(t, _) = ty {
+                        ty = *t;
+                    }
+                }
+            }
+        }
+        ty
+    }
+
+    // ----- assignment effects -----
+
+    fn assign_place(&mut self, p: &Place, v: AVal, env: &mut Env) {
+        if !p.elems.is_empty() {
+            // Field/array stores: field-insensitive; nothing tracked, but a
+            // store through a pointer may hit address-taken globals (their
+            // wpv is already Top).
+            return;
+        }
+        match &p.base {
+            PlaceBase::Local(id) => env.locals[id.0 as usize] = v,
+            PlaceBase::Global(g) => {
+                let gi = g.0 as usize;
+                env.globals[gi] = v;
+                // Every store contributes to the whole-program value.
+                let j = self.eng.wpv[gi].join(v);
+                if j != self.eng.wpv[gi] {
+                    self.eng.wpv[gi] = j;
+                    self.eng.changed = true;
+                }
+            }
+            PlaceBase::Deref(_) => {}
+        }
+    }
+
+    // ----- statements -----
+
+    fn fold_expr_to_const(&mut self, e: &mut Expr, env: &Env, stats: &mut EngineStats) {
+        if !self.transform {
+            return;
+        }
+        if e.as_const().is_some() || !e.ty.is_int() {
+            return;
+        }
+        // Loads of named variables are usually cheaper than wide constants;
+        // still fold (the backend folds sizes anyway and DCE benefits).
+        if let Some(c) = self.eval(e, env).as_const() {
+            let k = e.ty.as_int().unwrap_or(IntKind::U16);
+            *e = Expr::const_int(c, k);
+            stats.consts_folded += 1;
+        }
+    }
+
+    fn walk_block(&mut self, b: &mut Block, env: &mut Env, stats: &mut EngineStats) {
+        for s in b.iter_mut() {
+            if !env.reachable {
+                if self.transform {
+                    *s = Stmt::Nop;
+                }
+                continue;
+            }
+            self.walk_stmt(s, env, stats);
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &mut Stmt, env: &mut Env, stats: &mut EngineStats) {
+        match s {
+            Stmt::Assign(place, e) => {
+                let v = self.eval(e, env);
+                self.fold_expr_to_const(e, env, stats);
+                self.assign_place(&place.clone(), v, env);
+            }
+            Stmt::Call { dst, func, args } => {
+                let callee = func.0 as usize;
+                let vals: Vec<AVal> = args.iter().map(|a| self.eval(a, env)).collect();
+                for a in args.iter_mut() {
+                    self.fold_expr_to_const(a, env, stats);
+                }
+                // Join into the callee's entry summary.
+                let params = self.prog.functions[callee].params as usize;
+                let entry = self.eng.entry[callee].get_or_insert_with(|| vec![AVal::Bot; params]);
+                let mut changed = false;
+                for (slot, v) in entry.iter_mut().zip(vals.iter()) {
+                    let j = slot.join(*v);
+                    if j != *slot {
+                        *slot = j;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.eng.changed = true;
+                }
+                // Havoc globals the callee writes.
+                let writes = self.eng.sums.writes[callee].clone();
+                for (gi, w) in writes.iter().enumerate() {
+                    if *w {
+                        env.globals[gi] = self.eng.wpv[gi];
+                    }
+                }
+                if let Some(d) = dst.clone() {
+                    let rv = self.eng.retv[callee];
+                    self.assign_place(&d, rv, env);
+                }
+            }
+            Stmt::BuiltinCall { dst, args, .. } => {
+                for a in args.iter_mut() {
+                    self.fold_expr_to_const(a, env, stats);
+                }
+                if let Some(d) = dst.clone() {
+                    let top = AVal::top_for(&d.ty);
+                    self.assign_place(&d, top, env);
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let cv = self.eval(cond, env).truth();
+                if let Some(t) = cv {
+                    if self.transform {
+                        let taken =
+                            if t { std::mem::take(then_) } else { std::mem::take(else_) };
+                        stats.branches_folded += 1;
+                        *s = Stmt::Block(taken);
+                        // Re-walk the surviving branch.
+                        self.walk_stmt(s, env, stats);
+                        return;
+                    }
+                    // Analysis: only the taken branch contributes.
+                    let b = if t { then_ } else { else_ };
+                    self.walk_block(b, env, stats);
+                    return;
+                }
+                let mut env_t = env.clone();
+                let mut env_f = env.clone();
+                self.refine_cond(cond, true, &mut env_t);
+                self.refine_cond(cond, false, &mut env_f);
+                self.walk_block(then_, &mut env_t, stats);
+                self.walk_block(else_, &mut env_f, stats);
+                if env_t.reachable {
+                    *env = env_t;
+                    if env_f.reachable {
+                        env.join_from(&env_f);
+                    }
+                } else {
+                    *env = env_f;
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.walk_while(cond, body, env, stats);
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    let v = self.eval(e, env);
+                    self.fold_expr_to_const(e, env, stats);
+                    let j = self.eng.retv[self.fidx].join(v);
+                    if j != self.eng.retv[self.fidx] {
+                        self.eng.retv[self.fidx] = j;
+                        self.eng.changed = true;
+                    }
+                }
+                env.reachable = false;
+            }
+            Stmt::Break | Stmt::Continue => {
+                if matches!(s, Stmt::Break) {
+                    if let Some(breaks) = self.loop_breaks.last_mut() {
+                        breaks.push(env.clone());
+                    }
+                }
+                // Continue: conservatively handled by the loop fixpoint
+                // (the loop head env already joins every iteration state).
+                env.reachable = false;
+            }
+            Stmt::Atomic { body, .. } => {
+                self.atomic += 1;
+                // Fresh observation point for async-touched globals.
+                for gi in 0..env.globals.len() {
+                    if self.eng.sums.async_touched[gi] {
+                        env.globals[gi] = self.eng.wpv[gi];
+                    }
+                }
+                self.walk_block(body, env, stats);
+                self.atomic -= 1;
+                for gi in 0..env.globals.len() {
+                    if self.eng.sums.async_touched[gi] {
+                        env.globals[gi] = self.eng.wpv[gi];
+                    }
+                }
+            }
+            Stmt::Block(b) => self.walk_block(b, env, stats),
+            Stmt::Check(c) => {
+                if self.check_passes(c, env) {
+                    if self.transform {
+                        stats.checks_removed += 1;
+                        *s = Stmt::Nop;
+                    }
+                } else {
+                    // Execution continues only if the check passed: refine.
+                    self.refine_check(&c.clone(), env);
+                }
+            }
+            Stmt::Nop => {}
+        }
+    }
+
+    fn walk_while(
+        &mut self,
+        cond: &mut Expr,
+        body: &mut Block,
+        env: &mut Env,
+        stats: &mut EngineStats,
+    ) {
+        // Fixpoint over the loop head (analysis semantics; in transform
+        // mode the invariant is computed on a scratch copy first).
+        let mut head = env.clone();
+        for round in 0..4 {
+            let mut iter_env = head.clone();
+            self.refine_cond(cond, true, &mut iter_env);
+            let mut scratch = body.clone();
+            let was_transform = self.transform;
+            self.transform = false;
+            self.loop_breaks.push(Vec::new());
+            let mut sink = EngineStats::default();
+            self.walk_block(&mut scratch, &mut iter_env, &mut sink);
+            let _breaks = self.loop_breaks.pop();
+            self.transform = was_transform;
+            let mut merged = head.clone();
+            let changed = if iter_env.reachable { merged.join_from(&iter_env) } else { false };
+            if !changed {
+                head = merged;
+                break;
+            }
+            if round >= 1 {
+                // Widen to guarantee termination.
+                for (a, b) in head.locals.clone().into_iter().zip(merged.locals.iter()) {
+                    let _ = (a, b);
+                }
+                for (i, l) in merged.locals.iter().enumerate() {
+                    let k = self.func().locals[i].ty.as_int().unwrap_or(IntKind::I32);
+                    head.locals[i] = head.locals[i].widen(*l, k);
+                }
+                for (i, g) in merged.globals.iter().enumerate() {
+                    let k = self.prog.globals[i].ty.as_int().unwrap_or(IntKind::I32);
+                    head.globals[i] = head.globals[i].widen(*g, k);
+                }
+                head.reachable = true;
+            } else {
+                head = merged;
+            }
+        }
+        // Decided loop condition?
+        let entry_truth = self.eval(cond, &head).truth();
+        if self.transform && entry_truth == Some(false) && self.eval(cond, env).truth() == Some(false)
+        {
+            // Loop never runs at all.
+            stats.branches_folded += 1;
+            *env = {
+                let mut e = env.clone();
+                self.refine_cond(cond, false, &mut e);
+                e
+            };
+            cond.kind = ExprKind::Const(0);
+            body.clear();
+            return;
+        }
+        // Final pass over the body with the stable invariant (transforming
+        // if enabled).
+        let mut body_env = head.clone();
+        self.refine_cond(cond, true, &mut body_env);
+        self.loop_breaks.push(Vec::new());
+        self.walk_block(body, &mut body_env, stats);
+        let breaks = self.loop_breaks.pop().unwrap_or_default();
+        // Exit env: head refined by !cond, joined with break states.
+        let mut exit = head;
+        self.refine_cond(cond, false, &mut exit);
+        let cond_can_be_false = self.eval(cond, &exit).truth() != Some(true);
+        if !cond_can_be_false && breaks.is_empty() {
+            // while(1) with no breaks: nothing after the loop runs.
+            exit.reachable = false;
+        }
+        for b in &breaks {
+            exit.join_from(b);
+        }
+        *env = exit;
+    }
+
+    // ----- refinement -----
+
+    fn refine_cond(&self, cond: &Expr, taken: bool, env: &mut Env) {
+        match &cond.kind {
+            ExprKind::Unary(UnOp::Not, inner) => self.refine_cond(inner, !taken, env),
+            ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le), a, b) => {
+                // Pointer null tests.
+                if a.ty.is_ptr() || b.ty.is_ptr() {
+                    let (ptr_e, other) =
+                        if a.ty.is_ptr() { (a, b) } else { (b, a) };
+                    if self.eval(other, env).as_const() == Some(0)
+                        || matches!(self.eval(other, env), AVal::Ptr(p) if p.null == Tri::Yes)
+                    {
+                        let nonnull = match (op, taken) {
+                            (BinOp::Ne, true) | (BinOp::Eq, false) => Some(true),
+                            (BinOp::Eq, true) | (BinOp::Ne, false) => Some(false),
+                            _ => None,
+                        };
+                        if let Some(nn) = nonnull {
+                            self.refine_ptr_null(ptr_e, nn, env);
+                        }
+                    }
+                    return;
+                }
+                // Integer refinement on direct loads.
+                let vb = match self.eval(b, env) {
+                    AVal::Int(i) => i,
+                    _ => return,
+                };
+                if let Some((target, cur)) = self.refinable_load(a, env) {
+                    if let AVal::Int(ia) = cur {
+                        let refined = ia.refine(*op, vb, taken);
+                        self.set_refined(target, AVal::Int(refined), env);
+                    }
+                }
+                // Symmetric case: const op load — flip the comparison.
+                let va = match self.eval(a, env) {
+                    AVal::Int(i) => i,
+                    _ => return,
+                };
+                if let Some((target, cur)) = self.refinable_load(b, env) {
+                    if let AVal::Int(ib) = cur {
+                        let flipped = match op {
+                            BinOp::Lt => BinOp::Le, // a < b  ≡  b >= a+1... approximate with >=
+                            BinOp::Le => BinOp::Lt,
+                            o => *o,
+                        };
+                        // a OP b refines b via the flipped relation with
+                        // inverted taken-ness for orderings.
+                        let refined = match op {
+                            BinOp::Eq | BinOp::Ne => ib.refine(*op, va, taken),
+                            _ => ib.refine(flipped, va, !taken),
+                        };
+                        self.set_refined(target, AVal::Int(refined), env);
+                    }
+                }
+            }
+            ExprKind::Load(_) => {
+                if let Some((target, cur)) = self.refinable_load(cond, env) {
+                    match cur {
+                        AVal::Int(i) => {
+                            let refined = if taken {
+                                i // non-zero: can't express holes; keep
+                            } else {
+                                i.meet(Ival::const_(0))
+                            };
+                            self.set_refined(target, AVal::Int(refined), env);
+                        }
+                        AVal::Ptr(_) => self.refine_ptr_null(cond, taken, env),
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A load of a refinable location: returns the target and its current
+    /// value.
+    fn refinable_load(&self, e: &Expr, env: &Env) -> Option<(RefTarget, AVal)> {
+        let inner = match &e.kind {
+            ExprKind::Cast(a) => a,
+            _ => e,
+        };
+        let ExprKind::Load(p) = &inner.kind else { return None };
+        if !p.elems.is_empty() {
+            return None;
+        }
+        match &p.base {
+            PlaceBase::Local(id) => {
+                Some((RefTarget::Local(id.0 as usize), env.locals[id.0 as usize]))
+            }
+            PlaceBase::Global(g) => {
+                let gi = g.0 as usize;
+                if self.refinable(gi) {
+                    Some((RefTarget::Global(gi), env.globals[gi]))
+                } else {
+                    None
+                }
+            }
+            PlaceBase::Deref(_) => None,
+        }
+    }
+
+    fn set_refined(&self, target: RefTarget, v: AVal, env: &mut Env) {
+        match target {
+            RefTarget::Local(i) => env.locals[i] = v,
+            RefTarget::Global(i) => env.globals[i] = v,
+        }
+    }
+
+    fn refine_ptr_null(&self, e: &Expr, nonnull: bool, env: &mut Env) {
+        if let Some((target, AVal::Ptr(mut p))) = self.refinable_load(e, env) {
+            p.null = if nonnull { Tri::No } else { Tri::Yes };
+            self.set_refined(target, AVal::Ptr(p), env);
+        }
+    }
+
+    // ----- checks -----
+
+    fn check_passes(&self, c: &Check, env: &Env) -> bool {
+        match &c.kind {
+            CheckKind::NonNull(e) => {
+                matches!(self.eval(e, env), AVal::Ptr(p) if p.null == Tri::No)
+            }
+            CheckKind::Upper { ptr, len } => match self.eval(ptr, env) {
+                AVal::Ptr(p) => {
+                    p.null == Tri::No
+                        && matches!(p.room.bounds(), Some((lo, _)) if lo >= *len as i64)
+                }
+                _ => false,
+            },
+            CheckKind::Bounds { ptr, len } => match self.eval(ptr, env) {
+                AVal::Ptr(p) => {
+                    p.null == Tri::No
+                        && matches!(p.room.bounds(), Some((lo, _)) if lo >= *len as i64)
+                        && matches!(p.back.bounds(), Some((lo, _)) if lo >= 0)
+                }
+                _ => false,
+            },
+            CheckKind::IndexBound { idx, n } => match self.eval(idx, env) {
+                AVal::Int(i) => {
+                    matches!(i.bounds(), Some((lo, hi)) if lo >= 0 && hi < *n as i64)
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// After a passing check, execution is conditioned on its truth.
+    fn refine_check(&self, c: &Check, env: &mut Env) {
+        let (ptr_expr, need_room, need_back) = match &c.kind {
+            CheckKind::NonNull(e) => (e, None, false),
+            CheckKind::Upper { ptr, len } => (ptr, Some(*len), false),
+            CheckKind::Bounds { ptr, len } => (ptr, Some(*len), true),
+            CheckKind::IndexBound { idx, n } => {
+                if let Some((target, AVal::Int(i))) = self.refinable_load(idx, env) {
+                    let refined = i.meet(Ival::Range(0, *n as i64 - 1));
+                    self.set_refined(target, AVal::Int(refined), env);
+                }
+                return;
+            }
+        };
+        if let Some((target, AVal::Ptr(mut p))) = self.refinable_load(ptr_expr, env) {
+            p.null = Tri::No;
+            if let Some(len) = need_room {
+                p.room = p.room.meet(Ival::Range(len as i64, i64::MAX / 4));
+            }
+            if need_back {
+                p.back = p.back.meet(Ival::Range(0, i64::MAX / 4));
+            }
+            self.set_refined(target, AVal::Ptr(p), env);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum RefTarget {
+    Local(usize),
+    Global(usize),
+}
+

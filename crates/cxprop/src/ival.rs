@@ -1,0 +1,323 @@
+//! Concrete interval arithmetic: the workhorse value representation of
+//! the dataflow engine and of fat-pointer bounds tracking.
+
+use tcil::ir::{BinOp, UnOp};
+use tcil::types::IntKind;
+
+/// A (possibly unbounded) integer interval `[lo, hi]`, or bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ival {
+    /// No value (unreachable).
+    Bot,
+    /// All values in `lo..=hi` (inclusive; `i64` bounds are wide enough
+    /// for every M16 type).
+    Range(i64, i64),
+}
+
+impl Ival {
+    /// The full range of an integer kind.
+    pub fn top(kind: IntKind) -> Ival {
+        Ival::Range(kind.min_value(), kind.max_value())
+    }
+
+    /// An unconstrained 64-bit interval (used when the kind is unknown).
+    pub fn any() -> Ival {
+        Ival::Range(i64::MIN / 4, i64::MAX / 4)
+    }
+
+    /// A singleton interval.
+    pub fn const_(v: i64) -> Ival {
+        Ival::Range(v, v)
+    }
+
+    /// The single value, if this interval is a singleton.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Ival::Range(a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The bounds, if non-bottom.
+    pub fn bounds(self) -> Option<(i64, i64)> {
+        match self {
+            Ival::Range(a, b) => Some((a, b)),
+            Ival::Bot => None,
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Bot, x) | (x, Ival::Bot) => x,
+            (Ival::Range(a, b), Ival::Range(c, d)) => Ival::Range(a.min(c), b.max(d)),
+        }
+    }
+
+    /// Widening: bounds that grew are pushed to the kind's extremes so
+    /// loop fixpoints terminate quickly.
+    pub fn widen(self, next: Ival, kind: IntKind) -> Ival {
+        match (self, next) {
+            (Ival::Bot, x) | (x, Ival::Bot) => x,
+            (Ival::Range(a, b), Ival::Range(c, d)) => {
+                let lo = if c < a { kind.min_value() } else { a };
+                let hi = if d > b { kind.max_value() } else { b };
+                Ival::Range(lo, hi)
+            }
+        }
+    }
+
+    /// Intersection (used by branch refinement).
+    pub fn meet(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Bot, _) | (_, Ival::Bot) => Ival::Bot,
+            (Ival::Range(a, b), Ival::Range(c, d)) => {
+                let lo = a.max(c);
+                let hi = b.min(d);
+                if lo > hi {
+                    Ival::Bot
+                } else {
+                    Ival::Range(lo, hi)
+                }
+            }
+        }
+    }
+
+    /// Whether every value satisfies `v != 0`.
+    pub fn never_zero(self) -> bool {
+        match self {
+            Ival::Bot => true,
+            Ival::Range(a, b) => a > 0 || b < 0,
+        }
+    }
+
+    /// Whether the interval is exactly `{0}`.
+    pub fn always_zero(self) -> bool {
+        self == Ival::const_(0)
+    }
+
+    /// Abstract binary operation; result clamped to `kind`'s range when
+    /// the exact range might wrap.
+    pub fn binop(op: BinOp, a: Ival, b: Ival, kind: IntKind) -> Ival {
+        let (Some((al, ah)), Some((bl, bh))) = (a.bounds(), b.bounds()) else {
+            return Ival::Bot;
+        };
+        let exact = |lo: i64, hi: i64| -> Ival {
+            if lo >= kind.min_value() && hi <= kind.max_value() {
+                Ival::Range(lo, hi)
+            } else {
+                Ival::top(kind)
+            }
+        };
+        match op {
+            BinOp::Add => exact(al.saturating_add(bl), ah.saturating_add(bh)),
+            BinOp::Sub => exact(al.saturating_sub(bh), ah.saturating_sub(bl)),
+            BinOp::Mul => {
+                let candidates = [
+                    al.saturating_mul(bl),
+                    al.saturating_mul(bh),
+                    ah.saturating_mul(bl),
+                    ah.saturating_mul(bh),
+                ];
+                exact(
+                    *candidates.iter().min().expect("nonempty"),
+                    *candidates.iter().max().expect("nonempty"),
+                )
+            }
+            BinOp::Div if bl == bh && bl != 0 => {
+                let candidates = [al / bl, ah / bl];
+                exact(
+                    *candidates.iter().min().expect("nonempty"),
+                    *candidates.iter().max().expect("nonempty"),
+                )
+            }
+            BinOp::Mod if bl == bh && bl > 0 && al >= 0 => {
+                if ah < bl {
+                    Ival::Range(al, ah) // no reduction happens
+                } else {
+                    Ival::Range(0, bl - 1)
+                }
+            }
+            BinOp::And if al >= 0 && bl >= 0 => {
+                // Conservative: result within [0, min(ah, bh)].
+                Ival::Range(0, ah.min(bh))
+            }
+            BinOp::Or | BinOp::Xor if al >= 0 && bl >= 0 => {
+                // Result < next power of two above both maxima.
+                let m = ah.max(bh).max(1) as u64;
+                let hi = (m.next_power_of_two().saturating_mul(2) - 1) as i64;
+                exact(0, hi)
+            }
+            BinOp::Shl if bl == bh && (0..16).contains(&bl) && al >= 0 => {
+                exact(al << bl, ah << bl)
+            }
+            BinOp::Shr if bl == bh && (0..16).contains(&bl) && al >= 0 => {
+                Ival::Range(al >> bl, ah >> bl)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le => {
+                match Self::compare(op, a, b, kind.signed()) {
+                    Some(t) => Ival::const_(t as i64),
+                    None => Ival::Range(0, 1),
+                }
+            }
+            _ => Ival::top(kind),
+        }
+    }
+
+    /// Decides a comparison when the intervals do not overlap usefully.
+    pub fn compare(op: BinOp, a: Ival, b: Ival, _signed: bool) -> Option<bool> {
+        let ((al, ah), (bl, bh)) = (a.bounds()?, b.bounds()?);
+        match op {
+            BinOp::Eq => {
+                if ah < bl || bh < al {
+                    Some(false)
+                } else if al == ah && bl == bh && al == bl {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            BinOp::Ne => Self::compare(BinOp::Eq, a, b, _signed).map(|t| !t),
+            BinOp::Lt => {
+                if ah < bl {
+                    Some(true)
+                } else if al >= bh {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            BinOp::Le => {
+                if ah <= bl {
+                    Some(true)
+                } else if al > bh {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Abstract unary operation.
+    pub fn unop(op: UnOp, a: Ival, kind: IntKind) -> Ival {
+        let Some((lo, hi)) = a.bounds() else { return Ival::Bot };
+        match op {
+            UnOp::Neg => {
+                let (nl, nh) = (-hi, -lo);
+                if nl >= kind.min_value() && nh <= kind.max_value() {
+                    Ival::Range(nl, nh)
+                } else {
+                    Ival::top(kind)
+                }
+            }
+            UnOp::Not => {
+                if a.never_zero() {
+                    Ival::const_(0)
+                } else if a.always_zero() {
+                    Ival::const_(1)
+                } else {
+                    Ival::Range(0, 1)
+                }
+            }
+            UnOp::BitNot => Ival::top(kind),
+        }
+    }
+
+    /// Conversion to another integer kind.
+    pub fn cast(self, to: IntKind) -> Ival {
+        match self {
+            Ival::Bot => Ival::Bot,
+            Ival::Range(lo, hi) => {
+                if lo >= to.min_value() && hi <= to.max_value() {
+                    Ival::Range(lo, hi)
+                } else {
+                    Ival::top(to)
+                }
+            }
+        }
+    }
+
+    /// Refines `self` assuming `self op other` evaluated to `taken`.
+    pub fn refine(self, op: BinOp, other: Ival, taken: bool) -> Ival {
+        let Some((ol, oh)) = other.bounds() else { return self };
+        let constraint = match (op, taken) {
+            (BinOp::Eq, true) | (BinOp::Ne, false) => Ival::Range(ol, oh),
+            (BinOp::Lt, true) => Ival::Range(i64::MIN / 4, oh - 1),
+            (BinOp::Lt, false) => Ival::Range(ol, i64::MAX / 4),
+            (BinOp::Le, true) => Ival::Range(i64::MIN / 4, oh),
+            (BinOp::Le, false) => Ival::Range(ol + 1, i64::MAX / 4),
+            // != when taken / == when not taken: only useful for singletons
+            // at an interval boundary; skip.
+            _ => return self,
+        };
+        self.meet(constraint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_meet() {
+        let a = Ival::Range(1, 5);
+        let b = Ival::Range(3, 9);
+        assert_eq!(a.join(b), Ival::Range(1, 9));
+        assert_eq!(a.meet(b), Ival::Range(3, 5));
+        assert_eq!(Ival::Range(1, 2).meet(Ival::Range(5, 6)), Ival::Bot);
+    }
+
+    #[test]
+    fn arithmetic_stays_exact_when_in_range() {
+        let a = Ival::Range(1, 5);
+        let b = Ival::Range(10, 20);
+        assert_eq!(Ival::binop(BinOp::Add, a, b, IntKind::U16), Ival::Range(11, 25));
+        assert_eq!(Ival::binop(BinOp::Mul, a, b, IntKind::U16), Ival::Range(10, 100));
+    }
+
+    #[test]
+    fn overflow_goes_to_top() {
+        let a = Ival::Range(200, 255);
+        let b = Ival::Range(200, 255);
+        assert_eq!(Ival::binop(BinOp::Add, a, b, IntKind::U8), Ival::top(IntKind::U8));
+    }
+
+    #[test]
+    fn comparisons_decide_when_disjoint() {
+        let a = Ival::Range(0, 5);
+        let b = Ival::Range(10, 20);
+        assert_eq!(Ival::compare(BinOp::Lt, a, b, false), Some(true));
+        assert_eq!(Ival::compare(BinOp::Eq, a, b, false), Some(false));
+        assert_eq!(Ival::compare(BinOp::Lt, b, a, false), Some(false));
+        let c = Ival::Range(3, 12);
+        assert_eq!(Ival::compare(BinOp::Lt, a, c, false), None);
+    }
+
+    #[test]
+    fn refinement_narrows() {
+        let i = Ival::top(IntKind::U8);
+        let n = Ival::const_(10);
+        assert_eq!(i.refine(BinOp::Lt, n, true), Ival::Range(0, 9));
+        assert_eq!(i.refine(BinOp::Lt, n, false), Ival::Range(10, 255));
+        assert_eq!(i.refine(BinOp::Eq, n, true), Ival::const_(10));
+    }
+
+    #[test]
+    fn widening_terminates() {
+        let a = Ival::Range(0, 1);
+        let b = Ival::Range(0, 2);
+        let w = a.widen(b, IntKind::U8);
+        assert_eq!(w, Ival::Range(0, 255));
+        // Stable once widened.
+        assert_eq!(w.widen(w, IntKind::U8), w);
+    }
+
+    #[test]
+    fn mod_by_constant_bounds() {
+        let a = Ival::Range(0, 100);
+        let b = Ival::const_(8);
+        assert_eq!(Ival::binop(BinOp::Mod, a, b, IntKind::U8), Ival::Range(0, 7));
+    }
+}

@@ -1,0 +1,251 @@
+//! cXprop's own race-condition detector (§2.1).
+//!
+//! The paper replaced reliance on nesC's analysis with a detector that is
+//! "conservative (nesC's analysis does not follow pointers) and slightly
+//! more precise". Both properties are reproduced here relative to the
+//! `nesc` crate's report:
+//!
+//! * **conservative**: address-taken globals are treated as reachable by
+//!   any pointer dereference in the other context (pointer following),
+//! * **more precise**: a race additionally requires at least one *write*
+//!   — two contexts that only ever read a variable do not race.
+
+use tcil::ir::*;
+use tcil::visit;
+use tcil::Program;
+
+/// Race analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Globals confirmed racy.
+    pub racy: Vec<String>,
+    /// Globals the nesC-level report flagged that this analysis cleared
+    /// (read-only sharing).
+    pub cleared: Vec<String>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Acc {
+    async_read: bool,
+    async_write: bool,
+    sync_unprot_read: bool,
+    sync_unprot_write: bool,
+    addr_taken: bool,
+}
+
+/// Re-runs race detection and updates [`Global::racy`] flags in place.
+pub fn refine(program: &mut Program) -> RaceReport {
+    let nf = program.functions.len();
+    let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nf];
+    for (fi, f) in program.functions.iter().enumerate() {
+        visit::walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Call { func, .. } = s {
+                callees[fi].push(func.0);
+            }
+        });
+    }
+    let reach = |roots: Vec<u32>| {
+        let mut seen = vec![false; nf];
+        let mut work = roots;
+        while let Some(f) = work.pop() {
+            if std::mem::replace(&mut seen[f as usize], true) {
+                continue;
+            }
+            work.extend(callees[f as usize].iter().copied());
+        }
+        seen
+    };
+    let is_async = reach(
+        program
+            .functions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.interrupt.map(|_| i as u32))
+            .collect(),
+    );
+    let is_sync = reach(
+        program.entry.iter().map(|e| e.0).chain(program.tasks.iter().map(|t| t.0)).collect(),
+    );
+
+    let ng = program.globals.len();
+    let mut acc = vec![Acc::default(); ng];
+    let mut deref_write_async = false;
+    let mut deref_write_sync_unprot = false;
+
+    for (fi, f) in program.functions.iter().enumerate() {
+        let (a, s) = (is_async[fi], is_sync[fi]);
+        if !a && !s {
+            continue;
+        }
+        scan(
+            &f.body,
+            a,
+            s,
+            a && !s, // handler-only context is implicitly protected
+            &mut acc,
+            &mut deref_write_async,
+            &mut deref_write_sync_unprot,
+        );
+    }
+
+    let mut report = RaceReport::default();
+    for (gi, g) in program.globals.iter_mut().enumerate() {
+        let mut x = acc[gi];
+        if x.addr_taken {
+            // Pointer following: a deref-write in a context acts as a
+            // write to every address-taken global from that context.
+            x.async_write |= deref_write_async;
+            x.sync_unprot_write |= deref_write_sync_unprot;
+        }
+        let async_access = x.async_read || x.async_write;
+        let sync_unprot = x.sync_unprot_read || x.sync_unprot_write;
+        let any_write = x.async_write || x.sync_unprot_write;
+        let racy = async_access && sync_unprot && any_write && !g.is_const;
+        if g.racy && !racy {
+            report.cleared.push(g.name.clone());
+        }
+        g.racy = racy;
+        if racy {
+            report.racy.push(g.name.clone());
+        }
+    }
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan(
+    block: &Block,
+    is_async: bool,
+    is_sync: bool,
+    protected: bool,
+    acc: &mut [Acc],
+    deref_write_async: &mut bool,
+    deref_write_sync_unprot: &mut bool,
+) {
+    for s in block {
+        match s {
+            Stmt::Atomic { body, .. } => {
+                scan(body, is_async, is_sync, true, acc, deref_write_async, deref_write_sync_unprot);
+                continue;
+            }
+            Stmt::If { then_, else_, .. } => {
+                scan(then_, is_async, is_sync, protected, acc, deref_write_async, deref_write_sync_unprot);
+                scan(else_, is_async, is_sync, protected, acc, deref_write_async, deref_write_sync_unprot);
+            }
+            Stmt::While { body, .. } | Stmt::Block(body) => {
+                scan(body, is_async, is_sync, protected, acc, deref_write_async, deref_write_sync_unprot);
+            }
+            _ => {}
+        }
+        // Reads (and address exposure) in expressions.
+        visit::stmt_exprs(s, &mut |e| {
+            visit::walk_expr(e, &mut |x| match &x.kind {
+                ExprKind::Load(p) => {
+                    if let PlaceBase::Global(g) = &p.base {
+                        let a = &mut acc[g.0 as usize];
+                        if is_async {
+                            a.async_read = true;
+                        }
+                        if is_sync && !protected {
+                            a.sync_unprot_read = true;
+                        }
+                    }
+                }
+                ExprKind::AddrOf(p) => {
+                    if let PlaceBase::Global(g) = &p.base {
+                        acc[g.0 as usize].addr_taken = true;
+                    }
+                }
+                _ => {}
+            });
+        });
+        // Writes (destinations).
+        let mut write = |p: &Place| {
+            match &p.base {
+                PlaceBase::Global(g) => {
+                    let a = &mut acc[g.0 as usize];
+                    if is_async {
+                        a.async_write = true;
+                    }
+                    if is_sync && !protected {
+                        a.sync_unprot_write = true;
+                    }
+                }
+                PlaceBase::Deref(_) => {
+                    if is_async {
+                        *deref_write_async = true;
+                    }
+                    if is_sync && !protected {
+                        *deref_write_sync_unprot = true;
+                    }
+                }
+                _ => {}
+            }
+        };
+        match s {
+            Stmt::Assign(p, _) => write(p),
+            Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => write(p),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_sharing_is_not_a_race() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t shared;
+             uint8_t a;
+             uint8_t b;
+             interrupt(TIMER0) void h() { a = shared; }
+             void main() { b = shared; }",
+        )
+        .unwrap();
+        // Mark as the nesC-level (less precise) analysis would.
+        let gi = p.find_global("shared").unwrap();
+        p.globals[gi.0 as usize].racy = true;
+        let report = refine(&mut p);
+        assert_eq!(report.cleared, vec!["shared"]);
+        assert!(report.racy.is_empty());
+    }
+
+    #[test]
+    fn write_race_confirmed() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t shared;
+             interrupt(TIMER0) void h() { shared = 1; }
+             void main() { shared = 2; }",
+        )
+        .unwrap();
+        let report = refine(&mut p);
+        assert_eq!(report.racy, vec!["shared"]);
+    }
+
+    #[test]
+    fn pointer_following_is_conservative() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t g;
+             uint8_t * p;
+             void main() { p = &g; g = 1; }
+             interrupt(TIMER0) void h() { *p = 3; }",
+        )
+        .unwrap();
+        let report = refine(&mut p);
+        assert!(report.racy.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn atomic_protection_respected() {
+        let mut p = tcil::parse_and_lower(
+            "uint8_t shared;
+             interrupt(TIMER0) void h() { shared = 1; }
+             void main() { atomic { shared = 2; } }",
+        )
+        .unwrap();
+        let report = refine(&mut p);
+        assert!(report.racy.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Memory-mapped devices of the M16 node.
+//!
+//! Register map (all in the `0xF000` MMIO page):
+//!
+//! | Address  | Register        | Behaviour |
+//! |----------|-----------------|-----------|
+//! | `0xF000` | `LED`           | write: LED bits 0–2; read: current value |
+//! | `0xF010` | `TIMER0_CTRL`   | bit 0: enable (fires [`crate::vectors::TIMER0`]) |
+//! | `0xF012` | `TIMER0_COMPARE`| period in ticks (1 tick = 32 cycles) |
+//! | `0xF014` | `TIMER0_COUNT`  | free-running tick counter (read-only) |
+//! | `0xF018` | `TIMER1_CTRL`   | like timer 0, vector [`crate::vectors::TIMER1`] |
+//! | `0xF01A` | `TIMER1_COMPARE`| period in ticks |
+//! | `0xF020` | `ADC_CTRL`      | write 1: start a conversion (≈120 cycles) |
+//! | `0xF022` | `ADC_DATA`      | last converted 10-bit sample |
+//! | `0xF030` | `RADIO_CTRL`    | bit 0: receiver enable |
+//! | `0xF032` | `RADIO_TX`      | write: transmit one byte (≈208 cycles) |
+//! | `0xF034` | `RADIO_RX`      | read: last received byte |
+//! | `0xF036` | `RADIO_STATUS`  | bit 0: transmitter busy |
+//! | `0xF040` | `UART_DATA`     | write: send one byte to the host (≈104 cycles) |
+//!
+//! The timing constants approximate a Mica2-class node at 1 MHz: the CC1000
+//! radio moves roughly one byte per 208 µs at 38.4 kbaud, a UART byte at
+//! 9600 baud takes about 1 ms (we charge ~104 cycles for a faster debug
+//! UART), and an AVR ADC conversion takes on the order of 100 µs.
+
+/// Start of the MMIO page.
+pub const MMIO_BASE: u16 = 0xF000;
+/// LED register.
+pub const LED_REG: u16 = 0xF000;
+/// Timer 0 control.
+pub const TIMER0_CTRL: u16 = 0xF010;
+/// Timer 0 compare (period in ticks).
+pub const TIMER0_COMPARE: u16 = 0xF012;
+/// Timer 0 free-running counter.
+pub const TIMER0_COUNT: u16 = 0xF014;
+/// Timer 1 control.
+pub const TIMER1_CTRL: u16 = 0xF018;
+/// Timer 1 compare.
+pub const TIMER1_COMPARE: u16 = 0xF01A;
+/// ADC control.
+pub const ADC_CTRL: u16 = 0xF020;
+/// ADC data.
+pub const ADC_DATA: u16 = 0xF022;
+/// Radio control.
+pub const RADIO_CTRL: u16 = 0xF030;
+/// Radio transmit data.
+pub const RADIO_TX: u16 = 0xF032;
+/// Radio receive data.
+pub const RADIO_RX: u16 = 0xF034;
+/// Radio status.
+pub const RADIO_STATUS: u16 = 0xF036;
+/// UART data.
+pub const UART_DATA: u16 = 0xF040;
+
+/// Cycles per timer tick.
+pub const TIMER_TICK_CYCLES: u64 = 32;
+/// Cycles to transmit one radio byte. The Mica2's CC1000 moves a byte in
+/// ~1500 cycles at 7.37 MHz; the M16 runs at 1 MHz, so the equivalent
+/// compute-per-byte budget is ~832 cycles (the safety-checked RX handler
+/// must fit inside one byte time, exactly as on the real hardware).
+pub const RADIO_BYTE_CYCLES: u64 = 832;
+/// Cycles for one ADC conversion.
+pub const ADC_CONVERSION_CYCLES: u64 = 120;
+/// Cycles to shift one UART byte (~2400 byte/s debug UART at 1 MHz).
+pub const UART_BYTE_CYCLES: u64 = 416;
+
+/// Deterministic sensor waveform driving the ADC (the synthetic substitute
+/// for the paper's physical sensors; see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Waveform {
+    /// A constant reading.
+    Const(u16),
+    /// A triangle wave between `min` and `max` with the given period (in
+    /// samples).
+    Triangle {
+        /// Minimum sample value.
+        min: u16,
+        /// Maximum sample value.
+        max: u16,
+        /// Period in samples.
+        period: u32,
+    },
+    /// Pseudo-random readings from a linear congruential generator.
+    Noise {
+        /// LCG seed.
+        seed: u32,
+        /// Minimum sample value.
+        min: u16,
+        /// Maximum sample value.
+        max: u16,
+    },
+}
+
+impl Default for Waveform {
+    fn default() -> Self {
+        Waveform::Const(512)
+    }
+}
+
+impl Waveform {
+    /// The `n`-th sample of the waveform (10-bit range clamp).
+    pub fn sample(&self, n: u32) -> u16 {
+        let v = match self {
+            Waveform::Const(v) => *v,
+            Waveform::Triangle { min, max, period } => {
+                let period = (*period).max(2);
+                let span = (*max - *min) as u32;
+                let phase = n % period;
+                let half = period / 2;
+                let pos = if phase < half {
+                    phase * span / half.max(1)
+                } else {
+                    (period - phase) * span / (period - half).max(1)
+                };
+                min + pos as u16
+            }
+            Waveform::Noise { seed, min, max } => {
+                let mut s = seed.wrapping_add(n.wrapping_mul(0x9E37_79B9));
+                s ^= s >> 16;
+                s = s.wrapping_mul(0x85EB_CA6B);
+                s ^= s >> 13;
+                let span = (*max - *min) as u32 + 1;
+                min + (s % span) as u16
+            }
+        };
+        v.min(1023)
+    }
+}
+
+/// A one-shot hardware event scheduled on the machine's event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// Timer 0 compare match.
+    Timer0Fire,
+    /// Timer 1 compare match.
+    Timer1Fire,
+    /// ADC conversion complete.
+    AdcDone,
+    /// Radio finished shifting a byte out.
+    RadioTxDone,
+    /// A byte arrived over the air.
+    RadioRxByte(u8),
+    /// UART finished shifting a byte out.
+    UartTxDone,
+}
+
+/// State of a periodic timer device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timer {
+    /// Enable bit.
+    pub enabled: bool,
+    /// Compare value (ticks per fire).
+    pub compare: u16,
+}
+
+/// State of the LED register, with a transition log for assertions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Leds {
+    /// Current register value.
+    pub value: u8,
+    /// Number of writes that changed the value.
+    pub transitions: u64,
+}
+
+/// State of the ADC.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Adc {
+    /// Conversion in progress.
+    pub busy: bool,
+    /// Last converted sample.
+    pub data: u16,
+    /// Samples taken so far (drives the waveform).
+    pub samples: u32,
+    /// Sensor input.
+    pub waveform: Waveform,
+}
+
+/// State of the byte radio.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Radio {
+    /// Receiver enable.
+    pub rx_enabled: bool,
+    /// Transmitter busy shifting a byte.
+    pub tx_busy: bool,
+    /// Last received byte.
+    pub rx_data: u8,
+    /// Bytes received (for statistics).
+    pub rx_count: u64,
+}
+
+/// State of the UART transmitter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Uart {
+    /// Transmitter busy.
+    pub tx_busy: bool,
+}
+
+/// All devices of one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Devices {
+    /// LEDs.
+    pub leds: Leds,
+    /// Timer 0.
+    pub timer0: Timer,
+    /// Timer 1.
+    pub timer1: Timer,
+    /// ADC.
+    pub adc: Adc,
+    /// Radio.
+    pub radio: Radio,
+    /// UART.
+    pub uart: Uart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_waveform() {
+        let w = Waveform::Const(700);
+        assert_eq!(w.sample(0), 700);
+        assert_eq!(w.sample(99), 700);
+    }
+
+    #[test]
+    fn triangle_waveform_cycles() {
+        let w = Waveform::Triangle { min: 100, max: 200, period: 10 };
+        assert_eq!(w.sample(0), 100);
+        assert!(w.sample(5) >= 190);
+        assert_eq!(w.sample(0), w.sample(10));
+    }
+
+    #[test]
+    fn noise_waveform_is_deterministic_and_bounded() {
+        let w = Waveform::Noise { seed: 42, min: 10, max: 20 };
+        for n in 0..100 {
+            let v = w.sample(n);
+            assert!((10..=20).contains(&v));
+            assert_eq!(v, w.sample(n));
+        }
+    }
+
+    #[test]
+    fn samples_clamp_to_10_bits() {
+        let w = Waveform::Const(5000);
+        assert_eq!(w.sample(0), 1023);
+    }
+}

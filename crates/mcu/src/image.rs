@@ -1,0 +1,260 @@
+//! Linked program images: what the backend produces and the machine runs.
+
+use std::collections::BTreeMap;
+
+use crate::isa::{Instr, Width};
+use crate::NUM_VECTORS;
+
+/// Hardware profile of a node (the paper's Mica2 and TelosB platforms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Human-readable platform name.
+    pub name: String,
+    /// SRAM size in bytes (data + stack).
+    pub sram_size: u32,
+    /// Flash size in bytes (code + read-only data + data initializers).
+    pub flash_size: u32,
+    /// CPU clock in Hz (cycles per second).
+    pub clock_hz: u64,
+}
+
+impl Profile {
+    /// The Mica2-class profile: 4 KB SRAM, 128 KB flash.
+    pub fn mica2() -> Profile {
+        Profile { name: "mica2".into(), sram_size: 4 * 1024, flash_size: 128 * 1024, clock_hz: 4_000_000 }
+    }
+
+    /// The TelosB-class profile: 10 KB SRAM, 48 KB flash.
+    pub fn telosb() -> Profile {
+        Profile { name: "telosb".into(), sram_size: 10 * 1024, flash_size: 48 * 1024, clock_hz: 4_000_000 }
+    }
+
+    /// First SRAM address (the null page below it always faults).
+    pub fn sram_base(&self) -> u16 {
+        0x0100
+    }
+
+    /// One past the last SRAM address.
+    pub fn sram_end(&self) -> u16 {
+        (0x0100 + self.sram_size).min(0x8000) as u16
+    }
+}
+
+/// How a parameter value is stored into its frame slot by `Call`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// An integer or thin pointer of the given width.
+    Scalar(Width),
+    /// A CCured fat pointer (2 or 3 words).
+    Fat {
+        /// SEQ (3 words) vs FSEQ (2 words).
+        seq: bool,
+    },
+}
+
+/// A function parameter's frame slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// Byte offset of the slot within the frame.
+    pub off: u16,
+    /// Slot layout.
+    pub kind: SlotKind,
+}
+
+impl ParamSlot {
+    /// A scalar slot (convenience constructor).
+    pub fn scalar(off: u16, width: Width) -> ParamSlot {
+        ParamSlot { off, kind: SlotKind::Scalar(width) }
+    }
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeFunction {
+    /// Name (for diagnostics and the check census).
+    pub name: String,
+    /// Instructions.
+    pub code: Vec<Instr>,
+    /// Frame size in bytes (parameters + locals + temps).
+    pub frame_size: u16,
+    /// Parameter slots in declaration order (`Call` pops arguments into
+    /// these, last argument popped first).
+    pub params: Vec<ParamSlot>,
+    /// Interrupt vector this function serves, if any.
+    pub interrupt: Option<u8>,
+}
+
+impl CodeFunction {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>) -> CodeFunction {
+        CodeFunction {
+            name: name.into(),
+            code: Vec::new(),
+            frame_size: 0,
+            params: Vec::new(),
+            interrupt: None,
+        }
+    }
+
+    /// Total encoded size of the function body in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.code.iter().map(Instr::size_bytes).sum()
+    }
+}
+
+/// A linked, runnable program image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Target hardware profile.
+    pub profile: Profile,
+    /// Function table.
+    pub functions: Vec<CodeFunction>,
+    /// Index of `main`.
+    pub entry: Option<u32>,
+    /// Interrupt vector table: function index per vector.
+    pub vectors: [Option<u32>; NUM_VECTORS],
+    /// SRAM initialization records (`.data`): the startup code copies
+    /// these from flash, so their bytes count against *both* flash and
+    /// SRAM budgets.
+    pub data_init: Vec<(u16, Vec<u8>)>,
+    /// Read-only data placed in the flash window (`.rodata`).
+    pub rodata: Vec<(u16, Vec<u8>)>,
+    /// One past the highest SRAM address used by globals (static data
+    /// extent; the call stack grows down from the top of SRAM).
+    pub static_top: u16,
+    /// Total static data (SRAM) bytes occupied by globals.
+    pub static_bytes: u32,
+    /// Host-side FLID table: failure id → human-readable message. This is
+    /// the error-message *decompression* table of §2 — it costs nothing on
+    /// the node.
+    pub flid_table: BTreeMap<u16, String>,
+    /// Symbol table: global variable name → placed address (debugging and
+    /// test assertions; costs nothing on the node).
+    pub symbols: BTreeMap<String, u16>,
+}
+
+impl Image {
+    /// Creates an empty image for `profile`.
+    pub fn new(profile: Profile) -> Image {
+        let static_top = profile.sram_base();
+        Image {
+            profile,
+            functions: Vec::new(),
+            entry: None,
+            vectors: [None; NUM_VECTORS],
+            data_init: Vec::new(),
+            rodata: Vec::new(),
+            static_top,
+            static_bytes: 0,
+            flid_table: BTreeMap::new(),
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// The placed address of a global variable, if known.
+    pub fn find_global_addr(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Adds a function, wiring its interrupt vector if declared, and
+    /// returns its index.
+    pub fn add_function(&mut self, f: CodeFunction) -> u32 {
+        let idx = self.functions.len() as u32;
+        if let Some(v) = f.interrupt {
+            self.vectors[v as usize] = Some(idx);
+        }
+        self.functions.push(f);
+        idx
+    }
+
+    /// Code bytes (text segment only).
+    pub fn code_bytes(&self) -> u32 {
+        self.functions.iter().map(CodeFunction::size_bytes).sum()
+    }
+
+    /// Total flash usage: code + vector table + read-only data + the
+    /// flash copies of SRAM initializers.
+    pub fn flash_bytes(&self) -> u32 {
+        let rodata: usize = self.rodata.iter().map(|(_, b)| b.len()).sum();
+        let datainit: usize = self.data_init.iter().map(|(_, b)| b.len()).sum();
+        self.code_bytes() + (NUM_VECTORS as u32) * 2 + rodata as u32 + datainit as u32
+    }
+
+    /// Static SRAM usage of globals (the paper's "static data size").
+    pub fn sram_bytes(&self) -> u32 {
+        self.static_bytes
+    }
+
+    /// Counts the distinct FLIDs that survive in the *code* — the paper's
+    /// Figure 2 metric (checks whose failure handler is still reachable).
+    pub fn surviving_checks(&self) -> usize {
+        let mut flids = std::collections::BTreeSet::new();
+        for f in &self.functions {
+            for i in &f.code {
+                if let Instr::Trap { flid } = i {
+                    flids.insert(*flid);
+                }
+            }
+        }
+        flids.len()
+    }
+
+    /// Looks up a function index by name.
+    pub fn find_function(&self, name: &str) -> Option<u32> {
+        self.functions.iter().position(|f| f.name == name).map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::AluOp;
+
+    #[test]
+    fn profiles_differ() {
+        let m = Profile::mica2();
+        let t = Profile::telosb();
+        assert!(t.sram_size > m.sram_size);
+        assert!(m.flash_size > t.flash_size);
+        assert_eq!(m.sram_base(), 0x0100);
+        assert_eq!(m.sram_end(), 0x1100);
+    }
+
+    #[test]
+    fn image_size_accounting() {
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("f");
+        f.code = vec![
+            Instr::PushI(1),
+            Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false },
+            Instr::Ret,
+        ];
+        img.add_function(f);
+        img.rodata.push((0x8000, vec![0; 10]));
+        img.data_init.push((0x0100, vec![1, 2]));
+        assert_eq!(img.code_bytes(), 2 + 1 + 1);
+        assert_eq!(img.flash_bytes(), 4 + 16 + 10 + 2);
+    }
+
+    #[test]
+    fn surviving_checks_counts_distinct_flids() {
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("f");
+        f.code = vec![
+            Instr::Trap { flid: 1 },
+            Instr::Trap { flid: 1 },
+            Instr::Trap { flid: 2 },
+        ];
+        img.add_function(f);
+        assert_eq!(img.surviving_checks(), 2);
+    }
+
+    #[test]
+    fn vectors_wired_on_add() {
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("tick");
+        f.interrupt = Some(crate::vectors::TIMER0);
+        let idx = img.add_function(f);
+        assert_eq!(img.vectors[0], Some(idx));
+    }
+}

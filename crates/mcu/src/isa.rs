@@ -1,0 +1,438 @@
+//! The M16 instruction set.
+//!
+//! M16 is a stack machine: instructions pop operands from an evaluation
+//! stack and push results. Each instruction has a defined **encoded size in
+//! bytes** (the code-size metric counts these, exactly as `avr-size` counts
+//! AVR flash bytes) and a **cycle cost** (the duty-cycle metric counts
+//! these, like Avrora counts AVR cycles). The costs are loosely calibrated
+//! to an 8/16-bit MCU: memory touches cost more than register ALU work,
+//! 32-bit operations cost roughly twice 16-bit ones, multiplication and
+//! division are expensive.
+
+/// Operand width of a memory access or ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8 bits.
+    W8,
+    /// 16 bits.
+    W16,
+    /// 32 bits.
+    W32,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+        }
+    }
+
+    /// Wraps `v` to this width with the given signedness.
+    pub fn wrap(self, v: i64, signed: bool) -> i64 {
+        match (self, signed) {
+            (Width::W8, false) => v as u8 as i64,
+            (Width::W8, true) => v as i8 as i64,
+            (Width::W16, false) => v as u16 as i64,
+            (Width::W16, true) => v as i16 as i64,
+            (Width::W32, false) => v as u32 as i64,
+            (Width::W32, true) => v as i32 as i64,
+        }
+    }
+
+    /// Number of 16-bit machine words (cycle-cost scale factor).
+    fn words(self) -> u64 {
+        match self {
+            Width::W8 | Width::W16 => 1,
+            Width::W32 => 2,
+        }
+    }
+}
+
+/// ALU operations for [`Instr::Bin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (faults on zero divisor).
+    Div,
+    /// Remainder (faults on zero divisor).
+    Mod,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Shift right (arithmetic when signed).
+    Shr,
+    /// Equality (pushes 0/1).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (signedness from the instruction).
+    Lt,
+    /// Less-or-equal.
+    Le,
+}
+
+/// Number of 16-bit words in a fat pointer representation.
+fn fat_words(seq: bool) -> u64 {
+    if seq {
+        3
+    } else {
+        2
+    }
+}
+
+/// Byte size of a fat pointer in memory (public for the backend).
+pub fn fat_bytes(seq: bool) -> u16 {
+    if seq {
+        6
+    } else {
+        4
+    }
+}
+
+/// Packs fat-pointer parts into one evaluation-stack cell.
+pub fn fat_pack(val: u16, base: u16, end: u16) -> i64 {
+    (val as i64) | ((end as i64) << 16) | ((base as i64) << 32)
+}
+
+/// Extracts `(val, base, end)` from a packed fat-pointer cell.
+pub fn fat_unpack(cell: i64) -> (u16, u16, u16) {
+    (cell as u16, (cell >> 32) as u16, (cell >> 16) as u16)
+}
+
+/// Unary ALU operations for [`Instr::Un`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnAluOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not (pushes 0/1).
+    Not,
+}
+
+/// One M16 instruction.
+///
+/// Branch targets are indices into the owning function's instruction list
+/// (resolved by the code generator; the encoding model charges 2 bytes for
+/// a target, like an AVR relative branch pair).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push an immediate constant.
+    PushI(i64),
+    /// Push the value of a frame slot at byte offset `off`.
+    LdLocal {
+        /// Byte offset within the frame.
+        off: u16,
+        /// Access width.
+        width: Width,
+        /// Sign-extend on load.
+        signed: bool,
+    },
+    /// Pop a value into a frame slot.
+    StLocal {
+        /// Byte offset within the frame.
+        off: u16,
+        /// Access width.
+        width: Width,
+    },
+    /// Push the RAM address of a frame slot (`FP + off`).
+    AddrLocal {
+        /// Byte offset within the frame.
+        off: u16,
+    },
+    /// Push the value at an absolute address (globals).
+    LdGlobal {
+        /// Absolute address.
+        addr: u16,
+        /// Access width.
+        width: Width,
+        /// Sign-extend on load.
+        signed: bool,
+    },
+    /// Pop a value into an absolute address.
+    StGlobal {
+        /// Absolute address.
+        addr: u16,
+        /// Access width.
+        width: Width,
+    },
+    /// Pop an address, push the value at it.
+    Ld {
+        /// Access width.
+        width: Width,
+        /// Sign-extend on load.
+        signed: bool,
+    },
+    /// Pop an address, pop a value, store it.
+    St {
+        /// Access width.
+        width: Width,
+    },
+    /// Pop two operands, push the result (wrapped to `width`).
+    Bin {
+        /// Operation.
+        op: AluOp,
+        /// Result/operand width.
+        width: Width,
+        /// Operand signedness (affects `Div`, `Mod`, `Shr`, `Lt`, `Le`).
+        signed: bool,
+    },
+    /// Pop one operand, push the result.
+    Un {
+        /// Operation.
+        op: UnAluOp,
+        /// Operand width.
+        width: Width,
+    },
+    /// Convert the top of stack to `width`/`signed` (an explicit cast).
+    Wrap {
+        /// Target width.
+        width: Width,
+        /// Target signedness.
+        signed: bool,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jmp {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Pop a condition; jump when it is zero.
+    Jz {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Pop a condition; jump when it is non-zero.
+    Jnz {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Call function `func` (index into the image's function table). The
+    /// callee's declared parameters are popped from the evaluation stack
+    /// into its frame, last argument on top.
+    Call {
+        /// Callee function index.
+        func: u32,
+    },
+    /// Return from the current function (return value, if any, stays on
+    /// the evaluation stack).
+    Ret,
+    /// Return from an interrupt handler and re-enable interrupts.
+    Reti,
+    /// Safety-check failure: record the FLID and halt (the Safe TinyOS
+    /// failure handler).
+    Trap {
+        /// Failure location identifier.
+        flid: u16,
+    },
+    /// Stop the machine (end of `main`).
+    Halt,
+    /// Enter sleep mode until an enabled interrupt pends.
+    Sleep,
+    /// Push the IRQ-enable flag and disable interrupts (`in` + `cli`).
+    IrqSave,
+    /// Pop a saved IRQ-enable flag and restore it.
+    IrqRestore,
+    /// Enable interrupts (`sei`).
+    IrqEnable,
+    /// Disable interrupts (`cli`).
+    IrqDisable,
+    /// Pop source and destination addresses (dst on top) and copy `bytes`
+    /// bytes (struct assignment).
+    MemCpy {
+        /// Number of bytes to copy.
+        bytes: u16,
+    },
+    /// Discard the top of the evaluation stack.
+    Pop,
+    /// Duplicate the top of the evaluation stack.
+    Dup,
+    /// No operation (alignment/debugging).
+    Nop,
+    // ----- CCured fat-pointer support -----
+    //
+    // A fat pointer occupies one evaluation-stack cell, packed as
+    // `val | end << 16 | base << 32`; in memory it occupies 2 (FSEQ:
+    // val, end) or 3 (SEQ: val, end, base) little-endian words. On a real
+    // AVR these operations are short multi-instruction sequences; the size
+    // and cycle charges below reflect that.
+    /// Pop an address; push the fat pointer stored there.
+    LdFat {
+        /// `true` for SEQ (3 words), `false` for FSEQ (2 words).
+        seq: bool,
+    },
+    /// Pop an address, pop a fat pointer, store it there.
+    StFat {
+        /// SEQ vs FSEQ layout.
+        seq: bool,
+    },
+    /// Push a fat pointer from a frame slot.
+    LdLocalFat {
+        /// Byte offset within the frame.
+        off: u16,
+        /// SEQ vs FSEQ layout.
+        seq: bool,
+    },
+    /// Pop a fat pointer into a frame slot.
+    StLocalFat {
+        /// Byte offset within the frame.
+        off: u16,
+        /// SEQ vs FSEQ layout.
+        seq: bool,
+    },
+    /// Push a fat pointer from an absolute address.
+    LdGlobalFat {
+        /// Absolute address.
+        addr: u16,
+        /// SEQ vs FSEQ layout.
+        seq: bool,
+    },
+    /// Pop a fat pointer into an absolute address.
+    StGlobalFat {
+        /// Absolute address.
+        addr: u16,
+        /// SEQ vs FSEQ layout.
+        seq: bool,
+    },
+    /// Build a fat pointer: pops `end`, then (SEQ only) `base`, then `val`.
+    MkFat {
+        /// SEQ vs FSEQ layout.
+        seq: bool,
+    },
+    /// Pop a fat pointer; push its 16-bit value part.
+    FatVal,
+    /// Pop a fat pointer; push its upper bound.
+    FatEnd,
+    /// Pop a fat pointer; push its lower bound.
+    FatBase,
+    /// Pop a byte delta, pop a fat pointer; push the fat pointer with
+    /// `val` advanced by the delta (bounds unchanged).
+    FatAdd,
+}
+
+impl Instr {
+    /// Encoded size in bytes under the M16 encoding model.
+    ///
+    /// Immediates are charged at the smallest of 1/2/4 bytes that holds
+    /// them; addresses and branch targets are 2 bytes; everything has a
+    /// 1-byte opcode.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Instr::PushI(v) => {
+                1 + if (-128..=127).contains(v) {
+                    1
+                } else if (-32768..=65535).contains(v) {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::LdLocal { off, .. } | Instr::StLocal { off, .. } | Instr::AddrLocal { off } => {
+                1 + if *off <= 255 { 1 } else { 2 }
+            }
+            Instr::LdGlobal { .. } | Instr::StGlobal { .. } => 3,
+            Instr::Ld { .. } | Instr::St { .. } => 1,
+            Instr::Bin { .. } | Instr::Un { .. } | Instr::Wrap { .. } => 1,
+            Instr::Jmp { .. } | Instr::Jz { .. } | Instr::Jnz { .. } => 3,
+            Instr::Call { .. } => 3,
+            Instr::Ret | Instr::Reti => 1,
+            Instr::Trap { .. } => 3,
+            Instr::Halt | Instr::Sleep => 1,
+            Instr::IrqSave | Instr::IrqRestore | Instr::IrqEnable | Instr::IrqDisable => 1,
+            Instr::MemCpy { .. } => 3,
+            Instr::Pop | Instr::Dup | Instr::Nop => 1,
+            Instr::LdFat { .. } | Instr::StFat { .. } => 2,
+            Instr::LdLocalFat { off, .. } | Instr::StLocalFat { off, .. } => {
+                2 + if *off <= 255 { 1 } else { 2 }
+            }
+            Instr::LdGlobalFat { .. } | Instr::StGlobalFat { .. } => 4,
+            Instr::MkFat { .. } => 2,
+            Instr::FatVal | Instr::FatEnd | Instr::FatBase => 1,
+            Instr::FatAdd => 2,
+        }
+    }
+
+    /// Cycle cost under the M16 timing model. Branches are charged their
+    /// taken cost; `Call`/`Ret` include frame setup; `MemCpy` is charged
+    /// per word copied; `Sleep` itself is cheap (the sleeping time is
+    /// accounted separately by the machine).
+    pub fn cycles(&self) -> u64 {
+        match self {
+            Instr::PushI(_) => 1,
+            Instr::LdLocal { width, .. } | Instr::StLocal { width, .. } => 1 + width.words(),
+            Instr::AddrLocal { .. } => 1,
+            Instr::LdGlobal { width, .. } | Instr::StGlobal { width, .. } => 1 + width.words(),
+            Instr::Ld { width, .. } | Instr::St { width } => 1 + width.words(),
+            Instr::Bin { op, width, .. } => match op {
+                AluOp::Mul => 2 * width.words() + 2,
+                AluOp::Div | AluOp::Mod => 10 * width.words() + 10,
+                _ => width.words(),
+            },
+            Instr::Un { width, .. } => width.words(),
+            Instr::Wrap { .. } => 1,
+            Instr::Jmp { .. } | Instr::Jz { .. } | Instr::Jnz { .. } => 2,
+            Instr::Call { .. } => 4,
+            Instr::Ret | Instr::Reti => 4,
+            Instr::Trap { .. } => 1,
+            Instr::Halt => 1,
+            Instr::Sleep => 1,
+            Instr::IrqSave | Instr::IrqRestore => 1,
+            Instr::IrqEnable | Instr::IrqDisable => 1,
+            Instr::MemCpy { bytes } => 2 + (*bytes as u64).div_ceil(2) * 2,
+            Instr::Pop | Instr::Dup | Instr::Nop => 1,
+            Instr::LdFat { seq } | Instr::StFat { seq } => 1 + fat_words(*seq),
+            Instr::LdLocalFat { seq, .. } | Instr::StLocalFat { seq, .. } => 1 + fat_words(*seq),
+            Instr::LdGlobalFat { seq, .. } | Instr::StGlobalFat { seq, .. } => 1 + fat_words(*seq),
+            Instr::MkFat { seq } => fat_words(*seq),
+            Instr::FatVal | Instr::FatEnd | Instr::FatBase => 1,
+            Instr::FatAdd => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_wrap() {
+        assert_eq!(Width::W8.wrap(256, false), 0);
+        assert_eq!(Width::W8.wrap(255, true), -1);
+        assert_eq!(Width::W16.wrap(0x1_0005, false), 5);
+        assert_eq!(Width::W32.wrap(-1, false), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn immediate_size_scales() {
+        assert_eq!(Instr::PushI(7).size_bytes(), 2);
+        assert_eq!(Instr::PushI(300).size_bytes(), 3);
+        assert_eq!(Instr::PushI(70_000).size_bytes(), 5);
+        assert_eq!(Instr::PushI(-5).size_bytes(), 2);
+    }
+
+    #[test]
+    fn costs_reflect_width() {
+        let add16 = Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false };
+        let add32 = Instr::Bin { op: AluOp::Add, width: Width::W32, signed: false };
+        assert!(add32.cycles() > add16.cycles());
+        let div = Instr::Bin { op: AluOp::Div, width: Width::W16, signed: false };
+        assert!(div.cycles() >= 20);
+    }
+
+    #[test]
+    fn memcpy_cost_scales_with_size() {
+        assert!(Instr::MemCpy { bytes: 32 }.cycles() > Instr::MemCpy { bytes: 4 }.cycles());
+    }
+}

@@ -1,0 +1,79 @@
+//! M16: a cycle-counting 16-bit microcontroller simulator.
+//!
+//! This crate is the reproduction's substitute for the Atmel AVR (Mica2) /
+//! TI MSP430 (TelosB) hardware and the Avrora simulator the paper measures
+//! on. It provides:
+//!
+//! * [`isa`] — a compact stack-machine instruction set with a documented
+//!   byte-size and cycle cost per instruction (code-size and duty-cycle
+//!   metrics come straight from these tables),
+//! * [`image`] — linked program images: code, initialized data, read-only
+//!   data in the flash window, interrupt vectors, and the host-side FLID
+//!   error-message table,
+//! * [`machine`] — the interpreter: evaluation stack, RAM call frames,
+//!   interrupts, sleep/wake accounting, and safety-trap handling,
+//! * [`devices`] — memory-mapped timer, ADC, byte radio, UART, and LEDs,
+//! * [`net`] — a shared broadcast radio channel for multi-node simulations
+//!   (the Avrora "network of motes" role).
+//!
+//! # Memory map
+//!
+//! | Range             | Meaning                                      |
+//! |-------------------|----------------------------------------------|
+//! | `0x0000..0x0100`  | reserved (null page — access faults)         |
+//! | `0x0100..SRAM_END`| SRAM: globals grow up, call stack grows down |
+//! | `0x8000..0xF000`  | flash window (read-only data)                |
+//! | `0xF000..0xF100`  | memory-mapped device registers               |
+//!
+//! # Example
+//!
+//! ```
+//! use mcu::{Image, Machine, Profile};
+//! use mcu::isa::{AluOp, Instr, Width};
+//! use mcu::image::CodeFunction;
+//!
+//! // A program that computes 2 + 3 into the LED register and halts.
+//! let mut f = CodeFunction::new("main");
+//! f.code = vec![
+//!     Instr::PushI(2),
+//!     Instr::PushI(3),
+//!     Instr::Bin { op: AluOp::Add, width: Width::W8, signed: false },
+//!     Instr::PushI(mcu::devices::LED_REG as i64),
+//!     Instr::St { width: Width::W8 },
+//!     Instr::Halt,
+//! ];
+//! let mut image = Image::new(Profile::mica2());
+//! let main = image.add_function(f);
+//! image.entry = Some(main);
+//! let mut m = Machine::new(&image);
+//! m.run(1_000);
+//! assert_eq!(m.devices.leds.value, 5);
+//! ```
+
+pub mod devices;
+pub mod image;
+pub mod isa;
+pub mod machine;
+pub mod net;
+
+pub use image::{CodeFunction, Image, Profile};
+pub use machine::{Fault, Machine, RunState};
+
+/// Number of interrupt vectors on the M16.
+pub const NUM_VECTORS: usize = 8;
+
+/// Vector numbers (must stay in sync with `tcil::VECTORS`).
+pub mod vectors {
+    /// Timer 0 compare match.
+    pub const TIMER0: u8 = 0;
+    /// ADC conversion complete.
+    pub const ADC: u8 = 1;
+    /// Radio byte received.
+    pub const RADIO_RX: u8 = 2;
+    /// Radio byte transmitted.
+    pub const RADIO_TX: u8 = 3;
+    /// UART byte transmitted.
+    pub const UART: u8 = 4;
+    /// Timer 1 compare match.
+    pub const TIMER1: u8 = 5;
+}

@@ -1,0 +1,987 @@
+//! The M16 interpreter: instruction execution, interrupts, sleep/wake
+//! accounting, and device event scheduling.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::devices::*;
+use crate::image::Image;
+use crate::isa::{AluOp, Instr, UnAluOp, Width};
+
+/// Why a machine stopped (or misbehaved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// A Safe TinyOS dynamic check failed; carries the FLID.
+    SafetyTrap(u16),
+    /// Access to an unmapped or reserved address (includes null-page
+    /// dereferences).
+    MemFault(u16),
+    /// Write to the read-only flash window.
+    IllegalWrite(u16),
+    /// Integer division by zero.
+    DivZero,
+    /// The call stack collided with static data.
+    StackOverflow,
+    /// `__sleep()` executed with interrupts disabled and none pending —
+    /// the node can never wake.
+    DeadSleep,
+    /// Malformed code (backend bug): evaluation stack underflow, bad
+    /// function index, or fall off the end of a function.
+    BadCode(&'static str),
+}
+
+/// Execution state of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Executing instructions.
+    Running,
+    /// In sleep mode, waiting for an interrupt.
+    Sleeping,
+    /// `main` returned or `Halt` executed.
+    Halted,
+    /// Stopped by a [`Fault`].
+    Faulted,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    caller_func: u32,
+    caller_pc: u32,
+    caller_fp: u16,
+    callee_frame_size: u16,
+    is_irq: bool,
+}
+
+/// Cycles charged for interrupt entry (vectoring + register save).
+const IRQ_ENTRY_CYCLES: u64 = 8;
+
+/// A simulated M16 node.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    img: Image,
+    ram: Vec<u8>,
+    cur_func: u32,
+    pc: u32,
+    fp: u16,
+    sp: u16,
+    eval: Vec<i64>,
+    frames: Vec<Frame>,
+    irq_enabled: bool,
+    pending: u8,
+    events: BinaryHeap<Reverse<(u64, Event)>>,
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Cycles spent awake (executing, not sleeping) — the duty-cycle
+    /// numerator.
+    pub awake_cycles: u64,
+    /// Current run state.
+    pub state: RunState,
+    /// The fault that stopped the machine, if any.
+    pub fault: Option<Fault>,
+    /// Devices.
+    pub devices: Devices,
+    /// Bytes written to the UART.
+    pub uart_out: Vec<u8>,
+    /// Timestamped bytes transmitted by the radio (drained by the network
+    /// layer or inspected by tests).
+    pub radio_out: Vec<(u64, u8)>,
+    /// Number of instructions executed (profiling aid).
+    pub instr_count: u64,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `image`, with reset state applied
+    /// (`.data` copied, `.rodata` mapped, PC at `main`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image has no entry point.
+    pub fn new(image: &Image) -> Machine {
+        let img = image.clone();
+        let entry = img.entry.expect("image has no entry function");
+        let mut ram = vec![0u8; 0x1_0000];
+        for (addr, bytes) in &img.rodata {
+            ram[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        for (addr, bytes) in &img.data_init {
+            ram[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        let sram_end = img.profile.sram_end();
+        let frame = img.functions[entry as usize].frame_size;
+        let mut m = Machine {
+            img,
+            ram,
+            cur_func: entry,
+            pc: 0,
+            fp: sram_end - frame,
+            sp: sram_end - frame,
+            eval: Vec::with_capacity(32),
+            frames: Vec::with_capacity(16),
+            irq_enabled: false,
+            pending: 0,
+            events: BinaryHeap::new(),
+            cycles: 0,
+            awake_cycles: 0,
+            state: RunState::Running,
+            fault: None,
+            devices: Devices::default(),
+            uart_out: Vec::new(),
+            radio_out: Vec::new(),
+            instr_count: 0,
+        };
+        m.devices.adc.waveform = Waveform::default();
+        m
+    }
+
+    /// Sets the ADC sensor waveform (workload context).
+    pub fn set_waveform(&mut self, w: Waveform) {
+        self.devices.adc.waveform = w;
+    }
+
+    /// Schedules radio bytes to arrive starting at cycle `at`, one byte
+    /// every [`RADIO_BYTE_CYCLES`] (workload context / network layer).
+    pub fn inject_rx_bytes(&mut self, at: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.events
+                .push(Reverse((at + i as u64 * RADIO_BYTE_CYCLES, Event::RadioRxByte(*b))));
+        }
+    }
+
+    /// The duty cycle so far: awake cycles / total cycles, in percent.
+    pub fn duty_cycle_percent(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.awake_cycles as f64 * 100.0 / self.cycles as f64
+    }
+
+    /// Human-readable message for the current fault, decoding safety traps
+    /// through the image's FLID table.
+    pub fn fault_message(&self) -> Option<String> {
+        let fault = self.fault.as_ref()?;
+        Some(match fault {
+            Fault::SafetyTrap(flid) => match self.img.flid_table.get(flid) {
+                Some(msg) => format!("safety check failed: {msg} (FLID {flid})"),
+                None => format!("safety check failed (FLID {flid})"),
+            },
+            other => format!("{other:?}"),
+        })
+    }
+
+    /// Reads one byte of RAM without side effects (test/inspection helper).
+    pub fn ram_peek(&self, addr: u16) -> u8 {
+        self.ram[addr as usize]
+    }
+
+    /// Reads a little-endian 16-bit word of RAM without side effects.
+    pub fn ram_peek16(&self, addr: u16) -> u16 {
+        u16::from_le_bytes([self.ram[addr as usize], self.ram[addr as usize + 1]])
+    }
+
+    /// Whether the global interrupt-enable flag is set.
+    pub fn interrupts_enabled(&self) -> bool {
+        self.irq_enabled
+    }
+
+    /// Runs until `until` total cycles have elapsed (or the machine halts
+    /// or faults). Returns the final state.
+    pub fn run(&mut self, until: u64) -> RunState {
+        while self.cycles < until {
+            match self.state {
+                RunState::Running => {
+                    self.deliver_due_events();
+                    if self.maybe_dispatch_irq() {
+                        continue;
+                    }
+                    self.step();
+                }
+                RunState::Sleeping => {
+                    if self.pending != 0 && self.irq_enabled {
+                        self.state = RunState::Running;
+                        continue;
+                    }
+                    if !self.irq_enabled {
+                        self.fail(Fault::DeadSleep);
+                        break;
+                    }
+                    match self.events.peek() {
+                        Some(Reverse((t, _))) if *t < until => {
+                            let t = *t;
+                            if t > self.cycles {
+                                self.cycles = t; // asleep: not counted awake
+                            }
+                            self.deliver_due_events();
+                        }
+                        _ => {
+                            self.cycles = until;
+                        }
+                    }
+                }
+                RunState::Halted | RunState::Faulted => break,
+            }
+        }
+        self.state
+    }
+
+    /// Executes exactly one instruction if running (test helper).
+    pub fn step(&mut self) {
+        debug_assert_eq!(self.state, RunState::Running);
+        let func = &self.img.functions[self.cur_func as usize];
+        let Some(instr) = func.code.get(self.pc as usize) else {
+            self.fail(Fault::BadCode("pc past end of function"));
+            return;
+        };
+        let instr = instr.clone();
+        let cost = instr.cycles();
+        self.cycles += cost;
+        self.awake_cycles += cost;
+        self.instr_count += 1;
+        self.pc += 1;
+        self.exec(instr);
+    }
+
+    fn fail(&mut self, fault: Fault) {
+        self.fault = Some(fault);
+        self.state = RunState::Faulted;
+    }
+
+    fn pop(&mut self) -> i64 {
+        match self.eval.pop() {
+            Some(v) => v,
+            None => {
+                self.fail(Fault::BadCode("evaluation stack underflow"));
+                0
+            }
+        }
+    }
+
+    fn exec(&mut self, instr: Instr) {
+        match instr {
+            Instr::PushI(v) => self.eval.push(v),
+            Instr::LdLocal { off, width, signed } => {
+                let addr = self.fp.wrapping_add(off);
+                if let Some(v) = self.load_mem(addr, width, signed) {
+                    self.eval.push(v);
+                }
+            }
+            Instr::StLocal { off, width } => {
+                let v = self.pop();
+                let addr = self.fp.wrapping_add(off);
+                self.store_mem(addr, v, width);
+            }
+            Instr::AddrLocal { off } => self.eval.push(self.fp.wrapping_add(off) as i64),
+            Instr::LdGlobal { addr, width, signed } => {
+                if let Some(v) = self.load_mem(addr, width, signed) {
+                    self.eval.push(v);
+                }
+            }
+            Instr::StGlobal { addr, width } => {
+                let v = self.pop();
+                self.store_mem(addr, v, width);
+            }
+            Instr::Ld { width, signed } => {
+                let addr = self.pop() as u16;
+                if let Some(v) = self.load_mem(addr, width, signed) {
+                    self.eval.push(v);
+                }
+            }
+            Instr::St { width } => {
+                let addr = self.pop() as u16;
+                let v = self.pop();
+                self.store_mem(addr, v, width);
+            }
+            Instr::Bin { op, width, signed } => {
+                let b = self.pop();
+                let a = self.pop();
+                match self.alu(op, a, b, width, signed) {
+                    Some(v) => self.eval.push(v),
+                    None => self.fail(Fault::DivZero),
+                }
+            }
+            Instr::Un { op, width } => {
+                let a = self.pop();
+                let v = match op {
+                    UnAluOp::Neg => width.wrap(a.wrapping_neg(), false),
+                    UnAluOp::BitNot => width.wrap(!a, false),
+                    UnAluOp::Not => (width.wrap(a, false) == 0) as i64,
+                };
+                self.eval.push(v);
+            }
+            Instr::Wrap { width, signed } => {
+                let a = self.pop();
+                self.eval.push(width.wrap(a, signed));
+            }
+            Instr::Jmp { target } => self.pc = target,
+            Instr::Jz { target } => {
+                if self.pop() == 0 {
+                    self.pc = target;
+                }
+            }
+            Instr::Jnz { target } => {
+                if self.pop() != 0 {
+                    self.pc = target;
+                }
+            }
+            Instr::Call { func } => self.do_call(func, false),
+            Instr::Ret | Instr::Reti => {
+                let was_irq = matches!(instr, Instr::Reti);
+                match self.frames.pop() {
+                    Some(fr) => {
+                        self.sp = self.sp.wrapping_add(fr.callee_frame_size);
+                        self.cur_func = fr.caller_func;
+                        self.pc = fr.caller_pc;
+                        self.fp = fr.caller_fp;
+                        if was_irq || fr.is_irq {
+                            self.irq_enabled = true;
+                        }
+                    }
+                    None => self.state = RunState::Halted,
+                }
+            }
+            Instr::Trap { flid } => self.fail(Fault::SafetyTrap(flid)),
+            Instr::Halt => self.state = RunState::Halted,
+            Instr::Sleep => self.state = RunState::Sleeping,
+            Instr::IrqSave => {
+                self.eval.push(self.irq_enabled as i64);
+                self.irq_enabled = false;
+            }
+            Instr::IrqRestore => {
+                let v = self.pop();
+                self.irq_enabled = v != 0;
+            }
+            Instr::IrqEnable => self.irq_enabled = true,
+            Instr::IrqDisable => self.irq_enabled = false,
+            Instr::MemCpy { bytes } => {
+                let dst = self.pop() as u16;
+                let src = self.pop() as u16;
+                for i in 0..bytes {
+                    match self.load_mem(src.wrapping_add(i), Width::W8, false) {
+                        Some(v) => self.store_mem(dst.wrapping_add(i), v, Width::W8),
+                        None => return,
+                    }
+                    if self.state == RunState::Faulted {
+                        return;
+                    }
+                }
+            }
+            Instr::Pop => {
+                self.pop();
+            }
+            Instr::Dup => {
+                let v = self.pop();
+                self.eval.push(v);
+                self.eval.push(v);
+            }
+            Instr::Nop => {}
+            Instr::LdFat { seq } => {
+                let addr = self.pop() as u16;
+                self.fat_load(addr, seq);
+            }
+            Instr::StFat { seq } => {
+                let addr = self.pop() as u16;
+                let cell = self.pop();
+                self.fat_store(addr, cell, seq);
+            }
+            Instr::LdLocalFat { off, seq } => {
+                let addr = self.fp.wrapping_add(off);
+                self.fat_load(addr, seq);
+            }
+            Instr::StLocalFat { off, seq } => {
+                let addr = self.fp.wrapping_add(off);
+                let cell = self.pop();
+                self.fat_store(addr, cell, seq);
+            }
+            Instr::LdGlobalFat { addr, seq } => self.fat_load(addr, seq),
+            Instr::StGlobalFat { addr, seq } => {
+                let cell = self.pop();
+                self.fat_store(addr, cell, seq);
+            }
+            Instr::MkFat { seq } => {
+                let end = self.pop() as u16;
+                let base = if seq { self.pop() as u16 } else { 0 };
+                let val = self.pop() as u16;
+                self.eval.push(crate::isa::fat_pack(val, base, end));
+            }
+            Instr::FatVal => {
+                let (v, _, _) = crate::isa::fat_unpack(self.pop());
+                self.eval.push(v as i64);
+            }
+            Instr::FatEnd => {
+                let (_, _, e) = crate::isa::fat_unpack(self.pop());
+                self.eval.push(e as i64);
+            }
+            Instr::FatBase => {
+                let (_, b, _) = crate::isa::fat_unpack(self.pop());
+                self.eval.push(b as i64);
+            }
+            Instr::FatAdd => {
+                let delta = self.pop();
+                let (v, b, e) = crate::isa::fat_unpack(self.pop());
+                let nv = (v as i64).wrapping_add(delta) as u16;
+                self.eval.push(crate::isa::fat_pack(nv, b, e));
+            }
+        }
+    }
+
+    /// Loads a fat pointer from memory onto the eval stack: layout is
+    /// `val, end[, base]` as little-endian words.
+    fn fat_load(&mut self, addr: u16, seq: bool) {
+        let Some(val) = self.load_mem(addr, Width::W16, false) else { return };
+        let Some(end) = self.load_mem(addr.wrapping_add(2), Width::W16, false) else { return };
+        let base = if seq {
+            match self.load_mem(addr.wrapping_add(4), Width::W16, false) {
+                Some(b) => b,
+                None => return,
+            }
+        } else {
+            0
+        };
+        self.eval.push(crate::isa::fat_pack(val as u16, base as u16, end as u16));
+    }
+
+    fn fat_store(&mut self, addr: u16, cell: i64, seq: bool) {
+        let (v, b, e) = crate::isa::fat_unpack(cell);
+        self.store_mem(addr, v as i64, Width::W16);
+        self.store_mem(addr.wrapping_add(2), e as i64, Width::W16);
+        if seq {
+            self.store_mem(addr.wrapping_add(4), b as i64, Width::W16);
+        }
+    }
+
+    fn alu(&self, op: AluOp, a: i64, b: i64, width: Width, signed: bool) -> Option<i64> {
+        let wa = width.wrap(a, signed);
+        let wb = width.wrap(b, signed);
+        let ua = width.wrap(a, false) as u64;
+        let ub = width.wrap(b, false) as u64;
+        Some(match op {
+            AluOp::Add => width.wrap(wa.wrapping_add(wb), signed),
+            AluOp::Sub => width.wrap(wa.wrapping_sub(wb), signed),
+            AluOp::Mul => width.wrap(wa.wrapping_mul(wb), signed),
+            AluOp::Div => {
+                if wb == 0 {
+                    return None;
+                }
+                if signed {
+                    width.wrap(wa.wrapping_div(wb), true)
+                } else {
+                    width.wrap((ua / ub) as i64, false)
+                }
+            }
+            AluOp::Mod => {
+                if wb == 0 {
+                    return None;
+                }
+                if signed {
+                    width.wrap(wa.wrapping_rem(wb), true)
+                } else {
+                    width.wrap((ua % ub) as i64, false)
+                }
+            }
+            AluOp::And => width.wrap(wa & wb, signed),
+            AluOp::Or => width.wrap(wa | wb, signed),
+            AluOp::Xor => width.wrap(wa ^ wb, signed),
+            AluOp::Shl => width.wrap(wa.wrapping_shl((ub & 31) as u32), signed),
+            AluOp::Shr => {
+                if signed {
+                    width.wrap(wa.wrapping_shr((ub & 31) as u32), true)
+                } else {
+                    width.wrap((ua >> (ub & 31)) as i64, false)
+                }
+            }
+            AluOp::Eq => (wa == wb) as i64,
+            AluOp::Ne => (wa != wb) as i64,
+            AluOp::Lt => {
+                if signed {
+                    (wa < wb) as i64
+                } else {
+                    (ua < ub) as i64
+                }
+            }
+            AluOp::Le => {
+                if signed {
+                    (wa <= wb) as i64
+                } else {
+                    (ua <= ub) as i64
+                }
+            }
+        })
+    }
+
+    fn do_call(&mut self, func: u32, is_irq: bool) {
+        let Some(callee) = self.img.functions.get(func as usize) else {
+            self.fail(Fault::BadCode("bad function index"));
+            return;
+        };
+        let frame_size = callee.frame_size;
+        let params: Vec<_> = callee.params.clone();
+        let new_sp = self.sp.wrapping_sub(frame_size);
+        if new_sp < self.img.static_top || new_sp > self.sp {
+            self.fail(Fault::StackOverflow);
+            return;
+        }
+        // Pop arguments (last argument on top) into the callee frame.
+        let mut args = Vec::with_capacity(params.len());
+        for _ in 0..params.len() {
+            args.push(self.pop());
+        }
+        args.reverse();
+        self.frames.push(Frame {
+            caller_func: self.cur_func,
+            caller_pc: self.pc,
+            caller_fp: self.fp,
+            callee_frame_size: frame_size,
+            is_irq,
+        });
+        self.sp = new_sp;
+        self.fp = new_sp;
+        self.cur_func = func;
+        self.pc = 0;
+        for (slot, v) in params.iter().zip(args) {
+            let addr = self.fp.wrapping_add(slot.off);
+            match slot.kind {
+                crate::image::SlotKind::Scalar(w) => self.store_mem(addr, v, w),
+                crate::image::SlotKind::Fat { seq } => self.fat_store(addr, v, seq),
+            }
+        }
+    }
+
+    fn maybe_dispatch_irq(&mut self) -> bool {
+        if !self.irq_enabled || self.pending == 0 || self.state != RunState::Running {
+            return false;
+        }
+        for v in 0..crate::NUM_VECTORS {
+            if self.pending & (1 << v) != 0 {
+                self.pending &= !(1 << v);
+                let Some(handler) = self.img.vectors[v] else {
+                    // Unwired vector: drop the interrupt (documented).
+                    continue;
+                };
+                self.irq_enabled = false;
+                self.cycles += IRQ_ENTRY_CYCLES;
+                self.awake_cycles += IRQ_ENTRY_CYCLES;
+                self.do_call(handler, true);
+                return true;
+            }
+        }
+        false
+    }
+
+    // ----- memory -----
+
+    fn load_mem(&mut self, addr: u16, width: Width, signed: bool) -> Option<i64> {
+        if addr >= MMIO_BASE {
+            let v = self.mmio_read(addr);
+            return Some(width.wrap(v as i64, signed));
+        }
+        if !self.mapped(addr, width.bytes() as u16) {
+            self.fail(Fault::MemFault(addr));
+            return None;
+        }
+        let mut v: u64 = 0;
+        for i in 0..width.bytes() as usize {
+            v |= (self.ram[addr as usize + i] as u64) << (8 * i);
+        }
+        Some(width.wrap(v as i64, signed))
+    }
+
+    fn store_mem(&mut self, addr: u16, v: i64, width: Width) {
+        if addr >= MMIO_BASE {
+            self.mmio_write(addr, width.wrap(v, false) as u16);
+            return;
+        }
+        if addr >= 0x8000 {
+            self.fail(Fault::IllegalWrite(addr));
+            return;
+        }
+        if !self.mapped(addr, width.bytes() as u16) {
+            self.fail(Fault::MemFault(addr));
+            return;
+        }
+        let uv = width.wrap(v, false) as u64;
+        for i in 0..width.bytes() as usize {
+            self.ram[addr as usize + i] = (uv >> (8 * i)) as u8;
+        }
+    }
+
+    /// Whether `[addr, addr+len)` is mapped readable memory: SRAM or the
+    /// flash window. The null page and the gap above SRAM fault.
+    fn mapped(&self, addr: u16, len: u16) -> bool {
+        let base = self.img.profile.sram_base();
+        let end = self.img.profile.sram_end();
+        let last = addr.checked_add(len - 1);
+        let Some(last) = last else { return false };
+        (addr >= base && last < end) || (0x8000..MMIO_BASE).contains(&addr) && last < MMIO_BASE
+    }
+
+    // ----- devices -----
+
+    fn mmio_read(&mut self, addr: u16) -> u16 {
+        match addr {
+            LED_REG => self.devices.leds.value as u16,
+            TIMER0_CTRL => self.devices.timer0.enabled as u16,
+            TIMER0_COMPARE => self.devices.timer0.compare,
+            TIMER0_COUNT => ((self.cycles / TIMER_TICK_CYCLES) & 0xFFFF) as u16,
+            TIMER1_CTRL => self.devices.timer1.enabled as u16,
+            TIMER1_COMPARE => self.devices.timer1.compare,
+            ADC_CTRL => self.devices.adc.busy as u16,
+            ADC_DATA => self.devices.adc.data,
+            RADIO_CTRL => self.devices.radio.rx_enabled as u16,
+            RADIO_RX => self.devices.radio.rx_data as u16,
+            RADIO_STATUS => self.devices.radio.tx_busy as u16,
+            UART_DATA => 0,
+            _ => 0,
+        }
+    }
+
+    fn mmio_write(&mut self, addr: u16, v: u16) {
+        match addr {
+            LED_REG => {
+                let nv = (v & 0x07) as u8;
+                if nv != self.devices.leds.value {
+                    self.devices.leds.transitions += 1;
+                }
+                self.devices.leds.value = nv;
+            }
+            TIMER0_CTRL => {
+                let enable = v & 1 != 0;
+                if enable && !self.devices.timer0.enabled {
+                    let period =
+                        (self.devices.timer0.compare.max(1) as u64) * TIMER_TICK_CYCLES;
+                    self.events.push(Reverse((self.cycles + period, Event::Timer0Fire)));
+                }
+                self.devices.timer0.enabled = enable;
+            }
+            TIMER0_COMPARE => self.devices.timer0.compare = v,
+            TIMER1_CTRL => {
+                let enable = v & 1 != 0;
+                if enable && !self.devices.timer1.enabled {
+                    let period =
+                        (self.devices.timer1.compare.max(1) as u64) * TIMER_TICK_CYCLES;
+                    self.events.push(Reverse((self.cycles + period, Event::Timer1Fire)));
+                }
+                self.devices.timer1.enabled = enable;
+            }
+            TIMER1_COMPARE => self.devices.timer1.compare = v,
+            ADC_CTRL => {
+                if v & 1 != 0 && !self.devices.adc.busy {
+                    self.devices.adc.busy = true;
+                    self.events
+                        .push(Reverse((self.cycles + ADC_CONVERSION_CYCLES, Event::AdcDone)));
+                }
+            }
+            RADIO_CTRL => self.devices.radio.rx_enabled = v & 1 != 0,
+            RADIO_TX => {
+                if !self.devices.radio.tx_busy {
+                    self.devices.radio.tx_busy = true;
+                    self.radio_out.push((self.cycles, (v & 0xFF) as u8));
+                    self.events
+                        .push(Reverse((self.cycles + RADIO_BYTE_CYCLES, Event::RadioTxDone)));
+                }
+            }
+            UART_DATA => {
+                if !self.devices.uart.tx_busy {
+                    self.devices.uart.tx_busy = true;
+                    self.uart_out.push((v & 0xFF) as u8);
+                    self.events.push(Reverse((self.cycles + UART_BYTE_CYCLES, Event::UartTxDone)));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn deliver_due_events(&mut self) {
+        while let Some(Reverse((t, _))) = self.events.peek() {
+            if *t > self.cycles {
+                break;
+            }
+            let Reverse((_, ev)) = self.events.pop().expect("peeked");
+            match ev {
+                Event::Timer0Fire => {
+                    if self.devices.timer0.enabled {
+                        self.pending |= 1 << crate::vectors::TIMER0;
+                        let period =
+                            (self.devices.timer0.compare.max(1) as u64) * TIMER_TICK_CYCLES;
+                        self.events.push(Reverse((self.cycles + period, Event::Timer0Fire)));
+                    }
+                }
+                Event::Timer1Fire => {
+                    if self.devices.timer1.enabled {
+                        self.pending |= 1 << crate::vectors::TIMER1;
+                        let period =
+                            (self.devices.timer1.compare.max(1) as u64) * TIMER_TICK_CYCLES;
+                        self.events.push(Reverse((self.cycles + period, Event::Timer1Fire)));
+                    }
+                }
+                Event::AdcDone => {
+                    let n = self.devices.adc.samples;
+                    self.devices.adc.data = self.devices.adc.waveform.sample(n);
+                    self.devices.adc.samples = n + 1;
+                    self.devices.adc.busy = false;
+                    self.pending |= 1 << crate::vectors::ADC;
+                }
+                Event::RadioTxDone => {
+                    self.devices.radio.tx_busy = false;
+                    self.pending |= 1 << crate::vectors::RADIO_TX;
+                }
+                Event::RadioRxByte(b) => {
+                    if self.devices.radio.rx_enabled {
+                        self.devices.radio.rx_data = b;
+                        self.devices.radio.rx_count += 1;
+                        self.pending |= 1 << crate::vectors::RADIO_RX;
+                    }
+                }
+                Event::UartTxDone => {
+                    self.devices.uart.tx_busy = false;
+                    self.pending |= 1 << crate::vectors::UART;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{CodeFunction, Profile};
+
+    fn image_with(code: Vec<Instr>) -> Image {
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("main");
+        f.code = code;
+        f.frame_size = 16;
+        let e = img.add_function(f);
+        img.entry = Some(e);
+        img
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let img = image_with(vec![
+            Instr::PushI(7),
+            Instr::PushI(5),
+            Instr::Bin { op: AluOp::Mul, width: Width::W16, signed: false },
+            Instr::StGlobal { addr: 0x0200, width: Width::W16 },
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(&img);
+        m.run(1000);
+        assert_eq!(m.state, RunState::Halted);
+        assert_eq!(m.load_mem(0x0200, Width::W16, false), Some(35));
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let img = image_with(vec![Instr::PushI(0), Instr::Ld { width: Width::W8, signed: false }]);
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert_eq!(m.state, RunState::Faulted);
+        assert_eq!(m.fault, Some(Fault::MemFault(0)));
+    }
+
+    #[test]
+    fn flash_window_is_read_only() {
+        let mut img = image_with(vec![
+            Instr::PushI(1),
+            Instr::PushI(0x8000),
+            Instr::St { width: Width::W8 },
+        ]);
+        img.rodata.push((0x8000, vec![42]));
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert_eq!(m.fault, Some(Fault::IllegalWrite(0x8000)));
+    }
+
+    #[test]
+    fn rodata_readable() {
+        let mut img = image_with(vec![
+            Instr::PushI(0x8000),
+            Instr::Ld { width: Width::W8, signed: false },
+            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Halt,
+        ]);
+        img.rodata.push((0x8000, vec![42]));
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert_eq!(m.load_mem(0x0200, Width::W8, false), Some(42));
+    }
+
+    #[test]
+    fn trap_records_flid() {
+        let mut img = image_with(vec![Instr::Trap { flid: 77 }]);
+        img.flid_table.insert(77, "BlinkM.nc:12 null deref".into());
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert_eq!(m.fault, Some(Fault::SafetyTrap(77)));
+        assert!(m.fault_message().unwrap().contains("BlinkM.nc:12"));
+    }
+
+    #[test]
+    fn call_passes_args_and_returns_value() {
+        // add(a, b) { return a + b; } ; main stores add(3, 4) to 0x0200.
+        let mut img = Image::new(Profile::mica2());
+        let mut add = CodeFunction::new("add");
+        add.frame_size = 4;
+        add.params = vec![
+            crate::image::ParamSlot::scalar(0, Width::W16),
+            crate::image::ParamSlot::scalar(2, Width::W16),
+        ];
+        add.code = vec![
+            Instr::LdLocal { off: 0, width: Width::W16, signed: false },
+            Instr::LdLocal { off: 2, width: Width::W16, signed: false },
+            Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false },
+            Instr::Ret,
+        ];
+        let add_idx = img.add_function(add);
+        let mut main = CodeFunction::new("main");
+        main.frame_size = 0;
+        main.code = vec![
+            Instr::PushI(3),
+            Instr::PushI(4),
+            Instr::Call { func: add_idx },
+            Instr::StGlobal { addr: 0x0200, width: Width::W16 },
+            Instr::Halt,
+        ];
+        let e = img.add_function(main);
+        img.entry = Some(e);
+        let mut m = Machine::new(&img);
+        m.run(1000);
+        assert_eq!(m.state, RunState::Halted);
+        assert_eq!(m.load_mem(0x0200, Width::W16, false), Some(7));
+    }
+
+    #[test]
+    fn timer_interrupt_fires_handler() {
+        // Handler increments 0x0200; main enables timer + irq then sleeps forever.
+        let mut img = Image::new(Profile::mica2());
+        let mut h = CodeFunction::new("tick");
+        h.interrupt = Some(crate::vectors::TIMER0);
+        h.code = vec![
+            Instr::LdGlobal { addr: 0x0200, width: Width::W8, signed: false },
+            Instr::PushI(1),
+            Instr::Bin { op: AluOp::Add, width: Width::W8, signed: false },
+            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Reti,
+        ];
+        img.add_function(h);
+        let mut main = CodeFunction::new("main");
+        main.code = vec![
+            Instr::PushI(10), // compare = 10 ticks = 320 cycles
+            Instr::PushI(TIMER0_COMPARE as i64),
+            Instr::St { width: Width::W16 },
+            Instr::PushI(1),
+            Instr::PushI(TIMER0_CTRL as i64),
+            Instr::St { width: Width::W16 },
+            Instr::IrqEnable,
+            Instr::Sleep,
+            Instr::Jmp { target: 7 },
+        ];
+        let e = img.add_function(main);
+        img.entry = Some(e);
+        let mut m = Machine::new(&img);
+        m.run(10_000);
+        let count = m.load_mem(0x0200, Width::W8, false).unwrap();
+        assert!(count >= 25, "expected ~31 timer fires, got {count}");
+        // Mostly asleep: duty cycle well under 50%.
+        assert!(m.duty_cycle_percent() < 50.0);
+    }
+
+    #[test]
+    fn dead_sleep_faults() {
+        let img = image_with(vec![Instr::Sleep]);
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert_eq!(m.fault, Some(Fault::DeadSleep));
+    }
+
+    #[test]
+    fn uart_collects_output() {
+        let img = image_with(vec![
+            Instr::PushI('h' as i64),
+            Instr::PushI(UART_DATA as i64),
+            Instr::St { width: Width::W8 },
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(&img);
+        m.run(1000);
+        assert_eq!(m.uart_out, b"h");
+    }
+
+    #[test]
+    fn adc_conversion_uses_waveform() {
+        let img = image_with(vec![
+            Instr::PushI(1),
+            Instr::PushI(ADC_CTRL as i64),
+            Instr::St { width: Width::W16 },
+            Instr::IrqEnable,
+            Instr::Sleep,
+            Instr::PushI(ADC_DATA as i64),
+            Instr::Ld { width: Width::W16, signed: false },
+            Instr::StGlobal { addr: 0x0200, width: Width::W16 },
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(&img);
+        m.set_waveform(Waveform::Const(321));
+        m.run(10_000);
+        assert_eq!(m.state, RunState::Halted);
+        assert_eq!(m.load_mem(0x0200, Width::W16, false), Some(321));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        // Recursive function with a big frame.
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("rec");
+        f.frame_size = 512;
+        f.code = vec![Instr::Call { func: 0 }, Instr::Ret];
+        img.add_function(f);
+        let mut main = CodeFunction::new("main");
+        main.code = vec![Instr::Call { func: 0 }, Instr::Halt];
+        let e = img.add_function(main);
+        img.entry = Some(e);
+        let mut m = Machine::new(&img);
+        m.run(100_000);
+        assert_eq!(m.fault, Some(Fault::StackOverflow));
+    }
+
+    #[test]
+    fn radio_rx_injection_pends_interrupt() {
+        let mut img = Image::new(Profile::mica2());
+        let mut h = CodeFunction::new("rx");
+        h.interrupt = Some(crate::vectors::RADIO_RX);
+        h.code = vec![
+            Instr::PushI(RADIO_RX as i64),
+            Instr::Ld { width: Width::W8, signed: false },
+            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Reti,
+        ];
+        img.add_function(h);
+        let mut main = CodeFunction::new("main");
+        main.code = vec![
+            Instr::PushI(1),
+            Instr::PushI(RADIO_CTRL as i64),
+            Instr::St { width: Width::W16 },
+            Instr::IrqEnable,
+            Instr::Sleep,
+            Instr::Jmp { target: 4 },
+        ];
+        let e = img.add_function(main);
+        img.entry = Some(e);
+        let mut m = Machine::new(&img);
+        m.inject_rx_bytes(500, &[0xAB]);
+        m.run(5_000);
+        assert_eq!(m.load_mem(0x0200, Width::W8, false), Some(0xAB));
+    }
+
+    #[test]
+    fn irq_save_restore_round_trip() {
+        let img = image_with(vec![
+            Instr::IrqEnable,
+            Instr::IrqSave,
+            Instr::IrqRestore,
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert!(m.irq_enabled);
+    }
+}

@@ -1,0 +1,326 @@
+//! The nesC concurrency analysis: computes the **non-atomic variable
+//! report** the paper's toolchain feeds from the nesC compiler into CCured
+//! (§2.2), with the two refinements §2.1 describes for cXprop's own
+//! detector: it is conservative about pointers (an address-taken global
+//! with cross-context pointer accesses is treated as racy) and it
+//! deliberately **suppresses `norace`** annotations, as the Safe TinyOS
+//! toolchain does.
+//!
+//! The model is nesC's two-level concurrency: *synchronous* code (tasks
+//! and `main`) is non-preemptive; *asynchronous* code (interrupt handlers
+//! and everything they call) can preempt it. A global is a race candidate
+//! when it is reachable from asynchronous context and at least one
+//! synchronous access is not protected by an `atomic` section.
+
+use std::collections::HashSet;
+
+use tcil::ir::*;
+use tcil::visit;
+
+/// The non-atomic variable report.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrencyReport {
+    /// Names of globals flagged as race candidates.
+    pub racy: Vec<String>,
+    /// Globals declared `norace` whose annotation was suppressed (they are
+    /// still checked; the paper's toolchain does the same).
+    pub norace_suppressed: Vec<String>,
+    /// Functions reachable from interrupt handlers (async context).
+    pub async_functions: Vec<String>,
+    /// Number of atomic sections in the program.
+    pub atomic_sections: usize,
+}
+
+#[derive(Default, Clone)]
+struct Access {
+    async_any: bool,
+    sync_unprotected: bool,
+    addr_taken: bool,
+}
+
+/// Runs the analysis, sets [`Global::racy`] flags in `program`, and
+/// returns the report.
+pub fn analyze(program: &mut Program) -> ConcurrencyReport {
+    let n_funcs = program.functions.len();
+    // Call graph.
+    let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n_funcs];
+    for (i, f) in program.functions.iter().enumerate() {
+        visit::walk_stmts(&f.body, &mut |s| {
+            if let Stmt::Call { func, .. } = s {
+                callees[i].push(*func);
+            }
+        });
+    }
+    // Async context: reachable from interrupt handlers.
+    let mut async_ctx = vec![false; n_funcs];
+    let mut work: Vec<FuncId> = program
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.interrupt.is_some())
+        .map(|(i, _)| FuncId(i as u32))
+        .collect();
+    while let Some(f) = work.pop() {
+        if std::mem::replace(&mut async_ctx[f.0 as usize], true) {
+            continue;
+        }
+        work.extend(callees[f.0 as usize].iter().copied());
+    }
+    // Sync context: reachable from main and tasks.
+    let mut sync_ctx = vec![false; n_funcs];
+    let mut work: Vec<FuncId> = program.entry.into_iter().chain(program.tasks.iter().copied()).collect();
+    while let Some(f) = work.pop() {
+        if std::mem::replace(&mut sync_ctx[f.0 as usize], true) {
+            continue;
+        }
+        work.extend(callees[f.0 as usize].iter().copied());
+    }
+
+    let mut acc: Vec<Access> = vec![Access::default(); program.globals.len()];
+    let mut deref_async = false;
+    let mut deref_sync_unprotected = false;
+    let mut atomic_sections = 0usize;
+
+    for (i, f) in program.functions.iter().enumerate() {
+        let is_async = async_ctx[i];
+        let is_sync = sync_ctx[i];
+        if !is_async && !is_sync {
+            continue; // dead function
+        }
+        // Interrupt handler bodies run with interrupts disabled, so their
+        // accesses are protected on their side; the race comes from the
+        // *synchronous* side being unprotected.
+        scan_block(
+            &f.body,
+            is_async,
+            is_sync,
+            is_async && !is_sync, // handlers count as protected context
+            &mut acc,
+            &mut deref_async,
+            &mut deref_sync_unprotected,
+            &mut atomic_sections,
+        );
+    }
+
+    let mut report = ConcurrencyReport { atomic_sections, ..Default::default() };
+    for (i, g) in program.globals.iter_mut().enumerate() {
+        let a = &acc[i];
+        // Pointer conservatism: an address-taken global may be reached
+        // through any pointer dereference in either context.
+        let async_any = a.async_any || (a.addr_taken && deref_async);
+        let sync_unprot = a.sync_unprotected || (a.addr_taken && deref_sync_unprotected);
+        let racy = async_any && sync_unprot && !g.is_const;
+        if g.norace && racy {
+            report.norace_suppressed.push(g.name.clone());
+        }
+        if racy {
+            g.racy = true;
+            report.racy.push(g.name.clone());
+        }
+    }
+    report.async_functions = program
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| async_ctx[*i])
+        .map(|(_, f)| f.name.clone())
+        .collect();
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_block(
+    block: &Block,
+    is_async: bool,
+    is_sync: bool,
+    protected: bool,
+    acc: &mut [Access],
+    deref_async: &mut bool,
+    deref_sync_unprotected: &mut bool,
+    atomic_sections: &mut usize,
+) {
+    for s in block {
+        match s {
+            Stmt::Atomic { body, .. } => {
+                *atomic_sections += 1;
+                scan_block(
+                    body,
+                    is_async,
+                    is_sync,
+                    true,
+                    acc,
+                    deref_async,
+                    deref_sync_unprotected,
+                    atomic_sections,
+                );
+                continue;
+            }
+            Stmt::If { then_, else_, .. } => {
+                scan_block(then_, is_async, is_sync, protected, acc, deref_async, deref_sync_unprotected, atomic_sections);
+                scan_block(else_, is_async, is_sync, protected, acc, deref_async, deref_sync_unprotected, atomic_sections);
+            }
+            Stmt::While { body, .. } | Stmt::Block(body) => {
+                scan_block(body, is_async, is_sync, protected, acc, deref_async, deref_sync_unprotected, atomic_sections);
+            }
+            _ => {}
+        }
+        // Expression-level accesses of this statement.
+        let mut on_globals = |gid: GlobalId, taken: bool| {
+            let a = &mut acc[gid.0 as usize];
+            if taken {
+                a.addr_taken = true;
+                return;
+            }
+            if is_async {
+                a.async_any = true;
+            }
+            if is_sync && !protected {
+                a.sync_unprotected = true;
+            }
+        };
+        let mut seen_deref = false;
+        let mut visit_expr = |e: &Expr| {
+            visit::walk_expr(e, &mut |x| match &x.kind {
+                ExprKind::Load(p) => {
+                    if let PlaceBase::Global(g) = &p.base {
+                        on_globals(*g, false);
+                    }
+                    if matches!(p.base, PlaceBase::Deref(_)) {
+                        seen_deref = true;
+                    }
+                }
+                ExprKind::AddrOf(p) => {
+                    if let PlaceBase::Global(g) = &p.base {
+                        on_globals(*g, true);
+                    }
+                    if matches!(p.base, PlaceBase::Deref(_)) {
+                        seen_deref = true;
+                    }
+                }
+                _ => {}
+            });
+        };
+        visit::stmt_exprs(s, &mut visit_expr);
+        // Assignment / call destinations.
+        let mut dest = |p: &Place| {
+            if let PlaceBase::Global(g) = &p.base {
+                let a = &mut acc[g.0 as usize];
+                if is_async {
+                    a.async_any = true;
+                }
+                if is_sync && !protected {
+                    a.sync_unprotected = true;
+                }
+            }
+            if matches!(p.base, PlaceBase::Deref(_)) {
+                seen_deref = true;
+            }
+        };
+        match s {
+            Stmt::Assign(p, _) => dest(p),
+            Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => dest(p),
+            _ => {}
+        }
+        if seen_deref {
+            if is_async {
+                *deref_async = true;
+            }
+            if is_sync && !protected {
+                *deref_sync_unprotected = true;
+            }
+        }
+    }
+}
+
+/// Convenience: the set of racy global names (for assertions).
+pub fn racy_names(report: &ConcurrencyReport) -> HashSet<&str> {
+    report.racy.iter().map(String::as_str).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcil::parse_and_lower;
+
+    fn analyze_src(src: &str) -> (tcil::Program, ConcurrencyReport) {
+        let mut p = parse_and_lower(src).unwrap();
+        let r = analyze(&mut p);
+        (p, r)
+    }
+
+    #[test]
+    fn unprotected_cross_context_global_is_racy() {
+        let (_, r) = analyze_src(
+            "uint8_t shared;
+             interrupt(TIMER0) void h() { shared = 1; }
+             void main() { shared = 2; }",
+        );
+        assert_eq!(r.racy, vec!["shared"]);
+    }
+
+    #[test]
+    fn atomic_protection_clears_race() {
+        let (_, r) = analyze_src(
+            "uint8_t shared;
+             interrupt(TIMER0) void h() { shared = 1; }
+             void main() { atomic { shared = 2; } }",
+        );
+        assert!(r.racy.is_empty());
+    }
+
+    #[test]
+    fn sync_only_global_is_not_racy() {
+        let (_, r) = analyze_src(
+            "uint8_t x;
+             task void t() { x = 1; }
+             void main() { x = 2; }",
+        );
+        assert!(r.racy.is_empty());
+    }
+
+    #[test]
+    fn norace_is_suppressed() {
+        let (p, r) = analyze_src(
+            "norace uint8_t shared;
+             interrupt(TIMER0) void h() { shared = 1; }
+             void main() { shared = 2; }",
+        );
+        assert_eq!(r.racy, vec!["shared"]);
+        assert_eq!(r.norace_suppressed, vec!["shared"]);
+        assert!(p.globals[0].racy);
+    }
+
+    #[test]
+    fn reachability_through_calls() {
+        let (_, r) = analyze_src(
+            "uint8_t shared;
+             void helper() { shared = 1; }
+             interrupt(TIMER0) void h() { helper(); }
+             void main() { shared = 2; }",
+        );
+        assert_eq!(r.racy, vec!["shared"]);
+        assert!(r.async_functions.iter().any(|f| f == "helper"));
+    }
+
+    #[test]
+    fn pointer_conservatism() {
+        // g's address is taken and a deref write happens in the handler:
+        // conservatively racy even though no direct async access exists.
+        let (_, r) = analyze_src(
+            "uint8_t g;
+             uint8_t * p;
+             void main() { p = &g; g = 1; }
+             interrupt(TIMER0) void h() { *p = 3; }",
+        );
+        assert!(racy_names(&r).contains("g"));
+    }
+
+    #[test]
+    fn counts_atomic_sections() {
+        let (_, r) = analyze_src(
+            "uint8_t a;
+             void main() { atomic { a = 1; } atomic { a = 2; } }",
+        );
+        assert_eq!(r.atomic_sections, 2);
+    }
+}

@@ -1,0 +1,808 @@
+//! Whole-program generation: rewrites each module's AST against the wiring
+//! plan, synthesizes fan-out wrappers, default event handlers, and the
+//! TinyOS task scheduler, and merges everything into one `tcil` unit.
+//!
+//! Name mangling uses `Module__Alias__method` / `Module__name` (double
+//! underscore), which keeps generated names lexable so that synthesized
+//! code can be produced as plain TCL text and run through the normal
+//! parser.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use tcil::ast::{self, Expr, ExprKind};
+use tcil::parser::{parse_unit, Dialect};
+use tcil::CompileError;
+
+use crate::parse::{InterfaceDef, Method, ModuleDef, Parsed};
+use crate::wiring::{ModEndpoint, Plan};
+
+/// Maximum number of queued tasks (TinyOS 1.x uses a small power of two).
+pub const MAX_TASKS: u32 = 8;
+
+/// Generates the merged translation unit for the application.
+///
+/// # Errors
+///
+/// Reports nesC-level semantic errors: `call` on a provided interface,
+/// `signal` on a used interface, unwired command calls, unknown interface
+/// methods, posts of unknown tasks, missing command implementations, and
+/// name-mangling collisions.
+pub fn generate(parsed: &Parsed, plan: &Plan) -> Result<ast::Unit, CompileError> {
+    let mut gen = Generator {
+        parsed,
+        plan,
+        mangles: HashMap::new(),
+        task_ids: BTreeMap::new(),
+        fanouts: BTreeMap::new(),
+        stubs: BTreeMap::new(),
+        out: ast::Unit::default(),
+    };
+    gen.assign_task_ids();
+    gen.out.items.extend(parsed.header_items.iter().cloned());
+    for m in &plan.modules {
+        gen.rewrite_module(&parsed.modules[m])?;
+    }
+    gen.synthesize_missing_events()?;
+    gen.emit_fanouts_and_stubs()?;
+    gen.emit_scheduler()?;
+    Ok(gen.out)
+}
+
+/// Mangles a module-level plain name.
+pub fn mangle(module: &str, name: &str) -> String {
+    format!("{module}__{name}")
+}
+
+/// Mangles an interface-method implementation name.
+pub fn mangle_iface(module: &str, alias: &str, method: &str) -> String {
+    format!("{module}__{alias}__{method}")
+}
+
+struct Generator<'a> {
+    parsed: &'a Parsed,
+    plan: &'a Plan,
+    /// Mangled name → origin, to detect collisions.
+    mangles: HashMap<String, String>,
+    /// Mangled task function name → dispatch id.
+    task_ids: BTreeMap<String, u32>,
+    /// (fanout fn name) → (ret/params method, resolved target fn names).
+    fanouts: BTreeMap<String, (Method, Vec<String>)>,
+    /// (stub fn name) → method signature.
+    stubs: BTreeMap<String, Method>,
+    out: ast::Unit,
+}
+
+impl<'a> Generator<'a> {
+    fn register(&mut self, mangled: &str, origin: &str) -> Result<(), CompileError> {
+        if let Some(prev) = self.mangles.insert(mangled.to_string(), origin.to_string()) {
+            return Err(CompileError::generic(format!(
+                "name mangling collision: `{mangled}` from `{origin}` and `{prev}`"
+            )));
+        }
+        Ok(())
+    }
+
+    fn assign_task_ids(&mut self) {
+        let mut next = 0u32;
+        for mname in &self.plan.modules {
+            let m = &self.parsed.modules[mname];
+            for item in &m.unit.items {
+                if let ast::Item::Func(f) = item {
+                    if f.kind == ast::FuncKind::Task {
+                        self.task_ids.insert(mangle(mname, &f.name), next);
+                        next += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn iface_def(&self, name: &str) -> Result<&'a InterfaceDef, CompileError> {
+        self.parsed
+            .interfaces
+            .get(name)
+            .ok_or_else(|| CompileError::generic(format!("unknown interface `{name}`")))
+    }
+
+    // ----- module rewriting -----
+
+    fn rewrite_module(&mut self, m: &ModuleDef) -> Result<(), CompileError> {
+        // Collect module-level names.
+        let mut globals = HashSet::new();
+        let mut funcs = HashSet::new();
+        for item in &m.unit.items {
+            match item {
+                ast::Item::Global(g) => {
+                    globals.insert(g.sig.name.clone());
+                }
+                ast::Item::Func(f) => {
+                    funcs.insert(f.name.clone());
+                }
+                _ => {}
+            }
+        }
+        // Verify every provided command is implemented.
+        for slot in &m.slots {
+            if !slot.provides {
+                continue;
+            }
+            let idef = self.iface_def(&slot.iface)?;
+            for method in &idef.methods {
+                if !method.is_event && !funcs.contains(&format!("{}.{}", slot.alias, method.name))
+                {
+                    return Err(CompileError::generic(format!(
+                        "module `{}` provides `{}` but does not implement command `{}.{}`",
+                        m.name, slot.iface, slot.alias, method.name
+                    )));
+                }
+            }
+        }
+        for item in &m.unit.items {
+            match item {
+                ast::Item::Struct(_) | ast::Item::Enum(_) => self.out.items.push(item.clone()),
+                ast::Item::Global(g) => {
+                    let mut g = g.clone();
+                    let mangled = mangle(&m.name, &g.sig.name);
+                    self.register(&mangled, &m.name)?;
+                    g.sig.name = mangled;
+                    self.out.items.push(ast::Item::Global(g));
+                }
+                ast::Item::Func(f) => {
+                    let mut f = f.clone();
+                    f.name = self.mangle_func_name(m, &f)?;
+                    if f.name != "main" {
+                        self.register(&f.name.clone(), &m.name)?;
+                    }
+                    let mut rw = Rewriter {
+                        gen: self,
+                        module: m,
+                        globals: &globals,
+                        funcs: &funcs,
+                        scopes: vec![f.params.iter().map(|p| p.name.clone()).collect()],
+                        errors: Vec::new(),
+                    };
+                    rw.block(&mut f.body);
+                    if let Some(e) = rw.errors.into_iter().next() {
+                        return Err(e);
+                    }
+                    self.out.items.push(ast::Item::Func(f));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn mangle_func_name(
+        &mut self,
+        m: &ModuleDef,
+        f: &ast::FuncDecl,
+    ) -> Result<String, CompileError> {
+        if let Some((alias, method)) = f.name.split_once('.') {
+            let slot = m.slot(alias).ok_or_else(|| {
+                CompileError::generic(format!(
+                    "module `{}` implements `{}` but has no interface `{alias}`",
+                    m.name, f.name
+                ))
+            })?;
+            let idef = self.iface_def(&slot.iface)?;
+            let mdef = idef.method(method).ok_or_else(|| {
+                CompileError::generic(format!(
+                    "interface `{}` has no method `{method}` (module `{}`)",
+                    slot.iface, m.name
+                ))
+            })?;
+            // Providers implement commands; users implement events.
+            if mdef.is_event == slot.provides {
+                return Err(CompileError::generic(format!(
+                    "module `{}`: `{}.{}` is {} — implemented on the wrong side",
+                    m.name,
+                    alias,
+                    method,
+                    if mdef.is_event { "an event" } else { "a command" }
+                )));
+            }
+            if f.params.len() != mdef.decl.params.len() {
+                return Err(CompileError::generic(format!(
+                    "module `{}`: `{}.{}` has {} parameters, interface declares {}",
+                    m.name,
+                    alias,
+                    method,
+                    f.params.len(),
+                    mdef.decl.params.len()
+                )));
+            }
+            Ok(mangle_iface(&m.name, alias, method))
+        } else if m.name == "Main" && f.name == "main" {
+            Ok("main".to_string())
+        } else {
+            Ok(mangle(&m.name, &f.name))
+        }
+    }
+
+    /// Resolves a `call Alias.method(...)` in `module` to a callee name,
+    /// creating a fan-out wrapper if wired to several providers.
+    fn resolve_call(
+        &mut self,
+        module: &ModuleDef,
+        alias: &str,
+        method: &str,
+    ) -> Result<String, CompileError> {
+        let slot = module.slot(alias).ok_or_else(|| {
+            CompileError::generic(format!(
+                "module `{}` calls unknown interface `{alias}`",
+                module.name
+            ))
+        })?;
+        if slot.provides {
+            return Err(CompileError::generic(format!(
+                "module `{}` uses `call` on provided interface `{alias}` (use `signal`)",
+                module.name
+            )));
+        }
+        let idef = self.iface_def(&slot.iface)?;
+        let mdef = idef.method(method).ok_or_else(|| {
+            CompileError::generic(format!("interface `{}` has no method `{method}`", slot.iface))
+        })?.clone();
+        if mdef.is_event {
+            return Err(CompileError::generic(format!(
+                "`call {alias}.{method}`: `{method}` is an event; commands only"
+            )));
+        }
+        let key: ModEndpoint = (module.name.clone(), alias.to_string());
+        let providers = self.plan.cmd_targets.get(&key).cloned().unwrap_or_default();
+        match providers.len() {
+            0 => Err(CompileError::generic(format!(
+                "module `{}`: `call {alias}.{method}` but interface `{alias}` is not wired",
+                module.name
+            ))),
+            1 => Ok(mangle_iface(&providers[0].0, &providers[0].1, method)),
+            _ => {
+                let fan = format!("{}__{}__{}__fan", module.name, alias, method);
+                let targets = providers
+                    .iter()
+                    .map(|(pm, pa)| mangle_iface(pm, pa, method))
+                    .collect();
+                self.fanouts.entry(fan.clone()).or_insert((mdef, targets));
+                Ok(fan)
+            }
+        }
+    }
+
+    /// Resolves a `signal Alias.event(...)` in `module` to a callee name.
+    fn resolve_signal(
+        &mut self,
+        module: &ModuleDef,
+        alias: &str,
+        method: &str,
+    ) -> Result<String, CompileError> {
+        let slot = module.slot(alias).ok_or_else(|| {
+            CompileError::generic(format!(
+                "module `{}` signals unknown interface `{alias}`",
+                module.name
+            ))
+        })?;
+        if !slot.provides {
+            return Err(CompileError::generic(format!(
+                "module `{}` uses `signal` on used interface `{alias}` (use `call`)",
+                module.name
+            )));
+        }
+        let idef = self.iface_def(&slot.iface)?;
+        let mdef = idef.method(method).ok_or_else(|| {
+            CompileError::generic(format!("interface `{}` has no method `{method}`", slot.iface))
+        })?.clone();
+        if !mdef.is_event {
+            return Err(CompileError::generic(format!(
+                "`signal {alias}.{method}`: `{method}` is a command; events only"
+            )));
+        }
+        let key: ModEndpoint = (module.name.clone(), alias.to_string());
+        let users = self.plan.evt_targets.get(&key).cloned().unwrap_or_default();
+        match users.len() {
+            0 => {
+                // Unwired event: a default no-op handler (nesC `default`).
+                let stub = format!("{}__{}__{}__dflt", module.name, alias, method);
+                self.stubs.entry(stub.clone()).or_insert(mdef);
+                Ok(stub)
+            }
+            1 => Ok(mangle_iface(&users[0].0, &users[0].1, method)),
+            _ => {
+                let fan = format!("{}__{}__{}__efan", module.name, alias, method);
+                let targets =
+                    users.iter().map(|(um, ua)| mangle_iface(um, ua, method)).collect();
+                self.fanouts.entry(fan.clone()).or_insert((mdef, targets));
+                Ok(fan)
+            }
+        }
+    }
+
+    /// For every wired user of an interface, synthesize default handlers
+    /// for events the user does not implement.
+    fn synthesize_missing_events(&mut self) -> Result<(), CompileError> {
+        let mut missing: Vec<(String, Method)> = Vec::new();
+        let defined: HashSet<String> = self
+            .out
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                ast::Item::Func(f) => Some(f.name.clone()),
+                _ => None,
+            })
+            .collect();
+        for ((user_mod, user_alias), _providers) in &self.plan.cmd_targets {
+            let m = &self.parsed.modules[user_mod];
+            let Some(slot) = m.slot(user_alias) else { continue };
+            let idef = self.iface_def(&slot.iface)?;
+            for method in &idef.methods {
+                if !method.is_event {
+                    continue;
+                }
+                let name = mangle_iface(user_mod, user_alias, &method.name);
+                if !defined.contains(&name) {
+                    missing.push((name, method.clone()));
+                }
+            }
+        }
+        missing.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, method) in missing {
+            if self.stubs.contains_key(&name) {
+                continue;
+            }
+            self.stubs.insert(name, method);
+        }
+        Ok(())
+    }
+
+    // ----- synthesized code (as TCL text) -----
+
+    fn emit_text(&mut self, text: &str) -> Result<(), CompileError> {
+        let unit = parse_unit(text, Dialect::NesC).map_err(|e| {
+            CompileError::generic(format!("internal: synthesized code failed to parse: {e}\n{text}"))
+        })?;
+        self.out.items.extend(unit.items);
+        Ok(())
+    }
+
+    fn emit_fanouts_and_stubs(&mut self) -> Result<(), CompileError> {
+        let fanouts = std::mem::take(&mut self.fanouts);
+        for (name, (method, targets)) in fanouts {
+            let sig = signature_text(&name, &method);
+            let args = arg_names(&method).join(", ");
+            let is_void = method.decl.ret == ast::TypeExpr { base: ast::BaseType::Void, ptr_depth: 0 };
+            let mut body = String::new();
+            if is_void {
+                for t in &targets {
+                    body.push_str(&format!("    {t}({args});\n"));
+                }
+            } else {
+                let ret = type_text(&method.decl.ret);
+                let is_ptr = method.decl.ret.ptr_depth > 0;
+                body.push_str(&format!("    {ret} r;\n    {ret} t;\n"));
+                for (i, tgt) in targets.iter().enumerate() {
+                    if i == 0 {
+                        body.push_str(&format!("    r = {tgt}({args});\n"));
+                    } else if is_ptr {
+                        // Pointer results (buffer swaps): last value wins.
+                        body.push_str(&format!("    t = {tgt}({args});\n    r = t;\n"));
+                    } else {
+                        // result_t combiner: AND of results (SUCCESS = 1).
+                        body.push_str(&format!("    t = {tgt}({args});\n    r = r & t;\n"));
+                    }
+                }
+                body.push_str("    return r;\n");
+            }
+            self.emit_text(&format!("{sig} {{\n{body}}}\n"))?;
+        }
+        let stubs = std::mem::take(&mut self.stubs);
+        for (name, method) in stubs {
+            let sig = signature_text(&name, &method);
+            let is_void =
+                method.decl.ret == ast::TypeExpr { base: ast::BaseType::Void, ptr_depth: 0 };
+            // Pointer-returning events (buffer swaps) default to NULL —
+            // "keep your buffer"; result_t events default to SUCCESS.
+            let body = if is_void {
+                String::new()
+            } else if method.decl.ret.ptr_depth > 0 {
+                "    return 0;\n".to_string()
+            } else {
+                "    return 1;\n".to_string()
+            };
+            self.emit_text(&format!("{sig} {{\n{body}}}\n"))?;
+        }
+        Ok(())
+    }
+
+    fn emit_scheduler(&mut self) -> Result<(), CompileError> {
+        let mut dispatch = String::new();
+        for (fn_name, id) in &self.task_ids {
+            if dispatch.is_empty() {
+                dispatch.push_str(&format!("    if (id == {id}) {{ {fn_name}(); }}\n"));
+            } else {
+                dispatch.push_str(&format!("    else if (id == {id}) {{ {fn_name}(); }}\n"));
+            }
+        }
+        let text = format!(
+            "
+enum {{ TOSH_MAX_TASKS = {MAX_TASKS} }};
+uint8_t TOSH_queue[TOSH_MAX_TASKS];
+uint8_t TOSH_head;
+uint8_t TOSH_count;
+
+void TOSH_sched_init() {{
+    TOSH_head = 0;
+    TOSH_count = 0;
+}}
+
+result_t TOS_post(uint8_t id) {{
+    uint8_t ok = 0;
+    atomic {{
+        if (TOSH_count < TOSH_MAX_TASKS) {{
+            TOSH_queue[(uint8_t)((TOSH_head + TOSH_count) % TOSH_MAX_TASKS)] = id;
+            TOSH_count = TOSH_count + 1;
+            ok = 1;
+        }}
+    }}
+    return ok;
+}}
+
+void TOSH_dispatch(uint8_t id) {{
+{dispatch}}}
+
+void TOSH_run_task() {{
+    uint8_t id = 0;
+    uint8_t have = 0;
+    atomic {{
+        if (TOSH_count > 0) {{
+            id = TOSH_queue[TOSH_head];
+            TOSH_head = (uint8_t)((TOSH_head + 1) % TOSH_MAX_TASKS);
+            TOSH_count = TOSH_count - 1;
+            have = 1;
+        }}
+    }}
+    if (have) {{ TOSH_dispatch(id); }} else {{ __sleep(); }}
+}}
+"
+        );
+        self.emit_text(&text)
+    }
+}
+
+/// Renders a type expression as source text.
+fn type_text(t: &ast::TypeExpr) -> String {
+    let base = match &t.base {
+        ast::BaseType::Void => "void".to_string(),
+        ast::BaseType::Int(k) => k.to_string(),
+        ast::BaseType::Struct(n) => format!("struct {n}"),
+    };
+    format!("{base}{}", " *".repeat(t.ptr_depth as usize))
+}
+
+fn arg_names(m: &Method) -> Vec<String> {
+    (0..m.decl.params.len()).map(|i| format!("p{i}")).collect()
+}
+
+fn signature_text(name: &str, m: &Method) -> String {
+    let params: Vec<String> = m
+        .decl
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("{} p{i}", type_text(&p.ty)))
+        .collect();
+    format!("{} {name}({})", type_text(&m.decl.ret), params.join(", "))
+}
+
+// ----- AST rewriting -----
+
+struct Rewriter<'a, 'b> {
+    gen: &'b mut Generator<'a>,
+    module: &'b ModuleDef,
+    globals: &'b HashSet<String>,
+    funcs: &'b HashSet<String>,
+    scopes: Vec<HashSet<String>>,
+    errors: Vec<CompileError>,
+}
+
+impl Rewriter<'_, '_> {
+    fn is_local(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+
+    fn block(&mut self, b: &mut ast::Block) {
+        self.scopes.push(HashSet::new());
+        for s in &mut b.stmts {
+            self.stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &mut ast::Stmt) {
+        match s {
+            ast::Stmt::Decl { sig, init } => {
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+                self.scopes.last_mut().expect("scope").insert(sig.name.clone());
+            }
+            ast::Stmt::Expr(e) => self.expr(e),
+            ast::Stmt::Assign { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ast::Stmt::If { cond, then_, else_ } => {
+                self.expr(cond);
+                self.block(then_);
+                self.block(else_);
+            }
+            ast::Stmt::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            ast::Stmt::DoWhile { body, cond } => {
+                self.block(body);
+                self.expr(cond);
+            }
+            ast::Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashSet::new());
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.block(body);
+                self.scopes.pop();
+            }
+            ast::Stmt::Return(Some(e), _) => self.expr(e),
+            ast::Stmt::Atomic(b) | ast::Stmt::Block(b) => self.block(b),
+            _ => {}
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) {
+        match &mut e.kind {
+            ExprKind::Ident(name) => {
+                if !self.is_local(name) && self.globals.contains(name.as_str()) {
+                    *name = mangle(&self.module.name, name);
+                }
+            }
+            ExprKind::Call { name, args } => {
+                for a in args.iter_mut() {
+                    self.expr(a);
+                }
+                if self.funcs.contains(name.as_str()) {
+                    *name = mangle(&self.module.name, name);
+                }
+            }
+            ExprKind::IfaceCall { kind, iface, method, args } => {
+                for a in args.iter_mut() {
+                    self.expr(a);
+                }
+                let resolved = match kind {
+                    ast::IfaceCallKind::Call => {
+                        self.gen.resolve_call(self.module, iface, method)
+                    }
+                    ast::IfaceCallKind::Signal => {
+                        self.gen.resolve_signal(self.module, iface, method)
+                    }
+                };
+                match resolved {
+                    Ok(callee) => {
+                        let args = std::mem::take(args);
+                        e.kind = ExprKind::Call { name: callee, args };
+                    }
+                    Err(err) => self.errors.push(err),
+                }
+            }
+            ExprKind::Post(task) => {
+                let mangled = mangle(&self.module.name, task);
+                match self.gen.task_ids.get(&mangled) {
+                    Some(id) => {
+                        let idexpr = Expr::new(ExprKind::Int(*id as i64), e.pos);
+                        e.kind = ExprKind::Call { name: "TOS_post".into(), args: vec![idexpr] };
+                    }
+                    None => self.errors.push(CompileError::generic(format!(
+                        "module `{}`: post of unknown task `{task}`",
+                        self.module.name
+                    ))),
+                }
+            }
+            ExprKind::Unary(_, a)
+            | ExprKind::Deref(a)
+            | ExprKind::AddrOf(a)
+            | ExprKind::Cast(_, a)
+            | ExprKind::SizeofExpr(a) => self.expr(a),
+            ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Ternary(c, a, b) => {
+                self.expr(c);
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Field(a, _) | ExprKind::Arrow(a, _) => self.expr(a),
+            ExprKind::IncDec { target, .. } => self.expr(target),
+            ExprKind::Int(_) | ExprKind::Str(_) | ExprKind::SizeofType(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile, SourceSet};
+
+    fn blink_sources() -> SourceSet {
+        let mut s = SourceSet::new();
+        s.add(
+            "ifaces.nc",
+            "interface StdControl { command result_t init(); command result_t start(); }
+             interface Timer { command result_t start(uint16_t interval); event result_t fired(); }
+             interface Leds { command void set(uint8_t v); }",
+        );
+        s.add(
+            "LedsC.nc",
+            "module LedsC { provides interface Leds; }
+             implementation { command void Leds.set(uint8_t v) { __hw_write8(0xF000, v); } }",
+        );
+        s.add(
+            "TimerC.nc",
+            "module TimerC { provides interface Timer; }
+             implementation {
+                 uint16_t interval;
+                 command result_t Timer.start(uint16_t i) {
+                     interval = i;
+                     __hw_write16(0xF012, i);
+                     __hw_write16(0xF010, 1);
+                     return SUCCESS;
+                 }
+                 interrupt(TIMER0) void fire() { signal Timer.fired(); }
+             }",
+        );
+        s.add(
+            "BlinkM.nc",
+            "module BlinkM { provides interface StdControl; uses interface Timer; uses interface Leds; }
+             implementation {
+                 uint8_t state;
+                 task void toggle() {
+                     state = (uint8_t)(state ^ 1);
+                     call Leds.set(state);
+                 }
+                 command result_t StdControl.init() { state = 0; return SUCCESS; }
+                 command result_t StdControl.start() { return call Timer.start(100); }
+                 event result_t Timer.fired() { post toggle(); return SUCCESS; }
+             }",
+        );
+        s.add(
+            "Blink.nc",
+            "configuration Blink { } implementation {
+                 components Main, BlinkM, TimerC, LedsC;
+                 Main.StdControl -> BlinkM.StdControl;
+                 BlinkM.Timer -> TimerC.Timer;
+                 BlinkM.Leds -> LedsC.Leds;
+             }",
+        );
+        s
+    }
+
+    #[test]
+    fn compiles_blink_end_to_end() {
+        let out = compile(&blink_sources(), "Blink").unwrap();
+        let p = &out.program;
+        assert!(p.entry.is_some(), "main generated");
+        assert_eq!(p.tasks.len(), 1, "one task");
+        assert!(p.find_function("BlinkM__toggle").is_some());
+        assert!(p.find_function("BlinkM__Timer__fired").is_some());
+        assert!(p.find_function("TOS_post").is_some());
+        // The interrupt handler is registered on vector 0.
+        let h = p.find_function("TimerC__fire").unwrap();
+        assert_eq!(p.func(h).interrupt, Some(0));
+    }
+
+    #[test]
+    fn unwired_call_is_error() {
+        let mut s = blink_sources();
+        s.add(
+            "Bad.nc",
+            "configuration Bad { } implementation {
+                 components Main, BlinkM, TimerC, LedsC;
+                 Main.StdControl -> BlinkM.StdControl;
+                 BlinkM.Timer -> TimerC.Timer;
+             }",
+        );
+        // BlinkM.Leds unwired but called.
+        assert!(compile(&s, "Bad").is_err());
+    }
+
+    #[test]
+    fn signal_to_unwired_event_gets_stub() {
+        let mut s = SourceSet::new();
+        s.add(
+            "i.nc",
+            "interface StdControl { command result_t init(); command result_t start(); }
+             interface Send { command result_t send(); event result_t done(); }",
+        );
+        s.add(
+            "SenderM.nc",
+            "module SenderM { provides interface StdControl; provides interface Send; }
+             implementation {
+                 command result_t StdControl.init() { return SUCCESS; }
+                 command result_t StdControl.start() { signal Send.done(); return SUCCESS; }
+                 command result_t Send.send() { return SUCCESS; }
+             }",
+        );
+        s.add(
+            "App.nc",
+            "configuration App { } implementation {
+                 components Main, SenderM;
+                 Main.StdControl -> SenderM.StdControl;
+             }",
+        );
+        let out = compile(&s, "App").unwrap();
+        assert!(out.program.find_function("SenderM__Send__done__dflt").is_some());
+    }
+
+    #[test]
+    fn fanout_combines_results() {
+        let mut s = SourceSet::new();
+        s.add(
+            "i.nc",
+            "interface StdControl { command result_t init(); command result_t start(); }",
+        );
+        s.add(
+            "AM.nc",
+            "module AM { provides interface StdControl; }
+             implementation {
+                 command result_t StdControl.init() { return SUCCESS; }
+                 command result_t StdControl.start() { return SUCCESS; }
+             }",
+        );
+        s.add(
+            "BM.nc",
+            "module BM { provides interface StdControl; }
+             implementation {
+                 command result_t StdControl.init() { return SUCCESS; }
+                 command result_t StdControl.start() { return SUCCESS; }
+             }",
+        );
+        s.add(
+            "App.nc",
+            "configuration App { } implementation {
+                 components Main, AM, BM;
+                 Main.StdControl -> AM.StdControl;
+                 Main.StdControl -> BM.StdControl;
+             }",
+        );
+        let out = compile(&s, "App").unwrap();
+        assert!(out.program.find_function("Main__StdControl__init__fan").is_some());
+    }
+
+    #[test]
+    fn wrong_direction_signal_is_error() {
+        let mut s = SourceSet::new();
+        s.add(
+            "i.nc",
+            "interface StdControl { command result_t init(); command result_t start(); }",
+        );
+        s.add(
+            "M.nc",
+            "module M { provides interface StdControl; }
+             implementation {
+                 command result_t StdControl.init() { signal StdControl.start(); return SUCCESS; }
+                 command result_t StdControl.start() { return SUCCESS; }
+             }",
+        );
+        s.add(
+            "App.nc",
+            "configuration App { } implementation {
+                 components Main, M;
+                 Main.StdControl -> M.StdControl;
+             }",
+        );
+        // `start` is a command, not an event.
+        assert!(compile(&s, "App").is_err());
+    }
+}

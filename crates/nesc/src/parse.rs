@@ -1,0 +1,426 @@
+//! Parsers for the component-level grammar (interfaces, module/config
+//! specifications, and configuration wiring). Module implementation code
+//! is parsed by `tcil` with the nesC dialect enabled.
+
+use std::collections::HashMap;
+
+use tcil::ast;
+use tcil::lexer::{lex, Tok, Token};
+use tcil::parser::{parse_unit, Dialect};
+use tcil::CompileError;
+
+use crate::scan::{scan, RawItem};
+use crate::SourceSet;
+
+/// One command or event of an interface.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// `true` for events (implemented by users), `false` for commands
+    /// (implemented by providers).
+    pub is_event: bool,
+    /// Parsed signature (body is empty).
+    pub decl: ast::FuncDecl,
+}
+
+/// A parsed `interface` declaration.
+#[derive(Debug, Clone)]
+pub struct InterfaceDef {
+    /// Interface name.
+    pub name: String,
+    /// Methods in declaration order.
+    pub methods: Vec<Method>,
+}
+
+impl InterfaceDef {
+    /// Finds a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// One `provides interface I as A;` / `uses interface I as A;` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfaceSlot {
+    /// Local alias (defaults to the interface name).
+    pub alias: String,
+    /// Interface type name.
+    pub iface: String,
+    /// `provides` vs `uses`.
+    pub provides: bool,
+}
+
+/// A parsed `module`.
+#[derive(Debug, Clone)]
+pub struct ModuleDef {
+    /// Module name.
+    pub name: String,
+    /// Interface slots.
+    pub slots: Vec<IfaceSlot>,
+    /// Implementation translation unit (nesC dialect).
+    pub unit: ast::Unit,
+}
+
+impl ModuleDef {
+    /// Finds a slot by alias.
+    pub fn slot(&self, alias: &str) -> Option<&IfaceSlot> {
+        self.slots.iter().find(|s| s.alias == alias)
+    }
+}
+
+/// An endpoint in a wiring statement: `Comp.Iface` or a bare `Iface`
+/// (the enclosing configuration's own slot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RawEndpoint {
+    /// Component name (`None` for the configuration's own slot).
+    pub comp: Option<String>,
+    /// Interface alias.
+    pub iface: String,
+}
+
+/// Wiring operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOp {
+    /// `user -> provider`
+    To,
+    /// `provider <- user`
+    From,
+    /// Pass-through equate (`own = inner`).
+    Equate,
+}
+
+/// One wiring statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    /// Left endpoint.
+    pub lhs: RawEndpoint,
+    /// Operator.
+    pub op: WireOp,
+    /// Right endpoint.
+    pub rhs: RawEndpoint,
+}
+
+/// A parsed `configuration`.
+#[derive(Debug, Clone)]
+pub struct ConfigDef {
+    /// Configuration name.
+    pub name: String,
+    /// Interface slots (for pass-through wiring).
+    pub slots: Vec<IfaceSlot>,
+    /// Included components.
+    pub components: Vec<String>,
+    /// Wiring statements.
+    pub wires: Vec<Wire>,
+}
+
+/// Everything parsed from a [`SourceSet`].
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Interfaces by name.
+    pub interfaces: HashMap<String, InterfaceDef>,
+    /// Modules by name.
+    pub modules: HashMap<String, ModuleDef>,
+    /// Configurations by name.
+    pub configs: HashMap<String, ConfigDef>,
+    /// Header items (shared structs/enums/constants) in file order.
+    pub header_items: Vec<ast::Item>,
+}
+
+/// The built-in `Main` pseudo-module: boots the scheduler, initializes and
+/// starts the application through `StdControl`, then runs the task loop
+/// forever. Injected automatically unless the sources define `Main`.
+pub const MAIN_MODULE_SOURCE: &str = "
+module Main { uses interface StdControl; }
+implementation {
+    void main() {
+        TOSH_sched_init();
+        call StdControl.init();
+        call StdControl.start();
+        __irq_enable();
+        while (1) { TOSH_run_task(); }
+    }
+}
+";
+
+/// Parses every file in `sources`, injecting the built-in `Main` module.
+///
+/// # Errors
+///
+/// Returns the first syntax error, annotated with the file name.
+pub fn parse_sources(sources: &SourceSet) -> Result<Parsed, CompileError> {
+    let mut parsed = Parsed::default();
+    for (file, text) in sources.iter() {
+        parse_file(&mut parsed, file, text)?;
+    }
+    if !parsed.modules.contains_key("Main") {
+        parse_file(&mut parsed, "<builtin Main>", MAIN_MODULE_SOURCE)?;
+    }
+    Ok(parsed)
+}
+
+fn parse_file(parsed: &mut Parsed, file: &str, text: &str) -> Result<(), CompileError> {
+    let items = scan(text).map_err(|e| e.in_unit(file))?;
+    for item in items {
+        match item {
+            RawItem::Interface { name, body } => {
+                let def = parse_interface(&name, &body).map_err(|e| e.in_unit(file))?;
+                if parsed.interfaces.insert(name.clone(), def).is_some() {
+                    return Err(CompileError::generic(format!("duplicate interface `{name}`"))
+                        .in_unit(file));
+                }
+            }
+            RawItem::Module { name, spec, body } => {
+                let slots = parse_spec(&spec).map_err(|e| e.in_unit(file))?;
+                let unit = parse_unit(&body, Dialect::NesC).map_err(|e| e.in_unit(file))?;
+                let def = ModuleDef { name: name.clone(), slots, unit };
+                if parsed.modules.insert(name.clone(), def).is_some() {
+                    return Err(
+                        CompileError::generic(format!("duplicate module `{name}`")).in_unit(file)
+                    );
+                }
+            }
+            RawItem::Configuration { name, spec, body } => {
+                let slots = parse_spec(&spec).map_err(|e| e.in_unit(file))?;
+                let (components, wires) = parse_wiring(&body).map_err(|e| e.in_unit(file))?;
+                let def = ConfigDef { name: name.clone(), slots, components, wires };
+                if parsed.configs.insert(name.clone(), def).is_some() {
+                    return Err(CompileError::generic(format!("duplicate configuration `{name}`"))
+                        .in_unit(file));
+                }
+            }
+            RawItem::Header(text) => {
+                let unit = parse_unit(&text, Dialect::Plain).map_err(|e| e.in_unit(file))?;
+                parsed.header_items.extend(unit.items);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses an interface body by wrapping each method declaration in an
+/// empty function body and running the TCL parser on the result.
+fn parse_interface(name: &str, body: &str) -> Result<InterfaceDef, CompileError> {
+    let mut methods = Vec::new();
+    for raw in body.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let (is_event, rest) = if let Some(r) = raw.strip_prefix("command") {
+            (false, r)
+        } else if let Some(r) = raw.strip_prefix("event") {
+            (true, r)
+        } else {
+            return Err(CompileError::generic(format!(
+                "interface `{name}`: expected `command` or `event`, got `{raw}`"
+            )));
+        };
+        let as_func = format!("{rest} {{ }}");
+        let unit = parse_unit(&as_func, Dialect::Plain).map_err(|e| {
+            CompileError::generic(format!("interface `{name}`: {e}"))
+        })?;
+        let [ast::Item::Func(decl)] = &unit.items[..] else {
+            return Err(CompileError::generic(format!(
+                "interface `{name}`: `{raw}` is not a method declaration"
+            )));
+        };
+        methods.push(Method { name: decl.name.clone(), is_event, decl: decl.clone() });
+    }
+    Ok(InterfaceDef { name: name.to_string(), methods })
+}
+
+/// Parses a specification section: a sequence of
+/// `provides|uses interface NAME (as ALIAS)? ;`.
+fn parse_spec(spec: &str) -> Result<Vec<IfaceSlot>, CompileError> {
+    let toks = lex(spec)?;
+    let mut slots = Vec::new();
+    let mut i = 0;
+    let ident = |t: &Token| -> Option<String> {
+        match &t.tok {
+            Tok::Ident(s) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    while !matches!(toks[i].tok, Tok::Eof) {
+        let kw = ident(&toks[i])
+            .ok_or_else(|| CompileError::new(toks[i].pos, "expected `provides` or `uses`"))?;
+        let provides = match kw.as_str() {
+            "provides" => true,
+            "uses" => false,
+            other => {
+                return Err(CompileError::new(
+                    toks[i].pos,
+                    format!("expected `provides` or `uses`, got `{other}`"),
+                ))
+            }
+        };
+        i += 1;
+        if !toks[i].is_kw("interface") {
+            return Err(CompileError::new(toks[i].pos, "expected `interface`"));
+        }
+        i += 1;
+        let iface = ident(&toks[i])
+            .ok_or_else(|| CompileError::new(toks[i].pos, "expected interface name"))?;
+        i += 1;
+        let alias = if toks[i].is_kw("as") {
+            i += 1;
+            let a = ident(&toks[i])
+                .ok_or_else(|| CompileError::new(toks[i].pos, "expected alias name"))?;
+            i += 1;
+            a
+        } else {
+            iface.clone()
+        };
+        if !toks[i].is_punct(";") {
+            return Err(CompileError::new(toks[i].pos, "expected `;`"));
+        }
+        i += 1;
+        slots.push(IfaceSlot { alias, iface, provides });
+    }
+    Ok(slots)
+}
+
+/// Parses a configuration implementation: `components` lists and wiring
+/// statements.
+fn parse_wiring(body: &str) -> Result<(Vec<String>, Vec<Wire>), CompileError> {
+    let toks = lex(body)?;
+    let mut components = Vec::new();
+    let mut wires = Vec::new();
+    let mut i = 0;
+    let ident = |t: &Token| -> Option<String> {
+        match &t.tok {
+            Tok::Ident(s) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    while !matches!(toks[i].tok, Tok::Eof) {
+        if toks[i].is_kw("components") {
+            i += 1;
+            loop {
+                let c = ident(&toks[i])
+                    .ok_or_else(|| CompileError::new(toks[i].pos, "expected component name"))?;
+                components.push(c);
+                i += 1;
+                if toks[i].is_punct(",") {
+                    i += 1;
+                    continue;
+                }
+                if toks[i].is_punct(";") {
+                    i += 1;
+                    break;
+                }
+                return Err(CompileError::new(toks[i].pos, "expected `,` or `;`"));
+            }
+            continue;
+        }
+        // Wiring statement: END (-> | <- | =) END ;
+        let (lhs, ni) = parse_endpoint(&toks, i)?;
+        i = ni;
+        let op = if toks[i].is_punct("->") {
+            i += 1;
+            WireOp::To
+        } else if toks[i].is_punct("<") && toks[i + 1].is_punct("-") {
+            i += 2;
+            WireOp::From
+        } else if toks[i].is_punct("=") {
+            i += 1;
+            WireOp::Equate
+        } else {
+            return Err(CompileError::new(toks[i].pos, "expected `->`, `<-`, or `=`"));
+        };
+        let (rhs, ni) = parse_endpoint(&toks, i)?;
+        i = ni;
+        if !toks[i].is_punct(";") {
+            return Err(CompileError::new(toks[i].pos, "expected `;` after wiring"));
+        }
+        i += 1;
+        wires.push(Wire { lhs, op, rhs });
+    }
+    Ok((components, wires))
+}
+
+fn parse_endpoint(toks: &[Token], mut i: usize) -> Result<(RawEndpoint, usize), CompileError> {
+    let first = match &toks[i].tok {
+        Tok::Ident(s) => s.clone(),
+        _ => return Err(CompileError::new(toks[i].pos, "expected wiring endpoint")),
+    };
+    i += 1;
+    if toks[i].is_punct(".") {
+        i += 1;
+        let iface = match &toks[i].tok {
+            Tok::Ident(s) => s.clone(),
+            _ => return Err(CompileError::new(toks[i].pos, "expected interface after `.`")),
+        };
+        i += 1;
+        Ok((RawEndpoint { comp: Some(first), iface }, i))
+    } else {
+        Ok((RawEndpoint { comp: None, iface: first }, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_interface_methods() {
+        let def = parse_interface(
+            "Timer",
+            "command result_t start(uint16_t interval);
+             command result_t stop();
+             event result_t fired();",
+        )
+        .unwrap();
+        assert_eq!(def.methods.len(), 3);
+        assert!(!def.methods[0].is_event);
+        assert!(def.methods[2].is_event);
+        assert_eq!(def.methods[0].decl.params.len(), 1);
+    }
+
+    #[test]
+    fn parses_spec_with_alias() {
+        let slots = parse_spec(
+            "provides interface StdControl;
+             uses interface Timer as T0;",
+        )
+        .unwrap();
+        assert_eq!(slots[0], IfaceSlot {
+            alias: "StdControl".into(),
+            iface: "StdControl".into(),
+            provides: true
+        });
+        assert_eq!(slots[1], IfaceSlot { alias: "T0".into(), iface: "Timer".into(), provides: false });
+    }
+
+    #[test]
+    fn parses_wiring_statements() {
+        let (comps, wires) = parse_wiring(
+            "components Main, BlinkM, TimerC;
+             Main.StdControl -> BlinkM.StdControl;
+             BlinkM.Timer -> TimerC.Timer0;
+             StdControl = BlinkM.StdControl;
+             TimerC.Timer0 <- BlinkM.Timer;",
+        )
+        .unwrap();
+        assert_eq!(comps, vec!["Main", "BlinkM", "TimerC"]);
+        assert_eq!(wires.len(), 4);
+        assert_eq!(wires[0].op, WireOp::To);
+        assert_eq!(wires[2].op, WireOp::Equate);
+        assert!(wires[2].lhs.comp.is_none());
+        assert_eq!(wires[3].op, WireOp::From);
+    }
+
+    #[test]
+    fn main_module_injected() {
+        let set = SourceSet::new();
+        let parsed = parse_sources(&set).unwrap();
+        assert!(parsed.modules.contains_key("Main"));
+        assert_eq!(parsed.modules["Main"].slots[0].iface, "StdControl");
+    }
+
+    #[test]
+    fn rejects_garbage_interface() {
+        assert!(parse_interface("X", "banana result_t f();").is_err());
+    }
+}

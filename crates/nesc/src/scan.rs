@@ -1,0 +1,313 @@
+//! Raw-text scanner that splits a `.nc` file into its top-level
+//! constructs (interfaces, modules, configurations, and header text)
+//! before the real parsers run on each section.
+//!
+//! The scanner only needs to understand comments, string/char literals,
+//! and brace nesting — everything inside a section is handed to the
+//! appropriate parser verbatim.
+
+use tcil::{CompileError, SourcePos};
+
+/// One top-level construct of a `.nc` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawItem {
+    /// `interface NAME { body }`
+    Interface {
+        /// Interface name.
+        name: String,
+        /// Text between the braces.
+        body: String,
+    },
+    /// `module NAME { spec } implementation { body }`
+    Module {
+        /// Module name.
+        name: String,
+        /// Specification section text.
+        spec: String,
+        /// Implementation section text.
+        body: String,
+    },
+    /// `configuration NAME { spec } implementation { body }`
+    Configuration {
+        /// Configuration name.
+        name: String,
+        /// Specification section text.
+        spec: String,
+        /// Implementation (wiring) section text.
+        body: String,
+    },
+    /// Plain TCL text between constructs (shared structs, enums, consts).
+    Header(String),
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_noise(&mut self) {
+        loop {
+            if self.pos >= self.bytes.len() {
+                return;
+            }
+            match self.bytes[self.pos] {
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek2() == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.pos += 2;
+                    while self.pos + 1 < self.bytes.len()
+                        && !(self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/')
+                    {
+                        self.pos += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    /// Reads an identifier at the cursor, or `None`.
+    fn ident(&mut self) -> Option<String> {
+        self.skip_noise();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+        }
+    }
+
+    /// Consumes a balanced `{ ... }` and returns the inner text.
+    fn braced(&mut self) -> Result<String, CompileError> {
+        self.skip_noise();
+        if self.bytes.get(self.pos) != Some(&b'{') {
+            return Err(CompileError::new(
+                self.pos_of(self.pos),
+                "expected `{` in component declaration",
+            ));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'/' if self.peek2() == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.pos += 2;
+                    while self.pos + 1 < self.bytes.len()
+                        && !(self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/')
+                    {
+                        self.pos += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                    continue;
+                }
+                q @ (b'"' | b'\'') => {
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != q {
+                        if self.bytes[self.pos] == b'\\' {
+                            self.pos += 1;
+                        }
+                        self.pos += 1;
+                    }
+                    self.pos += 1;
+                    continue;
+                }
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner =
+                            String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                        self.pos += 1;
+                        return Ok(inner);
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(CompileError::new(self.pos_of(start), "unterminated `{` in component"))
+    }
+
+    fn pos_of(&self, byte: usize) -> SourcePos {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..byte.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        SourcePos::new(line, col)
+    }
+}
+
+/// Splits `text` into top-level constructs.
+///
+/// # Errors
+///
+/// Returns an error for malformed component framing (missing braces or
+/// the `implementation` keyword).
+pub fn scan(text: &str) -> Result<Vec<RawItem>, CompileError> {
+    let mut s = Scanner { bytes: text.as_bytes(), pos: 0 };
+    let mut items = Vec::new();
+    let mut header = String::new();
+    loop {
+        s.skip_noise();
+        if s.pos >= s.bytes.len() {
+            break;
+        }
+        let mark = s.pos;
+        let word = s.ident();
+        match word.as_deref() {
+            Some("interface") => {
+                flush_header(&mut header, &mut items);
+                let name = s
+                    .ident()
+                    .ok_or_else(|| CompileError::new(s.pos_of(s.pos), "expected interface name"))?;
+                let body = s.braced()?;
+                items.push(RawItem::Interface { name, body });
+            }
+            Some(kw @ ("module" | "configuration")) => {
+                flush_header(&mut header, &mut items);
+                let name = s
+                    .ident()
+                    .ok_or_else(|| CompileError::new(s.pos_of(s.pos), "expected component name"))?;
+                let spec = s.braced()?;
+                let impl_kw = s.ident();
+                if impl_kw.as_deref() != Some("implementation") {
+                    return Err(CompileError::new(
+                        s.pos_of(s.pos),
+                        "expected `implementation` after component specification",
+                    ));
+                }
+                let body = s.braced()?;
+                if kw == "module" {
+                    items.push(RawItem::Module { name, spec, body });
+                } else {
+                    items.push(RawItem::Configuration { name, spec, body });
+                }
+            }
+            Some(_) => {
+                // Part of header text: consume to the next `;` at depth 0
+                // (struct/enum bodies included via brace skipping).
+                let mut depth = 0usize;
+                while s.pos < s.bytes.len() {
+                    match s.bytes[s.pos] {
+                        b'{' => depth += 1,
+                        b'}' => depth = depth.saturating_sub(1),
+                        b';' if depth == 0 => {
+                            s.pos += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    s.pos += 1;
+                }
+                header.push_str(&text[mark..s.pos]);
+                header.push('\n');
+            }
+            None => {
+                return Err(CompileError::new(
+                    s.pos_of(s.pos),
+                    format!("unexpected character `{}`", s.bytes[s.pos] as char),
+                ));
+            }
+        }
+    }
+    flush_header(&mut header, &mut items);
+    Ok(items)
+}
+
+fn flush_header(header: &mut String, items: &mut Vec<RawItem>) {
+    if !header.trim().is_empty() {
+        items.push(RawItem::Header(std::mem::take(header)));
+    } else {
+        header.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_interface_and_module() {
+        let items = scan(
+            "interface Leds { command void set(uint8_t v); }
+             module LedsC { provides interface Leds; }
+             implementation { command void Leds.set(uint8_t v) { } }",
+        )
+        .unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(&items[0], RawItem::Interface { name, .. } if name == "Leds"));
+        assert!(
+            matches!(&items[1], RawItem::Module { name, spec, body }
+                if name == "LedsC" && spec.contains("provides") && body.contains("Leds.set"))
+        );
+    }
+
+    #[test]
+    fn scans_configuration() {
+        let items = scan(
+            "configuration Blink { } implementation { components Main, BlinkM; Main.StdControl -> BlinkM.StdControl; }",
+        )
+        .unwrap();
+        assert!(matches!(&items[0], RawItem::Configuration { name, body, .. }
+            if name == "Blink" && body.contains("components")));
+    }
+
+    #[test]
+    fn header_text_collected() {
+        let items = scan(
+            "enum { AM_SURGE = 17 };
+             struct SurgeMsg { uint16_t reading; };
+             interface I { }",
+        )
+        .unwrap();
+        assert!(matches!(&items[0], RawItem::Header(t) if t.contains("AM_SURGE") && t.contains("SurgeMsg")));
+        assert!(matches!(&items[1], RawItem::Interface { .. }));
+    }
+
+    #[test]
+    fn nested_braces_and_comments_survive() {
+        let items = scan(
+            "module M { } implementation {
+                // a comment with a brace }
+                void f() { if (1) { } }
+                /* } another */
+             }",
+        )
+        .unwrap();
+        let RawItem::Module { body, .. } = &items[0] else { panic!() };
+        assert!(body.contains("void f()"));
+    }
+
+    #[test]
+    fn missing_implementation_is_error() {
+        assert!(scan("module M { }").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Component instantiation and wiring resolution.
+//!
+//! nesC 1.x components are singletons, so wiring is a global property: all
+//! wires from every instantiated configuration are collected, configuration
+//! pass-through endpoints (`A = M.A`) are resolved to module endpoints, and
+//! the result is two multimaps:
+//!
+//! * commands: `(user module, alias)` → providers,
+//! * events: `(provider module, alias)` → users.
+
+use std::collections::{HashMap, HashSet};
+
+use tcil::CompileError;
+
+use crate::parse::{Parsed, RawEndpoint, WireOp};
+
+/// A resolved module endpoint.
+pub type ModEndpoint = (String, String);
+
+/// The resolved wiring plan for one application.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Components in BFS instantiation order (modules and configurations).
+    pub instantiation_order: Vec<String>,
+    /// Modules only, in instantiation order.
+    pub modules: Vec<String>,
+    /// `(user module, used alias)` → provider endpoints, in wiring order.
+    pub cmd_targets: HashMap<ModEndpoint, Vec<ModEndpoint>>,
+    /// `(provider module, provided alias)` → user endpoints.
+    pub evt_targets: HashMap<ModEndpoint, Vec<ModEndpoint>>,
+}
+
+/// Resolves the wiring of the application rooted at configuration (or
+/// module) `app`.
+///
+/// # Errors
+///
+/// Unknown components, dangling pass-through endpoints, wiring between
+/// different interface types, or wiring endpoints whose slot direction is
+/// wrong all produce errors.
+pub fn resolve(parsed: &Parsed, app: &str) -> Result<Plan, CompileError> {
+    let mut plan = Plan::default();
+
+    // --- instantiate components (BFS from the app + implicit Main) ---
+    let mut queue = vec!["Main".to_string(), app.to_string()];
+    let mut seen = HashSet::new();
+    while let Some(name) = queue.pop() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        plan.instantiation_order.push(name.clone());
+        if let Some(cfg) = parsed.configs.get(&name) {
+            for c in &cfg.components {
+                queue.push(c.clone());
+            }
+        } else if parsed.modules.contains_key(&name) {
+            plan.modules.push(name.clone());
+        } else {
+            return Err(CompileError::generic(format!("unknown component `{name}`")));
+        }
+    }
+    plan.instantiation_order.sort();
+    plan.modules.sort();
+
+    // --- collect pass-through equates: (config, alias) -> inner endpoint ---
+    let mut equates: HashMap<ModEndpoint, RawEndpoint> = HashMap::new();
+    for cfg_name in &plan.instantiation_order {
+        let Some(cfg) = parsed.configs.get(cfg_name) else { continue };
+        for w in &cfg.wires {
+            if w.op != WireOp::Equate {
+                continue;
+            }
+            // One side is the config's own slot (bare, or prefixed with
+            // the config's own name); the other is the inner endpoint.
+            let own = |e: &RawEndpoint| {
+                e.comp.is_none() || e.comp.as_deref() == Some(cfg_name.as_str())
+            };
+            let (outer, inner) = if own(&w.lhs) && !own(&w.rhs) {
+                (&w.lhs, &w.rhs)
+            } else if own(&w.rhs) && !own(&w.lhs) {
+                (&w.rhs, &w.lhs)
+            } else {
+                return Err(CompileError::generic(format!(
+                    "configuration `{cfg_name}`: `=` must connect an own slot to an inner endpoint"
+                )));
+            };
+            equates.insert((cfg_name.clone(), outer.iface.clone()), inner.clone());
+        }
+    }
+
+    // Resolves an endpoint to concrete module endpoints, following
+    // configuration pass-throughs.
+    let normalize = |cfg_name: &str, e: &RawEndpoint| -> Result<ModEndpoint, CompileError> {
+        let mut comp = match &e.comp {
+            Some(c) => c.clone(),
+            None => cfg_name.to_string(),
+        };
+        let mut iface = e.iface.clone();
+        let mut fuel = 32;
+        loop {
+            if parsed.modules.contains_key(&comp) {
+                return Ok((comp, iface));
+            }
+            if parsed.configs.contains_key(&comp) {
+                let key = (comp.clone(), iface.clone());
+                match equates.get(&key) {
+                    Some(inner) => {
+                        comp = inner.comp.clone().ok_or_else(|| {
+                            CompileError::generic(format!(
+                                "configuration `{}`: nested bare endpoints are not supported",
+                                key.0
+                            ))
+                        })?;
+                        iface = inner.iface.clone();
+                    }
+                    None => {
+                        return Err(CompileError::generic(format!(
+                            "configuration `{}` does not pass through interface `{}`",
+                            key.0, key.1
+                        )))
+                    }
+                }
+            } else {
+                return Err(CompileError::generic(format!("unknown component `{comp}`")));
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                return Err(CompileError::generic("pass-through wiring cycle".to_string()));
+            }
+        }
+    };
+
+    // --- resolve -> and <- wires ---
+    for cfg_name in plan.instantiation_order.clone() {
+        let Some(cfg) = parsed.configs.get(&cfg_name) else { continue };
+        for w in &cfg.wires {
+            let (user_raw, provider_raw) = match w.op {
+                WireOp::To => (&w.lhs, &w.rhs),
+                WireOp::From => (&w.rhs, &w.lhs),
+                WireOp::Equate => continue,
+            };
+            let user = normalize(&cfg_name, user_raw)?;
+            let provider = normalize(&cfg_name, provider_raw)?;
+            check_slot(parsed, &user, false)?;
+            check_slot(parsed, &provider, true)?;
+            let ui = slot_iface(parsed, &user);
+            let pi = slot_iface(parsed, &provider);
+            if ui != pi {
+                return Err(CompileError::generic(format!(
+                    "wiring type mismatch: {}.{} is `{ui}` but {}.{} is `{pi}`",
+                    user.0, user.1, provider.0, provider.1
+                )));
+            }
+            plan.cmd_targets.entry(user.clone()).or_default().push(provider.clone());
+            plan.evt_targets.entry(provider).or_default().push(user);
+        }
+    }
+    Ok(plan)
+}
+
+fn check_slot(parsed: &Parsed, ep: &ModEndpoint, provides: bool) -> Result<(), CompileError> {
+    let m = &parsed.modules[&ep.0];
+    match m.slot(&ep.1) {
+        Some(s) if s.provides == provides => Ok(()),
+        Some(_) => Err(CompileError::generic(format!(
+            "module `{}` interface `{}` has the wrong direction for this wire",
+            ep.0, ep.1
+        ))),
+        None => Err(CompileError::generic(format!(
+            "module `{}` has no interface `{}`",
+            ep.0, ep.1
+        ))),
+    }
+}
+
+fn slot_iface(parsed: &Parsed, ep: &ModEndpoint) -> String {
+    parsed.modules[&ep.0].slot(&ep.1).expect("checked").iface.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sources;
+    use crate::SourceSet;
+
+    fn sources_basic() -> SourceSet {
+        let mut s = SourceSet::new();
+        s.add(
+            "ifaces.nc",
+            "interface StdControl { command result_t init(); command result_t start(); }
+             interface Leds { command void set(uint8_t v); }",
+        );
+        s.add(
+            "LedsC.nc",
+            "module LedsC { provides interface Leds; }
+             implementation { command void Leds.set(uint8_t v) { __hw_write8(0xF000, v); } }",
+        );
+        s.add(
+            "BlinkM.nc",
+            "module BlinkM { provides interface StdControl; uses interface Leds; }
+             implementation {
+                 command result_t StdControl.init() { return SUCCESS; }
+                 command result_t StdControl.start() { call Leds.set(7); return SUCCESS; }
+             }",
+        );
+        s.add(
+            "Blink.nc",
+            "configuration Blink { } implementation {
+                 components Main, BlinkM, LedsC;
+                 Main.StdControl -> BlinkM.StdControl;
+                 BlinkM.Leds -> LedsC.Leds;
+             }",
+        );
+        s
+    }
+
+    #[test]
+    fn resolves_direct_wiring() {
+        let parsed = parse_sources(&sources_basic()).unwrap();
+        let plan = resolve(&parsed, "Blink").unwrap();
+        assert_eq!(
+            plan.cmd_targets[&("Main".to_string(), "StdControl".to_string())],
+            vec![("BlinkM".to_string(), "StdControl".to_string())]
+        );
+        assert_eq!(
+            plan.cmd_targets[&("BlinkM".to_string(), "Leds".to_string())],
+            vec![("LedsC".to_string(), "Leds".to_string())]
+        );
+    }
+
+    #[test]
+    fn resolves_passthrough() {
+        let mut s = sources_basic();
+        s.add(
+            "LedsWrap.nc",
+            "configuration LedsWrap { provides interface Leds; }
+             implementation { components LedsC; Leds = LedsC.Leds; }",
+        );
+        s.add(
+            "Blink2.nc",
+            "configuration Blink2 { } implementation {
+                 components Main, BlinkM, LedsWrap;
+                 Main.StdControl -> BlinkM.StdControl;
+                 BlinkM.Leds -> LedsWrap.Leds;
+             }",
+        );
+        let parsed = parse_sources(&s).unwrap();
+        let plan = resolve(&parsed, "Blink2").unwrap();
+        assert_eq!(
+            plan.cmd_targets[&("BlinkM".to_string(), "Leds".to_string())],
+            vec![("LedsC".to_string(), "Leds".to_string())]
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        let mut s = sources_basic();
+        s.add(
+            "Bad.nc",
+            "configuration Bad { } implementation {
+                 components Main, BlinkM, LedsC;
+                 Main.StdControl -> LedsC.Leds;
+             }",
+        );
+        let parsed = parse_sources(&s).unwrap();
+        assert!(resolve(&parsed, "Bad").is_err());
+    }
+
+    #[test]
+    fn unknown_component_is_error() {
+        let mut s = sources_basic();
+        s.add("Bad2.nc", "configuration Bad2 { } implementation { components Nope; }");
+        let parsed = parse_sources(&s).unwrap();
+        assert!(resolve(&parsed, "Bad2").is_err());
+    }
+
+    #[test]
+    fn fanout_collects_multiple_providers() {
+        let mut s = sources_basic();
+        s.add(
+            "OtherM.nc",
+            "module OtherM { provides interface StdControl; }
+             implementation {
+                 command result_t StdControl.init() { return SUCCESS; }
+                 command result_t StdControl.start() { return SUCCESS; }
+             }",
+        );
+        s.add(
+            "Fan.nc",
+            "configuration Fan { } implementation {
+                 components Main, BlinkM, OtherM, LedsC;
+                 Main.StdControl -> BlinkM.StdControl;
+                 Main.StdControl -> OtherM.StdControl;
+                 BlinkM.Leds -> LedsC.Leds;
+             }",
+        );
+        let parsed = parse_sources(&s).unwrap();
+        let plan = resolve(&parsed, "Fan").unwrap();
+        assert_eq!(plan.cmd_targets[&("Main".to_string(), "StdControl".to_string())].len(), 2);
+    }
+}

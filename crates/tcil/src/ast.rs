@@ -1,0 +1,365 @@
+//! Surface syntax tree produced by the [`crate::parser`].
+//!
+//! The AST is untyped; [`crate::lower`] type-checks it into [`crate::ir`].
+//! nesC-specific nodes ([`ExprKind::IfaceCall`], [`ExprKind::Post`], and the
+//! `task`/`interrupt` function kinds) only appear when the parser runs with
+//! [`crate::parser::Dialect::NesC`]; the nesC frontend rewrites them into
+//! plain calls before lowering.
+
+use crate::error::SourcePos;
+use crate::types::IntKind;
+
+/// A parsed translation unit (one file, or one component implementation).
+#[derive(Debug, Clone, Default)]
+pub struct Unit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `struct Name { ... };`
+    Struct(StructDecl),
+    /// `enum { A = 1, B, ... };` — introduces integer constants.
+    Enum(EnumDecl),
+    /// A global variable declaration.
+    Global(GlobalDecl),
+    /// A function definition.
+    Func(FuncDecl),
+}
+
+/// `struct Name { fields };`
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// Struct tag.
+    pub name: String,
+    /// Field declarations.
+    pub fields: Vec<VarSig>,
+    /// Source position of the declaration.
+    pub pos: SourcePos,
+}
+
+/// `enum { A, B = 4, ... };`
+#[derive(Debug, Clone)]
+pub struct EnumDecl {
+    /// Enumerators and optional explicit values.
+    pub variants: Vec<(String, Option<Expr>)>,
+    /// Source position of the declaration.
+    pub pos: SourcePos,
+}
+
+/// The declared "signature" of a variable: type expression, name, and array
+/// dimensions (outermost first).
+#[derive(Debug, Clone)]
+pub struct VarSig {
+    /// Base type plus pointer depth.
+    pub ty: TypeExpr,
+    /// Variable / field name.
+    pub name: String,
+    /// Array dimensions, e.g. `[4][2]` is `vec![4, 2]`.
+    pub dims: Vec<ArrayDim>,
+    /// Source position.
+    pub pos: SourcePos,
+}
+
+/// An array dimension: either a literal or a named constant resolved during
+/// lowering (enum constants are commonly used for buffer sizes).
+#[derive(Debug, Clone)]
+pub enum ArrayDim {
+    /// `[16]`
+    Lit(u32),
+    /// `[BUF_SIZE]`
+    Named(String),
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone)]
+pub struct GlobalDecl {
+    /// Declared signature.
+    pub sig: VarSig,
+    /// Optional initializer.
+    pub init: Option<Init>,
+    /// Declared with the `norace` qualifier (nesC).
+    pub norace: bool,
+    /// Declared `const` — the backend places it in flash, not SRAM.
+    pub is_const: bool,
+}
+
+/// An initializer.
+#[derive(Debug, Clone)]
+pub enum Init {
+    /// A scalar expression (must be a compile-time constant for globals).
+    Expr(Expr),
+    /// `{ a, b, c }` for arrays and structs.
+    List(Vec<Init>),
+    /// A string literal initializing a `char` array.
+    Str(Vec<u8>),
+}
+
+/// How a function may be invoked; mirrors the nesC execution model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuncKind {
+    /// An ordinary function.
+    Normal,
+    /// `task void f() { ... }` — runs from the scheduler, non-preemptive.
+    Task,
+    /// `interrupt(TIMER0) void f() { ... }` — an interrupt handler wired to
+    /// the named M16 vector.
+    Interrupt(String),
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDecl {
+    /// Execution-model kind.
+    pub kind: FuncKind,
+    /// `inline` hint (the paper's custom inliner honors these plus its own
+    /// size heuristics).
+    pub inline: bool,
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Function name.
+    pub name: String,
+    /// Parameters (array dims are rejected during lowering; C decay is not
+    /// supported in declarations — use pointer types).
+    pub params: Vec<VarSig>,
+    /// Body.
+    pub body: Block,
+    /// Source position.
+    pub pos: SourcePos,
+}
+
+/// A type expression: a base type plus pointer depth, e.g. `uint8_t **`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeExpr {
+    /// Base type.
+    pub base: BaseType,
+    /// Number of `*`s.
+    pub ptr_depth: u32,
+}
+
+/// A base (non-derived) type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseType {
+    /// `void`
+    Void,
+    /// Any integer keyword (`uint8_t`, `bool`, `char`, `int`, ...).
+    Int(IntKind),
+    /// `struct Name`
+    Struct(String),
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A local variable declaration.
+    Decl {
+        /// Declared signature.
+        sig: VarSig,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+    },
+    /// An expression evaluated for its side effects (a call, `i++`, ...).
+    Expr(Expr),
+    /// `lhs op= rhs;` (`op` is `None` for plain `=`).
+    Assign {
+        /// Compound-assignment operator, if any.
+        op: Option<BinOp>,
+        /// Assignment target (must lower to a place).
+        lhs: Expr,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Source position.
+        pos: SourcePos,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_: Block,
+        /// Else branch (empty when absent).
+        else_: Block,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `do { ... } while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Block,
+        /// Loop condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) { ... }`
+    For {
+        /// Initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (absent means `true`).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return e;`
+    Return(Option<Expr>, SourcePos),
+    /// `break;`
+    Break(SourcePos),
+    /// `continue;`
+    Continue(SourcePos),
+    /// `atomic { ... }` (nesC).
+    Atomic(Block),
+    /// A nested block.
+    Block(Block),
+}
+
+/// Binary operators at the surface level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit; lowered structurally)
+    LAnd,
+    /// `||` (short-circuit; lowered structurally)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    BitNot,
+    /// `!`
+    Not,
+}
+
+/// Which flavour of nesC cross-component invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfaceCallKind {
+    /// `call Iface.method(...)` — invoke a command on a used interface.
+    Call,
+    /// `signal Iface.method(...)` — invoke an event on a provided interface.
+    Signal,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression payload.
+    pub kind: ExprKind,
+    /// Source position for diagnostics.
+    pub pos: SourcePos,
+}
+
+impl Expr {
+    /// Creates an expression at `pos`.
+    pub fn new(kind: ExprKind, pos: SourcePos) -> Self {
+        Expr { kind, pos }
+    }
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal (also character literals).
+    Int(i64),
+    /// String literal.
+    Str(Vec<u8>),
+    /// Identifier: local, global, or enum constant.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `c ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Direct function call (includes the `__hw_*` / `__sleep` builtins).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// nesC `call`/`signal` through an interface.
+    IfaceCall {
+        /// `call` vs `signal`.
+        kind: IfaceCallKind,
+        /// Interface instance name within the module.
+        iface: String,
+        /// Command/event name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// nesC `post taskname()`.
+    Post(String),
+    /// `a[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `a.f`
+    Field(Box<Expr>, String),
+    /// `a->f`
+    Arrow(Box<Expr>, String),
+    /// `*a`
+    Deref(Box<Expr>),
+    /// `&a`
+    AddrOf(Box<Expr>),
+    /// `(type) a`
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(type)`
+    SizeofType(TypeExpr),
+    /// `sizeof(expr)`
+    SizeofExpr(Box<Expr>),
+    /// `x++` / `x--` / `++x` / `--x` (only valid as a statement or `for`
+    /// step; the lowering rejects value uses).
+    IncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// `true` for `++`.
+        inc: bool,
+    },
+}

@@ -1,0 +1,99 @@
+//! Compile-time error reporting with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A line/column position in a source file (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SourcePos {
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+    /// 1-based column number; 0 means "unknown".
+    pub col: u32,
+}
+
+impl SourcePos {
+    /// Creates a position from 1-based line and column numbers.
+    pub fn new(line: u32, col: u32) -> Self {
+        SourcePos { line, col }
+    }
+
+    /// The "unknown position" sentinel used for synthesized code.
+    pub fn unknown() -> Self {
+        SourcePos::default()
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<generated>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// An error produced while lexing, parsing, or lowering a translation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where in the source the problem was detected.
+    pub pos: SourcePos,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Optional name of the file or component the error occurred in.
+    pub unit: Option<String>,
+}
+
+impl CompileError {
+    /// Creates an error at `pos` with the given message.
+    pub fn new(pos: SourcePos, message: impl Into<String>) -> Self {
+        CompileError { pos, message: message.into(), unit: None }
+    }
+
+    /// Creates an error with no position information (synthesized code).
+    pub fn generic(message: impl Into<String>) -> Self {
+        CompileError::new(SourcePos::unknown(), message)
+    }
+
+    /// Attaches the name of the translation unit (file/component) to the
+    /// error for nicer diagnostics when compiling many components.
+    pub fn in_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = Some(unit.into());
+        self
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.unit {
+            Some(u) => write!(f, "{u}:{}: {}", self.pos, self.message),
+            None => write!(f, "{}: {}", self.pos, self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::new(SourcePos::new(3, 7), "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        let e = CompileError::new(SourcePos::new(1, 2), "bad type").in_unit("BlinkM");
+        assert_eq!(e.to_string(), "BlinkM:1:2: bad type");
+    }
+
+    #[test]
+    fn generated_position_displays_marker() {
+        let e = CompileError::generic("oops");
+        assert_eq!(e.to_string(), "<generated>: oops");
+    }
+}

@@ -1,0 +1,251 @@
+//! Constant evaluation shared by the optimizers and the backend.
+//!
+//! All arithmetic is evaluated exactly as the M16 target would: results
+//! wrap to the operation's result kind, division respects operand
+//! signedness, and comparisons return `0`/`1`.
+
+use crate::ir::{BinOp, Expr, ExprKind, UnOp};
+use crate::types::{size_of, IntKind, StructDef};
+use crate::visit::walk_expr_mut;
+
+/// Evaluates `op` on constants `a`, `b` whose common operand kind is
+/// `kind`; returns `None` for division by zero.
+pub fn eval_binop(op: BinOp, a: i64, b: i64, kind: IntKind) -> Option<i64> {
+    let a = kind.wrap(a);
+    let b = kind.wrap(b);
+    let ua = a as u64 & mask(kind);
+    let ub = b as u64 & mask(kind);
+    Some(match op {
+        BinOp::Add => kind.wrap(a.wrapping_add(b)),
+        BinOp::Sub => kind.wrap(a.wrapping_sub(b)),
+        BinOp::Mul => kind.wrap(a.wrapping_mul(b)),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            if kind.signed() {
+                kind.wrap(a.wrapping_div(b))
+            } else {
+                kind.wrap((ua / ub) as i64)
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            if kind.signed() {
+                kind.wrap(a.wrapping_rem(b))
+            } else {
+                kind.wrap((ua % ub) as i64)
+            }
+        }
+        BinOp::And => kind.wrap(a & b),
+        BinOp::Or => kind.wrap(a | b),
+        BinOp::Xor => kind.wrap(a ^ b),
+        BinOp::Shl => kind.wrap(a.wrapping_shl((ub & 31) as u32)),
+        BinOp::Shr => {
+            if kind.signed() {
+                kind.wrap(a.wrapping_shr((ub & 31) as u32))
+            } else {
+                kind.wrap((ua >> (ub & 31)) as i64)
+            }
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => {
+            if kind.signed() {
+                (a < b) as i64
+            } else {
+                (ua < ub) as i64
+            }
+        }
+        BinOp::Le => {
+            if kind.signed() {
+                (a <= b) as i64
+            } else {
+                (ua <= ub) as i64
+            }
+        }
+        // Pointer arithmetic on raw constant addresses is evaluated only
+        // by the backend (it knows the pointee size); not foldable here.
+        BinOp::PtrAdd | BinOp::PtrSub => return None,
+    })
+}
+
+fn mask(kind: IntKind) -> u64 {
+    match kind.size() {
+        1 => 0xFF,
+        2 => 0xFFFF,
+        _ => 0xFFFF_FFFF,
+    }
+}
+
+/// Evaluates a unary operator on a constant of the given kind.
+pub fn eval_unop(op: UnOp, a: i64, kind: IntKind) -> i64 {
+    match op {
+        UnOp::Neg => kind.wrap(a.wrapping_neg()),
+        UnOp::BitNot => kind.wrap(!a),
+        UnOp::Not => (kind.wrap(a) == 0) as i64,
+    }
+}
+
+/// Folds constant sub-expressions of `e` in place, bottom-up.
+///
+/// `structs` is used to resolve `sizeof`; pass `resolve_sizeof = false`
+/// before pointer kinds are final (fat pointers change struct sizes).
+/// Returns `true` if anything changed.
+pub fn fold_expr(e: &mut Expr, structs: &[StructDef], resolve_sizeof: bool) -> bool {
+    let mut changed = false;
+    walk_expr_mut(e, &mut |x| {
+        let new: Option<i64> = match &x.kind {
+            ExprKind::Binary(op, a, b) => match (a.as_const(), b.as_const()) {
+                (Some(av), Some(bv)) => {
+                    // Operand kind: both sides were cast to a common kind by
+                    // lowering; fall back to the result kind for compares.
+                    let kind = a
+                        .ty
+                        .as_int()
+                        .or_else(|| b.ty.as_int())
+                        .unwrap_or(IntKind::U16);
+                    eval_binop(*op, av, bv, kind)
+                }
+                _ => None,
+            },
+            ExprKind::Unary(op, a) => a.as_const().map(|av| {
+                let kind = a.ty.as_int().unwrap_or(IntKind::U16);
+                eval_unop(*op, av, kind)
+            }),
+            ExprKind::Cast(a) => a.as_const().and_then(|av| match x.ty.as_int() {
+                Some(k) => Some(k.wrap(av)),
+                // Integer-constant null to pointer cast.
+                None if av == 0 && x.ty.is_ptr() => Some(0),
+                None => None,
+            }),
+            ExprKind::SizeOf(t) if resolve_sizeof => Some(size_of(t, structs) as i64),
+            _ => None,
+        };
+        if let Some(v) = new {
+            let v = x.ty.as_int().map(|k| k.wrap(v)).unwrap_or(v);
+            x.kind = ExprKind::Const(v);
+            changed = true;
+        }
+    });
+    changed
+}
+
+/// Algebraic identities that do not require both operands constant:
+/// `x+0`, `x*1`, `x*0`, `x|0`, `x&0`, `x^0`, `x<<0`, `x-0`, `x/1`.
+/// Returns `true` if anything changed.
+pub fn simplify_identities(e: &mut Expr) -> bool {
+    let mut changed = false;
+    walk_expr_mut(e, &mut |x| {
+        let ExprKind::Binary(op, a, b) = &x.kind else { return };
+        let (av, bv) = (a.as_const(), b.as_const());
+        let replacement: Option<Expr> = match (op, av, bv) {
+            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, _, Some(0)) => {
+                Some((**a).clone())
+            }
+            (BinOp::Add | BinOp::Or | BinOp::Xor, Some(0), _) => Some((**b).clone()),
+            (BinOp::Mul | BinOp::Div, _, Some(1)) => Some((**a).clone()),
+            (BinOp::Mul, Some(1), _) => Some((**b).clone()),
+            (BinOp::Mul | BinOp::And, _, Some(0)) => Some(Expr::const_int(
+                0,
+                x.ty.as_int().unwrap_or(IntKind::U16),
+            )),
+            (BinOp::Mul | BinOp::And, Some(0), _) => Some(Expr::const_int(
+                0,
+                x.ty.as_int().unwrap_or(IntKind::U16),
+            )),
+            (BinOp::PtrAdd | BinOp::PtrSub, _, Some(0)) => Some((**a).clone()),
+            _ => None,
+        };
+        if let Some(mut r) = replacement {
+            // Preserve the result type (insert a cast when widths differ).
+            if r.ty != x.ty {
+                r = Expr::cast(r, x.ty.clone());
+            }
+            *x = r;
+            changed = true;
+        }
+    });
+    changed
+}
+
+/// Interprets a constant as a branch condition.
+pub fn const_truth(e: &Expr) -> Option<bool> {
+    e.as_const().map(|v| v != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Expr;
+    use crate::types::Type;
+
+    #[test]
+    fn unsigned_division_and_compare() {
+        // 0xFF / 2 as u8 = 127; as i8 it would be (-1)/2 = 0.
+        assert_eq!(eval_binop(BinOp::Div, 0xFF, 2, IntKind::U8), Some(127));
+        assert_eq!(eval_binop(BinOp::Div, -1, 2, IntKind::I8), Some(0));
+        assert_eq!(eval_binop(BinOp::Lt, 0xFF, 1, IntKind::U8), Some(0));
+        assert_eq!(eval_binop(BinOp::Lt, -1, 1, IntKind::I8), Some(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert_eq!(eval_binop(BinOp::Div, 1, 0, IntKind::U8), None);
+        assert_eq!(eval_binop(BinOp::Mod, 1, 0, IntKind::U16), None);
+    }
+
+    #[test]
+    fn wrapping_matches_width() {
+        assert_eq!(eval_binop(BinOp::Add, 255, 1, IntKind::U8), Some(0));
+        assert_eq!(eval_binop(BinOp::Mul, 300, 300, IntKind::U16), Some(90000 % 65536));
+        assert_eq!(eval_binop(BinOp::Shl, 1, 15, IntKind::I16), Some(-32768));
+    }
+
+    #[test]
+    fn fold_collapses_tree() {
+        let mut e = Expr::binary(
+            BinOp::Add,
+            Expr::const_int(2, IntKind::U16),
+            Expr::binary(
+                BinOp::Mul,
+                Expr::const_int(3, IntKind::U16),
+                Expr::const_int(4, IntKind::U16),
+                Type::u16(),
+            ),
+            Type::u16(),
+        );
+        assert!(fold_expr(&mut e, &[], true));
+        assert_eq!(e.as_const(), Some(14));
+    }
+
+    #[test]
+    fn sizeof_folds_only_when_enabled() {
+        let mut e = Expr { ty: Type::u16(), kind: ExprKind::SizeOf(Type::u16()) };
+        assert!(!fold_expr(&mut e, &[], false));
+        assert!(fold_expr(&mut e, &[], true));
+        assert_eq!(e.as_const(), Some(2));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let mut e = Expr::binary(
+            BinOp::Add,
+            Expr::load(crate::ir::Place::local(crate::ir::LocalId(0), Type::u16())),
+            Expr::const_int(0, IntKind::U16),
+            Type::u16(),
+        );
+        assert!(simplify_identities(&mut e));
+        assert!(matches!(e.kind, ExprKind::Load(_)));
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(eval_unop(UnOp::Neg, 1, IntKind::U8), 255);
+        assert_eq!(eval_unop(UnOp::BitNot, 0, IntKind::U16), 0xFFFF_u16 as i64);
+        assert_eq!(eval_unop(UnOp::Not, 5, IntKind::U8), 0);
+        assert_eq!(eval_unop(UnOp::Not, 0, IntKind::U8), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Hand-written lexer for the TCL dialect (with nesC keywords).
+
+use crate::error::{CompileError, SourcePos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser via
+    /// [`Token::is_kw`] so that nesC keywords can be identifiers in plain C
+    /// mode).
+    Ident(String),
+    /// Integer literal (decimal, hex, or character constant).
+    Int(i64),
+    /// String literal (unescaped bytes, no terminator).
+    Str(Vec<u8>),
+    /// Punctuation / operator, e.g. `"->"`, `"<<="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub pos: SourcePos,
+}
+
+impl Token {
+    /// True if this token is exactly the identifier `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == kw)
+    }
+
+    /// True if this token is exactly the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(q) if *q == p)
+    }
+}
+
+/// All multi- and single-character punctuation, longest first so that
+/// maximal-munch matching is a simple linear scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-",
+    "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":",
+];
+
+/// Lexes `src` into a token vector ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals, unterminated comments
+/// or strings, and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for k in 0..$n {
+                if bytes[i + k] == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = SourcePos::new(line, col);
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance!(1);
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                advance!(2);
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(pos, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance!(2);
+                        break;
+                    }
+                    advance!(1);
+                }
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance!(1);
+            }
+            let s = std::str::from_utf8(&bytes[start..i]).expect("ascii ident");
+            toks.push(Token { tok: Tok::Ident(s.to_string()), pos });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                radix = 16;
+                advance!(2);
+            }
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                advance!(1);
+            }
+            let mut text = &src[start..i];
+            if radix == 16 {
+                text = &text[2..];
+            }
+            // Allow C suffixes (u, l, ul, ...) by trimming them.
+            let trimmed = text.trim_end_matches(|c: char| matches!(c, 'u' | 'U' | 'l' | 'L'));
+            let v = i64::from_str_radix(trimmed, radix)
+                .map_err(|_| CompileError::new(pos, format!("invalid integer literal `{text}`")))?;
+            toks.push(Token { tok: Tok::Int(v), pos });
+            continue;
+        }
+        // Character constants.
+        if c == b'\'' {
+            advance!(1);
+            if i >= bytes.len() {
+                return Err(CompileError::new(pos, "unterminated character constant"));
+            }
+            let v = if bytes[i] == b'\\' {
+                advance!(1);
+                let e = escape(bytes[i])
+                    .ok_or_else(|| CompileError::new(pos, "unknown escape in char constant"))?;
+                advance!(1);
+                e
+            } else {
+                let b = bytes[i];
+                advance!(1);
+                b
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(CompileError::new(pos, "unterminated character constant"));
+            }
+            advance!(1);
+            toks.push(Token { tok: Tok::Int(v as i64), pos });
+            continue;
+        }
+        // String literals.
+        if c == b'"' {
+            advance!(1);
+            let mut out = Vec::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(CompileError::new(pos, "unterminated string literal"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        advance!(1);
+                        break;
+                    }
+                    b'\\' => {
+                        advance!(1);
+                        if i >= bytes.len() {
+                            return Err(CompileError::new(pos, "unterminated string literal"));
+                        }
+                        let e = escape(bytes[i])
+                            .ok_or_else(|| CompileError::new(pos, "unknown escape in string"))?;
+                        out.push(e);
+                        advance!(1);
+                    }
+                    b => {
+                        out.push(b);
+                        advance!(1);
+                    }
+                }
+            }
+            toks.push(Token { tok: Tok::Str(out), pos });
+            continue;
+        }
+        // Punctuation.
+        let rest = &src[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            advance!(p.len());
+            toks.push(Token { tok: Tok::Punct(p), pos });
+            continue;
+        }
+        return Err(CompileError::new(pos, format!("unexpected character `{}`", c as char)));
+    }
+    toks.push(Token { tok: Tok::Eof, pos: SourcePos::new(line, col) });
+    Ok(toks)
+}
+
+fn escape(b: u8) -> Option<u8> {
+    Some(match b {
+        b'n' => b'\n',
+        b'r' => b'\r',
+        b't' => b'\t',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_ints() {
+        let t = kinds("foo 42 0x2A bar_1");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Int(42),
+                Tok::Int(42),
+                Tok::Ident("bar_1".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_suffixed_ints() {
+        assert_eq!(kinds("10u 10UL")[..2], [Tok::Int(10), Tok::Int(10)]);
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let t = kinds("a<<=b >> c->d");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>"),
+                Tok::Ident("c".into()),
+                Tok::Punct("->"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = kinds("a // line\n /* block \n comment */ b");
+        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let t = kinds(r#""hi\n\0""#);
+        assert_eq!(t[0], Tok::Str(vec![b'h', b'i', b'\n', 0]));
+    }
+
+    #[test]
+    fn char_constants() {
+        assert_eq!(kinds("'A' '\\n'")[..2], [Tok::Int(65), Tok::Int(10)]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, SourcePos::new(1, 1));
+        assert_eq!(toks[1].pos, SourcePos::new(2, 3));
+    }
+
+    #[test]
+    fn error_on_bad_character() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

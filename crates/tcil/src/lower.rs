@@ -1,0 +1,1352 @@
+//! AST → IR lowering and type checking.
+//!
+//! Lowering establishes the IR invariants the rest of the toolchain relies
+//! on:
+//!
+//! * expressions are side-effect free — calls, `++`, compound assignments,
+//!   short-circuit operators and ternaries are all turned into statements
+//!   over compiler temporaries,
+//! * `&&`/`||` keep C's short-circuit semantics (they lower to `if`
+//!   chains), which matters because the CCured stage later inserts traps
+//!   inside the branches,
+//! * all implicit integer conversions become explicit [`ExprKind::Cast`]s,
+//! * `for`/`do-while` desugar to `while`,
+//! * array-typed values decay to thin pointers to their first element.
+//!
+//! Deliberate language restrictions (documented in `DESIGN.md`): no
+//! function pointers, no casts between incompatible pointer types (this is
+//! what keeps every pointer out of CCured's WILD kind), no struct-by-value
+//! parameters or returns, and no `continue` inside a `for` that has a step
+//! expression.
+
+use std::collections::HashMap;
+
+use crate::ast;
+use crate::error::{CompileError, SourcePos};
+use crate::ir::*;
+use crate::types::{size_of, IntKind, StructDef, StructId, Type};
+use crate::vector_number;
+
+/// Lowers a parsed unit into a typed [`Program`].
+///
+/// # Errors
+///
+/// Returns the first type error, unresolved name, or unsupported construct.
+pub fn lower_unit(unit: &ast::Unit) -> Result<Program, CompileError> {
+    Lowerer::new().lower(unit)
+}
+
+/// Signature of a function as seen by callers.
+#[derive(Debug, Clone)]
+struct FuncSig {
+    params: Vec<Type>,
+    ret: Type,
+}
+
+struct Lowerer {
+    prog: Program,
+    struct_ids: HashMap<String, StructId>,
+    consts: HashMap<String, i64>,
+    global_ids: HashMap<String, GlobalId>,
+    func_ids: HashMap<String, FuncId>,
+    sigs: Vec<FuncSig>,
+}
+
+impl Lowerer {
+    fn new() -> Self {
+        let mut consts = HashMap::new();
+        // nesC-standard predefined constants.
+        consts.insert("SUCCESS".to_string(), 1);
+        consts.insert("FAIL".to_string(), 0);
+        consts.insert("TRUE".to_string(), 1);
+        consts.insert("FALSE".to_string(), 0);
+        consts.insert("NULL".to_string(), 0);
+        Lowerer {
+            prog: Program::new(),
+            struct_ids: HashMap::new(),
+            consts,
+            global_ids: HashMap::new(),
+            func_ids: HashMap::new(),
+            sigs: Vec::new(),
+        }
+    }
+
+    fn lower(mut self, unit: &ast::Unit) -> Result<Program, CompileError> {
+        self.collect_structs(unit)?;
+        self.collect_consts(unit)?;
+        self.collect_globals_and_sigs(unit)?;
+        self.check_struct_cycles()?;
+        self.lower_global_inits(unit)?;
+        self.lower_bodies(unit)?;
+        self.prog.entry = self.prog.find_function("main");
+        Ok(self.prog)
+    }
+
+    // ----- pass A: declarations -----
+
+    fn collect_structs(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        // Register names first so pointer fields may refer to any struct.
+        for item in &unit.items {
+            if let ast::Item::Struct(s) = item {
+                if self.struct_ids.contains_key(&s.name) {
+                    return Err(CompileError::new(s.pos, format!("duplicate struct `{}`", s.name)));
+                }
+                let id = StructId(self.prog.structs.len() as u32);
+                self.struct_ids.insert(s.name.clone(), id);
+                self.prog.structs.push(StructDef { name: s.name.clone(), fields: Vec::new() });
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_consts(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            if let ast::Item::Enum(e) = item {
+                let mut next = 0i64;
+                for (name, val) in &e.variants {
+                    let v = match val {
+                        Some(expr) => self.const_eval(expr)?,
+                        None => next,
+                    };
+                    if self.consts.insert(name.clone(), v).is_some() {
+                        return Err(CompileError::new(
+                            e.pos,
+                            format!("duplicate constant `{name}`"),
+                        ));
+                    }
+                    next = v + 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_globals_and_sigs(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        // Struct fields need constants (array dims), so fill them here.
+        for item in &unit.items {
+            if let ast::Item::Struct(s) = item {
+                let id = self.struct_ids[&s.name];
+                let mut fields = Vec::new();
+                for f in &s.fields {
+                    let ty = self.resolve_sig_type(&f.ty, &f.dims, f.pos)?;
+                    fields.push(crate::types::Field { name: f.name.clone(), ty });
+                }
+                self.prog.structs[id.0 as usize].fields = fields;
+            }
+        }
+        for item in &unit.items {
+            match item {
+                ast::Item::Global(g) => {
+                    let ty = self.resolve_sig_type(&g.sig.ty, &g.sig.dims, g.sig.pos)?;
+                    if self.global_ids.contains_key(&g.sig.name) {
+                        return Err(CompileError::new(
+                            g.sig.pos,
+                            format!("duplicate global `{}`", g.sig.name),
+                        ));
+                    }
+                    let id = GlobalId(self.prog.globals.len() as u32);
+                    self.global_ids.insert(g.sig.name.clone(), id);
+                    self.prog.globals.push(Global {
+                        name: g.sig.name.clone(),
+                        ty,
+                        init: Init::Zero,
+                        norace: g.norace,
+                        is_const: g.is_const,
+                        racy: false,
+                    });
+                }
+                ast::Item::Func(f) => {
+                    let ret = self.resolve_type(&f.ret, f.pos)?;
+                    let mut params = Vec::new();
+                    for p in &f.params {
+                        if !p.dims.is_empty() {
+                            return Err(CompileError::new(
+                                p.pos,
+                                "array parameters are not supported; use a pointer",
+                            ));
+                        }
+                        let ty = self.resolve_type(&p.ty, p.pos)?;
+                        if matches!(ty, Type::Struct(_)) {
+                            return Err(CompileError::new(
+                                p.pos,
+                                "struct-by-value parameters are not supported; use a pointer",
+                            ));
+                        }
+                        if ty == Type::Void {
+                            return Err(CompileError::new(p.pos, "void parameter"));
+                        }
+                        params.push(ty);
+                    }
+                    if matches!(ret, Type::Struct(_) | Type::Array(..)) {
+                        return Err(CompileError::new(
+                            f.pos,
+                            "aggregate return types are not supported",
+                        ));
+                    }
+                    if self.func_ids.contains_key(&f.name) {
+                        return Err(CompileError::new(
+                            f.pos,
+                            format!("duplicate function `{}`", f.name),
+                        ));
+                    }
+                    let id = FuncId(self.prog.functions.len() as u32);
+                    self.func_ids.insert(f.name.clone(), id);
+                    self.sigs.push(FuncSig { params, ret: ret.clone() });
+                    let mut func = Function::new(f.name.clone(), ret);
+                    func.inline_hint = f.inline;
+                    match &f.kind {
+                        ast::FuncKind::Task => {
+                            func.is_task = true;
+                            self.prog.tasks.push(id);
+                        }
+                        ast::FuncKind::Interrupt(v) => {
+                            func.interrupt = Some(vector_number(v).ok_or_else(|| {
+                                CompileError::new(f.pos, format!("unknown interrupt vector `{v}`"))
+                            })?);
+                        }
+                        ast::FuncKind::Normal => {}
+                    }
+                    self.prog.functions.push(func);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_struct_cycles(&self) -> Result<(), CompileError> {
+        // A struct containing itself by value has infinite size.
+        fn visit(
+            sid: StructId,
+            structs: &[StructDef],
+            state: &mut [u8],
+        ) -> Result<(), CompileError> {
+            match state[sid.0 as usize] {
+                1 => {
+                    return Err(CompileError::generic(format!(
+                        "struct `{}` contains itself by value",
+                        structs[sid.0 as usize].name
+                    )))
+                }
+                2 => return Ok(()),
+                _ => {}
+            }
+            state[sid.0 as usize] = 1;
+            for f in &structs[sid.0 as usize].fields {
+                let mut t = &f.ty;
+                loop {
+                    match t {
+                        Type::Array(inner, _) => t = inner,
+                        Type::Struct(inner) => {
+                            visit(*inner, structs, state)?;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            state[sid.0 as usize] = 2;
+            Ok(())
+        }
+        let mut state = vec![0u8; self.prog.structs.len()];
+        for i in 0..self.prog.structs.len() {
+            visit(StructId(i as u32), &self.prog.structs, &mut state)?;
+        }
+        Ok(())
+    }
+
+    // ----- types -----
+
+    fn resolve_type(&self, te: &ast::TypeExpr, pos: SourcePos) -> Result<Type, CompileError> {
+        let mut ty = match &te.base {
+            ast::BaseType::Void => Type::Void,
+            ast::BaseType::Int(k) => Type::Int(*k),
+            ast::BaseType::Struct(name) => {
+                let id = self
+                    .struct_ids
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(pos, format!("unknown struct `{name}`")))?;
+                Type::Struct(*id)
+            }
+        };
+        for _ in 0..te.ptr_depth {
+            ty = Type::thin_ptr(ty);
+        }
+        if te.ptr_depth == 0 && te.base == ast::BaseType::Void {
+            return Ok(Type::Void);
+        }
+        Ok(ty)
+    }
+
+    fn resolve_sig_type(
+        &self,
+        te: &ast::TypeExpr,
+        dims: &[ast::ArrayDim],
+        pos: SourcePos,
+    ) -> Result<Type, CompileError> {
+        let mut ty = self.resolve_type(te, pos)?;
+        if ty == Type::Void && !dims.is_empty() {
+            return Err(CompileError::new(pos, "array of void"));
+        }
+        for d in dims.iter().rev() {
+            let n = match d {
+                ast::ArrayDim::Lit(n) => *n,
+                ast::ArrayDim::Named(name) => {
+                    let v = *self.consts.get(name).ok_or_else(|| {
+                        CompileError::new(pos, format!("unknown constant `{name}` in array size"))
+                    })?;
+                    if v <= 0 {
+                        return Err(CompileError::new(pos, "array dimension must be positive"));
+                    }
+                    v as u32
+                }
+            };
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    // ----- constant evaluation (enum values, global inits) -----
+
+    fn const_eval(&self, e: &ast::Expr) -> Result<i64, CompileError> {
+        use ast::ExprKind as K;
+        Ok(match &e.kind {
+            K::Int(v) => *v,
+            K::Ident(name) => *self
+                .consts
+                .get(name)
+                .ok_or_else(|| CompileError::new(e.pos, format!("`{name}` is not a constant")))?,
+            K::Unary(op, a) => {
+                let v = self.const_eval(a)?;
+                match op {
+                    ast::UnOp::Neg => -v,
+                    ast::UnOp::BitNot => !v,
+                    ast::UnOp::Not => (v == 0) as i64,
+                }
+            }
+            K::Binary(op, a, b) => {
+                let x = self.const_eval(a)?;
+                let y = self.const_eval(b)?;
+                use ast::BinOp::*;
+                match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0 {
+                            return Err(CompileError::new(e.pos, "division by zero in constant"));
+                        }
+                        x / y
+                    }
+                    Mod => {
+                        if y == 0 {
+                            return Err(CompileError::new(e.pos, "division by zero in constant"));
+                        }
+                        x % y
+                    }
+                    And => x & y,
+                    Or => x | y,
+                    Xor => x ^ y,
+                    Shl => x << (y & 63),
+                    Shr => x >> (y & 63),
+                    Eq => (x == y) as i64,
+                    Ne => (x != y) as i64,
+                    Lt => (x < y) as i64,
+                    Le => (x <= y) as i64,
+                    Gt => (x > y) as i64,
+                    Ge => (x >= y) as i64,
+                    LAnd => ((x != 0) && (y != 0)) as i64,
+                    LOr => ((x != 0) || (y != 0)) as i64,
+                }
+            }
+            K::SizeofType(te) => {
+                let ty = self.resolve_type(te, e.pos)?;
+                size_of(&ty, &self.prog.structs) as i64
+            }
+            K::Cast(te, inner) => {
+                let ty = self.resolve_type(te, e.pos)?;
+                let v = self.const_eval(inner)?;
+                match ty.as_int() {
+                    Some(k) => k.wrap(v),
+                    None => return Err(CompileError::new(e.pos, "non-integer constant cast")),
+                }
+            }
+            _ => return Err(CompileError::new(e.pos, "expression is not a compile-time constant")),
+        })
+    }
+
+    fn lower_global_inits(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            let ast::Item::Global(g) = item else { continue };
+            let Some(init) = &g.init else { continue };
+            let gid = self.global_ids[&g.sig.name];
+            let ty = self.prog.globals[gid.0 as usize].ty.clone();
+            let lowered = self.lower_init(init, &ty, g.sig.pos)?;
+            self.prog.globals[gid.0 as usize].init = lowered;
+        }
+        Ok(())
+    }
+
+    fn lower_init(
+        &mut self,
+        init: &ast::Init,
+        ty: &Type,
+        pos: SourcePos,
+    ) -> Result<Init, CompileError> {
+        match (init, ty) {
+            (ast::Init::Expr(e), Type::Int(k)) => Ok(Init::Int(k.wrap(self.const_eval(e)?))),
+            (ast::Init::Expr(e), Type::Ptr(..)) => {
+                let v = self.const_eval(e)?;
+                if v != 0 {
+                    return Err(CompileError::new(
+                        pos,
+                        "pointer globals may only be initialized to NULL",
+                    ));
+                }
+                Ok(Init::Int(0))
+            }
+            (ast::Init::Str(bytes), Type::Array(elem, n)) if elem.as_int().is_some() => {
+                if bytes.len() + 1 > *n as usize {
+                    return Err(CompileError::new(pos, "string initializer too long"));
+                }
+                let id = self.prog.strings.intern(bytes);
+                Ok(Init::Str(id))
+            }
+            (ast::Init::List(items), Type::Array(elem, n)) => {
+                if items.len() > *n as usize {
+                    return Err(CompileError::new(pos, "too many array initializers"));
+                }
+                let mut out = Vec::new();
+                for it in items {
+                    out.push(self.lower_init(it, elem, pos)?);
+                }
+                Ok(Init::List(out))
+            }
+            (ast::Init::List(items), Type::Struct(sid)) => {
+                let fields: Vec<Type> = self.prog.structs[sid.0 as usize]
+                    .fields
+                    .iter()
+                    .map(|f| f.ty.clone())
+                    .collect();
+                if items.len() > fields.len() {
+                    return Err(CompileError::new(pos, "too many struct initializers"));
+                }
+                let mut out = Vec::new();
+                for (it, fty) in items.iter().zip(fields.iter()) {
+                    out.push(self.lower_init(it, fty, pos)?);
+                }
+                Ok(Init::List(out))
+            }
+            _ => Err(CompileError::new(pos, "initializer shape does not match type")),
+        }
+    }
+
+    // ----- pass B: function bodies -----
+
+    fn lower_bodies(&mut self, unit: &ast::Unit) -> Result<(), CompileError> {
+        for item in &unit.items {
+            let ast::Item::Func(f) = item else { continue };
+            let fid = self.func_ids[&f.name];
+            let mut fl = FuncLowerer {
+                env: self,
+                fid,
+                func: Function::new(f.name.clone(), Type::Void),
+                scopes: vec![HashMap::new()],
+                loop_depth: 0,
+                in_for_step: 0,
+            };
+            // Re-seed the function shell recorded in pass A (flags etc.).
+            fl.func = fl.env.prog.functions[fid.0 as usize].clone();
+            for (i, p) in f.params.iter().enumerate() {
+                let ty = fl.env.sigs[fid.0 as usize].params[i].clone();
+                let id = fl.func.add_local(p.name.clone(), ty, false);
+                fl.scopes[0].insert(p.name.clone(), id);
+            }
+            fl.func.params = f.params.len() as u32;
+            let mut body = Vec::new();
+            fl.lower_block(&f.body, &mut body)?;
+            fl.func.body = body;
+            let done = fl.func;
+            self.prog.functions[fid.0 as usize] = done;
+        }
+        Ok(())
+    }
+}
+
+struct FuncLowerer<'a> {
+    env: &'a mut Lowerer,
+    #[allow(dead_code)]
+    fid: FuncId,
+    func: Function,
+    scopes: Vec<HashMap<String, LocalId>>,
+    loop_depth: u32,
+    /// Non-zero while lowering the body of a `for` that has a step
+    /// statement: `continue` is rejected there (see module docs).
+    in_for_step: u32,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn lower_block(&mut self, b: &ast::Block, out: &mut Block) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s, out)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &ast::Stmt, out: &mut Block) -> Result<(), CompileError> {
+        match s {
+            ast::Stmt::Decl { sig, init } => {
+                let ty = self.env.resolve_sig_type(&sig.ty, &sig.dims, sig.pos)?;
+                if ty == Type::Void {
+                    return Err(CompileError::new(sig.pos, "void variable"));
+                }
+                let id = self.func.add_local(sig.name.clone(), ty.clone(), false);
+                self.scopes.last_mut().expect("scope").insert(sig.name.clone(), id);
+                if let Some(e) = init {
+                    let v = self.lower_expr(e, out)?;
+                    let v = self.coerce(v, &ty, e.pos)?;
+                    out.push(Stmt::Assign(Place::local(id, ty), v));
+                }
+                Ok(())
+            }
+            ast::Stmt::Expr(e) => self.lower_expr_stmt(e, out),
+            ast::Stmt::Assign { op, lhs, rhs, pos } => {
+                let place = self.lower_place(lhs, out)?;
+                let rv = self.lower_expr(rhs, out)?;
+                let value = match op {
+                    None => self.coerce(rv, &place.ty.clone(), *pos)?,
+                    Some(op) => {
+                        let cur = Expr::load(place.clone());
+                        let combined = self.lower_binop(*op, cur, rv, *pos, out)?;
+                        self.coerce(combined, &place.ty.clone(), *pos)?
+                    }
+                };
+                out.push(Stmt::Assign(place, value));
+                Ok(())
+            }
+            ast::Stmt::If { cond, then_, else_ } => {
+                let c = self.lower_cond(cond, out)?;
+                let mut tb = Vec::new();
+                self.lower_block(then_, &mut tb)?;
+                let mut eb = Vec::new();
+                self.lower_block(else_, &mut eb)?;
+                out.push(Stmt::If { cond: c, then_: tb, else_: eb });
+                Ok(())
+            }
+            ast::Stmt::While { cond, body } => {
+                // Condition side effects (from `&&` etc.) must re-run each
+                // iteration; if lowering the condition produced statements,
+                // restructure as `while (1) { <stmts>; if (!c) break; body }`.
+                let mut cstmts = Vec::new();
+                let c = self.lower_cond(cond, &mut cstmts)?;
+                self.loop_depth += 1;
+                let mut b = Vec::new();
+                self.lower_block(body, &mut b)?;
+                self.loop_depth -= 1;
+                if cstmts.is_empty() {
+                    out.push(Stmt::While { cond: c, body: b });
+                } else {
+                    let mut wb = cstmts;
+                    wb.push(Stmt::If {
+                        cond: c,
+                        then_: Vec::new(),
+                        else_: vec![Stmt::Break],
+                    });
+                    wb.extend(b);
+                    out.push(Stmt::While { cond: Expr::bool_val(true), body: wb });
+                }
+                Ok(())
+            }
+            ast::Stmt::DoWhile { body, cond } => {
+                // do B while (c)  ==>  while (1) { B; <c-stmts>; if (!c) break; }
+                self.loop_depth += 1;
+                let mut b = Vec::new();
+                self.lower_block(body, &mut b)?;
+                self.loop_depth -= 1;
+                let mut cstmts = Vec::new();
+                let c = self.lower_cond(cond, &mut cstmts)?;
+                b.extend(cstmts);
+                b.push(Stmt::If { cond: c, then_: Vec::new(), else_: vec![Stmt::Break] });
+                out.push(Stmt::While { cond: Expr::bool_val(true), body: b });
+                Ok(())
+            }
+            ast::Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i, out)?;
+                }
+                let mut cstmts = Vec::new();
+                let c = match cond {
+                    Some(c) => self.lower_cond(c, &mut cstmts)?,
+                    None => Expr::bool_val(true),
+                };
+                self.loop_depth += 1;
+                if step.is_some() {
+                    self.in_for_step += 1;
+                }
+                let mut b = Vec::new();
+                self.lower_block(body, &mut b)?;
+                if let Some(st) = step {
+                    self.lower_stmt(st, &mut b)?;
+                }
+                if step.is_some() {
+                    self.in_for_step -= 1;
+                }
+                self.loop_depth -= 1;
+                if cstmts.is_empty() {
+                    out.push(Stmt::While { cond: c, body: b });
+                } else {
+                    let mut wb = cstmts;
+                    wb.push(Stmt::If { cond: c, then_: Vec::new(), else_: vec![Stmt::Break] });
+                    wb.extend(b);
+                    out.push(Stmt::While { cond: Expr::bool_val(true), body: wb });
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            ast::Stmt::Return(e, pos) => {
+                let ret_ty = self.func.ret.clone();
+                match (e, ret_ty == Type::Void) {
+                    (None, true) => out.push(Stmt::Return(None)),
+                    (Some(_), true) => {
+                        return Err(CompileError::new(*pos, "returning a value from void function"))
+                    }
+                    (None, false) => {
+                        return Err(CompileError::new(*pos, "missing return value"));
+                    }
+                    (Some(e), false) => {
+                        let v = self.lower_expr(e, out)?;
+                        let v = self.coerce(v, &ret_ty, *pos)?;
+                        out.push(Stmt::Return(Some(v)));
+                    }
+                }
+                Ok(())
+            }
+            ast::Stmt::Break(pos) => {
+                if self.loop_depth == 0 {
+                    return Err(CompileError::new(*pos, "`break` outside loop"));
+                }
+                out.push(Stmt::Break);
+                Ok(())
+            }
+            ast::Stmt::Continue(pos) => {
+                if self.loop_depth == 0 {
+                    return Err(CompileError::new(*pos, "`continue` outside loop"));
+                }
+                if self.in_for_step > 0 {
+                    return Err(CompileError::new(
+                        *pos,
+                        "`continue` inside a `for` with a step is not supported",
+                    ));
+                }
+                out.push(Stmt::Continue);
+                Ok(())
+            }
+            ast::Stmt::Atomic(b) => {
+                let mut body = Vec::new();
+                self.lower_block(b, &mut body)?;
+                out.push(Stmt::Atomic { body, style: AtomicStyle::SaveRestore });
+                Ok(())
+            }
+            ast::Stmt::Block(b) => {
+                let mut body = Vec::new();
+                self.lower_block(b, &mut body)?;
+                out.push(Stmt::Block(body));
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers an expression statement: calls and `++`/`--` are effects;
+    /// everything else is rejected as a useless computation.
+    fn lower_expr_stmt(&mut self, e: &ast::Expr, out: &mut Block) -> Result<(), CompileError> {
+        match &e.kind {
+            ast::ExprKind::Call { .. } => {
+                self.lower_call(e, out, false)?;
+                Ok(())
+            }
+            ast::ExprKind::IncDec { target, inc } => {
+                let place = self.lower_place(target, out)?;
+                let ty = place.ty.clone();
+                let one = Expr::const_int(1, IntKind::U8);
+                let op = if *inc { ast::BinOp::Add } else { ast::BinOp::Sub };
+                let combined = self.lower_binop(op, Expr::load(place.clone()), one, e.pos, out)?;
+                let v = self.coerce(combined, &ty, e.pos)?;
+                out.push(Stmt::Assign(place, v));
+                Ok(())
+            }
+            ast::ExprKind::IfaceCall { .. } | ast::ExprKind::Post(_) => Err(CompileError::new(
+                e.pos,
+                "nesC construct survived to lowering (frontend bug)",
+            )),
+            _ => Err(CompileError::new(e.pos, "expression statement has no effect")),
+        }
+    }
+
+    /// Lowers a condition to a truth-valued expression.
+    fn lower_cond(&mut self, e: &ast::Expr, out: &mut Block) -> Result<Expr, CompileError> {
+        let v = self.lower_expr(e, out)?;
+        Ok(self.truthy(v))
+    }
+
+    fn truthy(&mut self, e: Expr) -> Expr {
+        // Comparisons and logical-not already yield 0/1.
+        match &e.kind {
+            ExprKind::Binary(BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le, _, _) => e,
+            ExprKind::Unary(UnOp::Not, _) => e,
+            _ => {
+                let zero = if e.ty.is_ptr() {
+                    Expr::null(e.ty.clone())
+                } else {
+                    Expr::const_int(0, e.ty.as_int().unwrap_or(IntKind::U16))
+                };
+                Expr::binary(BinOp::Ne, e, zero, Type::u8())
+            }
+        }
+    }
+
+    // ----- places -----
+
+    fn lower_place(&mut self, e: &ast::Expr, out: &mut Block) -> Result<Place, CompileError> {
+        use ast::ExprKind as K;
+        match &e.kind {
+            K::Ident(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let ty = self.func.local_ty(id).clone();
+                    return Ok(Place::local(id, ty));
+                }
+                if let Some(&gid) = self.env.global_ids.get(name) {
+                    let ty = self.env.prog.globals[gid.0 as usize].ty.clone();
+                    return Ok(Place::global(gid, ty));
+                }
+                Err(CompileError::new(e.pos, format!("unknown variable `{name}`")))
+            }
+            K::Deref(inner) => {
+                let p = self.lower_expr(inner, out)?;
+                if !p.ty.is_ptr() {
+                    return Err(CompileError::new(e.pos, "dereference of non-pointer"));
+                }
+                Ok(Place::deref(p))
+            }
+            K::Index(base, idx) => {
+                let i = self.lower_expr(idx, out)?;
+                if !i.ty.is_int() {
+                    return Err(CompileError::new(e.pos, "array index must be an integer"));
+                }
+                // Array place or pointer arithmetic?
+                let base_place = self.try_lower_place(base, out)?;
+                match base_place {
+                    Some(p) if matches!(p.ty, Type::Array(..)) => {
+                        let Type::Array(elem, _) = p.ty.clone() else { unreachable!() };
+                        Ok(p.index(i, (*elem).clone()))
+                    }
+                    _ => {
+                        let ptr = self.lower_expr(base, out)?;
+                        let (pointee, _) = ptr
+                            .ty
+                            .as_ptr()
+                            .map(|(t, k)| (t.clone(), k))
+                            .ok_or_else(|| CompileError::new(e.pos, "indexing a non-array"))?;
+                        let ty = ptr.ty.clone();
+                        let adjusted = Expr::binary(BinOp::PtrAdd, ptr, i, ty);
+                        let _ = pointee;
+                        Ok(Place::deref(adjusted))
+                    }
+                }
+            }
+            K::Field(base, fname) => {
+                let p = self.lower_place(base, out)?;
+                self.project_field(p, fname, e.pos)
+            }
+            K::Arrow(base, fname) => {
+                let ptr = self.lower_expr(base, out)?;
+                if !ptr.ty.is_ptr() {
+                    return Err(CompileError::new(e.pos, "`->` applied to non-pointer"));
+                }
+                let p = Place::deref(ptr);
+                self.project_field(p, fname, e.pos)
+            }
+            _ => Err(CompileError::new(e.pos, "expression is not assignable")),
+        }
+    }
+
+    /// Tries to lower `e` as a place without reporting an error (used to
+    /// distinguish `arr[i]` on arrays from `p[i]` on pointer values).
+    fn try_lower_place(
+        &mut self,
+        e: &ast::Expr,
+        out: &mut Block,
+    ) -> Result<Option<Place>, CompileError> {
+        use ast::ExprKind as K;
+        match &e.kind {
+            K::Ident(_) | K::Field(..) | K::Index(..) | K::Arrow(..) | K::Deref(_) => {
+                // These may legitimately fail if the base is a pointer
+                // value; only Ident failure is a hard error handled later.
+                match self.lower_place(e, out) {
+                    Ok(p) => Ok(Some(p)),
+                    Err(_) => Ok(None),
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn project_field(
+        &mut self,
+        p: Place,
+        fname: &str,
+        pos: SourcePos,
+    ) -> Result<Place, CompileError> {
+        let Type::Struct(sid) = p.ty else {
+            return Err(CompileError::new(pos, "field access on non-struct"));
+        };
+        let def = &self.env.prog.structs[sid.0 as usize];
+        let idx = def
+            .field_index(fname)
+            .ok_or_else(|| CompileError::new(pos, format!("no field `{fname}`")))?;
+        let fty = def.fields[idx as usize].ty.clone();
+        Ok(p.field(sid, idx, fty))
+    }
+
+    // ----- expressions -----
+
+    fn lower_expr(&mut self, e: &ast::Expr, out: &mut Block) -> Result<Expr, CompileError> {
+        use ast::ExprKind as K;
+        match &e.kind {
+            K::Int(v) => {
+                // Pick the smallest natural kind that holds the literal,
+                // preferring signed `int16` for small values like C.
+                let k = if *v >= -32768 && *v <= 32767 {
+                    IntKind::I16
+                } else if *v >= 0 && *v <= 65535 {
+                    IntKind::U16
+                } else {
+                    IntKind::I32
+                };
+                Ok(Expr::const_int(*v, k))
+            }
+            K::Str(s) => {
+                let id = self.env.prog.strings.intern(s);
+                Ok(Expr { ty: Type::thin_ptr(Type::Int(IntKind::I8)), kind: ExprKind::Str(id) })
+            }
+            K::Ident(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    let ty = self.func.local_ty(id).clone();
+                    return Ok(self.decay(Expr::load(Place::local(id, ty))));
+                }
+                if let Some(&gid) = self.env.global_ids.get(name) {
+                    let ty = self.env.prog.globals[gid.0 as usize].ty.clone();
+                    return Ok(self.decay(Expr::load(Place::global(gid, ty))));
+                }
+                if let Some(&v) = self.env.consts.get(name) {
+                    let k = if (0..=65535).contains(&v) && v > 32767 {
+                        IntKind::U16
+                    } else if (-32768..=32767).contains(&v) {
+                        IntKind::I16
+                    } else {
+                        IntKind::I32
+                    };
+                    return Ok(Expr::const_int(v, k));
+                }
+                Err(CompileError::new(e.pos, format!("unknown identifier `{name}`")))
+            }
+            K::Unary(op, a) => {
+                let v = self.lower_expr(a, out)?;
+                match op {
+                    ast::UnOp::Not => {
+                        let t = self.truthy(v);
+                        Ok(Expr::unary(UnOp::Not, t))
+                    }
+                    ast::UnOp::Neg => {
+                        let k = v.ty.as_int().ok_or_else(|| {
+                            CompileError::new(e.pos, "negation of non-integer")
+                        })?;
+                        let k = IntKind::promote(k, IntKind::I16);
+                        Ok(Expr::unary(UnOp::Neg, Expr::cast(v, Type::Int(k))))
+                    }
+                    ast::UnOp::BitNot => {
+                        let k = v
+                            .ty
+                            .as_int()
+                            .ok_or_else(|| CompileError::new(e.pos, "`~` of non-integer"))?;
+                        let k = IntKind::promote(k, IntKind::U16);
+                        Ok(Expr::unary(UnOp::BitNot, Expr::cast(v, Type::Int(k))))
+                    }
+                }
+            }
+            K::Binary(op, a, b) => {
+                if matches!(op, ast::BinOp::LAnd | ast::BinOp::LOr) {
+                    return self.lower_short_circuit(*op, a, b, out);
+                }
+                let x = self.lower_expr(a, out)?;
+                let y = self.lower_expr(b, out)?;
+                self.lower_binop(*op, x, y, e.pos, out)
+            }
+            K::Ternary(c, a, b) => {
+                let cond = self.lower_cond(c, out)?;
+                // Pre-lower both arms into private blocks.
+                let mut ablk = Vec::new();
+                let av = self.lower_expr(a, &mut ablk)?;
+                let mut bblk = Vec::new();
+                let bv = self.lower_expr(b, &mut bblk)?;
+                let ty = if av.ty.compat(&bv.ty) {
+                    av.ty.clone()
+                } else {
+                    match (av.ty.as_int(), bv.ty.as_int()) {
+                        (Some(ka), Some(kb)) => Type::Int(IntKind::promote(ka, kb)),
+                        _ => return Err(CompileError::new(e.pos, "ternary arms disagree in type")),
+                    }
+                };
+                let t = self.func.add_temp(ty.clone());
+                let av = self.coerce(av, &ty, e.pos)?;
+                let bv = self.coerce(bv, &ty, e.pos)?;
+                ablk.push(Stmt::Assign(Place::local(t, ty.clone()), av));
+                bblk.push(Stmt::Assign(Place::local(t, ty.clone()), bv));
+                out.push(Stmt::If { cond, then_: ablk, else_: bblk });
+                Ok(Expr::load(Place::local(t, ty)))
+            }
+            K::Call { .. } => {
+                let v = self.lower_call(e, out, true)?;
+                v.ok_or_else(|| CompileError::new(e.pos, "void call used as a value"))
+            }
+            K::Index(..) | K::Field(..) | K::Arrow(..) | K::Deref(_) => {
+                let p = self.lower_place(e, out)?;
+                Ok(self.decay(Expr::load(p)))
+            }
+            K::AddrOf(inner) => {
+                let p = self.lower_place(inner, out)?;
+                Ok(Expr::addr_of(p))
+            }
+            K::Cast(te, inner) => {
+                let ty = self.env.resolve_type(te, e.pos)?;
+                let v = self.lower_expr(inner, out)?;
+                match (&v.ty, &ty) {
+                    (Type::Int(_), Type::Int(_)) => Ok(Expr::cast(v, ty)),
+                    (Type::Ptr(..), Type::Ptr(..)) if v.ty.compat(&ty) => Ok(Expr::cast(v, ty)),
+                    (Type::Int(_), Type::Ptr(..)) if v.as_const() == Some(0) => {
+                        Ok(Expr::null(ty))
+                    }
+                    _ => Err(CompileError::new(
+                        e.pos,
+                        format!("unsupported cast from {} to {}", v.ty, ty),
+                    )),
+                }
+            }
+            K::SizeofType(te) => {
+                let ty = self.env.resolve_type(te, e.pos)?;
+                Ok(Expr { ty: Type::u16(), kind: ExprKind::SizeOf(ty) })
+            }
+            K::SizeofExpr(inner) => {
+                // sizeof(expr) needs the *undecayed* type.
+                let mut probe = Vec::new();
+                let ty = match self.try_lower_place(inner, &mut probe)? {
+                    Some(p) => p.ty,
+                    None => self.lower_expr(inner, &mut probe)?.ty,
+                };
+                Ok(Expr { ty: Type::u16(), kind: ExprKind::SizeOf(ty) })
+            }
+            K::IncDec { .. } => {
+                Err(CompileError::new(e.pos, "`++`/`--` may only be used as a statement"))
+            }
+            K::IfaceCall { .. } | K::Post(_) => Err(CompileError::new(
+                e.pos,
+                "nesC construct survived to lowering (frontend bug)",
+            )),
+        }
+    }
+
+    fn lower_short_circuit(
+        &mut self,
+        op: ast::BinOp,
+        a: &ast::Expr,
+        b: &ast::Expr,
+        out: &mut Block,
+    ) -> Result<Expr, CompileError> {
+        let t = self.func.add_temp(Type::u8());
+        let av = self.lower_cond(a, out)?;
+        out.push(Stmt::Assign(Place::local(t, Type::u8()), av));
+        let mut inner = Vec::new();
+        let bv = self.lower_cond(b, &mut inner)?;
+        inner.push(Stmt::Assign(Place::local(t, Type::u8()), bv));
+        let guard = Expr::load(Place::local(t, Type::u8()));
+        match op {
+            ast::BinOp::LAnd => out.push(Stmt::If {
+                cond: guard,
+                then_: inner,
+                else_: Vec::new(),
+            }),
+            ast::BinOp::LOr => out.push(Stmt::If {
+                cond: guard,
+                then_: Vec::new(),
+                else_: inner,
+            }),
+            _ => unreachable!(),
+        }
+        Ok(Expr::load(Place::local(t, Type::u8())))
+    }
+
+    fn lower_binop(
+        &mut self,
+        op: ast::BinOp,
+        x: Expr,
+        y: Expr,
+        pos: SourcePos,
+        _out: &mut Block,
+    ) -> Result<Expr, CompileError> {
+        use ast::BinOp as A;
+        // Pointer arithmetic and comparisons.
+        if x.ty.is_ptr() || y.ty.is_ptr() {
+            return match op {
+                A::Add if x.ty.is_ptr() && y.ty.is_int() => {
+                    let ty = x.ty.clone();
+                    Ok(Expr::binary(BinOp::PtrAdd, x, y, ty))
+                }
+                A::Add if y.ty.is_ptr() && x.ty.is_int() => {
+                    let ty = y.ty.clone();
+                    Ok(Expr::binary(BinOp::PtrAdd, y, x, ty))
+                }
+                A::Sub if x.ty.is_ptr() && y.ty.is_int() => {
+                    let ty = x.ty.clone();
+                    Ok(Expr::binary(BinOp::PtrSub, x, y, ty))
+                }
+                A::Eq | A::Ne | A::Lt | A::Le | A::Gt | A::Ge => {
+                    let (x, y, op) = normalize_cmp(op, x, y);
+                    if !(x.ty.compat(&y.ty)
+                        || x.as_const() == Some(0)
+                        || y.as_const() == Some(0))
+                    {
+                        return Err(CompileError::new(pos, "comparing incompatible pointers"));
+                    }
+                    Ok(Expr::binary(op, x, y, Type::u8()))
+                }
+                _ => Err(CompileError::new(pos, "invalid pointer arithmetic")),
+            };
+        }
+        let kx = x.ty.as_int().ok_or_else(|| CompileError::new(pos, "non-integer operand"))?;
+        let ky = y.ty.as_int().ok_or_else(|| CompileError::new(pos, "non-integer operand"))?;
+        let k = IntKind::promote(kx, ky);
+        let xt = Expr::cast(x, Type::Int(k));
+        let yt = Expr::cast(y, Type::Int(k));
+        let (irop, is_cmp) = match op {
+            A::Add => (BinOp::Add, false),
+            A::Sub => (BinOp::Sub, false),
+            A::Mul => (BinOp::Mul, false),
+            A::Div => (BinOp::Div, false),
+            A::Mod => (BinOp::Mod, false),
+            A::And => (BinOp::And, false),
+            A::Or => (BinOp::Or, false),
+            A::Xor => (BinOp::Xor, false),
+            A::Shl => (BinOp::Shl, false),
+            A::Shr => (BinOp::Shr, false),
+            A::Eq => (BinOp::Eq, true),
+            A::Ne => (BinOp::Ne, true),
+            A::Lt => (BinOp::Lt, true),
+            A::Le => (BinOp::Le, true),
+            A::Gt | A::Ge => {
+                let (xt, yt, op) = normalize_cmp(op, xt, yt);
+                return Ok(Expr::binary(op, xt, yt, Type::u8()));
+            }
+            A::LAnd | A::LOr => unreachable!("handled by lower_short_circuit"),
+        };
+        let ty = if is_cmp { Type::u8() } else { Type::Int(k) };
+        Ok(Expr::binary(irop, xt, yt, ty))
+    }
+
+    fn lower_call(
+        &mut self,
+        e: &ast::Expr,
+        out: &mut Block,
+        want_value: bool,
+    ) -> Result<Option<Expr>, CompileError> {
+        let ast::ExprKind::Call { name, args } = &e.kind else { unreachable!() };
+        // Builtins.
+        if let Some(b) = Builtin::from_name(name) {
+            return self.lower_builtin(b, args, e.pos, out, want_value);
+        }
+        let fid = *self
+            .env
+            .func_ids
+            .get(name)
+            .ok_or_else(|| CompileError::new(e.pos, format!("unknown function `{name}`")))?;
+        let sig = self.env.sigs[fid.0 as usize].clone();
+        if args.len() != sig.params.len() {
+            return Err(CompileError::new(
+                e.pos,
+                format!("`{name}` expects {} arguments, got {}", sig.params.len(), args.len()),
+            ));
+        }
+        let mut lowered = Vec::new();
+        for (a, pty) in args.iter().zip(sig.params.iter()) {
+            let v = self.lower_expr(a, out)?;
+            lowered.push(self.coerce(v, pty, a.pos)?);
+        }
+        if want_value && sig.ret != Type::Void {
+            let t = self.func.add_temp(sig.ret.clone());
+            out.push(Stmt::Call {
+                dst: Some(Place::local(t, sig.ret.clone())),
+                func: fid,
+                args: lowered,
+            });
+            Ok(Some(Expr::load(Place::local(t, sig.ret))))
+        } else {
+            out.push(Stmt::Call { dst: None, func: fid, args: lowered });
+            Ok(None)
+        }
+    }
+
+    fn lower_builtin(
+        &mut self,
+        b: Builtin,
+        args: &[ast::Expr],
+        pos: SourcePos,
+        out: &mut Block,
+        want_value: bool,
+    ) -> Result<Option<Expr>, CompileError> {
+        let (param_tys, ret): (Vec<Type>, Type) = match b {
+            Builtin::HwRead8 => (vec![Type::u16()], Type::u8()),
+            Builtin::HwRead16 => (vec![Type::u16()], Type::u16()),
+            Builtin::HwWrite8 => (vec![Type::u16(), Type::u8()], Type::Void),
+            Builtin::HwWrite16 => (vec![Type::u16(), Type::u16()], Type::Void),
+            Builtin::Sleep | Builtin::IrqEnable | Builtin::IrqDisable => (vec![], Type::Void),
+            Builtin::IrqSave => (vec![], Type::u8()),
+            Builtin::IrqRestore => (vec![Type::u8()], Type::Void),
+        };
+        if args.len() != param_tys.len() {
+            return Err(CompileError::new(
+                pos,
+                format!("`{}` expects {} arguments", b.name(), param_tys.len()),
+            ));
+        }
+        let mut lowered = Vec::new();
+        for (a, pty) in args.iter().zip(param_tys.iter()) {
+            let v = self.lower_expr(a, out)?;
+            lowered.push(self.coerce(v, pty, a.pos)?);
+        }
+        if want_value && ret != Type::Void {
+            let t = self.func.add_temp(ret.clone());
+            out.push(Stmt::BuiltinCall {
+                dst: Some(Place::local(t, ret.clone())),
+                which: b,
+                args: lowered,
+            });
+            Ok(Some(Expr::load(Place::local(t, ret))))
+        } else if want_value {
+            Err(CompileError::new(pos, "void builtin used as a value"))
+        } else {
+            out.push(Stmt::BuiltinCall { dst: None, which: b, args: lowered });
+            Ok(None)
+        }
+    }
+
+    /// Array-to-pointer decay for value contexts.
+    fn decay(&mut self, e: Expr) -> Expr {
+        if let Type::Array(elem, _) = e.ty.clone() {
+            if let ExprKind::Load(p) = e.kind {
+                let zero = Expr::const_int(0, IntKind::U16);
+                let p = p.index(zero, (*elem).clone());
+                return Expr::addr_of(p);
+            }
+        }
+        e
+    }
+
+    /// Implicit conversion of `e` to `target`.
+    fn coerce(&mut self, e: Expr, target: &Type, pos: SourcePos) -> Result<Expr, CompileError> {
+        if &e.ty == target {
+            return Ok(e);
+        }
+        match (&e.ty, target) {
+            (Type::Int(_), Type::Int(_)) => Ok(Expr::cast(e, target.clone())),
+            (Type::Ptr(..), Type::Ptr(..)) if e.ty.compat(target) => Ok(e),
+            (Type::Int(_), Type::Ptr(..)) if e.as_const() == Some(0) => {
+                Ok(Expr::null(target.clone()))
+            }
+            (Type::Struct(a), Type::Struct(b)) if a == b => Ok(e),
+            _ => Err(CompileError::new(
+                pos,
+                format!("cannot convert {} to {}", e.ty, target),
+            )),
+        }
+    }
+}
+
+/// Rewrites `>`/`>=` as flipped `<`/`<=` so the IR only needs two ordered
+/// comparison operators.
+fn normalize_cmp(op: ast::BinOp, x: Expr, y: Expr) -> (Expr, Expr, BinOp) {
+    match op {
+        ast::BinOp::Eq => (x, y, BinOp::Eq),
+        ast::BinOp::Ne => (x, y, BinOp::Ne),
+        ast::BinOp::Lt => (x, y, BinOp::Lt),
+        ast::BinOp::Le => (x, y, BinOp::Le),
+        ast::BinOp::Gt => (y, x, BinOp::Lt),
+        ast::BinOp::Ge => (y, x, BinOp::Le),
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_lower;
+
+    #[test]
+    fn lowers_simple_program() {
+        let p = parse_and_lower("uint8_t x; void main() { x = 3; }").unwrap();
+        assert!(p.entry.is_some());
+        assert_eq!(p.globals.len(), 1);
+    }
+
+    #[test]
+    fn implicit_conversions_become_casts() {
+        let p = parse_and_lower("uint32_t x; void f(uint8_t a) { x = a; }").unwrap();
+        let f = &p.functions[0];
+        let Stmt::Assign(_, e) = &f.body[0] else { panic!() };
+        assert!(matches!(e.kind, ExprKind::Cast(_)));
+        assert_eq!(e.ty, Type::Int(IntKind::U32));
+    }
+
+    #[test]
+    fn short_circuit_lowers_to_if() {
+        let p = parse_and_lower(
+            "uint8_t g; uint8_t h; void f() { if (g && h) { g = 1; } }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        // First the temp assignment, then the guard If, then the user If.
+        assert!(f.body.len() >= 3);
+        assert!(matches!(&f.body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn ternary_produces_temp() {
+        let p = parse_and_lower("uint8_t g; void f(uint8_t a) { g = a ? 1 : 2; }").unwrap();
+        let f = &p.functions[0];
+        assert!(f.locals.iter().any(|l| l.is_temp));
+    }
+
+    #[test]
+    fn for_desugars_to_while() {
+        let p = parse_and_lower(
+            "uint16_t s; void f() { uint8_t i; for (i = 0; i < 10; i++) { s += i; } }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert!(f.body.iter().any(|s| matches!(s, Stmt::While { .. })));
+    }
+
+    #[test]
+    fn array_decay_and_indexing() {
+        let p = parse_and_lower(
+            "uint8_t buf[8]; uint8_t f(uint8_t * p) { return p[1]; } uint8_t g() { return f(buf); }",
+        )
+        .unwrap();
+        let g = &p.functions[1];
+        let Stmt::Call { args, .. } = &g.body[0] else { panic!("got {:?}", g.body[0]) };
+        assert!(matches!(args[0].kind, ExprKind::AddrOf(_)));
+    }
+
+    #[test]
+    fn enum_constants_fold() {
+        let p = parse_and_lower("enum { N = 4 }; uint8_t buf[N]; void main() {}").unwrap();
+        assert_eq!(p.globals[0].ty, Type::Array(Box::new(Type::u8()), 4));
+    }
+
+    #[test]
+    fn tasks_and_interrupts_register() {
+        let p = parse_and_lower(
+            "task void t() { } interrupt(TIMER0) void h() { } void main() { }",
+        )
+        .unwrap();
+        assert_eq!(p.tasks.len(), 1);
+        assert_eq!(p.functions[1].interrupt, Some(0));
+    }
+
+    #[test]
+    fn global_initializers() {
+        let p = parse_and_lower(
+            "const uint16_t tab[3] = {1, 2, 3}; uint8_t x = 7; struct s { uint8_t a; uint16_t b; }; struct s v = {1, 2}; void main() {}",
+        )
+        .unwrap();
+        assert!(matches!(&p.globals[0].init, Init::List(v) if v.len() == 3));
+        assert!(matches!(p.globals[1].init, Init::Int(7)));
+        assert!(matches!(&p.globals[2].init, Init::List(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        // Incompatible pointer cast (would be WILD in CCured).
+        assert!(parse_and_lower("uint8_t * p; uint16_t * q; void f() { p = (uint8_t *) q; }")
+            .is_err());
+        // Unknown function.
+        assert!(parse_and_lower("void f() { g(); }").is_err());
+        // Break outside loop.
+        assert!(parse_and_lower("void f() { break; }").is_err());
+        // Returning value from void.
+        assert!(parse_and_lower("void f() { return 3; }").is_err());
+        // Struct by value param.
+        assert!(parse_and_lower("struct s { uint8_t a; }; void f(struct s v) { }").is_err());
+        // Self-containing struct.
+        assert!(parse_and_lower("struct s { struct s inner; }; void main() {}").is_err());
+    }
+
+    #[test]
+    fn sizeof_stays_symbolic() {
+        let p = parse_and_lower(
+            "struct m { uint8_t * p; }; uint16_t f() { return sizeof(struct m); }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        assert!(matches!(e.kind, ExprKind::SizeOf(_)));
+    }
+
+    #[test]
+    fn builtins_lower() {
+        let p = parse_and_lower(
+            "void f() { uint8_t s; __hw_write8(0xF000, 1); s = __irq_save(); __irq_restore(s); __sleep(); }",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        let builtins: Vec<_> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::BuiltinCall { which, .. } => Some(*which),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            builtins,
+            vec![Builtin::HwWrite8, Builtin::IrqSave, Builtin::IrqRestore, Builtin::Sleep]
+        );
+    }
+
+    #[test]
+    fn atomic_lowering_defaults_to_save_restore() {
+        let p = parse_and_lower("uint8_t g; void f() { atomic { g = 1; } }").unwrap();
+        assert!(matches!(
+            &p.functions[0].body[0],
+            Stmt::Atomic { style: AtomicStyle::SaveRestore, .. }
+        ));
+    }
+
+    #[test]
+    fn do_while_desugars() {
+        let p = parse_and_lower("void f() { uint8_t i = 0; do { i++; } while (i < 3); }").unwrap();
+        assert!(p.functions[0].body.iter().any(|s| matches!(s, Stmt::While { .. })));
+    }
+
+    #[test]
+    fn pointer_compare_with_null() {
+        let p = parse_and_lower("uint8_t * p; uint8_t f() { return p == 0; }").unwrap();
+        let f = &p.functions[0];
+        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Eq, _, _)));
+    }
+}

@@ -1,0 +1,317 @@
+//! C-like pretty printer for IR programs.
+//!
+//! Used for debugging, golden tests, and the "source-to-source" flavour of
+//! the toolchain (the paper's stages exchange C text; ours exchange IR, but
+//! the printer lets you inspect any intermediate stage).
+
+use std::fmt::Write as _;
+
+use crate::ir::*;
+use crate::types::Type;
+
+/// Renders a whole program as C-like text.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, s) in p.structs.iter().enumerate() {
+        let _ = writeln!(out, "struct {} {{ /* #{} */", s.name, i);
+        for f in &s.fields {
+            let _ = writeln!(out, "    {} {};", type_str(&f.ty, p), f.name);
+        }
+        let _ = writeln!(out, "}};");
+    }
+    for g in &p.globals {
+        let quals = match (g.is_const, g.norace, g.racy) {
+            (true, _, _) => "const ",
+            (false, true, _) => "norace ",
+            (false, false, true) => "/*racy*/ ",
+            _ => "",
+        };
+        let init = match &g.init {
+            Init::Zero => String::new(),
+            other => format!(" = {}", init_str(other)),
+        };
+        let _ = writeln!(out, "{}{} {}{};", quals, type_str(&g.ty, p), g.name, init);
+    }
+    for f in &p.functions {
+        let _ = writeln!(out, "{}", function_to_string(f, p));
+    }
+    out
+}
+
+/// Renders one function.
+pub fn function_to_string(f: &Function, p: &Program) -> String {
+    let mut out = String::new();
+    let mut quals = String::new();
+    if f.is_task {
+        quals.push_str("task ");
+    }
+    if let Some(v) = f.interrupt {
+        let _ = write!(quals, "interrupt({v}) ");
+    }
+    if f.inline_hint {
+        quals.push_str("inline ");
+    }
+    if f.trusted {
+        quals.push_str("/*trusted*/ ");
+    }
+    let params: Vec<String> = f
+        .param_ids()
+        .map(|id| {
+            let l = &f.locals[id.0 as usize];
+            format!("{} {}", type_str(&l.ty, p), l.name)
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "{}{} {}({}) {{",
+        quals,
+        type_str(&f.ret, p),
+        f.name,
+        params.join(", ")
+    );
+    for l in f.locals.iter().skip(f.params as usize) {
+        let _ = writeln!(out, "    {} {};", type_str(&l.ty, p), l.name);
+    }
+    write_block(&mut out, &f.body, f, p, 1);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, b: &Block, f: &Function, p: &Program, depth: usize) {
+    for s in b {
+        write_stmt(out, s, f, p, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, f: &Function, p: &Program, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Assign(place, e) => {
+            let _ = writeln!(out, "{} = {};", place_str(place, f, p), expr_str(e, f, p));
+        }
+        Stmt::Call { dst, func, args } => {
+            let callee = &p.functions[func.0 as usize].name;
+            let args: Vec<String> = args.iter().map(|a| expr_str(a, f, p)).collect();
+            match dst {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "{} = {}({});",
+                        place_str(d, f, p),
+                        callee,
+                        args.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{}({});", callee, args.join(", "));
+                }
+            }
+        }
+        Stmt::BuiltinCall { dst, which, args } => {
+            let args: Vec<String> = args.iter().map(|a| expr_str(a, f, p)).collect();
+            match dst {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "{} = {}({});",
+                        place_str(d, f, p),
+                        which.name(),
+                        args.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{}({});", which.name(), args.join(", "));
+                }
+            }
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond, f, p));
+            write_block(out, then_, f, p, depth + 1);
+            if !else_.is_empty() {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                write_block(out, else_, f, p, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr_str(cond, f, p));
+            write_block(out, body, f, p, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr_str(e, f, p));
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+        Stmt::Atomic { body, style } => {
+            let tag = match style {
+                AtomicStyle::SaveRestore => "atomic",
+                AtomicStyle::DisableEnable => "atomic /*no-save*/",
+            };
+            let _ = writeln!(out, "{tag} {{");
+            write_block(out, body, f, p, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Block(b) => {
+            out.push_str("{\n");
+            write_block(out, b, f, p, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Check(c) => {
+            let body = match &c.kind {
+                CheckKind::NonNull(e) => format!("__check_nonnull({})", expr_str(e, f, p)),
+                CheckKind::Upper { ptr, len } => {
+                    format!("__check_upper({}, {len})", expr_str(ptr, f, p))
+                }
+                CheckKind::Bounds { ptr, len } => {
+                    format!("__check_bounds({}, {len})", expr_str(ptr, f, p))
+                }
+                CheckKind::IndexBound { idx, n } => {
+                    format!("__check_index({}, {n})", expr_str(idx, f, p))
+                }
+            };
+            let _ = writeln!(out, "{body}; /* FLID {} */", c.flid.0);
+        }
+        Stmt::Nop => out.push_str("/* nop */;\n"),
+    }
+}
+
+/// Renders a type (struct ids become their names).
+pub fn type_str(t: &Type, p: &Program) -> String {
+    match t {
+        Type::Struct(sid) => format!("struct {}", p.structs[sid.0 as usize].name),
+        Type::Ptr(inner, k) => {
+            let base = type_str(inner, p);
+            match k {
+                crate::types::PtrKind::Thin => format!("{base} *"),
+                other => format!("{base} * /*{other:?}*/"),
+            }
+        }
+        Type::Array(inner, n) => format!("{}[{n}]", type_str(inner, p)),
+        other => other.to_string(),
+    }
+}
+
+/// Renders an expression.
+pub fn expr_str(e: &Expr, f: &Function, p: &Program) -> String {
+    match &e.kind {
+        ExprKind::Const(v) => format!("{v}"),
+        ExprKind::Str(id) => format!("{:?}", String::from_utf8_lossy(p.strings.get(*id))),
+        ExprKind::Load(pl) => place_str(pl, f, p),
+        ExprKind::AddrOf(pl) => format!("&{}", place_str(pl, f, p)),
+        ExprKind::Unary(op, a) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::BitNot => "~",
+                UnOp::Not => "!",
+            };
+            format!("{sym}({})", expr_str(a, f, p))
+        }
+        ExprKind::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::PtrAdd => "+p",
+                BinOp::PtrSub => "-p",
+            };
+            format!("({} {sym} {})", expr_str(a, f, p), expr_str(b, f, p))
+        }
+        ExprKind::Cast(a) => format!("({})({})", type_str(&e.ty, p), expr_str(a, f, p)),
+        ExprKind::SizeOf(t) => format!("sizeof({})", type_str(t, p)),
+        ExprKind::MakeFat { val, base, end } => match base {
+            Some(b) => format!(
+                "__mkfat({}, {}, {})",
+                expr_str(val, f, p),
+                expr_str(b, f, p),
+                expr_str(end, f, p)
+            ),
+            None => format!("__mkfat({}, {})", expr_str(val, f, p), expr_str(end, f, p)),
+        },
+    }
+}
+
+/// Renders a place.
+pub fn place_str(pl: &Place, f: &Function, p: &Program) -> String {
+    let mut s = match &pl.base {
+        PlaceBase::Local(id) => f.locals[id.0 as usize].name.clone(),
+        PlaceBase::Global(id) => p.globals[id.0 as usize].name.clone(),
+        PlaceBase::Deref(e) => format!("(*{})", expr_str(e, f, p)),
+    };
+    for el in &pl.elems {
+        match el {
+            PlaceElem::Field { sid, idx } => {
+                let fname = &p.structs[sid.0 as usize].fields[*idx as usize].name;
+                s.push('.');
+                s.push_str(fname);
+            }
+            PlaceElem::Index(e) => {
+                s = format!("{s}[{}]", expr_str(e, f, p));
+            }
+        }
+    }
+    s
+}
+
+fn init_str(i: &Init) -> String {
+    match i {
+        Init::Zero => "0".into(),
+        Init::Int(v) => format!("{v}"),
+        Init::List(items) => {
+            let inner: Vec<String> = items.iter().map(init_str).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Init::Str(id) => format!("<str #{}>", id.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_and_lower;
+
+    #[test]
+    fn round_trip_prints_reasonably() {
+        let p = parse_and_lower(
+            "struct m { uint8_t a; };
+             uint8_t g = 3;
+             void f(uint8_t x) { if (x) { g = x; } while (g) { g--; } }",
+        )
+        .unwrap();
+        let text = super::program_to_string(&p);
+        assert!(text.contains("struct m"));
+        assert!(text.contains("uint8_t g = 3;"));
+        assert!(text.contains("while"));
+        assert!(text.contains("if"));
+    }
+
+    #[test]
+    fn printed_program_reparses() {
+        // The printer is C-like enough that simple programs round-trip.
+        let p = parse_and_lower("uint8_t g; void main() { g = 1 + 2; }").unwrap();
+        let text = super::program_to_string(&p);
+        assert!(text.contains("main"));
+    }
+}

@@ -1,0 +1,260 @@
+//! IR walking helpers used by analysis and transformation passes.
+//!
+//! Passes in `ccured`, `cxprop`, and `backend` share these little
+//! traversals instead of re-implementing statement recursion.
+
+use crate::ir::{Block, CheckKind, Expr, ExprKind, Place, PlaceBase, PlaceElem, Stmt};
+
+/// Visits every statement in `block`, recursing into nested blocks,
+/// in pre-order.
+pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in block {
+        f(s);
+        match s {
+            Stmt::If { then_, else_, .. } => {
+                walk_stmts(then_, f);
+                walk_stmts(else_, f);
+            }
+            Stmt::While { body, .. } | Stmt::Atomic { body, .. } => walk_stmts(body, f),
+            Stmt::Block(b) => walk_stmts(b, f),
+            _ => {}
+        }
+    }
+}
+
+/// Mutable pre-order walk over every statement.
+pub fn walk_stmts_mut(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
+    for s in block.iter_mut() {
+        f(s);
+        match s {
+            Stmt::If { then_, else_, .. } => {
+                walk_stmts_mut(then_, f);
+                walk_stmts_mut(else_, f);
+            }
+            Stmt::While { body, .. } | Stmt::Atomic { body, .. } => walk_stmts_mut(body, f),
+            Stmt::Block(b) => walk_stmts_mut(b, f),
+            _ => {}
+        }
+    }
+}
+
+/// Calls `f` for each *top-level* expression of `s` (conditions, assignment
+/// sources, call arguments, check operands, and the expressions inside the
+/// statement's destination places). Does not recurse into nested statements.
+pub fn stmt_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    let on_place = |p: &'a Place, f: &mut dyn FnMut(&'a Expr)| {
+        if let PlaceBase::Deref(e) = &p.base {
+            f(e);
+        }
+        for el in &p.elems {
+            if let PlaceElem::Index(e) = el {
+                f(e);
+            }
+        }
+    };
+    match s {
+        Stmt::Assign(p, e) => {
+            on_place(p, f);
+            f(e);
+        }
+        Stmt::Call { dst, args, .. } | Stmt::BuiltinCall { dst, args, .. } => {
+            if let Some(p) = dst {
+                on_place(p, f);
+            }
+            for a in args {
+                f(a);
+            }
+        }
+        Stmt::If { cond, .. } => f(cond),
+        Stmt::While { cond, .. } => f(cond),
+        Stmt::Return(Some(e)) => f(e),
+        Stmt::Check(c) => match &c.kind {
+            CheckKind::NonNull(p) => f(p),
+            CheckKind::Upper { ptr, .. } | CheckKind::Bounds { ptr, .. } => f(ptr),
+            CheckKind::IndexBound { idx, .. } => f(idx),
+        },
+        _ => {}
+    }
+}
+
+/// Mutable variant of [`stmt_exprs`].
+pub fn stmt_exprs_mut(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    fn on_place(p: &mut Place, f: &mut impl FnMut(&mut Expr)) {
+        if let PlaceBase::Deref(e) = &mut p.base {
+            f(e);
+        }
+        for el in &mut p.elems {
+            if let PlaceElem::Index(e) = el {
+                f(e);
+            }
+        }
+    }
+    match s {
+        Stmt::Assign(p, e) => {
+            on_place(p, f);
+            f(e);
+        }
+        Stmt::Call { dst, args, .. } | Stmt::BuiltinCall { dst, args, .. } => {
+            if let Some(p) = dst {
+                on_place(p, f);
+            }
+            for a in args {
+                f(a);
+            }
+        }
+        Stmt::If { cond, .. } => f(cond),
+        Stmt::While { cond, .. } => f(cond),
+        Stmt::Return(Some(e)) => f(e),
+        Stmt::Check(c) => match &mut c.kind {
+            CheckKind::NonNull(p) => f(p),
+            CheckKind::Upper { ptr, .. } | CheckKind::Bounds { ptr, .. } => f(ptr),
+            CheckKind::IndexBound { idx, .. } => f(idx),
+        },
+        _ => {}
+    }
+}
+
+/// Visits `e` and all sub-expressions (including those inside places) in
+/// pre-order.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Unary(_, a) | ExprKind::Cast(a) => walk_expr(a, f),
+        ExprKind::Binary(_, a, b) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        ExprKind::Load(p) | ExprKind::AddrOf(p) => walk_place(p, f),
+        ExprKind::MakeFat { val, base, end } => {
+            walk_expr(val, f);
+            if let Some(b) = base {
+                walk_expr(b, f);
+            }
+            walk_expr(end, f);
+        }
+        _ => {}
+    }
+}
+
+/// Visits the expressions embedded in a place.
+pub fn walk_place<'a>(p: &'a Place, f: &mut impl FnMut(&'a Expr)) {
+    if let PlaceBase::Deref(e) = &p.base {
+        walk_expr(e, f);
+    }
+    for el in &p.elems {
+        if let PlaceElem::Index(e) = el {
+            walk_expr(e, f);
+        }
+    }
+}
+
+/// Mutable post-order walk over an expression tree (children first, so a
+/// rewriter can fold bottom-up in one pass).
+pub fn walk_expr_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match &mut e.kind {
+        ExprKind::Unary(_, a) | ExprKind::Cast(a) => walk_expr_mut(a, f),
+        ExprKind::Binary(_, a, b) => {
+            walk_expr_mut(a, f);
+            walk_expr_mut(b, f);
+        }
+        ExprKind::Load(p) | ExprKind::AddrOf(p) => walk_place_mut(p, f),
+        ExprKind::MakeFat { val, base, end } => {
+            walk_expr_mut(val, f);
+            if let Some(b) = base {
+                walk_expr_mut(b, f);
+            }
+            walk_expr_mut(end, f);
+        }
+        _ => {}
+    }
+    f(e);
+}
+
+/// Mutable walk over the expressions embedded in a place.
+pub fn walk_place_mut(p: &mut Place, f: &mut impl FnMut(&mut Expr)) {
+    if let PlaceBase::Deref(e) = &mut p.base {
+        walk_expr_mut(e, f);
+    }
+    for el in &mut p.elems {
+        if let PlaceElem::Index(e) = el {
+            walk_expr_mut(e, f);
+        }
+    }
+}
+
+/// Removes `Stmt::Nop` and empty `Stmt::Block` entries left behind by
+/// rewriting passes, recursively.
+pub fn sweep_nops(block: &mut Block) {
+    for s in block.iter_mut() {
+        match s {
+            Stmt::If { then_, else_, .. } => {
+                sweep_nops(then_);
+                sweep_nops(else_);
+            }
+            Stmt::While { body, .. } | Stmt::Atomic { body, .. } => sweep_nops(body),
+            Stmt::Block(b) => sweep_nops(b),
+            _ => {}
+        }
+    }
+    block.retain(|s| !matches!(s, Stmt::Nop) && !matches!(s, Stmt::Block(b) if b.is_empty()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::*;
+    use crate::types::IntKind;
+
+    fn sample_block() -> Block {
+        vec![
+            Stmt::Assign(
+                Place::local(LocalId(0), crate::types::Type::u8()),
+                Expr::const_int(1, IntKind::U8),
+            ),
+            Stmt::If {
+                cond: Expr::bool_val(true),
+                then_: vec![Stmt::Nop],
+                else_: vec![Stmt::While {
+                    cond: Expr::bool_val(false),
+                    body: vec![Stmt::Break],
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn walk_stmts_visits_nested() {
+        let b = sample_block();
+        let mut n = 0;
+        walk_stmts(&b, &mut |_| n += 1);
+        assert_eq!(n, 5); // assign, if, nop, while, break
+    }
+
+    #[test]
+    fn sweep_removes_nops_and_empty_blocks() {
+        let mut b = sample_block();
+        b.push(Stmt::Block(vec![Stmt::Nop]));
+        sweep_nops(&mut b);
+        let mut n = 0;
+        walk_stmts(&b, &mut |s| {
+            assert!(!matches!(s, Stmt::Nop));
+            n += 1;
+        });
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn expr_walk_reaches_place_indices() {
+        let idx = Expr::const_int(3, IntKind::U16);
+        let arr = Place::local(LocalId(0), crate::types::Type::Array(Box::new(crate::types::Type::u8()), 8))
+            .index(idx, crate::types::Type::u8());
+        let e = Expr::load(arr);
+        let mut consts = 0;
+        walk_expr(&e, &mut |x| {
+            if x.as_const().is_some() {
+                consts += 1;
+            }
+        });
+        assert_eq!(consts, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-application simulation contexts: the "reasonable sensor network
+//! context" §3.4 says each app was run in.
+//!
+//! A context sets the node's sensor waveform and schedules radio traffic
+//! (built with the same framing and CRC as the in-language radio stack).
+
+use mcu::devices::Waveform;
+use mcu::Machine;
+
+/// An active-message packet to inject into a node's receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmPacket {
+    /// Destination address field.
+    pub addr: u16,
+    /// AM type.
+    pub am_type: u8,
+    /// Group byte.
+    pub group: u8,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+impl AmPacket {
+    /// A broadcast packet of the given type.
+    pub fn broadcast(am_type: u8, payload: Vec<u8>) -> AmPacket {
+        AmPacket { addr: 0xFFFF, am_type, group: 0x7D, payload }
+    }
+
+    /// Serializes to the on-air frame: sync, header, payload, CRC —
+    /// byte-compatible with `RadioM` in `components/RadioC.nc`.
+    pub fn frame_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0x7E];
+        let mut crc: u16 = 0;
+        let push = |out: &mut Vec<u8>, crc: &mut u16, b: u8| {
+            *crc = crc_byte(*crc, b);
+            out.push(b);
+        };
+        push(&mut out, &mut crc, self.addr as u8);
+        push(&mut out, &mut crc, (self.addr >> 8) as u8);
+        push(&mut out, &mut crc, self.am_type);
+        push(&mut out, &mut crc, self.group);
+        push(&mut out, &mut crc, self.payload.len() as u8);
+        for &b in &self.payload {
+            push(&mut out, &mut crc, b);
+        }
+        out.push(crc as u8);
+        out.push((crc >> 8) as u8);
+        out
+    }
+}
+
+/// CRC-CCITT step, identical to `RadioM.crc_byte`.
+pub fn crc_byte(mut crc: u16, b: u8) -> u16 {
+    crc ^= (b as u16) << 8;
+    for _ in 0..8 {
+        if crc & 0x8000 != 0 {
+            crc = (crc << 1) ^ 0x1021;
+        } else {
+            crc <<= 1;
+        }
+    }
+    crc
+}
+
+/// A scheduled packet arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Arrival time of the first byte, in cycles.
+    pub at: u64,
+    /// The packet.
+    pub packet: AmPacket,
+}
+
+/// A complete workload context for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    /// Simulated duration in seconds (the paper runs three minutes; the
+    /// experiment harness scales this).
+    pub seconds: u64,
+    /// Sensor input.
+    pub waveform: Waveform,
+    /// Scheduled radio traffic.
+    pub injections: Vec<Injection>,
+}
+
+impl Context {
+    /// A quiet context (no sensor activity beyond a constant, no radio).
+    pub fn quiet(seconds: u64) -> Context {
+        Context { seconds, waveform: Waveform::Const(512), injections: Vec::new() }
+    }
+
+    /// Adds periodic broadcasts of `packet` every `period` cycles,
+    /// starting at `start`, for the whole duration.
+    pub fn with_periodic(
+        mut self,
+        start: u64,
+        period: u64,
+        packet: AmPacket,
+        clock_hz: u64,
+    ) -> Context {
+        let end = self.seconds * clock_hz;
+        let mut t = start;
+        while t < end {
+            self.injections.push(Injection { at: t, packet: packet.clone() });
+            t += period;
+        }
+        self
+    }
+
+    /// Duration in cycles for a machine's clock.
+    pub fn duration_cycles(&self, clock_hz: u64) -> u64 {
+        self.seconds * clock_hz
+    }
+
+    /// Applies the context to a machine (waveform + scheduled traffic).
+    pub fn apply(&self, m: &mut Machine) {
+        m.set_waveform(self.waveform.clone());
+        for inj in &self.injections {
+            m.inject_rx_bytes(inj.at, &inj.packet.frame_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_has_sync_header_payload_crc() {
+        let p = AmPacket::broadcast(4, vec![7]);
+        let f = p.frame_bytes();
+        assert_eq!(f[0], 0x7E);
+        assert_eq!(f[1], 0xFF); // addr lo
+        assert_eq!(f[2], 0xFF); // addr hi
+        assert_eq!(f[3], 4); // type
+        assert_eq!(f[4], 0x7D); // group
+        assert_eq!(f[5], 1); // length
+        assert_eq!(f[6], 7); // payload
+        assert_eq!(f.len(), 9); // + 2 CRC bytes
+    }
+
+    #[test]
+    fn crc_is_ccitt_like() {
+        // Deterministic and byte-order sensitive.
+        let a = crc_byte(crc_byte(0, 1), 2);
+        let b = crc_byte(crc_byte(0, 2), 1);
+        assert_ne!(a, b);
+        assert_eq!(a, crc_byte(crc_byte(0, 1), 2));
+    }
+
+    #[test]
+    fn periodic_injections_fill_duration() {
+        let c = Context::quiet(2).with_periodic(
+            0,
+            500_000,
+            AmPacket::broadcast(4, vec![1]),
+            1_000_000,
+        );
+        assert_eq!(c.injections.len(), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! Stage-by-stage walk of the toolchain on one application: how each
+//! pass of Figure 1 changes the check population and the footprint.
+//!
+//! Run with: `cargo run --release --example optimization_pipeline`
+
+use backend::{compile, BackendOptions};
+use ccured::{cure, CureOptions};
+use cxprop::{CxpropOptions, InlineOptions};
+use mcu::Profile;
+
+fn measure(program: &tcil::Program, label: &str) {
+    let image = compile(program, Profile::mica2(), &BackendOptions::default()).expect("compile");
+    println!(
+        "{label:<34} {:>6} B code {:>5} B sram {:>4} checks in IR {:>4} in binary",
+        image.code_bytes(),
+        image.sram_bytes(),
+        program.count_checks(),
+        image.surviving_checks()
+    );
+}
+
+fn main() {
+    let spec = tosapps::spec("Oscilloscope_Mica2").expect("known app");
+    let out = nesc::compile(&tosapps::source_set(), spec.config).expect("nesc");
+    println!("racy variables (nesC report): {:?}\n", out.report.racy.len());
+
+    let mut program = out.program;
+    measure(&program, "after nesC (unsafe)");
+
+    let stats = cure(&mut program, &CureOptions { local_optimize: false, ..Default::default() })
+        .expect("cure");
+    measure(&program, "after CCured (no local opt)");
+    println!("  pointer kinds: {:?}; locks inserted: {}", stats.kinds, stats.locks_inserted);
+
+    ccured::optimize::optimize_checks(&mut program);
+    measure(&program, "after CCured local optimizer");
+
+    let inlined = cxprop::inline::run(&mut program, &InlineOptions::default());
+    measure(&program, "after source-level inlining");
+    println!("  {inlined} call sites expanded");
+
+    let cx = cxprop::optimize(&mut program, &CxpropOptions { inline: false, ..Default::default() });
+    ccured::errmsg::prune_unused_messages(&mut program);
+    measure(&program, "after cXprop");
+    println!(
+        "  {} checks removed, {} branches folded, {} dead functions, {} dead globals, {} atomics demoted",
+        cx.engine.checks_removed,
+        cx.engine.branches_folded,
+        cx.dce.functions_removed,
+        cx.dce.globals_removed,
+        cx.atomics.demoted
+    );
+}

@@ -1,0 +1,50 @@
+//! What safety buys you: the same buggy sensor app built unsafely
+//! silently corrupts a neighbouring variable; built safely it traps with
+//! a FLID the host decodes to the faulting source location.
+//!
+//! Run with: `cargo run --release --example safety_violation`
+
+use backend::{compile, BackendOptions};
+use ccured::{cure, CureOptions};
+use mcu::{Machine, Profile, RunState};
+
+const BUGGY: &str = "
+    uint8_t samples[8];
+    uint8_t radio_power = 3;    // the unlucky neighbour in SRAM
+
+    void record(uint8_t * buf, uint8_t n) {
+        uint8_t i;
+        for (i = 0; i < n; i++) { buf[i] = (uint8_t)(i + 0xA0); }
+    }
+
+    void main() {
+        // Off-by-32: writes far past the end of `samples`.
+        record(samples, 40);
+    }
+";
+
+fn main() {
+    println!("== The bug: record(samples, 40) overruns samples[8] ==\n");
+
+    // Unsafe build.
+    let program = tcil::parse_and_lower(BUGGY).expect("parse");
+    let image = compile(&program, Profile::mica2(), &BackendOptions::default()).expect("compile");
+    let mut m = Machine::new(&image);
+    m.run(1_000_000);
+    let power = image.find_global_addr("radio_power").expect("symbol");
+    println!("unsafe build:  state={:?}", m.state);
+    println!("               radio_power was 3, is now {} (silent corruption!)", m.ram_peek(power));
+    assert_eq!(m.state, RunState::Halted);
+
+    // Safe build.
+    let mut program = tcil::parse_and_lower(BUGGY).expect("parse");
+    cure(&mut program, &CureOptions::default()).expect("cure");
+    let image = compile(&program, Profile::mica2(), &BackendOptions::default()).expect("compile");
+    let mut m = Machine::new(&image);
+    m.run(1_000_000);
+    println!("\nsafe build:    state={:?}", m.state);
+    println!("               {}", m.fault_message().expect("fault message"));
+    let power = image.find_global_addr("radio_power").expect("symbol");
+    println!("               radio_power still {} — the write never happened", m.ram_peek(power));
+    assert_eq!(m.state, RunState::Faulted);
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Safe TinyOS reproduction workspace.
+//!
+//! This crate re-exports the individual toolchain crates so that the
+//! workspace-level `examples/` and `tests/` can refer to everything through
+//! one dependency. See the [`safe_tinyos`] crate for the toolchain driver
+//! and `DESIGN.md` at the repository root for the system inventory.
+
+pub use backend;
+pub use ccured;
+pub use cxprop;
+pub use mcu;
+pub use nesc;
+pub use safe_tinyos;
+pub use tcil;
+pub use tosapps;

@@ -1,0 +1,100 @@
+//! Whole-toolchain integration: every benchmark app must build and run
+//! under the key pipeline configurations without faulting, and the
+//! paper's qualitative relationships must hold per app.
+
+use safe_tinyos::{build_app, simulate, BuildConfig};
+use safe_tinyos_suite as _;
+
+#[test]
+fn all_apps_build_under_all_fig3_bars() {
+    for name in tosapps::APP_NAMES {
+        let spec = tosapps::spec(name).unwrap();
+        for config in BuildConfig::fig3_bars() {
+            let b = build_app(&spec, &config)
+                .unwrap_or_else(|e| panic!("{name} / {}: {e}", config.name));
+            assert!(b.metrics.code_bytes > 0, "{name} / {}", config.name);
+        }
+    }
+}
+
+#[test]
+fn all_apps_run_unsafe_without_faulting() {
+    for name in tosapps::APP_NAMES {
+        let spec = tosapps::spec(name).unwrap();
+        let b = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
+        let r = simulate(&b, &spec, 2);
+        // Sleeping or mid-burst Running are both healthy end states;
+        // Faulted/Halted are not.
+        assert!(
+            matches!(r.state, mcu::RunState::Sleeping | mcu::RunState::Running),
+            "{name}: {:?} (fault {:?})",
+            r.state,
+            r.fault
+        );
+    }
+}
+
+#[test]
+fn all_apps_run_fully_safe_without_traps() {
+    // The core soundness claim: correct programs keep working after the
+    // full safe pipeline — no false-positive traps.
+    for name in tosapps::APP_NAMES {
+        let spec = tosapps::spec(name).unwrap();
+        let b = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
+        let r = simulate(&b, &spec, 2);
+        assert!(
+            matches!(r.state, mcu::RunState::Sleeping | mcu::RunState::Running),
+            "{name}: {:?} (fault {:?})",
+            r.state,
+            r.fault
+        );
+    }
+}
+
+#[test]
+fn safe_and_unsafe_builds_behave_equivalently() {
+    // Device-level observable behaviour must match between the unsafe
+    // baseline and the fully optimized safe build.
+    for name in ["BlinkTask_Mica2", "CntToLedsAndRfm_Mica2", "RfmToLeds_Mica2"] {
+        let spec = tosapps::spec(name).unwrap();
+        let bu = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
+        let bs = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
+        let ru = simulate(&bu, &spec, 3);
+        let rs = simulate(&bs, &spec, 3);
+        assert_eq!(ru.led_transitions, rs.led_transitions, "{name} LED behaviour diverged");
+        assert_eq!(ru.radio_tx_bytes, rs.radio_tx_bytes, "{name} radio behaviour diverged");
+        assert_eq!(ru.uart_bytes, rs.uart_bytes, "{name} uart behaviour diverged");
+    }
+}
+
+#[test]
+fn apps_do_observable_work() {
+    let cases: &[(&str, fn(&safe_tinyos::SimResult) -> bool, &str)] = &[
+        ("BlinkTask_Mica2", |r| r.led_transitions >= 4, "LED toggles"),
+        ("CntToLedsAndRfm_Mica2", |r| r.radio_tx_bytes > 10, "radio traffic"),
+        ("GenericBase_Mica2", |r| r.uart_bytes > 5, "uart forwarding"),
+        ("RfmToLeds_Mica2", |r| r.led_transitions >= 1, "LED display"),
+        ("Oscilloscope_Mica2", |r| r.radio_tx_bytes > 10, "sample messages"),
+        ("SenseToRfm_Mica2", |r| r.radio_tx_bytes > 10, "sense messages"),
+        ("Ident_Mica2", |r| r.radio_tx_bytes > 10, "ident replies"),
+        ("TestTimeStamping_Mica2", |r| r.radio_tx_bytes > 5, "echoes"),
+        ("Surge_Mica2", |r| r.radio_tx_bytes > 10, "forwarded readings"),
+        ("HighFrequencySampling_Mica2", |r| r.radio_tx_bytes > 20, "bulk data"),
+        ("MicaHWVerify_Mica2", |r| r.uart_bytes >= 4, "self-test report"),
+        ("RadioCountToLeds_TelosB", |r| r.radio_tx_bytes > 10 && r.led_transitions > 0, "count exchange"),
+    ];
+    for (name, check, what) in cases {
+        let spec = tosapps::spec(name).unwrap();
+        let b = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
+        let r = simulate(&b, &spec, 5);
+        assert!(
+            check(&r),
+            "{name}: expected {what}; leds={} radio={} uart={} state={:?} fault={:?}",
+            r.led_transitions,
+            r.radio_tx_bytes,
+            r.uart_bytes,
+            r.state,
+            r.fault
+        );
+    }
+}
