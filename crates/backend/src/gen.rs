@@ -32,7 +32,11 @@ use crate::layout::Layout;
 ///
 /// Returns an error for IR the generator cannot lower (aggregate
 /// assignments from non-place expressions, missing `main`).
-pub fn generate(program: &Program, layout: &Layout, profile: Profile) -> Result<Image, CompileError> {
+pub fn generate(
+    program: &Program,
+    layout: &Layout,
+    profile: Profile,
+) -> Result<Image, CompileError> {
     let mut image = Image::new(profile);
     image.data_init = layout.data_init.clone();
     image.rodata = layout.rodata.clone();
@@ -198,7 +202,9 @@ impl<'a> FuncGen<'a> {
                 ValKind::Int(w, _) => SlotKind::Scalar(w),
                 ValKind::Fat(seq) => SlotKind::Fat { seq },
                 ValKind::Agg(_) => {
-                    return Err(CompileError::generic("aggregate parameter survived lowering"))
+                    return Err(CompileError::generic(
+                        "aggregate parameter survived lowering",
+                    ))
                 }
             };
             cf.params.push(ParamSlot { off, kind });
@@ -299,7 +305,10 @@ impl<'a> FuncGen<'a> {
                 let cond_pos = self.here();
                 self.gen_expr(cond)?;
                 let jz = self.emit(Instr::Jz { target: 0 });
-                self.scopes.push(Scope::Loop { cont_target: cond_pos, break_fixups: Vec::new() });
+                self.scopes.push(Scope::Loop {
+                    cont_target: cond_pos,
+                    break_fixups: Vec::new(),
+                });
                 self.gen_block(body)?;
                 self.emit(Instr::Jmp { target: cond_pos });
                 let end = self.here();
@@ -375,13 +384,19 @@ impl<'a> FuncGen<'a> {
                 match style {
                     AtomicStyle::SaveRestore => {
                         self.emit(Instr::IrqSave);
-                        self.emit(Instr::StLocal { off: slot, width: Width::W8 });
+                        self.emit(Instr::StLocal {
+                            off: slot,
+                            width: Width::W8,
+                        });
                     }
                     AtomicStyle::DisableEnable => {
                         self.emit(Instr::IrqDisable);
                     }
                 }
-                self.scopes.push(Scope::Atomic { style: *style, save_slot: slot });
+                self.scopes.push(Scope::Atomic {
+                    style: *style,
+                    save_slot: slot,
+                });
                 self.gen_block(body)?;
                 self.scopes.pop();
                 self.gen_atomic_exit(*style, slot);
@@ -396,7 +411,11 @@ impl<'a> FuncGen<'a> {
     fn gen_atomic_exit(&mut self, style: AtomicStyle, slot: u16) {
         match style {
             AtomicStyle::SaveRestore => {
-                self.emit(Instr::LdLocal { off: slot, width: Width::W8, signed: false });
+                self.emit(Instr::LdLocal {
+                    off: slot,
+                    width: Width::W8,
+                    signed: false,
+                });
                 self.emit(Instr::IrqRestore);
             }
             AtomicStyle::DisableEnable => {
@@ -435,9 +454,16 @@ impl<'a> FuncGen<'a> {
     ) -> Result<(), CompileError> {
         match which {
             Builtin::HwRead8 | Builtin::HwRead16 => {
-                let w = if which == Builtin::HwRead8 { Width::W8 } else { Width::W16 };
+                let w = if which == Builtin::HwRead8 {
+                    Width::W8
+                } else {
+                    Width::W16
+                };
                 self.gen_expr(&args[0])?;
-                self.emit(Instr::Ld { width: w, signed: false });
+                self.emit(Instr::Ld {
+                    width: w,
+                    signed: false,
+                });
                 match dst {
                     Some(d) => self.gen_store(d)?,
                     None => {
@@ -446,7 +472,11 @@ impl<'a> FuncGen<'a> {
                 }
             }
             Builtin::HwWrite8 | Builtin::HwWrite16 => {
-                let w = if which == Builtin::HwWrite8 { Width::W8 } else { Width::W16 };
+                let w = if which == Builtin::HwWrite8 {
+                    Width::W8
+                } else {
+                    Width::W16
+                };
                 self.gen_expr(&args[1])?;
                 self.gen_expr(&args[0])?;
                 self.emit(Instr::St { width: w });
@@ -499,10 +529,18 @@ impl<'a> FuncGen<'a> {
                 self.gen_expr(ptr)?;
                 self.emit(Instr::FatVal);
                 self.emit(Instr::PushI(*len as i64));
-                self.emit(Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false });
+                self.emit(Instr::Bin {
+                    op: AluOp::Add,
+                    width: Width::W16,
+                    signed: false,
+                });
                 self.gen_expr(ptr)?;
                 self.emit(Instr::FatEnd);
-                self.emit(Instr::Bin { op: AluOp::Le, width: Width::W16, signed: false });
+                self.emit(Instr::Bin {
+                    op: AluOp::Le,
+                    width: Width::W16,
+                    signed: false,
+                });
                 ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
             }
             CheckKind::Bounds { ptr, len } => {
@@ -514,22 +552,38 @@ impl<'a> FuncGen<'a> {
                 self.emit(Instr::FatBase);
                 self.gen_expr(ptr)?;
                 self.emit(Instr::FatVal);
-                self.emit(Instr::Bin { op: AluOp::Le, width: Width::W16, signed: false });
+                self.emit(Instr::Bin {
+                    op: AluOp::Le,
+                    width: Width::W16,
+                    signed: false,
+                });
                 fail_jumps.push(self.emit(Instr::Jz { target: 0 }));
                 // val + len <= end ?
                 self.gen_expr(ptr)?;
                 self.emit(Instr::FatVal);
                 self.emit(Instr::PushI(*len as i64));
-                self.emit(Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false });
+                self.emit(Instr::Bin {
+                    op: AluOp::Add,
+                    width: Width::W16,
+                    signed: false,
+                });
                 self.gen_expr(ptr)?;
                 self.emit(Instr::FatEnd);
-                self.emit(Instr::Bin { op: AluOp::Le, width: Width::W16, signed: false });
+                self.emit(Instr::Bin {
+                    op: AluOp::Le,
+                    width: Width::W16,
+                    signed: false,
+                });
                 ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
             }
             CheckKind::IndexBound { idx, n } => {
                 self.gen_expr(idx)?;
                 self.emit(Instr::PushI(*n as i64));
-                self.emit(Instr::Bin { op: AluOp::Lt, width: Width::W16, signed: false });
+                self.emit(Instr::Bin {
+                    op: AluOp::Lt,
+                    width: Width::W16,
+                    signed: false,
+                });
                 ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
             }
         }
@@ -627,15 +681,26 @@ impl<'a> FuncGen<'a> {
                 self.gen_expr(b)?;
                 if elem != 1 {
                     self.emit(Instr::PushI(elem as i64));
-                    self.emit(Instr::Bin { op: AluOp::Mul, width: Width::W16, signed: false });
+                    self.emit(Instr::Bin {
+                        op: AluOp::Mul,
+                        width: Width::W16,
+                        signed: false,
+                    });
                 }
                 if op == BinOp::PtrSub {
-                    self.emit(Instr::Un { op: UnAluOp::Neg, width: Width::W16 });
+                    self.emit(Instr::Un {
+                        op: UnAluOp::Neg,
+                        width: Width::W16,
+                    });
                 }
                 if matches!(val_kind(&a.ty, &self.prog.structs), ValKind::Fat(_)) {
                     self.emit(Instr::FatAdd);
                 } else {
-                    self.emit(Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false });
+                    self.emit(Instr::Bin {
+                        op: AluOp::Add,
+                        width: Width::W16,
+                        signed: false,
+                    });
                 }
             }
             _ => {
@@ -666,7 +731,11 @@ impl<'a> FuncGen<'a> {
                     BinOp::Le => AluOp::Le,
                     BinOp::PtrAdd | BinOp::PtrSub => unreachable!(),
                 };
-                self.emit(Instr::Bin { op: alu, width: w, signed });
+                self.emit(Instr::Bin {
+                    op: alu,
+                    width: w,
+                    signed,
+                });
             }
         }
         Ok(())
@@ -686,7 +755,10 @@ impl<'a> FuncGen<'a> {
             }
             PlaceBase::Global(g) => {
                 let addr = self.layout.global_addr[g.0 as usize];
-                (Loc::Global(addr), self.prog.globals[g.0 as usize].ty.clone())
+                (
+                    Loc::Global(addr),
+                    self.prog.globals[g.0 as usize].ty.clone(),
+                )
             }
             PlaceBase::Deref(e) => {
                 self.gen_expr(e)?;
@@ -695,9 +767,7 @@ impl<'a> FuncGen<'a> {
                 }
                 let ty = match &e.ty {
                     Type::Ptr(t, _) => (**t).clone(),
-                    other => {
-                        return Err(CompileError::generic(format!("deref of {other}")))
-                    }
+                    other => return Err(CompileError::generic(format!("deref of {other}"))),
                 };
                 (Loc::Stack, ty)
             }
@@ -712,9 +782,7 @@ impl<'a> FuncGen<'a> {
                 PlaceElem::Index(i) => {
                     let elem_ty = match &ty {
                         Type::Array(t, _) => (**t).clone(),
-                        other => {
-                            return Err(CompileError::generic(format!("index into {other}")))
-                        }
+                        other => return Err(CompileError::generic(format!("index into {other}"))),
                     };
                     let elem_size = size_of(&elem_ty, structs);
                     if let Some(v) = i.as_const() {
@@ -731,7 +799,11 @@ impl<'a> FuncGen<'a> {
                                 signed: false,
                             });
                         }
-                        self.emit(Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false });
+                        self.emit(Instr::Bin {
+                            op: AluOp::Add,
+                            width: Width::W16,
+                            signed: false,
+                        });
                     }
                     ty = elem_ty;
                 }
@@ -743,7 +815,11 @@ impl<'a> FuncGen<'a> {
             Loc::Stack => {
                 if const_off != 0 {
                     self.emit(Instr::PushI(const_off as i64));
-                    self.emit(Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false });
+                    self.emit(Instr::Bin {
+                        op: AluOp::Add,
+                        width: Width::W16,
+                        signed: false,
+                    });
                 }
                 Loc::Stack
             }
@@ -753,7 +829,9 @@ impl<'a> FuncGen<'a> {
     fn materialize(&mut self, loc: Loc, const_off: &mut u32) -> Loc {
         match loc {
             Loc::Local(off) => {
-                self.emit(Instr::AddrLocal { off: off + *const_off as u16 });
+                self.emit(Instr::AddrLocal {
+                    off: off + *const_off as u16,
+                });
                 *const_off = 0;
                 Loc::Stack
             }
@@ -765,7 +843,11 @@ impl<'a> FuncGen<'a> {
             Loc::Stack => {
                 if *const_off != 0 {
                     self.emit(Instr::PushI(*const_off as i64));
-                    self.emit(Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false });
+                    self.emit(Instr::Bin {
+                        op: AluOp::Add,
+                        width: Width::W16,
+                        signed: false,
+                    });
                     *const_off = 0;
                 }
                 Loc::Stack
@@ -785,13 +867,24 @@ impl<'a> FuncGen<'a> {
         let loc = self.resolve_place(p)?;
         match (kind, loc) {
             (ValKind::Int(w, s), Loc::Local(off)) => {
-                self.emit(Instr::LdLocal { off, width: w, signed: s });
+                self.emit(Instr::LdLocal {
+                    off,
+                    width: w,
+                    signed: s,
+                });
             }
             (ValKind::Int(w, s), Loc::Global(addr)) => {
-                self.emit(Instr::LdGlobal { addr, width: w, signed: s });
+                self.emit(Instr::LdGlobal {
+                    addr,
+                    width: w,
+                    signed: s,
+                });
             }
             (ValKind::Int(w, s), Loc::Stack) => {
-                self.emit(Instr::Ld { width: w, signed: s });
+                self.emit(Instr::Ld {
+                    width: w,
+                    signed: s,
+                });
             }
             (ValKind::Fat(seq), Loc::Local(off)) => {
                 self.emit(Instr::LdLocalFat { off, seq });

@@ -116,7 +116,13 @@ pub fn layout(program: &Program, profile: &Profile) -> Result<Layout, CompileErr
 }
 
 /// Renders an initializer into little-endian bytes for `ty`.
-fn render_init(ty: &Type, init: &Init, structs: &[tcil::types::StructDef], program: &Program, out: &mut Vec<u8>) {
+fn render_init(
+    ty: &Type,
+    init: &Init,
+    structs: &[tcil::types::StructDef],
+    program: &Program,
+    out: &mut Vec<u8>,
+) {
     let size = size_of(ty, structs) as usize;
     match (ty, init) {
         (_, Init::Zero) => out.extend(std::iter::repeat(0).take(size)),

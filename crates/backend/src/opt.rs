@@ -52,7 +52,11 @@ fn fold_branches(block: &mut Block) -> bool {
                 changed |= fold_branches(then_);
                 changed |= fold_branches(else_);
                 if let Some(t) = const_truth(cond) {
-                    let taken = if t { std::mem::take(then_) } else { std::mem::take(else_) };
+                    let taken = if t {
+                        std::mem::take(then_)
+                    } else {
+                        std::mem::take(else_)
+                    };
                     *s = Stmt::Block(taken);
                     changed = true;
                 }
@@ -128,8 +132,8 @@ mod tests {
 
     #[test]
     fn removes_unreachable_tail() {
-        let mut p = tcil::parse_and_lower("uint8_t g; void f() { return; g = 1; } void main() {}")
-            .unwrap();
+        let mut p =
+            tcil::parse_and_lower("uint8_t g; void f() { return; g = 1; } void main() {}").unwrap();
         optimize(&mut p);
         let body = &p.functions[0].body;
         assert_eq!(body.len(), 1);
@@ -138,12 +142,12 @@ mod tests {
 
     #[test]
     fn folds_sizeof_now_that_layout_is_final() {
-        let mut p = tcil::parse_and_lower(
-            "uint16_t g; void main() { g = sizeof(uint32_t); }",
-        )
-        .unwrap();
+        let mut p =
+            tcil::parse_and_lower("uint16_t g; void main() { g = sizeof(uint32_t); }").unwrap();
         optimize(&mut p);
-        let Stmt::Assign(_, e) = &p.functions[0].body[0] else { panic!() };
+        let Stmt::Assign(_, e) = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(e.as_const(), Some(4));
     }
 }

@@ -48,7 +48,12 @@ fn cured_program_computes_same_result() {
     let (mu, iu) = run(SUM_PROGRAM, false, 1_000_000);
     let (mc, ic) = run(SUM_PROGRAM, true, 1_000_000);
     assert_eq!(mu.state, RunState::Halted, "unsafe fault: {:?}", mu.fault);
-    assert_eq!(mc.state, RunState::Halted, "cured fault: {:?}", mc.fault_message());
+    assert_eq!(
+        mc.state,
+        RunState::Halted,
+        "cured fault: {:?}",
+        mc.fault_message()
+    );
     let a = iu.find_global_addr("sum").unwrap();
     let b = ic.find_global_addr("sum").unwrap();
     assert_eq!(mu.ram_peek16(a), 56);
@@ -78,16 +83,28 @@ fn out_of_bounds_write_traps_in_cured_build() {
     ";
     // Unsafe build: silently runs off the end of buf (no trap).
     let (mu, iu) = run(src, false, 1_000_000);
-    assert_eq!(mu.state, RunState::Halted, "unsafe corrupts silently: {:?}", mu.fault);
+    assert_eq!(
+        mu.state,
+        RunState::Halted,
+        "unsafe corrupts silently: {:?}",
+        mu.fault
+    );
     let victim = iu.find_global_addr("victim").unwrap();
-    assert_eq!(mu.ram_peek(victim), 0xAA, "silent corruption of the neighbour");
+    assert_eq!(
+        mu.ram_peek(victim),
+        0xAA,
+        "silent corruption of the neighbour"
+    );
 
     // Cured build: traps with a FLID the host can decode.
     let (mc, _) = run(src, true, 1_000_000);
     assert_eq!(mc.state, RunState::Faulted);
     assert!(matches!(mc.fault, Some(Fault::SafetyTrap(_))));
     let msg = mc.fault_message().unwrap();
-    assert!(msg.contains("smash"), "FLID decodes to the faulting function: {msg}");
+    assert!(
+        msg.contains("smash"),
+        "FLID decodes to the faulting function: {msg}"
+    );
 }
 
 #[test]
@@ -114,7 +131,11 @@ fn backward_pointer_arithmetic_checked() {
         void main() { walk(buf); }
     ";
     let (mc, _) = run(src, true, 100_000);
-    assert_eq!(mc.state, RunState::Faulted, "walking before buf[0] must trap");
+    assert_eq!(
+        mc.state,
+        RunState::Faulted,
+        "walking before buf[0] must trap"
+    );
 }
 
 #[test]
@@ -130,7 +151,12 @@ fn in_bounds_backward_arithmetic_allowed() {
         void main() { buf[2] = 77; walk(buf); }
     ";
     let (mc, img) = run(src, true, 100_000);
-    assert_eq!(mc.state, RunState::Halted, "fault: {:?}", mc.fault_message());
+    assert_eq!(
+        mc.state,
+        RunState::Halted,
+        "fault: {:?}",
+        mc.fault_message()
+    );
     let g = img.find_global_addr("g").unwrap();
     assert_eq!(mc.ram_peek(g), 77);
 }
@@ -145,7 +171,12 @@ fn struct_pointers_work_cured() {
         void main() { fill(&m); out = m.body; }
     ";
     let (mc, img) = run(src, true, 100_000);
-    assert_eq!(mc.state, RunState::Halted, "fault: {:?}", mc.fault_message());
+    assert_eq!(
+        mc.state,
+        RunState::Halted,
+        "fault: {:?}",
+        mc.fault_message()
+    );
     let out = img.find_global_addr("out").unwrap();
     assert_eq!(mc.ram_peek16(out), 1234);
 }
@@ -154,15 +185,27 @@ fn struct_pointers_work_cured() {
 fn verbose_mode_bloats_ram_flid_does_not() {
     let mut base = tcil::parse_and_lower(SUM_PROGRAM).unwrap();
     let mut verbose = base.clone();
-    cure(&mut base, &CureOptions { error_mode: ccured::ErrorMode::Flid, ..Default::default() })
-        .unwrap();
+    cure(
+        &mut base,
+        &CureOptions {
+            error_mode: ccured::ErrorMode::Flid,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     cure(
         &mut verbose,
-        &CureOptions { error_mode: ccured::ErrorMode::VerboseRam, ..Default::default() },
+        &CureOptions {
+            error_mode: ccured::ErrorMode::VerboseRam,
+            ..Default::default()
+        },
     )
     .unwrap();
     let flid = compile(&base, Profile::mica2(), &BackendOptions::default()).unwrap();
     let verb = compile(&verbose, Profile::mica2(), &BackendOptions::default()).unwrap();
-    assert!(verb.sram_bytes() > flid.sram_bytes(), "verbose strings cost SRAM");
+    assert!(
+        verb.sram_bytes() > flid.sram_bytes(),
+        "verbose strings cost SRAM"
+    );
     assert!(verb.flash_bytes() > flid.flash_bytes(), "and flash");
 }

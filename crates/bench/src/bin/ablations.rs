@@ -5,7 +5,7 @@
 //! * copy propagation feeds precision,
 //! * atomic-section optimization removes/demotes sections.
 
-use bench::{must_build, pct_change};
+use bench::{emit_json, json, must_build, pct_change};
 use cxprop::CxpropOptions;
 use safe_tinyos::BuildConfig;
 
@@ -43,7 +43,10 @@ fn main() {
         ccured::cure(&mut program, &ccured::CureOptions::default()).unwrap();
         cxprop::optimize(
             &mut program,
-            &CxpropOptions { dce: false, ..CxpropOptions::default() },
+            &CxpropOptions {
+                dce: false,
+                ..CxpropOptions::default()
+            },
         );
         ccured::errmsg::prune_unused_messages(&mut program);
         let image = backend::compile(
@@ -69,9 +72,12 @@ fn main() {
 
     // Domain ablation: pluggable abstract domains.
     println!("\npluggable-domain ablation (surviving checks, all apps):");
-    for (label, domain) in
-        [("constants", cxprop::DomainKind::Constants), ("intervals", cxprop::DomainKind::Intervals)]
-    {
+    let mut domain_obj = json::Obj::new();
+    let mut domain_inserted = 0usize;
+    for (label, domain) in [
+        ("constants", cxprop::DomainKind::Constants),
+        ("intervals", cxprop::DomainKind::Intervals),
+    ] {
         let mut surviving = 0usize;
         let mut inserted = 0usize;
         for name in tosapps::APP_NAMES {
@@ -80,7 +86,13 @@ fn main() {
             let mut program = out.program;
             let stats = ccured::cure(&mut program, &ccured::CureOptions::default()).unwrap();
             inserted += stats.checks_inserted;
-            cxprop::optimize(&mut program, &CxpropOptions { domain, ..CxpropOptions::default() });
+            cxprop::optimize(
+                &mut program,
+                &CxpropOptions {
+                    domain,
+                    ..CxpropOptions::default()
+                },
+            );
             ccured::errmsg::prune_unused_messages(&mut program);
             let image = backend::compile(
                 &program,
@@ -91,5 +103,22 @@ fn main() {
             surviving += image.surviving_checks();
         }
         println!("  {label:<12} {surviving:>5} of {inserted} survive");
+        domain_obj = domain_obj.int(label, surviving as i64);
+        domain_inserted = inserted;
     }
+
+    let body = json::Obj::new()
+        .str("figure", "ablations")
+        .num(
+            "inline_code_delta_pct",
+            pct_change(without_inline, with_inline),
+        )
+        .num("dce_code_delta_pct", pct_change(without_dce, with_dce))
+        .int("atomics_removed", atomics_removed as i64)
+        .int("atomics_demoted", atomics_demoted as i64)
+        .int("copies_propagated", copies as i64)
+        .int("checks_inserted", domain_inserted as i64)
+        .raw("domain_surviving_checks", &domain_obj.build())
+        .build();
+    emit_json("ablations", &body).expect("write BENCH_ablations.json");
 }

@@ -1,20 +1,25 @@
 //! Figure 2: percentage of CCured-inserted checks eliminated by four
 //! optimizer stacks, per application, plus the original check counts.
 
-use bench::{must_build, row};
+use bench::{emit_json, json, must_build, row};
 use safe_tinyos::BuildConfig;
 
 fn main() {
     let stacks = BuildConfig::fig2_stacks();
     let labels: Vec<String> = stacks.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 2 — checks removed by optimizer stack (higher is better)");
-    println!("{}", row("app", &[labels, vec!["inserted".into()]].concat()));
+    println!(
+        "{}",
+        row("app", &[labels, vec!["inserted".into()]].concat())
+    );
     let mut totals = vec![0usize; stacks.len()];
     let mut total_inserted = 0usize;
+    let mut app_rows = Vec::new();
     for name in tosapps::APP_NAMES {
         let spec = tosapps::spec(name).unwrap();
         let mut cells = Vec::new();
         let mut inserted = 0;
+        let mut stack_obj = json::Obj::new();
         for (i, config) in stacks.iter().enumerate() {
             let b = must_build(&spec, config);
             inserted = b.metrics.checks_inserted;
@@ -22,10 +27,18 @@ fn main() {
             totals[i] += removed;
             let pct = removed as f64 * 100.0 / inserted.max(1) as f64;
             cells.push(format!("{pct:.0}%"));
+            stack_obj = stack_obj.num(config.name, pct);
         }
         total_inserted += inserted;
         cells.push(format!("{inserted}"));
         println!("{}", row(name, &cells));
+        app_rows.push(
+            json::Obj::new()
+                .str("app", name)
+                .int("checks_inserted", inserted as i64)
+                .raw("removed_pct", &stack_obj.build())
+                .build(),
+        );
     }
     let mut cells: Vec<String> = totals
         .iter()
@@ -33,6 +46,19 @@ fn main() {
         .collect();
     cells.push(format!("{total_inserted}"));
     println!("{}", row("TOTAL", &cells));
+    let mut total_obj = json::Obj::new().int("checks_inserted", total_inserted as i64);
+    for (i, config) in stacks.iter().enumerate() {
+        total_obj = total_obj.num(
+            config.name,
+            totals[i] as f64 * 100.0 / total_inserted.max(1) as f64,
+        );
+    }
+    let body = json::Obj::new()
+        .str("figure", "fig2_checks")
+        .raw("apps", &json::arr(app_rows))
+        .raw("total", &total_obj.build())
+        .build();
+    emit_json("fig2_checks", &body).expect("write BENCH_fig2_checks.json");
     println!();
     println!("Expected shape (paper): gcc alone removes a surprising share of easy");
     println!("checks; the CCured optimizer adds little beyond it; cXprop without");

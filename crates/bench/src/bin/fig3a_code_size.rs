@@ -1,26 +1,45 @@
 //! Figure 3(a): change in code size relative to the unsafe, unoptimized
 //! baseline, across the seven configurations.
 
-use bench::{must_build, pct_change, row};
+use bench::{emit_json, json, must_build, pct_change, row};
 use safe_tinyos::BuildConfig;
 
 fn main() {
     let bars = BuildConfig::fig3_bars();
     let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 3(a) — Δ code size vs. unsafe baseline (flash bytes)");
-    println!("{}", row("app", &[labels, vec!["baseline".into()]].concat()));
+    println!(
+        "{}",
+        row("app", &[labels, vec!["baseline".into()]].concat())
+    );
+    let mut app_rows = Vec::new();
     for name in tosapps::APP_NAMES {
         let spec = tosapps::spec(name).unwrap();
         let base = must_build(&spec, &BuildConfig::unsafe_baseline());
         let base_bytes = base.metrics.flash_bytes as u64;
         let mut cells = Vec::new();
+        let mut bar_obj = json::Obj::new();
         for config in &bars {
             let b = must_build(&spec, config);
-            cells.push(format!("{:+.0}%", pct_change(base_bytes, b.metrics.flash_bytes as u64)));
+            let pct = pct_change(base_bytes, b.metrics.flash_bytes as u64);
+            cells.push(format!("{pct:+.0}%"));
+            bar_obj = bar_obj.num(config.name, pct);
         }
         cells.push(format!("{base_bytes}"));
         println!("{}", row(name, &cells));
+        app_rows.push(
+            json::Obj::new()
+                .str("app", name)
+                .int("baseline_flash_bytes", base_bytes as i64)
+                .raw("delta_pct", &bar_obj.build())
+                .build(),
+        );
     }
+    let body = json::Obj::new()
+        .str("figure", "fig3a_code_size")
+        .raw("apps", &json::arr(app_rows))
+        .build();
+    emit_json("fig3a_code_size", &body).expect("write BENCH_fig3a_code_size.json");
     println!();
     println!("Expected shape (paper): naive safety costs 20–90% code; verbose-in-ROM");
     println!("is higher still; terse/FLID recover much of it; cXprop (esp. with");

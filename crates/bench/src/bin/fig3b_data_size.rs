@@ -2,19 +2,24 @@
 //! baseline. The paper clips this graph at +100% because the verbose
 //! configurations are "outrageously high — thousands of percent".
 
-use bench::{must_build, pct_change, row};
+use bench::{emit_json, json, must_build, pct_change, row};
 use safe_tinyos::BuildConfig;
 
 fn main() {
     let bars = BuildConfig::fig3_bars();
     let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 3(b) — Δ static data size vs. unsafe baseline (SRAM bytes)");
-    println!("{}", row("app", &[labels, vec!["baseline".into()]].concat()));
+    println!(
+        "{}",
+        row("app", &[labels, vec!["baseline".into()]].concat())
+    );
+    let mut app_rows = Vec::new();
     for name in tosapps::APP_NAMES {
         let spec = tosapps::spec(name).unwrap();
         let base = must_build(&spec, &BuildConfig::unsafe_baseline());
         let base_bytes = base.metrics.sram_bytes as u64;
         let mut cells = Vec::new();
+        let mut bar_obj = json::Obj::new();
         for config in &bars {
             let b = must_build(&spec, config);
             let pct = pct_change(base_bytes, b.metrics.sram_bytes as u64);
@@ -24,10 +29,23 @@ fn main() {
             } else {
                 cells.push(format!("{pct:+.0}%"));
             }
+            bar_obj = bar_obj.num(config.name, pct);
         }
         cells.push(format!("{base_bytes}"));
         println!("{}", row(name, &cells));
+        app_rows.push(
+            json::Obj::new()
+                .str("app", name)
+                .int("baseline_sram_bytes", base_bytes as i64)
+                .raw("delta_pct", &bar_obj.build())
+                .build(),
+        );
     }
+    let body = json::Obj::new()
+        .str("figure", "fig3b_data_size")
+        .raw("apps", &json::arr(app_rows))
+        .build();
+    emit_json("fig3b_data_size", &body).expect("write BENCH_fig3b_data_size.json");
     println!();
     println!("Expected shape (paper): verbose error strings make RAM overhead");
     println!("catastrophic (clipped at 100%); FLIDs reduce it substantially; cXprop");

@@ -2,7 +2,7 @@
 //! unsafe baseline, for the eleven Mica2 applications, each run in its
 //! workload context.
 
-use bench::{must_build, row, sim_seconds};
+use bench::{emit_json, json, must_build, row, sim_seconds};
 use safe_tinyos::{simulate, BuildConfig};
 
 fn main() {
@@ -17,12 +17,17 @@ fn main() {
     ];
     let labels: Vec<String> = configs.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 3(c) — Δ duty cycle vs. unsafe baseline ({seconds}s simulated)");
-    println!("{}", row("app", &[labels, vec!["baseline".into()]].concat()));
+    println!(
+        "{}",
+        row("app", &[labels, vec!["baseline".into()]].concat())
+    );
+    let mut app_rows = Vec::new();
     for name in tosapps::mica2_apps() {
         let spec = tosapps::spec(name).unwrap();
         let base_build = must_build(&spec, &BuildConfig::unsafe_baseline());
         let base = simulate(&base_build, &spec, seconds);
         let mut cells = Vec::new();
+        let mut cfg_obj = json::Obj::new();
         for config in &configs {
             let b = must_build(&spec, config);
             let r = simulate(&b, &spec, seconds);
@@ -33,10 +38,24 @@ fn main() {
                 0.0
             };
             cells.push(format!("{rel:+.1}%"));
+            cfg_obj = cfg_obj.num(config.name, rel);
         }
         cells.push(format!("{:.2}%", base.duty_cycle_percent));
         println!("{}", row(name, &cells));
+        app_rows.push(
+            json::Obj::new()
+                .str("app", name)
+                .num("baseline_duty_pct", base.duty_cycle_percent)
+                .raw("rel_delta_pct", &cfg_obj.build())
+                .build(),
+        );
     }
+    let body = json::Obj::new()
+        .str("figure", "fig3c_duty_cycle")
+        .int("seconds", seconds as i64)
+        .raw("apps", &json::arr(app_rows))
+        .build();
+    emit_json("fig3c_duty_cycle", &body).expect("write BENCH_fig3c_duty_cycle.json");
     println!();
     println!("Expected shape (paper): CCured alone slows apps by a few percent;");
     println!("cXprop alone speeds the unsafe apps by 3–10%; safe + cXprop lands");

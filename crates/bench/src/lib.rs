@@ -40,5 +40,95 @@ pub fn row(label: &str, cells: &[String]) -> String {
 /// smaller default keeps the harness quick. Override with the
 /// `STOS_SECONDS` environment variable.
 pub fn sim_seconds() -> u64 {
-    std::env::var("STOS_SECONDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+    std::env::var("STOS_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Writes `body` to `BENCH_<name>.json` in `STOS_BENCH_DIR` (default:
+/// the current directory) so each figure leaves a machine-readable
+/// trace alongside its printed table. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn emit_json(name: &str, body: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("STOS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, body)?;
+    println!("[wrote {}]", path.display());
+    Ok(path)
+}
+
+/// Minimal JSON construction helpers (the build environment is offline,
+/// so no serde; the figures' payloads are shallow and small).
+pub mod json {
+    /// Escapes a string for use inside a JSON string literal.
+    pub fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// A JSON object builder preserving insertion order.
+    #[derive(Debug, Default)]
+    pub struct Obj {
+        parts: Vec<String>,
+    }
+
+    impl Obj {
+        /// An empty object.
+        pub fn new() -> Obj {
+            Obj::default()
+        }
+
+        /// Adds a string field.
+        pub fn str(mut self, key: &str, value: &str) -> Obj {
+            self.parts
+                .push(format!("\"{}\":\"{}\"", esc(key), esc(value)));
+            self
+        }
+
+        /// Adds an integer field.
+        pub fn int(mut self, key: &str, value: i64) -> Obj {
+            self.parts.push(format!("\"{}\":{value}", esc(key)));
+            self
+        }
+
+        /// Adds a number field (non-finite values become `null`).
+        pub fn num(mut self, key: &str, value: f64) -> Obj {
+            let rendered = if value.is_finite() {
+                format!("{value:.4}")
+            } else {
+                "null".to_string()
+            };
+            self.parts.push(format!("\"{}\":{rendered}", esc(key)));
+            self
+        }
+
+        /// Adds an already-serialized JSON value.
+        pub fn raw(mut self, key: &str, value: &str) -> Obj {
+            self.parts.push(format!("\"{}\":{value}", esc(key)));
+            self
+        }
+
+        /// Serializes the object.
+        pub fn build(self) -> String {
+            format!("{{{}}}", self.parts.join(","))
+        }
+    }
+
+    /// Serializes an array from already-serialized elements.
+    pub fn arr<I: IntoIterator<Item = String>>(items: I) -> String {
+        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+    }
 }

@@ -96,7 +96,10 @@ pub fn prune_unused_messages(program: &mut Program) -> usize {
     // last. They are (attach_messages pushes at the end), but an optimizer
     // may run multiple times; be conservative and only drop the tail.
     while let Some(g) = program.globals.last() {
-        let Some(flid) = g.name.strip_prefix(MSG_PREFIX).and_then(|s| s.parse::<u16>().ok())
+        let Some(flid) = g
+            .name
+            .strip_prefix(MSG_PREFIX)
+            .and_then(|s| s.parse::<u16>().ok())
         else {
             break;
         };
@@ -109,7 +112,11 @@ pub fn prune_unused_messages(program: &mut Program) -> usize {
     // (cannot be removed without renumbering GlobalIds).
     let mut swept = before - program.globals.len();
     for g in &mut program.globals {
-        if let Some(flid) = g.name.strip_prefix(MSG_PREFIX).and_then(|s| s.parse::<u16>().ok()) {
+        if let Some(flid) = g
+            .name
+            .strip_prefix(MSG_PREFIX)
+            .and_then(|s| s.parse::<u16>().ok())
+        {
             if !live.contains(&flid) && !matches!(g.ty, Type::Array(_, 0)) {
                 g.ty = Type::Array(Box::new(Type::Int(IntKind::I8)), 0);
                 g.init = Init::Zero;
@@ -137,9 +144,14 @@ mod tests {
     #[test]
     fn flid_mode_adds_no_strings() {
         let mut p = prog();
-        let stats =
-            cure(&mut p, &CureOptions { error_mode: ErrorMode::Flid, ..Default::default() })
-                .unwrap();
+        let stats = cure(
+            &mut p,
+            &CureOptions {
+                error_mode: ErrorMode::Flid,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(stats.message_bytes, (0, 0));
         assert!(!p.globals.iter().any(|g| g.name.starts_with(MSG_PREFIX)));
         assert!(!p.flid_messages.is_empty(), "host table still populated");
@@ -150,7 +162,10 @@ mod tests {
         let mut p = prog();
         let stats = cure(
             &mut p,
-            &CureOptions { error_mode: ErrorMode::VerboseRam, ..Default::default() },
+            &CureOptions {
+                error_mode: ErrorMode::VerboseRam,
+                ..Default::default()
+            },
         )
         .unwrap();
         let (ram, rom) = stats.message_bytes;
@@ -163,22 +178,37 @@ mod tests {
         let mut p = prog();
         let stats = cure(
             &mut p,
-            &CureOptions { error_mode: ErrorMode::VerboseRom, ..Default::default() },
+            &CureOptions {
+                error_mode: ErrorMode::VerboseRom,
+                ..Default::default()
+            },
         )
         .unwrap();
         let (ram, rom) = stats.message_bytes;
         assert_eq!(ram, 0);
         assert!(rom > 0);
-        assert!(p.globals.iter().any(|g| g.name.starts_with(MSG_PREFIX) && g.is_const));
+        assert!(p
+            .globals
+            .iter()
+            .any(|g| g.name.starts_with(MSG_PREFIX) && g.is_const));
     }
 
     #[test]
     fn pruning_drops_messages_of_removed_checks() {
         let mut p = prog();
-        cure(&mut p, &CureOptions { error_mode: ErrorMode::VerboseRam, ..Default::default() })
-            .unwrap();
-        let with_msgs =
-            p.globals.iter().filter(|g| g.name.starts_with(MSG_PREFIX)).count();
+        cure(
+            &mut p,
+            &CureOptions {
+                error_mode: ErrorMode::VerboseRam,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let with_msgs = p
+            .globals
+            .iter()
+            .filter(|g| g.name.starts_with(MSG_PREFIX))
+            .count();
         assert!(with_msgs > 0);
         // Remove every check, then prune.
         for f in &mut p.functions {

@@ -44,15 +44,22 @@ pub struct Inserted {
 /// (these indicate an inference bug or a trusted-boundary violation).
 pub fn instrument(program: &mut Program, options: &CureOptions) -> Result<Inserted, CompileError> {
     let structs = program.structs.clone();
-    let globals: Vec<(Type, bool)> =
-        program.globals.iter().map(|g| (g.ty.clone(), g.racy)).collect();
+    let globals: Vec<(Type, bool)> = program
+        .globals
+        .iter()
+        .map(|g| (g.ty.clone(), g.racy))
+        .collect();
     // Parameter types post-kind-application, for call-argument coercion.
     let param_tys: Vec<Vec<Type>> = program
         .functions
         .iter()
         .map(|f| f.param_ids().map(|id| f.local_ty(id).clone()).collect())
         .collect();
-    let str_lens: Vec<u32> = program.strings.iter().map(|(_, s)| s.len() as u32).collect();
+    let str_lens: Vec<u32> = program
+        .strings
+        .iter()
+        .map(|(_, s)| s.len() as u32)
+        .collect();
     let mut inserted = Inserted::default();
     let mut next_flid: u16 = 1;
     let mut messages = Vec::new();
@@ -121,7 +128,8 @@ impl Instrumenter<'_> {
         let flid = *self.next_flid;
         *self.next_flid += 1;
         self.site += 1;
-        self.messages.push((flid, format!("{}:{}: {what}", self.func.name, self.site)));
+        self.messages
+            .push((flid, format!("{}:{}: {what}", self.func.name, self.site)));
         Flid(flid)
     }
 
@@ -171,8 +179,7 @@ impl Instrumenter<'_> {
                 out.push(Stmt::Call { dst, func, args });
             }
             Stmt::BuiltinCall { dst, which, args } => {
-                let args: Vec<Expr> =
-                    args.into_iter().map(|a| self.rw_expr(a, out)).collect();
+                let args: Vec<Expr> = args.into_iter().map(|a| self.rw_expr(a, out)).collect();
                 let dst = dst.map(|d| self.rw_place(d, out, Access::Write));
                 out.push(Stmt::BuiltinCall { dst, which, args });
             }
@@ -193,9 +200,16 @@ impl Instrumenter<'_> {
                     out.push(Stmt::While { cond, body });
                 } else {
                     let mut wb = pre;
-                    wb.push(Stmt::If { cond, then_: Vec::new(), else_: vec![Stmt::Break] });
+                    wb.push(Stmt::If {
+                        cond,
+                        then_: Vec::new(),
+                        else_: vec![Stmt::Break],
+                    });
                     wb.extend(body);
-                    out.push(Stmt::While { cond: Expr::bool_val(true), body: wb });
+                    out.push(Stmt::While {
+                        cond: Expr::bool_val(true),
+                        body: wb,
+                    });
                 }
             }
             Stmt::Return(Some(e)) => {
@@ -218,13 +232,12 @@ impl Instrumenter<'_> {
         }
         // §2.2: lock the check + use when a racy variable is involved.
         let had_check = out[start..].iter().any(|s| matches!(s, Stmt::Check(_)));
-        if self.racy_flag
-            && had_check
-            && self.options.lock_racy_checks
-            && self.atomic_depth == 0
-        {
+        if self.racy_flag && had_check && self.options.lock_racy_checks && self.atomic_depth == 0 {
             let seq: Vec<Stmt> = out.drain(start..).collect();
-            out.push(Stmt::Atomic { body: seq, style: AtomicStyle::SaveRestore });
+            out.push(Stmt::Atomic {
+                body: seq,
+                style: AtomicStyle::SaveRestore,
+            });
             self.inserted.locks += 1;
         }
         self.racy_flag |= saved_racy;
@@ -292,7 +305,11 @@ impl Instrumenter<'_> {
                 }
             }
         }
-        Place { base, elems: new_elems, ty }
+        Place {
+            base,
+            elems: new_elems,
+            ty,
+        }
     }
 
     /// Hoists a pointer about to be dereferenced into a temp (unless it is
@@ -327,12 +344,18 @@ impl Instrumenter<'_> {
             }
             PtrKind::Fseq => self.push_check(
                 out,
-                CheckKind::Upper { ptr: ptr.clone(), len },
+                CheckKind::Upper {
+                    ptr: ptr.clone(),
+                    len,
+                },
                 "pointer past end of object",
             ),
             PtrKind::Seq => self.push_check(
                 out,
-                CheckKind::Bounds { ptr: ptr.clone(), len },
+                CheckKind::Bounds {
+                    ptr: ptr.clone(),
+                    len,
+                },
                 "pointer outside object bounds",
             ),
             PtrKind::Thin => unreachable!(),
@@ -347,7 +370,10 @@ impl Instrumenter<'_> {
         match kind {
             ExprKind::Load(p) => {
                 let p = self.rw_place(p, out, Access::Read);
-                Expr { ty: p.ty.clone(), kind: ExprKind::Load(p) }
+                Expr {
+                    ty: p.ty.clone(),
+                    kind: ExprKind::Load(p),
+                }
             }
             ExprKind::AddrOf(p) => {
                 let p = self.rw_place(p, out, Access::Read);
@@ -355,7 +381,10 @@ impl Instrumenter<'_> {
             }
             ExprKind::Unary(op, a) => {
                 let a = self.rw_expr(*a, out);
-                Expr { ty, kind: ExprKind::Unary(op, Box::new(a)) }
+                Expr {
+                    ty,
+                    kind: ExprKind::Unary(op, Box::new(a)),
+                }
             }
             ExprKind::Binary(op, a, b) => {
                 let a = self.rw_expr(*a, out);
@@ -364,7 +393,10 @@ impl Instrumenter<'_> {
                     BinOp::PtrAdd | BinOp::PtrSub => a.ty.clone(),
                     _ => ty,
                 };
-                Expr { ty, kind: ExprKind::Binary(op, Box::new(a), Box::new(b)) }
+                Expr {
+                    ty,
+                    kind: ExprKind::Binary(op, Box::new(a), Box::new(b)),
+                }
             }
             ExprKind::Cast(a) => {
                 let a = self.rw_expr(*a, out);
@@ -373,13 +405,21 @@ impl Instrumenter<'_> {
                     // (kind-annotated) operand type.
                     a
                 } else {
-                    Expr { ty, kind: ExprKind::Cast(Box::new(a)) }
+                    Expr {
+                        ty,
+                        kind: ExprKind::Cast(Box::new(a)),
+                    }
                 }
             }
-            k @ (ExprKind::Const(_) | ExprKind::Str(_) | ExprKind::SizeOf(_)) => Expr { ty, kind: k },
+            k @ (ExprKind::Const(_) | ExprKind::Str(_) | ExprKind::SizeOf(_)) => {
+                Expr { ty, kind: k }
+            }
             ExprKind::MakeFat { .. } => {
                 self.err("MakeFat encountered before curing".into());
-                Expr { ty, kind: ExprKind::Const(0) }
+                Expr {
+                    ty,
+                    kind: ExprKind::Const(0),
+                }
             }
         }
     }
@@ -397,16 +437,22 @@ impl Instrumenter<'_> {
         };
         if e.as_const() == Some(0) {
             // Null: all-zero representation works for every kind.
-            return Expr { ty: target.clone(), kind: ExprKind::Const(0) };
+            return Expr {
+                ty: target.clone(),
+                kind: ExprKind::Const(0),
+            };
         }
         match (ek, tk) {
             (a, b) if a == *b => e,
-            (PtrKind::Thin, PtrKind::Safe) => Expr { ty: target.clone(), kind: e.kind },
-            (PtrKind::Thin, PtrKind::Fseq | PtrKind::Seq) => {
-                self.make_fat(e, target.clone(), out)
-            }
+            (PtrKind::Thin, PtrKind::Safe) => Expr {
+                ty: target.clone(),
+                kind: e.kind,
+            },
+            (PtrKind::Thin, PtrKind::Fseq | PtrKind::Seq) => self.make_fat(e, target.clone(), out),
             (a, b) => {
-                self.err(format!("pointer kind mismatch: {a:?} value in {b:?} context"));
+                self.err(format!(
+                    "pointer kind mismatch: {a:?} value in {b:?} context"
+                ));
                 e
             }
         }
@@ -485,7 +531,9 @@ impl Instrumenter<'_> {
         for el in &p.elems {
             match el {
                 PlaceElem::Field { sid, idx } => {
-                    ty = self.structs[sid.0 as usize].fields[*idx as usize].ty.clone();
+                    ty = self.structs[sid.0 as usize].fields[*idx as usize]
+                        .ty
+                        .clone();
                 }
                 PlaceElem::Index(_) => {
                     if let Type::Array(t, _) = ty {

@@ -152,7 +152,11 @@ fn shape_key(ty: &Type) -> String {
 /// Runs the inference over `program`.
 pub fn infer(program: &Program) -> Solution {
     let mut sol = Solution::default();
-    let mut cx = Cx { sol: &mut sol, prog: program, func: 0 };
+    let mut cx = Cx {
+        sol: &mut sol,
+        prog: program,
+        func: 0,
+    };
     for (fi, f) in program.functions.iter().enumerate() {
         cx.func = fi as u32;
         cx.scan_block(&f.body);
@@ -218,8 +222,8 @@ impl Cx<'_> {
                     // Mark arithmetic on the pointer's slot. Negative or
                     // non-constant? A constant non-negative PtrAdd keeps
                     // FSEQ; PtrSub or negative constants force SEQ.
-                    let backward = matches!(op, BinOp::PtrSub)
-                        || b.as_const().map(|v| v < 0).unwrap_or(false);
+                    let backward =
+                        matches!(op, BinOp::PtrSub) || b.as_const().map(|v| v < 0).unwrap_or(false);
                     if let Some(s) = self.expr_slot_shallow(a) {
                         self.sol.mark(s, backward);
                     }
@@ -473,7 +477,9 @@ mod tests {
              void main() { a.ptr = buf; a.ptr = a.ptr + 1; b.ptr = buf; *b.ptr = 0; }",
         );
         // One instance does arithmetic → the field kind is FSEQ for all.
-        let Type::Ptr(_, k) = &p.structs[0].fields[0].ty else { panic!() };
+        let Type::Ptr(_, k) = &p.structs[0].fields[0].ty else {
+            panic!()
+        };
         assert_eq!(*k, PtrKind::Fseq);
     }
 

@@ -109,7 +109,10 @@ pub struct CureStats {
 pub fn cure(program: &mut Program, options: &CureOptions) -> Result<CureStats, CompileError> {
     let solution = kinds::infer(program);
     kinds::apply(program, &solution);
-    let mut stats = CureStats { kinds: solution.summary(), ..Default::default() };
+    let mut stats = CureStats {
+        kinds: solution.summary(),
+        ..Default::default()
+    };
 
     let inserted = instrument::instrument(program, options)?;
     stats.checks_inserted = inserted.checks;
@@ -150,11 +153,14 @@ mod tests {
         let stats = cure(&mut p, &CureOptions::default()).unwrap();
         assert!(stats.checks_inserted >= 1);
         let mut found = false;
-        visit::walk_stmts(&p.functions[p.find_function("read").unwrap().0 as usize].body, &mut |s| {
-            if matches!(s, Stmt::Check(_)) {
-                found = true;
-            }
-        });
+        visit::walk_stmts(
+            &p.functions[p.find_function("read").unwrap().0 as usize].body,
+            &mut |s| {
+                if matches!(s, Stmt::Check(_)) {
+                    found = true;
+                }
+            },
+        );
         assert!(found, "check in read()");
     }
 }

@@ -16,7 +16,6 @@
 //! for context sensitivity) lives in the `cxprop` crate — that is the
 //! paper's headline result, not this tier.
 
-
 use tcil::checkopt;
 use tcil::Program;
 
@@ -36,7 +35,10 @@ mod tests {
 
     fn cured(src: &str, local_optimize: bool) -> Program {
         let mut p = tcil::parse_and_lower(src).unwrap();
-        let opts = CureOptions { local_optimize, ..CureOptions::default() };
+        let opts = CureOptions {
+            local_optimize,
+            ..CureOptions::default()
+        };
         cure(&mut p, &opts).unwrap();
         p
     }

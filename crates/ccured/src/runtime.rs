@@ -118,7 +118,11 @@ impl RuntimeModel {
         } else {
             RuntimeStage::AfterDce
         });
-        RuntimeModel { naive, ram_bytes: ram, rom_bytes: rom }
+        RuntimeModel {
+            naive,
+            ram_bytes: ram,
+            rom_bytes: rom,
+        }
     }
 }
 

@@ -67,7 +67,12 @@ impl BuildConfig {
     /// Figure 3 bar 7: unsafe, inlined and optimized by cXprop (the
     /// "new baseline").
     pub fn unsafe_optimized() -> Self {
-        BuildConfig { name: "unsafe+cxprop", inline: true, cxprop: true, ..Self::unsafe_baseline() }
+        BuildConfig {
+            name: "unsafe+cxprop",
+            inline: true,
+            cxprop: true,
+            ..Self::unsafe_baseline()
+        }
     }
 
     /// Figure 3 bar 1: safe, verbose error messages in SRAM.
@@ -94,42 +99,72 @@ impl BuildConfig {
 
     /// Figure 3 bar 3: safe, terse error messages.
     pub fn safe_terse() -> Self {
-        BuildConfig { name: "safe-terse", error_mode: ErrorMode::Terse, ..Self::safe_verbose_ram() }
+        BuildConfig {
+            name: "safe-terse",
+            error_mode: ErrorMode::Terse,
+            ..Self::safe_verbose_ram()
+        }
     }
 
     /// Figure 3 bar 4: safe, FLID-compressed error messages.
     pub fn safe_flid() -> Self {
-        BuildConfig { name: "safe-flid", error_mode: ErrorMode::Flid, ..Self::safe_verbose_ram() }
+        BuildConfig {
+            name: "safe-flid",
+            error_mode: ErrorMode::Flid,
+            ..Self::safe_verbose_ram()
+        }
     }
 
     /// Figure 3 bar 5: safe + FLIDs + cXprop (no inliner).
     pub fn safe_flid_cxprop() -> Self {
-        BuildConfig { name: "safe-flid-cxprop", cxprop: true, ..Self::safe_flid() }
+        BuildConfig {
+            name: "safe-flid-cxprop",
+            cxprop: true,
+            ..Self::safe_flid()
+        }
     }
 
     /// Figure 3 bar 6: safe + FLIDs + inliner + cXprop (the full stack).
     pub fn safe_flid_inline_cxprop() -> Self {
-        BuildConfig { name: "safe-flid-inline-cxprop", inline: true, cxprop: true, ..Self::safe_flid() }
+        BuildConfig {
+            name: "safe-flid-inline-cxprop",
+            inline: true,
+            cxprop: true,
+            ..Self::safe_flid()
+        }
     }
 
     /// Figure 2 config 1: gcc alone (checks inserted, nothing else).
     pub fn fig2_gcc_only() -> Self {
-        BuildConfig { name: "gcc", ccured_optimize: false, ..Self::safe_flid() }
+        BuildConfig {
+            name: "gcc",
+            ccured_optimize: false,
+            ..Self::safe_flid()
+        }
     }
 
     /// Figure 2 config 2: CCured optimizer + gcc.
     pub fn fig2_ccured_gcc() -> Self {
-        BuildConfig { name: "ccured+gcc", ..Self::safe_flid() }
+        BuildConfig {
+            name: "ccured+gcc",
+            ..Self::safe_flid()
+        }
     }
 
     /// Figure 2 config 3: CCured optimizer + cXprop (no inliner) + gcc.
     pub fn fig2_ccured_cxprop_gcc() -> Self {
-        BuildConfig { name: "ccured+cxprop+gcc", ..Self::safe_flid_cxprop() }
+        BuildConfig {
+            name: "ccured+cxprop+gcc",
+            ..Self::safe_flid_cxprop()
+        }
     }
 
     /// Figure 2 config 4: CCured optimizer + inliner + cXprop + gcc.
     pub fn fig2_full() -> Self {
-        BuildConfig { name: "ccured+inline+cxprop+gcc", ..Self::safe_flid_inline_cxprop() }
+        BuildConfig {
+            name: "ccured+inline+cxprop+gcc",
+            ..Self::safe_flid_inline_cxprop()
+        }
     }
 
     /// The seven Figure 3 bars, in the paper's order.
@@ -246,7 +281,11 @@ pub fn build_program(
     metrics.flash_bytes = image.flash_bytes();
     metrics.sram_bytes = image.sram_bytes();
     metrics.checks_surviving = image.surviving_checks();
-    Ok(Build { image, metrics, program })
+    Ok(Build {
+        image,
+        metrics,
+        program,
+    })
 }
 
 /// Result of a duty-cycle simulation.
@@ -322,12 +361,31 @@ mod tests {
     #[test]
     fn blink_runs_unsafe_and_safe() {
         let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
-        for config in [BuildConfig::unsafe_baseline(), BuildConfig::safe_flid_inline_cxprop()] {
+        for config in [
+            BuildConfig::unsafe_baseline(),
+            BuildConfig::safe_flid_inline_cxprop(),
+        ] {
             let b = build_app(&spec, &config).unwrap();
             let r = simulate(&b, &spec, 3);
-            assert_eq!(r.state, RunState::Sleeping, "{}: fault {:?}", config.name, r.fault);
-            assert!(r.led_transitions >= 4, "{}: LEDs toggled {}", config.name, r.led_transitions);
-            assert!(r.duty_cycle_percent < 50.0, "{}: duty {}", config.name, r.duty_cycle_percent);
+            assert_eq!(
+                r.state,
+                RunState::Sleeping,
+                "{}: fault {:?}",
+                config.name,
+                r.fault
+            );
+            assert!(
+                r.led_transitions >= 4,
+                "{}: LEDs toggled {}",
+                config.name,
+                r.led_transitions
+            );
+            assert!(
+                r.duty_cycle_percent < 50.0,
+                "{}: duty {}",
+                config.name,
+                r.duty_cycle_percent
+            );
         }
     }
 

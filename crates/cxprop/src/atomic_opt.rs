@@ -152,7 +152,10 @@ mod tests {
         let main = &p.functions[p.entry.unwrap().0 as usize];
         assert!(matches!(
             main.body[0],
-            Stmt::Atomic { style: AtomicStyle::DisableEnable, .. }
+            Stmt::Atomic {
+                style: AtomicStyle::DisableEnable,
+                ..
+            }
         ));
     }
 

@@ -53,22 +53,38 @@ pub struct APtr {
 impl APtr {
     /// A completely unknown pointer.
     pub fn top() -> APtr {
-        APtr { null: Tri::Maybe, room: Ival::any(), back: Ival::any() }
+        APtr {
+            null: Tri::Maybe,
+            room: Ival::any(),
+            back: Ival::any(),
+        }
     }
 
     /// The null pointer.
     pub fn null() -> APtr {
-        APtr { null: Tri::Yes, room: Ival::any(), back: Ival::any() }
+        APtr {
+            null: Tri::Yes,
+            room: Ival::any(),
+            back: Ival::any(),
+        }
     }
 
     /// A non-null pointer with `room` bytes ahead and `back` bytes behind.
     pub fn object(room: Ival, back: Ival) -> APtr {
-        APtr { null: Tri::No, room, back }
+        APtr {
+            null: Tri::No,
+            room,
+            back,
+        }
     }
 
     /// Lattice join.
     pub fn join(self, o: APtr) -> APtr {
-        APtr { null: self.null.join(o.null), room: self.room.join(o.room), back: self.back.join(o.back) }
+        APtr {
+            null: self.null.join(o.null),
+            room: self.room.join(o.room),
+            back: self.back.join(o.back),
+        }
     }
 
     /// Advances the pointer by `delta` bytes.
@@ -230,7 +246,10 @@ mod tests {
     #[test]
     fn truth_of_pointers() {
         assert_eq!(AVal::Ptr(APtr::null()).truth(), Some(false));
-        assert_eq!(AVal::Ptr(APtr::object(Ival::const_(1), Ival::const_(0))).truth(), Some(true));
+        assert_eq!(
+            AVal::Ptr(APtr::object(Ival::const_(1), Ival::const_(0))).truth(),
+            Some(true)
+        );
         assert_eq!(AVal::Ptr(APtr::top()).truth(), None);
     }
 }

@@ -139,9 +139,15 @@ mod tests {
         // correct — verified by the engine-level tests; here just ensure
         // the copy map dropped the pair (no redirect of the final load).
         let f = &p.functions[p.find_function("f").unwrap().0 as usize];
-        let Stmt::Assign(_, e) = f.body.last().unwrap() else { panic!() };
-        let ExprKind::Load(pl) = &e.kind else { panic!() };
-        let PlaceBase::Local(id) = &pl.base else { panic!() };
+        let Stmt::Assign(_, e) = f.body.last().unwrap() else {
+            panic!()
+        };
+        let ExprKind::Load(pl) = &e.kind else {
+            panic!()
+        };
+        let PlaceBase::Local(id) = &pl.base else {
+            panic!()
+        };
         assert_eq!(f.locals[id.0 as usize].name, "y");
     }
 
@@ -156,9 +162,15 @@ mod tests {
         .unwrap();
         run(&mut p);
         let f = &p.functions[p.find_function("f").unwrap().0 as usize];
-        let Stmt::Assign(_, e) = f.body.last().unwrap() else { panic!() };
-        let ExprKind::Load(pl) = &e.kind else { panic!() };
-        let PlaceBase::Local(id) = &pl.base else { panic!() };
+        let Stmt::Assign(_, e) = f.body.last().unwrap() else {
+            panic!()
+        };
+        let ExprKind::Load(pl) = &e.kind else {
+            panic!()
+        };
+        let PlaceBase::Local(id) = &pl.base else {
+            panic!()
+        };
         assert_eq!(f.locals[id.0 as usize].name, "y");
     }
 }

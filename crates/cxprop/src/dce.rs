@@ -124,13 +124,11 @@ fn remove_dead_stores(program: &mut Program) -> usize {
         visit::walk_stmts(&f.body, &mut |s| {
             visit::stmt_exprs(s, &mut |e| {
                 visit::walk_expr(e, &mut |x| match &x.kind {
-                    ExprKind::Load(p) => {
-                        match &p.base {
-                            PlaceBase::Local(id) => lread[id.0 as usize] = true,
-                            PlaceBase::Global(g) => global_read[g.0 as usize] = true,
-                            PlaceBase::Deref(_) => {}
-                        }
-                    }
+                    ExprKind::Load(p) => match &p.base {
+                        PlaceBase::Local(id) => lread[id.0 as usize] = true,
+                        PlaceBase::Global(g) => global_read[g.0 as usize] = true,
+                        PlaceBase::Deref(_) => {}
+                    },
                     ExprKind::AddrOf(p) => match &p.base {
                         PlaceBase::Local(id) => laddr[id.0 as usize] = true,
                         PlaceBase::Global(g) => global_addr[g.0 as usize] = true,
@@ -155,9 +153,8 @@ fn remove_dead_stores(program: &mut Program) -> usize {
             let dead_dst = |p: &Place| -> bool {
                 match &p.base {
                     PlaceBase::Local(id) => {
-                        !lread[id.0 as usize]
-                            && !laddr[id.0 as usize]
-                            && id.0 >= params // parameter slots stay (ABI)
+                        !lread[id.0 as usize] && !laddr[id.0 as usize] && id.0 >= params
+                        // parameter slots stay (ABI)
                     }
                     PlaceBase::Global(g) => {
                         let gi = g.0 as usize;
@@ -215,9 +212,7 @@ fn remove_dead_globals(program: &mut Program) -> usize {
             };
             match s {
                 Stmt::Assign(p, _) => mark(p),
-                Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => {
-                    mark(p)
-                }
+                Stmt::Call { dst: Some(p), .. } | Stmt::BuiltinCall { dst: Some(p), .. } => mark(p),
                 _ => {}
             }
             visit::stmt_exprs(s, &mut |e| {

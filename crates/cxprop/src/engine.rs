@@ -76,12 +76,10 @@ pub fn summarize(program: &Program) -> Summaries {
     let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nf];
     for (fi, f) in program.functions.iter().enumerate() {
         visit::walk_stmts(&f.body, &mut |st| {
-            let mut dest = |p: &Place| {
-                match &p.base {
-                    PlaceBase::Global(g) => s.writes[fi][g.0 as usize] = true,
-                    PlaceBase::Deref(_) => s.indirect_writes[fi] = true,
-                    _ => {}
-                }
+            let mut dest = |p: &Place| match &p.base {
+                PlaceBase::Global(g) => s.writes[fi][g.0 as usize] = true,
+                PlaceBase::Deref(_) => s.indirect_writes[fi] = true,
+                _ => {}
             };
             match st {
                 Stmt::Assign(p, _) => dest(p),
@@ -133,9 +131,13 @@ pub fn summarize(program: &Program) -> Summaries {
         .entry
         .iter()
         .map(|f| f.0)
-        .chain(program.functions.iter().enumerate().filter_map(|(i, f)| {
-            f.interrupt.map(|_| i as u32)
-        }))
+        .chain(
+            program
+                .functions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.interrupt.map(|_| i as u32)),
+        )
         .collect();
     let mut work = roots.clone();
     while let Some(f) = work.pop() {
@@ -313,8 +315,7 @@ impl Engine {
 
     fn entry_env(&self, program: &Program, fi: usize) -> Env {
         let f = &program.functions[fi];
-        let mut locals: Vec<AVal> =
-            f.locals.iter().map(|l| AVal::top_for(&l.ty)).collect();
+        let mut locals: Vec<AVal> = f.locals.iter().map(|l| AVal::top_for(&l.ty)).collect();
         if let Some(params) = &self.entry[fi] {
             for (i, v) in params.iter().enumerate() {
                 if i < locals.len() {
@@ -322,7 +323,11 @@ impl Engine {
                 }
             }
         }
-        Env { locals, globals: self.wpv.clone(), reachable: true }
+        Env {
+            locals,
+            globals: self.wpv.clone(),
+            reachable: true,
+        }
     }
 
     fn walk_function(
@@ -410,9 +415,7 @@ impl Walker<'_> {
                 let len = self.prog.strings.get(*id).len() as i64;
                 AVal::Ptr(APtr::object(Ival::const_(len + 1), Ival::const_(0)))
             }
-            ExprKind::SizeOf(t) => {
-                AVal::Int(Ival::const_(size_of(t, &self.prog.structs) as i64))
-            }
+            ExprKind::SizeOf(t) => AVal::Int(Ival::const_(size_of(t, &self.prog.structs) as i64)),
             ExprKind::Load(p) => self.eval_place(p, env),
             ExprKind::AddrOf(p) => AVal::Ptr(addr_of_value(
                 p,
@@ -487,7 +490,10 @@ impl Walker<'_> {
                 let (AVal::Int(ia), AVal::Int(ib)) = (va, vb) else {
                     return AVal::top_for(ty);
                 };
-                let k = a.ty.as_int().or_else(|| b.ty.as_int()).unwrap_or(IntKind::U16);
+                let k =
+                    a.ty.as_int()
+                        .or_else(|| b.ty.as_int())
+                        .unwrap_or(IntKind::U16);
                 AVal::Int(Ival::binop(op, ia, ib, k))
             }
         }
@@ -523,7 +529,9 @@ impl Walker<'_> {
         for el in &p.elems {
             match el {
                 PlaceElem::Field { sid, idx } => {
-                    ty = self.prog.structs[sid.0 as usize].fields[*idx as usize].ty.clone();
+                    ty = self.prog.structs[sid.0 as usize].fields[*idx as usize]
+                        .ty
+                        .clone();
                 }
                 PlaceElem::Index(_) => {
                     if let Type::Array(t, _) = ty {
@@ -642,8 +650,11 @@ impl Walker<'_> {
                 let cv = self.eval(cond, env).truth();
                 if let Some(t) = cv {
                     if self.transform {
-                        let taken =
-                            if t { std::mem::take(then_) } else { std::mem::take(else_) };
+                        let taken = if t {
+                            std::mem::take(then_)
+                        } else {
+                            std::mem::take(else_)
+                        };
                         stats.branches_folded += 1;
                         *s = Stmt::Block(taken);
                         // Re-walk the surviving branch.
@@ -749,7 +760,11 @@ impl Walker<'_> {
             let _breaks = self.loop_breaks.pop();
             self.transform = was_transform;
             let mut merged = head.clone();
-            let changed = if iter_env.reachable { merged.join_from(&iter_env) } else { false };
+            let changed = if iter_env.reachable {
+                merged.join_from(&iter_env)
+            } else {
+                false
+            };
             if !changed {
                 head = merged;
                 break;
@@ -774,7 +789,9 @@ impl Walker<'_> {
         }
         // Decided loop condition?
         let entry_truth = self.eval(cond, &head).truth();
-        if self.transform && entry_truth == Some(false) && self.eval(cond, env).truth() == Some(false)
+        if self.transform
+            && entry_truth == Some(false)
+            && self.eval(cond, env).truth() == Some(false)
         {
             // Loop never runs at all.
             stats.branches_folded += 1;
@@ -816,8 +833,7 @@ impl Walker<'_> {
             ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le), a, b) => {
                 // Pointer null tests.
                 if a.ty.is_ptr() || b.ty.is_ptr() {
-                    let (ptr_e, other) =
-                        if a.ty.is_ptr() { (a, b) } else { (b, a) };
+                    let (ptr_e, other) = if a.ty.is_ptr() { (a, b) } else { (b, a) };
                     if self.eval(other, env).as_const() == Some(0)
                         || matches!(self.eval(other, env), AVal::Ptr(p) if p.null == Tri::Yes)
                     {
@@ -892,7 +908,9 @@ impl Walker<'_> {
             ExprKind::Cast(a) => a,
             _ => e,
         };
-        let ExprKind::Load(p) = &inner.kind else { return None };
+        let ExprKind::Load(p) = &inner.kind else {
+            return None;
+        };
         if !p.elems.is_empty() {
             return None;
         }
@@ -989,4 +1007,3 @@ enum RefTarget {
     Local(usize),
     Global(usize),
 }
-

@@ -31,7 +31,11 @@ pub struct InlineOptions {
 
 impl Default for InlineOptions {
     fn default() -> Self {
-        InlineOptions { max_size: 16, max_single_site: 48, rounds: 3 }
+        InlineOptions {
+            max_size: 16,
+            max_single_site: 48,
+            rounds: 3,
+        }
     }
 }
 

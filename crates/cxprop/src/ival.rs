@@ -148,9 +148,7 @@ impl Ival {
                 let hi = (m.next_power_of_two().saturating_mul(2) - 1) as i64;
                 exact(0, hi)
             }
-            BinOp::Shl if bl == bh && (0..16).contains(&bl) && al >= 0 => {
-                exact(al << bl, ah << bl)
-            }
+            BinOp::Shl if bl == bh && (0..16).contains(&bl) && al >= 0 => exact(al << bl, ah << bl),
             BinOp::Shr if bl == bh && (0..16).contains(&bl) && al >= 0 => {
                 Ival::Range(al >> bl, ah >> bl)
             }
@@ -202,7 +200,9 @@ impl Ival {
 
     /// Abstract unary operation.
     pub fn unop(op: UnOp, a: Ival, kind: IntKind) -> Ival {
-        let Some((lo, hi)) = a.bounds() else { return Ival::Bot };
+        let Some((lo, hi)) = a.bounds() else {
+            return Ival::Bot;
+        };
         match op {
             UnOp::Neg => {
                 let (nl, nh) = (-hi, -lo);
@@ -241,7 +241,9 @@ impl Ival {
 
     /// Refines `self` assuming `self op other` evaluated to `taken`.
     pub fn refine(self, op: BinOp, other: Ival, taken: bool) -> Ival {
-        let Some((ol, oh)) = other.bounds() else { return self };
+        let Some((ol, oh)) = other.bounds() else {
+            return self;
+        };
         let constraint = match (op, taken) {
             (BinOp::Eq, true) | (BinOp::Ne, false) => Ival::Range(ol, oh),
             (BinOp::Lt, true) => Ival::Range(i64::MIN / 4, oh - 1),
@@ -273,15 +275,24 @@ mod tests {
     fn arithmetic_stays_exact_when_in_range() {
         let a = Ival::Range(1, 5);
         let b = Ival::Range(10, 20);
-        assert_eq!(Ival::binop(BinOp::Add, a, b, IntKind::U16), Ival::Range(11, 25));
-        assert_eq!(Ival::binop(BinOp::Mul, a, b, IntKind::U16), Ival::Range(10, 100));
+        assert_eq!(
+            Ival::binop(BinOp::Add, a, b, IntKind::U16),
+            Ival::Range(11, 25)
+        );
+        assert_eq!(
+            Ival::binop(BinOp::Mul, a, b, IntKind::U16),
+            Ival::Range(10, 100)
+        );
     }
 
     #[test]
     fn overflow_goes_to_top() {
         let a = Ival::Range(200, 255);
         let b = Ival::Range(200, 255);
-        assert_eq!(Ival::binop(BinOp::Add, a, b, IntKind::U8), Ival::top(IntKind::U8));
+        assert_eq!(
+            Ival::binop(BinOp::Add, a, b, IntKind::U8),
+            Ival::top(IntKind::U8)
+        );
     }
 
     #[test]
@@ -318,6 +329,9 @@ mod tests {
     fn mod_by_constant_bounds() {
         let a = Ival::Range(0, 100);
         let b = Ival::const_(8);
-        assert_eq!(Ival::binop(BinOp::Mod, a, b, IntKind::U8), Ival::Range(0, 7));
+        assert_eq!(
+            Ival::binop(BinOp::Mod, a, b, IntKind::U8),
+            Ival::Range(0, 7)
+        );
     }
 }

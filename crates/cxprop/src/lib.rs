@@ -193,7 +193,10 @@ mod tests {
         let count = |inline: bool| {
             let mut p = tcil::parse_and_lower(src).unwrap();
             cure(&mut p, &CureOptions::default()).unwrap();
-            let opts = CxpropOptions { inline, ..Default::default() };
+            let opts = CxpropOptions {
+                inline,
+                ..Default::default()
+            };
             optimize(&mut p, &opts);
             p.count_checks()
         };
@@ -217,7 +220,10 @@ mod tests {
         let count = |domain: DomainKind| {
             let mut p = tcil::parse_and_lower(src).unwrap();
             cure(&mut p, &CureOptions::default()).unwrap();
-            let opts = CxpropOptions { domain, ..Default::default() };
+            let opts = CxpropOptions {
+                domain,
+                ..Default::default()
+            };
             optimize(&mut p, &opts);
             p.count_checks()
         };
@@ -247,12 +253,20 @@ mod tests {
         let mut p = tcil::parse_and_lower(src).unwrap();
         cure(&mut p, &CureOptions::default()).unwrap();
         optimize(&mut p, &CxpropOptions::default());
-        let image =
-            backend::compile(&p, mcu::Profile::mica2(), &backend::BackendOptions::default())
-                .unwrap();
+        let image = backend::compile(
+            &p,
+            mcu::Profile::mica2(),
+            &backend::BackendOptions::default(),
+        )
+        .unwrap();
         let mut m = mcu::Machine::new(&image);
         m.run(1_000_000);
-        assert_eq!(m.state, mcu::RunState::Halted, "fault: {:?}", m.fault_message());
+        assert_eq!(
+            m.state,
+            mcu::RunState::Halted,
+            "fault: {:?}",
+            m.fault_message()
+        );
         // sum = 56; LED register observes 56 & 7 = 0.
         assert_eq!(m.devices.leds.value, 0);
         // The observable output survives even though the optimizer may

@@ -64,7 +64,12 @@ pub fn refine(program: &mut Program) -> RaceReport {
             .collect(),
     );
     let is_sync = reach(
-        program.entry.iter().map(|e| e.0).chain(program.tasks.iter().map(|t| t.0)).collect(),
+        program
+            .entry
+            .iter()
+            .map(|e| e.0)
+            .chain(program.tasks.iter().map(|t| t.0))
+            .collect(),
     );
 
     let ng = program.globals.len();
@@ -125,15 +130,47 @@ fn scan(
     for s in block {
         match s {
             Stmt::Atomic { body, .. } => {
-                scan(body, is_async, is_sync, true, acc, deref_write_async, deref_write_sync_unprot);
+                scan(
+                    body,
+                    is_async,
+                    is_sync,
+                    true,
+                    acc,
+                    deref_write_async,
+                    deref_write_sync_unprot,
+                );
                 continue;
             }
             Stmt::If { then_, else_, .. } => {
-                scan(then_, is_async, is_sync, protected, acc, deref_write_async, deref_write_sync_unprot);
-                scan(else_, is_async, is_sync, protected, acc, deref_write_async, deref_write_sync_unprot);
+                scan(
+                    then_,
+                    is_async,
+                    is_sync,
+                    protected,
+                    acc,
+                    deref_write_async,
+                    deref_write_sync_unprot,
+                );
+                scan(
+                    else_,
+                    is_async,
+                    is_sync,
+                    protected,
+                    acc,
+                    deref_write_async,
+                    deref_write_sync_unprot,
+                );
             }
             Stmt::While { body, .. } | Stmt::Block(body) => {
-                scan(body, is_async, is_sync, protected, acc, deref_write_async, deref_write_sync_unprot);
+                scan(
+                    body,
+                    is_async,
+                    is_sync,
+                    protected,
+                    acc,
+                    deref_write_async,
+                    deref_write_sync_unprot,
+                );
             }
             _ => {}
         }
@@ -160,27 +197,25 @@ fn scan(
             });
         });
         // Writes (destinations).
-        let mut write = |p: &Place| {
-            match &p.base {
-                PlaceBase::Global(g) => {
-                    let a = &mut acc[g.0 as usize];
-                    if is_async {
-                        a.async_write = true;
-                    }
-                    if is_sync && !protected {
-                        a.sync_unprot_write = true;
-                    }
+        let mut write = |p: &Place| match &p.base {
+            PlaceBase::Global(g) => {
+                let a = &mut acc[g.0 as usize];
+                if is_async {
+                    a.async_write = true;
                 }
-                PlaceBase::Deref(_) => {
-                    if is_async {
-                        *deref_write_async = true;
-                    }
-                    if is_sync && !protected {
-                        *deref_write_sync_unprot = true;
-                    }
+                if is_sync && !protected {
+                    a.sync_unprot_write = true;
                 }
-                _ => {}
             }
+            PlaceBase::Deref(_) => {
+                if is_async {
+                    *deref_write_async = true;
+                }
+                if is_sync && !protected {
+                    *deref_write_sync_unprot = true;
+                }
+            }
+            _ => {}
         };
         match s {
             Stmt::Assign(p, _) => write(p),

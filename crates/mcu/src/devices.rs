@@ -225,7 +225,11 @@ mod tests {
 
     #[test]
     fn triangle_waveform_cycles() {
-        let w = Waveform::Triangle { min: 100, max: 200, period: 10 };
+        let w = Waveform::Triangle {
+            min: 100,
+            max: 200,
+            period: 10,
+        };
         assert_eq!(w.sample(0), 100);
         assert!(w.sample(5) >= 190);
         assert_eq!(w.sample(0), w.sample(10));
@@ -233,7 +237,11 @@ mod tests {
 
     #[test]
     fn noise_waveform_is_deterministic_and_bounded() {
-        let w = Waveform::Noise { seed: 42, min: 10, max: 20 };
+        let w = Waveform::Noise {
+            seed: 42,
+            min: 10,
+            max: 20,
+        };
         for n in 0..100 {
             let v = w.sample(n);
             assert!((10..=20).contains(&v));

@@ -21,12 +21,22 @@ pub struct Profile {
 impl Profile {
     /// The Mica2-class profile: 4 KB SRAM, 128 KB flash.
     pub fn mica2() -> Profile {
-        Profile { name: "mica2".into(), sram_size: 4 * 1024, flash_size: 128 * 1024, clock_hz: 4_000_000 }
+        Profile {
+            name: "mica2".into(),
+            sram_size: 4 * 1024,
+            flash_size: 128 * 1024,
+            clock_hz: 4_000_000,
+        }
     }
 
     /// The TelosB-class profile: 10 KB SRAM, 48 KB flash.
     pub fn telosb() -> Profile {
-        Profile { name: "telosb".into(), sram_size: 10 * 1024, flash_size: 48 * 1024, clock_hz: 4_000_000 }
+        Profile {
+            name: "telosb".into(),
+            sram_size: 10 * 1024,
+            flash_size: 48 * 1024,
+            clock_hz: 4_000_000,
+        }
     }
 
     /// First SRAM address (the null page below it always faults).
@@ -64,7 +74,10 @@ pub struct ParamSlot {
 impl ParamSlot {
     /// A scalar slot (convenience constructor).
     pub fn scalar(off: u16, width: Width) -> ParamSlot {
-        ParamSlot { off, kind: SlotKind::Scalar(width) }
+        ParamSlot {
+            off,
+            kind: SlotKind::Scalar(width),
+        }
     }
 }
 
@@ -201,7 +214,10 @@ impl Image {
 
     /// Looks up a function index by name.
     pub fn find_function(&self, name: &str) -> Option<u32> {
-        self.functions.iter().position(|f| f.name == name).map(|i| i as u32)
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
     }
 }
 
@@ -226,7 +242,11 @@ mod tests {
         let mut f = CodeFunction::new("f");
         f.code = vec![
             Instr::PushI(1),
-            Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false },
+            Instr::Bin {
+                op: AluOp::Add,
+                width: Width::W16,
+                signed: false,
+            },
             Instr::Ret,
         ];
         img.add_function(f);

@@ -424,10 +424,22 @@ mod tests {
 
     #[test]
     fn costs_reflect_width() {
-        let add16 = Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false };
-        let add32 = Instr::Bin { op: AluOp::Add, width: Width::W32, signed: false };
+        let add16 = Instr::Bin {
+            op: AluOp::Add,
+            width: Width::W16,
+            signed: false,
+        };
+        let add32 = Instr::Bin {
+            op: AluOp::Add,
+            width: Width::W32,
+            signed: false,
+        };
         assert!(add32.cycles() > add16.cycles());
-        let div = Instr::Bin { op: AluOp::Div, width: Width::W16, signed: false };
+        let div = Instr::Bin {
+            op: AluOp::Div,
+            width: Width::W16,
+            signed: false,
+        };
         assert!(div.cycles() >= 20);
     }
 

@@ -142,8 +142,10 @@ impl Machine {
     /// every [`RADIO_BYTE_CYCLES`] (workload context / network layer).
     pub fn inject_rx_bytes(&mut self, at: u64, bytes: &[u8]) {
         for (i, b) in bytes.iter().enumerate() {
-            self.events
-                .push(Reverse((at + i as u64 * RADIO_BYTE_CYCLES, Event::RadioRxByte(*b))));
+            self.events.push(Reverse((
+                at + i as u64 * RADIO_BYTE_CYCLES,
+                Event::RadioRxByte(*b),
+            )));
         }
     }
 
@@ -270,7 +272,11 @@ impl Machine {
                 self.store_mem(addr, v, width);
             }
             Instr::AddrLocal { off } => self.eval.push(self.fp.wrapping_add(off) as i64),
-            Instr::LdGlobal { addr, width, signed } => {
+            Instr::LdGlobal {
+                addr,
+                width,
+                signed,
+            } => {
                 if let Some(v) = self.load_mem(addr, width, signed) {
                     self.eval.push(v);
                 }
@@ -426,8 +432,12 @@ impl Machine {
     /// Loads a fat pointer from memory onto the eval stack: layout is
     /// `val, end[, base]` as little-endian words.
     fn fat_load(&mut self, addr: u16, seq: bool) {
-        let Some(val) = self.load_mem(addr, Width::W16, false) else { return };
-        let Some(end) = self.load_mem(addr.wrapping_add(2), Width::W16, false) else { return };
+        let Some(val) = self.load_mem(addr, Width::W16, false) else {
+            return;
+        };
+        let Some(end) = self.load_mem(addr.wrapping_add(2), Width::W16, false) else {
+            return;
+        };
         let base = if seq {
             match self.load_mem(addr.wrapping_add(4), Width::W16, false) {
                 Some(b) => b,
@@ -436,7 +446,8 @@ impl Machine {
         } else {
             0
         };
-        self.eval.push(crate::isa::fat_pack(val as u16, base as u16, end as u16));
+        self.eval
+            .push(crate::isa::fat_pack(val as u16, base as u16, end as u16));
     }
 
     fn fat_store(&mut self, addr: u16, cell: i64, seq: bool) {
@@ -645,9 +656,9 @@ impl Machine {
             TIMER0_CTRL => {
                 let enable = v & 1 != 0;
                 if enable && !self.devices.timer0.enabled {
-                    let period =
-                        (self.devices.timer0.compare.max(1) as u64) * TIMER_TICK_CYCLES;
-                    self.events.push(Reverse((self.cycles + period, Event::Timer0Fire)));
+                    let period = (self.devices.timer0.compare.max(1) as u64) * TIMER_TICK_CYCLES;
+                    self.events
+                        .push(Reverse((self.cycles + period, Event::Timer0Fire)));
                 }
                 self.devices.timer0.enabled = enable;
             }
@@ -655,9 +666,9 @@ impl Machine {
             TIMER1_CTRL => {
                 let enable = v & 1 != 0;
                 if enable && !self.devices.timer1.enabled {
-                    let period =
-                        (self.devices.timer1.compare.max(1) as u64) * TIMER_TICK_CYCLES;
-                    self.events.push(Reverse((self.cycles + period, Event::Timer1Fire)));
+                    let period = (self.devices.timer1.compare.max(1) as u64) * TIMER_TICK_CYCLES;
+                    self.events
+                        .push(Reverse((self.cycles + period, Event::Timer1Fire)));
                 }
                 self.devices.timer1.enabled = enable;
             }
@@ -665,8 +676,10 @@ impl Machine {
             ADC_CTRL => {
                 if v & 1 != 0 && !self.devices.adc.busy {
                     self.devices.adc.busy = true;
-                    self.events
-                        .push(Reverse((self.cycles + ADC_CONVERSION_CYCLES, Event::AdcDone)));
+                    self.events.push(Reverse((
+                        self.cycles + ADC_CONVERSION_CYCLES,
+                        Event::AdcDone,
+                    )));
                 }
             }
             RADIO_CTRL => self.devices.radio.rx_enabled = v & 1 != 0,
@@ -674,15 +687,18 @@ impl Machine {
                 if !self.devices.radio.tx_busy {
                     self.devices.radio.tx_busy = true;
                     self.radio_out.push((self.cycles, (v & 0xFF) as u8));
-                    self.events
-                        .push(Reverse((self.cycles + RADIO_BYTE_CYCLES, Event::RadioTxDone)));
+                    self.events.push(Reverse((
+                        self.cycles + RADIO_BYTE_CYCLES,
+                        Event::RadioTxDone,
+                    )));
                 }
             }
             UART_DATA => {
                 if !self.devices.uart.tx_busy {
                     self.devices.uart.tx_busy = true;
                     self.uart_out.push((v & 0xFF) as u8);
-                    self.events.push(Reverse((self.cycles + UART_BYTE_CYCLES, Event::UartTxDone)));
+                    self.events
+                        .push(Reverse((self.cycles + UART_BYTE_CYCLES, Event::UartTxDone)));
                 }
             }
             _ => {}
@@ -701,7 +717,8 @@ impl Machine {
                         self.pending |= 1 << crate::vectors::TIMER0;
                         let period =
                             (self.devices.timer0.compare.max(1) as u64) * TIMER_TICK_CYCLES;
-                        self.events.push(Reverse((self.cycles + period, Event::Timer0Fire)));
+                        self.events
+                            .push(Reverse((self.cycles + period, Event::Timer0Fire)));
                     }
                 }
                 Event::Timer1Fire => {
@@ -709,7 +726,8 @@ impl Machine {
                         self.pending |= 1 << crate::vectors::TIMER1;
                         let period =
                             (self.devices.timer1.compare.max(1) as u64) * TIMER_TICK_CYCLES;
-                        self.events.push(Reverse((self.cycles + period, Event::Timer1Fire)));
+                        self.events
+                            .push(Reverse((self.cycles + period, Event::Timer1Fire)));
                     }
                 }
                 Event::AdcDone => {
@@ -759,8 +777,15 @@ mod tests {
         let img = image_with(vec![
             Instr::PushI(7),
             Instr::PushI(5),
-            Instr::Bin { op: AluOp::Mul, width: Width::W16, signed: false },
-            Instr::StGlobal { addr: 0x0200, width: Width::W16 },
+            Instr::Bin {
+                op: AluOp::Mul,
+                width: Width::W16,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
             Instr::Halt,
         ]);
         let mut m = Machine::new(&img);
@@ -771,7 +796,13 @@ mod tests {
 
     #[test]
     fn null_page_faults() {
-        let img = image_with(vec![Instr::PushI(0), Instr::Ld { width: Width::W8, signed: false }]);
+        let img = image_with(vec![
+            Instr::PushI(0),
+            Instr::Ld {
+                width: Width::W8,
+                signed: false,
+            },
+        ]);
         let mut m = Machine::new(&img);
         m.run(100);
         assert_eq!(m.state, RunState::Faulted);
@@ -795,8 +826,14 @@ mod tests {
     fn rodata_readable() {
         let mut img = image_with(vec![
             Instr::PushI(0x8000),
-            Instr::Ld { width: Width::W8, signed: false },
-            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Ld {
+                width: Width::W8,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W8,
+            },
             Instr::Halt,
         ]);
         img.rodata.push((0x8000, vec![42]));
@@ -826,9 +863,21 @@ mod tests {
             crate::image::ParamSlot::scalar(2, Width::W16),
         ];
         add.code = vec![
-            Instr::LdLocal { off: 0, width: Width::W16, signed: false },
-            Instr::LdLocal { off: 2, width: Width::W16, signed: false },
-            Instr::Bin { op: AluOp::Add, width: Width::W16, signed: false },
+            Instr::LdLocal {
+                off: 0,
+                width: Width::W16,
+                signed: false,
+            },
+            Instr::LdLocal {
+                off: 2,
+                width: Width::W16,
+                signed: false,
+            },
+            Instr::Bin {
+                op: AluOp::Add,
+                width: Width::W16,
+                signed: false,
+            },
             Instr::Ret,
         ];
         let add_idx = img.add_function(add);
@@ -838,7 +887,10 @@ mod tests {
             Instr::PushI(3),
             Instr::PushI(4),
             Instr::Call { func: add_idx },
-            Instr::StGlobal { addr: 0x0200, width: Width::W16 },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
             Instr::Halt,
         ];
         let e = img.add_function(main);
@@ -856,10 +908,21 @@ mod tests {
         let mut h = CodeFunction::new("tick");
         h.interrupt = Some(crate::vectors::TIMER0);
         h.code = vec![
-            Instr::LdGlobal { addr: 0x0200, width: Width::W8, signed: false },
+            Instr::LdGlobal {
+                addr: 0x0200,
+                width: Width::W8,
+                signed: false,
+            },
             Instr::PushI(1),
-            Instr::Bin { op: AluOp::Add, width: Width::W8, signed: false },
-            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Bin {
+                op: AluOp::Add,
+                width: Width::W8,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W8,
+            },
             Instr::Reti,
         ];
         img.add_function(h);
@@ -915,8 +978,14 @@ mod tests {
             Instr::IrqEnable,
             Instr::Sleep,
             Instr::PushI(ADC_DATA as i64),
-            Instr::Ld { width: Width::W16, signed: false },
-            Instr::StGlobal { addr: 0x0200, width: Width::W16 },
+            Instr::Ld {
+                width: Width::W16,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
             Instr::Halt,
         ]);
         let mut m = Machine::new(&img);
@@ -950,8 +1019,14 @@ mod tests {
         h.interrupt = Some(crate::vectors::RADIO_RX);
         h.code = vec![
             Instr::PushI(RADIO_RX as i64),
-            Instr::Ld { width: Width::W8, signed: false },
-            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Ld {
+                width: Width::W8,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W8,
+            },
             Instr::Reti,
         ];
         img.add_function(h);

@@ -22,7 +22,11 @@ impl Network {
     /// Creates a network from pre-loaded machines.
     pub fn new(nodes: Vec<Machine>) -> Network {
         let drained = nodes.iter().map(|n| n.radio_out.len()).collect();
-        Network { nodes, now: 0, drained }
+        Network {
+            nodes,
+            now: 0,
+            drained,
+        }
     }
 
     /// Runs all nodes until `until` cycles of global time.
@@ -71,7 +75,11 @@ impl Network {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(Machine::duty_cycle_percent).sum::<f64>() / self.nodes.len() as f64
+        self.nodes
+            .iter()
+            .map(Machine::duty_cycle_percent)
+            .sum::<f64>()
+            / self.nodes.len() as f64
     }
 }
 
@@ -101,8 +109,14 @@ mod tests {
         rx.interrupt = Some(crate::vectors::RADIO_RX);
         rx.code = vec![
             Instr::PushI(RADIO_RX as i64),
-            Instr::Ld { width: Width::W8, signed: false },
-            Instr::StGlobal { addr: 0x0200, width: Width::W8 },
+            Instr::Ld {
+                width: Width::W8,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W8,
+            },
             Instr::Reti,
         ];
         img_b.add_function(rx);

@@ -68,7 +68,11 @@ pub fn analyze(program: &mut Program) -> ConcurrencyReport {
     }
     // Sync context: reachable from main and tasks.
     let mut sync_ctx = vec![false; n_funcs];
-    let mut work: Vec<FuncId> = program.entry.into_iter().chain(program.tasks.iter().copied()).collect();
+    let mut work: Vec<FuncId> = program
+        .entry
+        .into_iter()
+        .chain(program.tasks.iter().copied())
+        .collect();
     while let Some(f) = work.pop() {
         if std::mem::replace(&mut sync_ctx[f.0 as usize], true) {
             continue;
@@ -102,7 +106,10 @@ pub fn analyze(program: &mut Program) -> ConcurrencyReport {
         );
     }
 
-    let mut report = ConcurrencyReport { atomic_sections, ..Default::default() };
+    let mut report = ConcurrencyReport {
+        atomic_sections,
+        ..Default::default()
+    };
     for (i, g) in program.globals.iter_mut().enumerate() {
         let a = &acc[i];
         // Pointer conservatism: an address-taken global may be reached
@@ -156,11 +163,38 @@ fn scan_block(
                 continue;
             }
             Stmt::If { then_, else_, .. } => {
-                scan_block(then_, is_async, is_sync, protected, acc, deref_async, deref_sync_unprotected, atomic_sections);
-                scan_block(else_, is_async, is_sync, protected, acc, deref_async, deref_sync_unprotected, atomic_sections);
+                scan_block(
+                    then_,
+                    is_async,
+                    is_sync,
+                    protected,
+                    acc,
+                    deref_async,
+                    deref_sync_unprotected,
+                    atomic_sections,
+                );
+                scan_block(
+                    else_,
+                    is_async,
+                    is_sync,
+                    protected,
+                    acc,
+                    deref_async,
+                    deref_sync_unprotected,
+                    atomic_sections,
+                );
             }
             Stmt::While { body, .. } | Stmt::Block(body) => {
-                scan_block(body, is_async, is_sync, protected, acc, deref_async, deref_sync_unprotected, atomic_sections);
+                scan_block(
+                    body,
+                    is_async,
+                    is_sync,
+                    protected,
+                    acc,
+                    deref_async,
+                    deref_sync_unprotected,
+                    atomic_sections,
+                );
             }
             _ => {}
         }

@@ -128,8 +128,7 @@ impl<'a> Generator<'a> {
             }
             let idef = self.iface_def(&slot.iface)?;
             for method in &idef.methods {
-                if !method.is_event && !funcs.contains(&format!("{}.{}", slot.alias, method.name))
-                {
+                if !method.is_event && !funcs.contains(&format!("{}.{}", slot.alias, method.name)) {
                     return Err(CompileError::generic(format!(
                         "module `{}` provides `{}` but does not implement command `{}.{}`",
                         m.name, slot.iface, slot.alias, method.name
@@ -198,7 +197,11 @@ impl<'a> Generator<'a> {
                     m.name,
                     alias,
                     method,
-                    if mdef.is_event { "an event" } else { "a command" }
+                    if mdef.is_event {
+                        "an event"
+                    } else {
+                        "a command"
+                    }
                 )));
             }
             if f.params.len() != mdef.decl.params.len() {
@@ -240,9 +243,15 @@ impl<'a> Generator<'a> {
             )));
         }
         let idef = self.iface_def(&slot.iface)?;
-        let mdef = idef.method(method).ok_or_else(|| {
-            CompileError::generic(format!("interface `{}` has no method `{method}`", slot.iface))
-        })?.clone();
+        let mdef = idef
+            .method(method)
+            .ok_or_else(|| {
+                CompileError::generic(format!(
+                    "interface `{}` has no method `{method}`",
+                    slot.iface
+                ))
+            })?
+            .clone();
         if mdef.is_event {
             return Err(CompileError::generic(format!(
                 "`call {alias}.{method}`: `{method}` is an event; commands only"
@@ -288,9 +297,15 @@ impl<'a> Generator<'a> {
             )));
         }
         let idef = self.iface_def(&slot.iface)?;
-        let mdef = idef.method(method).ok_or_else(|| {
-            CompileError::generic(format!("interface `{}` has no method `{method}`", slot.iface))
-        })?.clone();
+        let mdef = idef
+            .method(method)
+            .ok_or_else(|| {
+                CompileError::generic(format!(
+                    "interface `{}` has no method `{method}`",
+                    slot.iface
+                ))
+            })?
+            .clone();
         if !mdef.is_event {
             return Err(CompileError::generic(format!(
                 "`signal {alias}.{method}`: `{method}` is a command; events only"
@@ -308,8 +323,10 @@ impl<'a> Generator<'a> {
             1 => Ok(mangle_iface(&users[0].0, &users[0].1, method)),
             _ => {
                 let fan = format!("{}__{}__{}__efan", module.name, alias, method);
-                let targets =
-                    users.iter().map(|(um, ua)| mangle_iface(um, ua, method)).collect();
+                let targets = users
+                    .iter()
+                    .map(|(um, ua)| mangle_iface(um, ua, method))
+                    .collect();
                 self.fanouts.entry(fan.clone()).or_insert((mdef, targets));
                 Ok(fan)
             }
@@ -331,7 +348,9 @@ impl<'a> Generator<'a> {
             .collect();
         for ((user_mod, user_alias), _providers) in &self.plan.cmd_targets {
             let m = &self.parsed.modules[user_mod];
-            let Some(slot) = m.slot(user_alias) else { continue };
+            let Some(slot) = m.slot(user_alias) else {
+                continue;
+            };
             let idef = self.iface_def(&slot.iface)?;
             for method in &idef.methods {
                 if !method.is_event {
@@ -357,7 +376,9 @@ impl<'a> Generator<'a> {
 
     fn emit_text(&mut self, text: &str) -> Result<(), CompileError> {
         let unit = parse_unit(text, Dialect::NesC).map_err(|e| {
-            CompileError::generic(format!("internal: synthesized code failed to parse: {e}\n{text}"))
+            CompileError::generic(format!(
+                "internal: synthesized code failed to parse: {e}\n{text}"
+            ))
         })?;
         self.out.items.extend(unit.items);
         Ok(())
@@ -368,7 +389,11 @@ impl<'a> Generator<'a> {
         for (name, (method, targets)) in fanouts {
             let sig = signature_text(&name, &method);
             let args = arg_names(&method).join(", ");
-            let is_void = method.decl.ret == ast::TypeExpr { base: ast::BaseType::Void, ptr_depth: 0 };
+            let is_void = method.decl.ret
+                == ast::TypeExpr {
+                    base: ast::BaseType::Void,
+                    ptr_depth: 0,
+                };
             let mut body = String::new();
             if is_void {
                 for t in &targets {
@@ -396,8 +421,11 @@ impl<'a> Generator<'a> {
         let stubs = std::mem::take(&mut self.stubs);
         for (name, method) in stubs {
             let sig = signature_text(&name, &method);
-            let is_void =
-                method.decl.ret == ast::TypeExpr { base: ast::BaseType::Void, ptr_depth: 0 };
+            let is_void = method.decl.ret
+                == ast::TypeExpr {
+                    base: ast::BaseType::Void,
+                    ptr_depth: 0,
+                };
             // Pointer-returning events (buffer swaps) default to NULL —
             // "keep your buffer"; result_t events default to SUCCESS.
             let body = if is_void {
@@ -522,7 +550,10 @@ impl Rewriter<'_, '_> {
                 if let Some(e) = init {
                     self.expr(e);
                 }
-                self.scopes.last_mut().expect("scope").insert(sig.name.clone());
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(sig.name.clone());
             }
             ast::Stmt::Expr(e) => self.expr(e),
             ast::Stmt::Assign { lhs, rhs, .. } => {
@@ -542,7 +573,12 @@ impl Rewriter<'_, '_> {
                 self.block(body);
                 self.expr(cond);
             }
-            ast::Stmt::For { init, cond, step, body } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashSet::new());
                 if let Some(i) = init {
                     self.stmt(i);
@@ -577,14 +613,17 @@ impl Rewriter<'_, '_> {
                     *name = mangle(&self.module.name, name);
                 }
             }
-            ExprKind::IfaceCall { kind, iface, method, args } => {
+            ExprKind::IfaceCall {
+                kind,
+                iface,
+                method,
+                args,
+            } => {
                 for a in args.iter_mut() {
                     self.expr(a);
                 }
                 let resolved = match kind {
-                    ast::IfaceCallKind::Call => {
-                        self.gen.resolve_call(self.module, iface, method)
-                    }
+                    ast::IfaceCallKind::Call => self.gen.resolve_call(self.module, iface, method),
                     ast::IfaceCallKind::Signal => {
                         self.gen.resolve_signal(self.module, iface, method)
                     }
@@ -602,7 +641,10 @@ impl Rewriter<'_, '_> {
                 match self.gen.task_ids.get(&mangled) {
                     Some(id) => {
                         let idexpr = Expr::new(ExprKind::Int(*id as i64), e.pos);
-                        e.kind = ExprKind::Call { name: "TOS_post".into(), args: vec![idexpr] };
+                        e.kind = ExprKind::Call {
+                            name: "TOS_post".into(),
+                            args: vec![idexpr],
+                        };
                     }
                     None => self.errors.push(CompileError::generic(format!(
                         "module `{}`: post of unknown task `{task}`",
@@ -742,7 +784,10 @@ mod tests {
              }",
         );
         let out = compile(&s, "App").unwrap();
-        assert!(out.program.find_function("SenderM__Send__done__dflt").is_some());
+        assert!(out
+            .program
+            .find_function("SenderM__Send__done__dflt")
+            .is_some());
     }
 
     #[test]
@@ -777,7 +822,10 @@ mod tests {
              }",
         );
         let out = compile(&s, "App").unwrap();
-        assert!(out.program.find_function("Main__StdControl__init__fan").is_some());
+        assert!(out
+            .program
+            .find_function("Main__StdControl__init__fan")
+            .is_some());
     }
 
     #[test]

@@ -117,5 +117,9 @@ pub fn compile(sources: &SourceSet, app: &str) -> Result<CompileOutput, CompileE
     let unit = generate::generate(&parsed, &plan)?;
     let mut program = tcil::lower::lower_unit(&unit)?;
     let report = concurrency::analyze(&mut program);
-    Ok(CompileOutput { program, report, components: plan.instantiation_order.clone() })
+    Ok(CompileOutput {
+        program,
+        report,
+        components: plan.instantiation_order.clone(),
+    })
 }

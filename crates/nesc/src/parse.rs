@@ -166,14 +166,20 @@ fn parse_file(parsed: &mut Parsed, file: &str, text: &str) -> Result<(), Compile
             RawItem::Interface { name, body } => {
                 let def = parse_interface(&name, &body).map_err(|e| e.in_unit(file))?;
                 if parsed.interfaces.insert(name.clone(), def).is_some() {
-                    return Err(CompileError::generic(format!("duplicate interface `{name}`"))
-                        .in_unit(file));
+                    return Err(
+                        CompileError::generic(format!("duplicate interface `{name}`"))
+                            .in_unit(file),
+                    );
                 }
             }
             RawItem::Module { name, spec, body } => {
                 let slots = parse_spec(&spec).map_err(|e| e.in_unit(file))?;
                 let unit = parse_unit(&body, Dialect::NesC).map_err(|e| e.in_unit(file))?;
-                let def = ModuleDef { name: name.clone(), slots, unit };
+                let def = ModuleDef {
+                    name: name.clone(),
+                    slots,
+                    unit,
+                };
                 if parsed.modules.insert(name.clone(), def).is_some() {
                     return Err(
                         CompileError::generic(format!("duplicate module `{name}`")).in_unit(file)
@@ -183,10 +189,17 @@ fn parse_file(parsed: &mut Parsed, file: &str, text: &str) -> Result<(), Compile
             RawItem::Configuration { name, spec, body } => {
                 let slots = parse_spec(&spec).map_err(|e| e.in_unit(file))?;
                 let (components, wires) = parse_wiring(&body).map_err(|e| e.in_unit(file))?;
-                let def = ConfigDef { name: name.clone(), slots, components, wires };
+                let def = ConfigDef {
+                    name: name.clone(),
+                    slots,
+                    components,
+                    wires,
+                };
                 if parsed.configs.insert(name.clone(), def).is_some() {
-                    return Err(CompileError::generic(format!("duplicate configuration `{name}`"))
-                        .in_unit(file));
+                    return Err(
+                        CompileError::generic(format!("duplicate configuration `{name}`"))
+                            .in_unit(file),
+                    );
                 }
             }
             RawItem::Header(text) => {
@@ -217,17 +230,23 @@ fn parse_interface(name: &str, body: &str) -> Result<InterfaceDef, CompileError>
             )));
         };
         let as_func = format!("{rest} {{ }}");
-        let unit = parse_unit(&as_func, Dialect::Plain).map_err(|e| {
-            CompileError::generic(format!("interface `{name}`: {e}"))
-        })?;
+        let unit = parse_unit(&as_func, Dialect::Plain)
+            .map_err(|e| CompileError::generic(format!("interface `{name}`: {e}")))?;
         let [ast::Item::Func(decl)] = &unit.items[..] else {
             return Err(CompileError::generic(format!(
                 "interface `{name}`: `{raw}` is not a method declaration"
             )));
         };
-        methods.push(Method { name: decl.name.clone(), is_event, decl: decl.clone() });
+        methods.push(Method {
+            name: decl.name.clone(),
+            is_event,
+            decl: decl.clone(),
+        });
     }
-    Ok(InterfaceDef { name: name.to_string(), methods })
+    Ok(InterfaceDef {
+        name: name.to_string(),
+        methods,
+    })
 }
 
 /// Parses a specification section: a sequence of
@@ -276,7 +295,11 @@ fn parse_spec(spec: &str) -> Result<Vec<IfaceSlot>, CompileError> {
             return Err(CompileError::new(toks[i].pos, "expected `;`"));
         }
         i += 1;
-        slots.push(IfaceSlot { alias, iface, provides });
+        slots.push(IfaceSlot {
+            alias,
+            iface,
+            provides,
+        });
     }
     Ok(slots)
 }
@@ -327,7 +350,10 @@ fn parse_wiring(body: &str) -> Result<(Vec<String>, Vec<Wire>), CompileError> {
             i += 1;
             WireOp::Equate
         } else {
-            return Err(CompileError::new(toks[i].pos, "expected `->`, `<-`, or `=`"));
+            return Err(CompileError::new(
+                toks[i].pos,
+                "expected `->`, `<-`, or `=`",
+            ));
         };
         let (rhs, ni) = parse_endpoint(&toks, i)?;
         i = ni;
@@ -350,12 +376,29 @@ fn parse_endpoint(toks: &[Token], mut i: usize) -> Result<(RawEndpoint, usize), 
         i += 1;
         let iface = match &toks[i].tok {
             Tok::Ident(s) => s.clone(),
-            _ => return Err(CompileError::new(toks[i].pos, "expected interface after `.`")),
+            _ => {
+                return Err(CompileError::new(
+                    toks[i].pos,
+                    "expected interface after `.`",
+                ))
+            }
         };
         i += 1;
-        Ok((RawEndpoint { comp: Some(first), iface }, i))
+        Ok((
+            RawEndpoint {
+                comp: Some(first),
+                iface,
+            },
+            i,
+        ))
     } else {
-        Ok((RawEndpoint { comp: None, iface: first }, i))
+        Ok((
+            RawEndpoint {
+                comp: None,
+                iface: first,
+            },
+            i,
+        ))
     }
 }
 
@@ -385,12 +428,22 @@ mod tests {
              uses interface Timer as T0;",
         )
         .unwrap();
-        assert_eq!(slots[0], IfaceSlot {
-            alias: "StdControl".into(),
-            iface: "StdControl".into(),
-            provides: true
-        });
-        assert_eq!(slots[1], IfaceSlot { alias: "T0".into(), iface: "Timer".into(), provides: false });
+        assert_eq!(
+            slots[0],
+            IfaceSlot {
+                alias: "StdControl".into(),
+                iface: "StdControl".into(),
+                provides: true
+            }
+        );
+        assert_eq!(
+            slots[1],
+            IfaceSlot {
+                alias: "T0".into(),
+                iface: "Timer".into(),
+                provides: false
+            }
+        );
     }
 
     #[test]

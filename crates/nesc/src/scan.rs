@@ -147,7 +147,10 @@ impl<'a> Scanner<'a> {
             }
             self.pos += 1;
         }
-        Err(CompileError::new(self.pos_of(start), "unterminated `{` in component"))
+        Err(CompileError::new(
+            self.pos_of(start),
+            "unterminated `{` in component",
+        ))
     }
 
     fn pos_of(&self, byte: usize) -> SourcePos {
@@ -172,7 +175,10 @@ impl<'a> Scanner<'a> {
 /// Returns an error for malformed component framing (missing braces or
 /// the `implementation` keyword).
 pub fn scan(text: &str) -> Result<Vec<RawItem>, CompileError> {
-    let mut s = Scanner { bytes: text.as_bytes(), pos: 0 };
+    let mut s = Scanner {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     let mut items = Vec::new();
     let mut header = String::new();
     loop {
@@ -264,10 +270,8 @@ mod tests {
         .unwrap();
         assert_eq!(items.len(), 2);
         assert!(matches!(&items[0], RawItem::Interface { name, .. } if name == "Leds"));
-        assert!(
-            matches!(&items[1], RawItem::Module { name, spec, body }
-                if name == "LedsC" && spec.contains("provides") && body.contains("Leds.set"))
-        );
+        assert!(matches!(&items[1], RawItem::Module { name, spec, body }
+                if name == "LedsC" && spec.contains("provides") && body.contains("Leds.set")));
     }
 
     #[test]
@@ -276,8 +280,10 @@ mod tests {
             "configuration Blink { } implementation { components Main, BlinkM; Main.StdControl -> BlinkM.StdControl; }",
         )
         .unwrap();
-        assert!(matches!(&items[0], RawItem::Configuration { name, body, .. }
-            if name == "Blink" && body.contains("components")));
+        assert!(
+            matches!(&items[0], RawItem::Configuration { name, body, .. }
+            if name == "Blink" && body.contains("components"))
+        );
     }
 
     #[test]
@@ -288,7 +294,9 @@ mod tests {
              interface I { }",
         )
         .unwrap();
-        assert!(matches!(&items[0], RawItem::Header(t) if t.contains("AM_SURGE") && t.contains("SurgeMsg")));
+        assert!(
+            matches!(&items[0], RawItem::Header(t) if t.contains("AM_SURGE") && t.contains("SurgeMsg"))
+        );
         assert!(matches!(&items[1], RawItem::Interface { .. }));
     }
 
@@ -302,7 +310,9 @@ mod tests {
              }",
         )
         .unwrap();
-        let RawItem::Module { body, .. } = &items[0] else { panic!() };
+        let RawItem::Module { body, .. } = &items[0] else {
+            panic!()
+        };
         assert!(body.contains("void f()"));
     }
 

@@ -65,16 +65,17 @@ pub fn resolve(parsed: &Parsed, app: &str) -> Result<Plan, CompileError> {
     // --- collect pass-through equates: (config, alias) -> inner endpoint ---
     let mut equates: HashMap<ModEndpoint, RawEndpoint> = HashMap::new();
     for cfg_name in &plan.instantiation_order {
-        let Some(cfg) = parsed.configs.get(cfg_name) else { continue };
+        let Some(cfg) = parsed.configs.get(cfg_name) else {
+            continue;
+        };
         for w in &cfg.wires {
             if w.op != WireOp::Equate {
                 continue;
             }
             // One side is the config's own slot (bare, or prefixed with
             // the config's own name); the other is the inner endpoint.
-            let own = |e: &RawEndpoint| {
-                e.comp.is_none() || e.comp.as_deref() == Some(cfg_name.as_str())
-            };
+            let own =
+                |e: &RawEndpoint| e.comp.is_none() || e.comp.as_deref() == Some(cfg_name.as_str());
             let (outer, inner) = if own(&w.lhs) && !own(&w.rhs) {
                 (&w.lhs, &w.rhs)
             } else if own(&w.rhs) && !own(&w.lhs) {
@@ -125,14 +126,18 @@ pub fn resolve(parsed: &Parsed, app: &str) -> Result<Plan, CompileError> {
             }
             fuel -= 1;
             if fuel == 0 {
-                return Err(CompileError::generic("pass-through wiring cycle".to_string()));
+                return Err(CompileError::generic(
+                    "pass-through wiring cycle".to_string(),
+                ));
             }
         }
     };
 
     // --- resolve -> and <- wires ---
     for cfg_name in plan.instantiation_order.clone() {
-        let Some(cfg) = parsed.configs.get(&cfg_name) else { continue };
+        let Some(cfg) = parsed.configs.get(&cfg_name) else {
+            continue;
+        };
         for w in &cfg.wires {
             let (user_raw, provider_raw) = match w.op {
                 WireOp::To => (&w.lhs, &w.rhs),
@@ -151,7 +156,10 @@ pub fn resolve(parsed: &Parsed, app: &str) -> Result<Plan, CompileError> {
                     user.0, user.1, provider.0, provider.1
                 )));
             }
-            plan.cmd_targets.entry(user.clone()).or_default().push(provider.clone());
+            plan.cmd_targets
+                .entry(user.clone())
+                .or_default()
+                .push(provider.clone());
             plan.evt_targets.entry(provider).or_default().push(user);
         }
     }
@@ -174,7 +182,11 @@ fn check_slot(parsed: &Parsed, ep: &ModEndpoint, provides: bool) -> Result<(), C
 }
 
 fn slot_iface(parsed: &Parsed, ep: &ModEndpoint) -> String {
-    parsed.modules[&ep.0].slot(&ep.1).expect("checked").iface.clone()
+    parsed.modules[&ep.0]
+        .slot(&ep.1)
+        .expect("checked")
+        .iface
+        .clone()
 }
 
 #[cfg(test)]
@@ -269,7 +281,10 @@ mod tests {
     #[test]
     fn unknown_component_is_error() {
         let mut s = sources_basic();
-        s.add("Bad2.nc", "configuration Bad2 { } implementation { components Nope; }");
+        s.add(
+            "Bad2.nc",
+            "configuration Bad2 { } implementation { components Nope; }",
+        );
         let parsed = parse_sources(&s).unwrap();
         assert!(resolve(&parsed, "Bad2").is_err());
     }
@@ -296,6 +311,9 @@ mod tests {
         );
         let parsed = parse_sources(&s).unwrap();
         let plan = resolve(&parsed, "Fan").unwrap();
-        assert_eq!(plan.cmd_targets[&("Main".to_string(), "StdControl".to_string())].len(), 2);
+        assert_eq!(
+            plan.cmd_targets[&("Main".to_string(), "StdControl".to_string())].len(),
+            2
+        );
     }
 }

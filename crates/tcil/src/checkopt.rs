@@ -136,10 +136,9 @@ mod tests {
     fn addr_of_is_never_null() {
         let place = Place::local(LocalId(0), Type::u8());
         assert!(check_never_fails(&CheckKind::NonNull(Expr::addr_of(place))));
-        assert!(!check_never_fails(&CheckKind::NonNull(Expr::load(Place::local(
-            LocalId(0),
-            Type::thin_ptr(Type::u8())
-        )))));
+        assert!(!check_never_fails(&CheckKind::NonNull(Expr::load(
+            Place::local(LocalId(0), Type::thin_ptr(Type::u8()))
+        ))));
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub struct CompileError {
 impl CompileError {
     /// Creates an error at `pos` with the given message.
     pub fn new(pos: SourcePos, message: impl Into<String>) -> Self {
-        CompileError { pos, message: message.into(), unit: None }
+        CompileError {
+            pos,
+            message: message.into(),
+            unit: None,
+        }
     }
 
     /// Creates an error with no position information (synthesized code).

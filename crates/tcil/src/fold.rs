@@ -102,11 +102,10 @@ pub fn fold_expr(e: &mut Expr, structs: &[StructDef], resolve_sizeof: bool) -> b
                 (Some(av), Some(bv)) => {
                     // Operand kind: both sides were cast to a common kind by
                     // lowering; fall back to the result kind for compares.
-                    let kind = a
-                        .ty
-                        .as_int()
-                        .or_else(|| b.ty.as_int())
-                        .unwrap_or(IntKind::U16);
+                    let kind =
+                        a.ty.as_int()
+                            .or_else(|| b.ty.as_int())
+                            .unwrap_or(IntKind::U16);
                     eval_binop(*op, av, bv, kind)
                 }
                 _ => None,
@@ -139,23 +138,25 @@ pub fn fold_expr(e: &mut Expr, structs: &[StructDef], resolve_sizeof: bool) -> b
 pub fn simplify_identities(e: &mut Expr) -> bool {
     let mut changed = false;
     walk_expr_mut(e, &mut |x| {
-        let ExprKind::Binary(op, a, b) = &x.kind else { return };
+        let ExprKind::Binary(op, a, b) = &x.kind else {
+            return;
+        };
         let (av, bv) = (a.as_const(), b.as_const());
         let replacement: Option<Expr> = match (op, av, bv) {
-            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, _, Some(0)) => {
-                Some((**a).clone())
-            }
+            (
+                BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr,
+                _,
+                Some(0),
+            ) => Some((**a).clone()),
             (BinOp::Add | BinOp::Or | BinOp::Xor, Some(0), _) => Some((**b).clone()),
             (BinOp::Mul | BinOp::Div, _, Some(1)) => Some((**a).clone()),
             (BinOp::Mul, Some(1), _) => Some((**b).clone()),
-            (BinOp::Mul | BinOp::And, _, Some(0)) => Some(Expr::const_int(
-                0,
-                x.ty.as_int().unwrap_or(IntKind::U16),
-            )),
-            (BinOp::Mul | BinOp::And, Some(0), _) => Some(Expr::const_int(
-                0,
-                x.ty.as_int().unwrap_or(IntKind::U16),
-            )),
+            (BinOp::Mul | BinOp::And, _, Some(0)) => {
+                Some(Expr::const_int(0, x.ty.as_int().unwrap_or(IntKind::U16)))
+            }
+            (BinOp::Mul | BinOp::And, Some(0), _) => {
+                Some(Expr::const_int(0, x.ty.as_int().unwrap_or(IntKind::U16)))
+            }
             (BinOp::PtrAdd | BinOp::PtrSub, _, Some(0)) => Some((**a).clone()),
             _ => None,
         };
@@ -200,7 +201,10 @@ mod tests {
     #[test]
     fn wrapping_matches_width() {
         assert_eq!(eval_binop(BinOp::Add, 255, 1, IntKind::U8), Some(0));
-        assert_eq!(eval_binop(BinOp::Mul, 300, 300, IntKind::U16), Some(90000 % 65536));
+        assert_eq!(
+            eval_binop(BinOp::Mul, 300, 300, IntKind::U16),
+            Some(90000 % 65536)
+        );
         assert_eq!(eval_binop(BinOp::Shl, 1, 15, IntKind::I16), Some(-32768));
     }
 
@@ -223,7 +227,10 @@ mod tests {
 
     #[test]
     fn sizeof_folds_only_when_enabled() {
-        let mut e = Expr { ty: Type::u16(), kind: ExprKind::SizeOf(Type::u16()) };
+        let mut e = Expr {
+            ty: Type::u16(),
+            kind: ExprKind::SizeOf(Type::u16()),
+        };
         assert!(!fold_expr(&mut e, &[], false));
         assert!(fold_expr(&mut e, &[], true));
         assert_eq!(e.as_const(), Some(2));

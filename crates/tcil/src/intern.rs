@@ -51,7 +51,10 @@ impl StringPool {
 
     /// Iterates over `(id, bytes)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (StrId, &[u8])> {
-        self.strings.iter().enumerate().map(|(i, s)| (StrId(i as u32), s.as_slice()))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StrId(i as u32), s.as_slice()))
     }
 }
 

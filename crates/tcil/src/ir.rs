@@ -130,7 +130,10 @@ pub enum ExprKind {
 impl Expr {
     /// An integer constant of the given kind.
     pub fn const_int(v: i64, kind: IntKind) -> Expr {
-        Expr { ty: Type::Int(kind), kind: ExprKind::Const(kind.wrap(v)) }
+        Expr {
+            ty: Type::Int(kind),
+            kind: ExprKind::Const(kind.wrap(v)),
+        }
     }
 
     /// The canonical `uint8_t` truth values used by comparisons.
@@ -141,23 +144,35 @@ impl Expr {
     /// A typed null pointer constant.
     pub fn null(ty: Type) -> Expr {
         debug_assert!(ty.is_ptr());
-        Expr { ty, kind: ExprKind::Const(0) }
+        Expr {
+            ty,
+            kind: ExprKind::Const(0),
+        }
     }
 
     /// Reads `place`, yielding its type.
     pub fn load(place: Place) -> Expr {
-        Expr { ty: place.ty.clone(), kind: ExprKind::Load(place) }
+        Expr {
+            ty: place.ty.clone(),
+            kind: ExprKind::Load(place),
+        }
     }
 
     /// Takes the address of `place` as a thin pointer.
     pub fn addr_of(place: Place) -> Expr {
         let ty = Type::thin_ptr(place.ty.clone());
-        Expr { ty, kind: ExprKind::AddrOf(place) }
+        Expr {
+            ty,
+            kind: ExprKind::AddrOf(place),
+        }
     }
 
     /// Builds a binary expression with an explicit result type.
     pub fn binary(op: BinOp, a: Expr, b: Expr, ty: Type) -> Expr {
-        Expr { ty, kind: ExprKind::Binary(op, Box::new(a), Box::new(b)) }
+        Expr {
+            ty,
+            kind: ExprKind::Binary(op, Box::new(a), Box::new(b)),
+        }
     }
 
     /// Builds a unary expression preserving the operand type.
@@ -166,7 +181,10 @@ impl Expr {
             UnOp::Not => Type::u8(),
             _ => e.ty.clone(),
         };
-        Expr { ty, kind: ExprKind::Unary(op, Box::new(e)) }
+        Expr {
+            ty,
+            kind: ExprKind::Unary(op, Box::new(e)),
+        }
     }
 
     /// Casts `e` to `ty`.
@@ -174,7 +192,10 @@ impl Expr {
         if e.ty == ty {
             return e;
         }
-        Expr { ty, kind: ExprKind::Cast(Box::new(e)) }
+        Expr {
+            ty,
+            kind: ExprKind::Cast(Box::new(e)),
+        }
     }
 
     /// Returns the constant value if this is a constant expression node.
@@ -225,12 +246,20 @@ pub struct Place {
 impl Place {
     /// A bare local place.
     pub fn local(id: LocalId, ty: Type) -> Place {
-        Place { base: PlaceBase::Local(id), elems: Vec::new(), ty }
+        Place {
+            base: PlaceBase::Local(id),
+            elems: Vec::new(),
+            ty,
+        }
     }
 
     /// A bare global place.
     pub fn global(id: GlobalId, ty: Type) -> Place {
-        Place { base: PlaceBase::Global(id), elems: Vec::new(), ty }
+        Place {
+            base: PlaceBase::Global(id),
+            elems: Vec::new(),
+            ty,
+        }
     }
 
     /// The place `*ptr`.
@@ -243,7 +272,11 @@ impl Place {
             Type::Ptr(t, _) => (**t).clone(),
             other => panic!("deref of non-pointer type {other}"),
         };
-        Place { base: PlaceBase::Deref(Box::new(ptr)), elems: Vec::new(), ty }
+        Place {
+            base: PlaceBase::Deref(Box::new(ptr)),
+            elems: Vec::new(),
+            ty,
+        }
     }
 
     /// Extends this place with a field projection.
@@ -303,9 +336,12 @@ impl Builtin {
     /// Looks a builtin up by source name.
     pub fn from_name(name: &str) -> Option<Builtin> {
         use Builtin::*;
-        [HwRead8, HwRead16, HwWrite8, HwWrite16, Sleep, IrqSave, IrqRestore, IrqEnable, IrqDisable]
-            .into_iter()
-            .find(|b| b.name() == name)
+        [
+            HwRead8, HwRead16, HwWrite8, HwWrite16, Sleep, IrqSave, IrqRestore, IrqEnable,
+            IrqDisable,
+        ]
+        .into_iter()
+        .find(|b| b.name() == name)
     }
 }
 
@@ -482,7 +518,11 @@ impl Function {
 
     /// Adds a local and returns its id.
     pub fn add_local(&mut self, name: impl Into<String>, ty: Type, is_temp: bool) -> LocalId {
-        self.locals.push(Local { name: name.into(), ty, is_temp });
+        self.locals.push(Local {
+            name: name.into(),
+            ty,
+            is_temp,
+        });
         LocalId((self.locals.len() - 1) as u32)
     }
 
@@ -565,12 +605,18 @@ impl Program {
 
     /// Finds a function id by name.
     pub fn find_function(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Finds a global id by name.
     pub fn find_global(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
     }
 
     /// Convenience accessor.
@@ -655,7 +701,10 @@ mod tests {
             Stmt::If {
                 cond: Expr::bool_val(true),
                 then_: vec![chk.clone()],
-                else_: vec![Stmt::While { cond: Expr::bool_val(false), body: vec![chk] }],
+                else_: vec![Stmt::While {
+                    cond: Expr::bool_val(false),
+                    body: vec![chk],
+                }],
             },
         ];
         p.functions.push(f);

@@ -44,8 +44,8 @@ impl Token {
 /// maximal-munch matching is a simple linear scan.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
-    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-",
-    "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-", "*",
+    "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":",
 ];
 
 /// Lexes `src` into a token vector ending with [`Tok::Eof`].
@@ -113,7 +113,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 advance!(1);
             }
             let s = std::str::from_utf8(&bytes[start..i]).expect("ascii ident");
-            toks.push(Token { tok: Tok::Ident(s.to_string()), pos });
+            toks.push(Token {
+                tok: Tok::Ident(s.to_string()),
+                pos,
+            });
             continue;
         }
         // Numbers.
@@ -135,7 +138,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             let trimmed = text.trim_end_matches(|c: char| matches!(c, 'u' | 'U' | 'l' | 'L'));
             let v = i64::from_str_radix(trimmed, radix)
                 .map_err(|_| CompileError::new(pos, format!("invalid integer literal `{text}`")))?;
-            toks.push(Token { tok: Tok::Int(v), pos });
+            toks.push(Token {
+                tok: Tok::Int(v),
+                pos,
+            });
             continue;
         }
         // Character constants.
@@ -159,7 +165,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 return Err(CompileError::new(pos, "unterminated character constant"));
             }
             advance!(1);
-            toks.push(Token { tok: Tok::Int(v as i64), pos });
+            toks.push(Token {
+                tok: Tok::Int(v as i64),
+                pos,
+            });
             continue;
         }
         // String literals.
@@ -191,19 +200,31 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     }
                 }
             }
-            toks.push(Token { tok: Tok::Str(out), pos });
+            toks.push(Token {
+                tok: Tok::Str(out),
+                pos,
+            });
             continue;
         }
         // Punctuation.
         let rest = &src[i..];
         if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
             advance!(p.len());
-            toks.push(Token { tok: Tok::Punct(p), pos });
+            toks.push(Token {
+                tok: Tok::Punct(p),
+                pos,
+            });
             continue;
         }
-        return Err(CompileError::new(pos, format!("unexpected character `{}`", c as char)));
+        return Err(CompileError::new(
+            pos,
+            format!("unexpected character `{}`", c as char),
+        ));
     }
-    toks.push(Token { tok: Tok::Eof, pos: SourcePos::new(line, col) });
+    toks.push(Token {
+        tok: Tok::Eof,
+        pos: SourcePos::new(line, col),
+    });
     Ok(toks)
 }
 
@@ -269,7 +290,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let t = kinds("a // line\n /* block \n comment */ b");
-        assert_eq!(t, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            t,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -89,11 +89,17 @@ impl Lowerer {
         for item in &unit.items {
             if let ast::Item::Struct(s) = item {
                 if self.struct_ids.contains_key(&s.name) {
-                    return Err(CompileError::new(s.pos, format!("duplicate struct `{}`", s.name)));
+                    return Err(CompileError::new(
+                        s.pos,
+                        format!("duplicate struct `{}`", s.name),
+                    ));
                 }
                 let id = StructId(self.prog.structs.len() as u32);
                 self.struct_ids.insert(s.name.clone(), id);
-                self.prog.structs.push(StructDef { name: s.name.clone(), fields: Vec::new() });
+                self.prog.structs.push(StructDef {
+                    name: s.name.clone(),
+                    fields: Vec::new(),
+                });
             }
         }
         Ok(())
@@ -129,7 +135,10 @@ impl Lowerer {
                 let mut fields = Vec::new();
                 for f in &s.fields {
                     let ty = self.resolve_sig_type(&f.ty, &f.dims, f.pos)?;
-                    fields.push(crate::types::Field { name: f.name.clone(), ty });
+                    fields.push(crate::types::Field {
+                        name: f.name.clone(),
+                        ty,
+                    });
                 }
                 self.prog.structs[id.0 as usize].fields = fields;
             }
@@ -191,7 +200,10 @@ impl Lowerer {
                     }
                     let id = FuncId(self.prog.functions.len() as u32);
                     self.func_ids.insert(f.name.clone(), id);
-                    self.sigs.push(FuncSig { params, ret: ret.clone() });
+                    self.sigs.push(FuncSig {
+                        params,
+                        ret: ret.clone(),
+                    });
                     let mut func = Function::new(f.name.clone(), ret);
                     func.inline_hint = f.inline;
                     match &f.kind {
@@ -371,7 +383,12 @@ impl Lowerer {
                     None => return Err(CompileError::new(e.pos, "non-integer constant cast")),
                 }
             }
-            _ => return Err(CompileError::new(e.pos, "expression is not a compile-time constant")),
+            _ => {
+                return Err(CompileError::new(
+                    e.pos,
+                    "expression is not a compile-time constant",
+                ))
+            }
         })
     }
 
@@ -437,7 +454,10 @@ impl Lowerer {
                 }
                 Ok(Init::List(out))
             }
-            _ => Err(CompileError::new(pos, "initializer shape does not match type")),
+            _ => Err(CompileError::new(
+                pos,
+                "initializer shape does not match type",
+            )),
         }
     }
 
@@ -507,7 +527,10 @@ impl<'a> FuncLowerer<'a> {
                     return Err(CompileError::new(sig.pos, "void variable"));
                 }
                 let id = self.func.add_local(sig.name.clone(), ty.clone(), false);
-                self.scopes.last_mut().expect("scope").insert(sig.name.clone(), id);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(sig.name.clone(), id);
                 if let Some(e) = init {
                     let v = self.lower_expr(e, out)?;
                     let v = self.coerce(v, &ty, e.pos)?;
@@ -536,7 +559,11 @@ impl<'a> FuncLowerer<'a> {
                 self.lower_block(then_, &mut tb)?;
                 let mut eb = Vec::new();
                 self.lower_block(else_, &mut eb)?;
-                out.push(Stmt::If { cond: c, then_: tb, else_: eb });
+                out.push(Stmt::If {
+                    cond: c,
+                    then_: tb,
+                    else_: eb,
+                });
                 Ok(())
             }
             ast::Stmt::While { cond, body } => {
@@ -559,7 +586,10 @@ impl<'a> FuncLowerer<'a> {
                         else_: vec![Stmt::Break],
                     });
                     wb.extend(b);
-                    out.push(Stmt::While { cond: Expr::bool_val(true), body: wb });
+                    out.push(Stmt::While {
+                        cond: Expr::bool_val(true),
+                        body: wb,
+                    });
                 }
                 Ok(())
             }
@@ -572,11 +602,23 @@ impl<'a> FuncLowerer<'a> {
                 let mut cstmts = Vec::new();
                 let c = self.lower_cond(cond, &mut cstmts)?;
                 b.extend(cstmts);
-                b.push(Stmt::If { cond: c, then_: Vec::new(), else_: vec![Stmt::Break] });
-                out.push(Stmt::While { cond: Expr::bool_val(true), body: b });
+                b.push(Stmt::If {
+                    cond: c,
+                    then_: Vec::new(),
+                    else_: vec![Stmt::Break],
+                });
+                out.push(Stmt::While {
+                    cond: Expr::bool_val(true),
+                    body: b,
+                });
                 Ok(())
             }
-            ast::Stmt::For { init, cond, step, body } => {
+            ast::Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.lower_stmt(i, out)?;
@@ -603,9 +645,16 @@ impl<'a> FuncLowerer<'a> {
                     out.push(Stmt::While { cond: c, body: b });
                 } else {
                     let mut wb = cstmts;
-                    wb.push(Stmt::If { cond: c, then_: Vec::new(), else_: vec![Stmt::Break] });
+                    wb.push(Stmt::If {
+                        cond: c,
+                        then_: Vec::new(),
+                        else_: vec![Stmt::Break],
+                    });
                     wb.extend(b);
-                    out.push(Stmt::While { cond: Expr::bool_val(true), body: wb });
+                    out.push(Stmt::While {
+                        cond: Expr::bool_val(true),
+                        body: wb,
+                    });
                 }
                 self.scopes.pop();
                 Ok(())
@@ -615,7 +664,10 @@ impl<'a> FuncLowerer<'a> {
                 match (e, ret_ty == Type::Void) {
                     (None, true) => out.push(Stmt::Return(None)),
                     (Some(_), true) => {
-                        return Err(CompileError::new(*pos, "returning a value from void function"))
+                        return Err(CompileError::new(
+                            *pos,
+                            "returning a value from void function",
+                        ))
                     }
                     (None, false) => {
                         return Err(CompileError::new(*pos, "missing return value"));
@@ -651,7 +703,10 @@ impl<'a> FuncLowerer<'a> {
             ast::Stmt::Atomic(b) => {
                 let mut body = Vec::new();
                 self.lower_block(b, &mut body)?;
-                out.push(Stmt::Atomic { body, style: AtomicStyle::SaveRestore });
+                out.push(Stmt::Atomic {
+                    body,
+                    style: AtomicStyle::SaveRestore,
+                });
                 Ok(())
             }
             ast::Stmt::Block(b) => {
@@ -675,7 +730,11 @@ impl<'a> FuncLowerer<'a> {
                 let place = self.lower_place(target, out)?;
                 let ty = place.ty.clone();
                 let one = Expr::const_int(1, IntKind::U8);
-                let op = if *inc { ast::BinOp::Add } else { ast::BinOp::Sub };
+                let op = if *inc {
+                    ast::BinOp::Add
+                } else {
+                    ast::BinOp::Sub
+                };
                 let combined = self.lower_binop(op, Expr::load(place.clone()), one, e.pos, out)?;
                 let v = self.coerce(combined, &ty, e.pos)?;
                 out.push(Stmt::Assign(place, v));
@@ -685,7 +744,10 @@ impl<'a> FuncLowerer<'a> {
                 e.pos,
                 "nesC construct survived to lowering (frontend bug)",
             )),
-            _ => Err(CompileError::new(e.pos, "expression statement has no effect")),
+            _ => Err(CompileError::new(
+                e.pos,
+                "expression statement has no effect",
+            )),
         }
     }
 
@@ -725,7 +787,10 @@ impl<'a> FuncLowerer<'a> {
                     let ty = self.env.prog.globals[gid.0 as usize].ty.clone();
                     return Ok(Place::global(gid, ty));
                 }
-                Err(CompileError::new(e.pos, format!("unknown variable `{name}`")))
+                Err(CompileError::new(
+                    e.pos,
+                    format!("unknown variable `{name}`"),
+                ))
             }
             K::Deref(inner) => {
                 let p = self.lower_expr(inner, out)?;
@@ -743,7 +808,9 @@ impl<'a> FuncLowerer<'a> {
                 let base_place = self.try_lower_place(base, out)?;
                 match base_place {
                     Some(p) if matches!(p.ty, Type::Array(..)) => {
-                        let Type::Array(elem, _) = p.ty.clone() else { unreachable!() };
+                        let Type::Array(elem, _) = p.ty.clone() else {
+                            unreachable!()
+                        };
                         Ok(p.index(i, (*elem).clone()))
                     }
                     _ => {
@@ -833,7 +900,10 @@ impl<'a> FuncLowerer<'a> {
             }
             K::Str(s) => {
                 let id = self.env.prog.strings.intern(s);
-                Ok(Expr { ty: Type::thin_ptr(Type::Int(IntKind::I8)), kind: ExprKind::Str(id) })
+                Ok(Expr {
+                    ty: Type::thin_ptr(Type::Int(IntKind::I8)),
+                    kind: ExprKind::Str(id),
+                })
             }
             K::Ident(name) => {
                 if let Some(id) = self.lookup_local(name) {
@@ -854,7 +924,10 @@ impl<'a> FuncLowerer<'a> {
                     };
                     return Ok(Expr::const_int(v, k));
                 }
-                Err(CompileError::new(e.pos, format!("unknown identifier `{name}`")))
+                Err(CompileError::new(
+                    e.pos,
+                    format!("unknown identifier `{name}`"),
+                ))
             }
             K::Unary(op, a) => {
                 let v = self.lower_expr(a, out)?;
@@ -864,17 +937,17 @@ impl<'a> FuncLowerer<'a> {
                         Ok(Expr::unary(UnOp::Not, t))
                     }
                     ast::UnOp::Neg => {
-                        let k = v.ty.as_int().ok_or_else(|| {
-                            CompileError::new(e.pos, "negation of non-integer")
-                        })?;
+                        let k = v
+                            .ty
+                            .as_int()
+                            .ok_or_else(|| CompileError::new(e.pos, "negation of non-integer"))?;
                         let k = IntKind::promote(k, IntKind::I16);
                         Ok(Expr::unary(UnOp::Neg, Expr::cast(v, Type::Int(k))))
                     }
                     ast::UnOp::BitNot => {
-                        let k = v
-                            .ty
-                            .as_int()
-                            .ok_or_else(|| CompileError::new(e.pos, "`~` of non-integer"))?;
+                        let k =
+                            v.ty.as_int()
+                                .ok_or_else(|| CompileError::new(e.pos, "`~` of non-integer"))?;
                         let k = IntKind::promote(k, IntKind::U16);
                         Ok(Expr::unary(UnOp::BitNot, Expr::cast(v, Type::Int(k))))
                     }
@@ -908,7 +981,11 @@ impl<'a> FuncLowerer<'a> {
                 let bv = self.coerce(bv, &ty, e.pos)?;
                 ablk.push(Stmt::Assign(Place::local(t, ty.clone()), av));
                 bblk.push(Stmt::Assign(Place::local(t, ty.clone()), bv));
-                out.push(Stmt::If { cond, then_: ablk, else_: bblk });
+                out.push(Stmt::If {
+                    cond,
+                    then_: ablk,
+                    else_: bblk,
+                });
                 Ok(Expr::load(Place::local(t, ty)))
             }
             K::Call { .. } => {
@@ -929,9 +1006,7 @@ impl<'a> FuncLowerer<'a> {
                 match (&v.ty, &ty) {
                     (Type::Int(_), Type::Int(_)) => Ok(Expr::cast(v, ty)),
                     (Type::Ptr(..), Type::Ptr(..)) if v.ty.compat(&ty) => Ok(Expr::cast(v, ty)),
-                    (Type::Int(_), Type::Ptr(..)) if v.as_const() == Some(0) => {
-                        Ok(Expr::null(ty))
-                    }
+                    (Type::Int(_), Type::Ptr(..)) if v.as_const() == Some(0) => Ok(Expr::null(ty)),
                     _ => Err(CompileError::new(
                         e.pos,
                         format!("unsupported cast from {} to {}", v.ty, ty),
@@ -940,7 +1015,10 @@ impl<'a> FuncLowerer<'a> {
             }
             K::SizeofType(te) => {
                 let ty = self.env.resolve_type(te, e.pos)?;
-                Ok(Expr { ty: Type::u16(), kind: ExprKind::SizeOf(ty) })
+                Ok(Expr {
+                    ty: Type::u16(),
+                    kind: ExprKind::SizeOf(ty),
+                })
             }
             K::SizeofExpr(inner) => {
                 // sizeof(expr) needs the *undecayed* type.
@@ -949,11 +1027,15 @@ impl<'a> FuncLowerer<'a> {
                     Some(p) => p.ty,
                     None => self.lower_expr(inner, &mut probe)?.ty,
                 };
-                Ok(Expr { ty: Type::u16(), kind: ExprKind::SizeOf(ty) })
+                Ok(Expr {
+                    ty: Type::u16(),
+                    kind: ExprKind::SizeOf(ty),
+                })
             }
-            K::IncDec { .. } => {
-                Err(CompileError::new(e.pos, "`++`/`--` may only be used as a statement"))
-            }
+            K::IncDec { .. } => Err(CompileError::new(
+                e.pos,
+                "`++`/`--` may only be used as a statement",
+            )),
             K::IfaceCall { .. } | K::Post(_) => Err(CompileError::new(
                 e.pos,
                 "nesC construct survived to lowering (frontend bug)",
@@ -1017,10 +1099,7 @@ impl<'a> FuncLowerer<'a> {
                 }
                 A::Eq | A::Ne | A::Lt | A::Le | A::Gt | A::Ge => {
                     let (x, y, op) = normalize_cmp(op, x, y);
-                    if !(x.ty.compat(&y.ty)
-                        || x.as_const() == Some(0)
-                        || y.as_const() == Some(0))
-                    {
+                    if !(x.ty.compat(&y.ty) || x.as_const() == Some(0) || y.as_const() == Some(0)) {
                         return Err(CompileError::new(pos, "comparing incompatible pointers"));
                     }
                     Ok(Expr::binary(op, x, y, Type::u8()))
@@ -1028,8 +1107,12 @@ impl<'a> FuncLowerer<'a> {
                 _ => Err(CompileError::new(pos, "invalid pointer arithmetic")),
             };
         }
-        let kx = x.ty.as_int().ok_or_else(|| CompileError::new(pos, "non-integer operand"))?;
-        let ky = y.ty.as_int().ok_or_else(|| CompileError::new(pos, "non-integer operand"))?;
+        let kx =
+            x.ty.as_int()
+                .ok_or_else(|| CompileError::new(pos, "non-integer operand"))?;
+        let ky =
+            y.ty.as_int()
+                .ok_or_else(|| CompileError::new(pos, "non-integer operand"))?;
         let k = IntKind::promote(kx, ky);
         let xt = Expr::cast(x, Type::Int(k));
         let yt = Expr::cast(y, Type::Int(k));
@@ -1064,7 +1147,9 @@ impl<'a> FuncLowerer<'a> {
         out: &mut Block,
         want_value: bool,
     ) -> Result<Option<Expr>, CompileError> {
-        let ast::ExprKind::Call { name, args } = &e.kind else { unreachable!() };
+        let ast::ExprKind::Call { name, args } = &e.kind else {
+            unreachable!()
+        };
         // Builtins.
         if let Some(b) = Builtin::from_name(name) {
             return self.lower_builtin(b, args, e.pos, out, want_value);
@@ -1078,7 +1163,11 @@ impl<'a> FuncLowerer<'a> {
         if args.len() != sig.params.len() {
             return Err(CompileError::new(
                 e.pos,
-                format!("`{name}` expects {} arguments, got {}", sig.params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
             ));
         }
         let mut lowered = Vec::new();
@@ -1095,7 +1184,11 @@ impl<'a> FuncLowerer<'a> {
             });
             Ok(Some(Expr::load(Place::local(t, sig.ret))))
         } else {
-            out.push(Stmt::Call { dst: None, func: fid, args: lowered });
+            out.push(Stmt::Call {
+                dst: None,
+                func: fid,
+                args: lowered,
+            });
             Ok(None)
         }
     }
@@ -1139,7 +1232,11 @@ impl<'a> FuncLowerer<'a> {
         } else if want_value {
             Err(CompileError::new(pos, "void builtin used as a value"))
         } else {
-            out.push(Stmt::BuiltinCall { dst: None, which: b, args: lowered });
+            out.push(Stmt::BuiltinCall {
+                dst: None,
+                which: b,
+                args: lowered,
+            });
             Ok(None)
         }
     }
@@ -1206,17 +1303,17 @@ mod tests {
     fn implicit_conversions_become_casts() {
         let p = parse_and_lower("uint32_t x; void f(uint8_t a) { x = a; }").unwrap();
         let f = &p.functions[0];
-        let Stmt::Assign(_, e) = &f.body[0] else { panic!() };
+        let Stmt::Assign(_, e) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Cast(_)));
         assert_eq!(e.ty, Type::Int(IntKind::U32));
     }
 
     #[test]
     fn short_circuit_lowers_to_if() {
-        let p = parse_and_lower(
-            "uint8_t g; uint8_t h; void f() { if (g && h) { g = 1; } }",
-        )
-        .unwrap();
+        let p =
+            parse_and_lower("uint8_t g; uint8_t h; void f() { if (g && h) { g = 1; } }").unwrap();
         let f = &p.functions[0];
         // First the temp assignment, then the guard If, then the user If.
         assert!(f.body.len() >= 3);
@@ -1247,7 +1344,9 @@ mod tests {
         )
         .unwrap();
         let g = &p.functions[1];
-        let Stmt::Call { args, .. } = &g.body[0] else { panic!("got {:?}", g.body[0]) };
+        let Stmt::Call { args, .. } = &g.body[0] else {
+            panic!("got {:?}", g.body[0])
+        };
         assert!(matches!(args[0].kind, ExprKind::AddrOf(_)));
     }
 
@@ -1259,10 +1358,8 @@ mod tests {
 
     #[test]
     fn tasks_and_interrupts_register() {
-        let p = parse_and_lower(
-            "task void t() { } interrupt(TIMER0) void h() { } void main() { }",
-        )
-        .unwrap();
+        let p = parse_and_lower("task void t() { } interrupt(TIMER0) void h() { } void main() { }")
+            .unwrap();
         assert_eq!(p.tasks.len(), 1);
         assert_eq!(p.functions[1].interrupt, Some(0));
     }
@@ -1281,8 +1378,9 @@ mod tests {
     #[test]
     fn rejects_bad_programs() {
         // Incompatible pointer cast (would be WILD in CCured).
-        assert!(parse_and_lower("uint8_t * p; uint16_t * q; void f() { p = (uint8_t *) q; }")
-            .is_err());
+        assert!(
+            parse_and_lower("uint8_t * p; uint16_t * q; void f() { p = (uint8_t *) q; }").is_err()
+        );
         // Unknown function.
         assert!(parse_and_lower("void f() { g(); }").is_err());
         // Break outside loop.
@@ -1297,12 +1395,13 @@ mod tests {
 
     #[test]
     fn sizeof_stays_symbolic() {
-        let p = parse_and_lower(
-            "struct m { uint8_t * p; }; uint16_t f() { return sizeof(struct m); }",
-        )
-        .unwrap();
+        let p =
+            parse_and_lower("struct m { uint8_t * p; }; uint16_t f() { return sizeof(struct m); }")
+                .unwrap();
         let f = &p.functions[0];
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::SizeOf(_)));
     }
 
@@ -1323,7 +1422,12 @@ mod tests {
             .collect();
         assert_eq!(
             builtins,
-            vec![Builtin::HwWrite8, Builtin::IrqSave, Builtin::IrqRestore, Builtin::Sleep]
+            vec![
+                Builtin::HwWrite8,
+                Builtin::IrqSave,
+                Builtin::IrqRestore,
+                Builtin::Sleep
+            ]
         );
     }
 
@@ -1332,21 +1436,29 @@ mod tests {
         let p = parse_and_lower("uint8_t g; void f() { atomic { g = 1; } }").unwrap();
         assert!(matches!(
             &p.functions[0].body[0],
-            Stmt::Atomic { style: AtomicStyle::SaveRestore, .. }
+            Stmt::Atomic {
+                style: AtomicStyle::SaveRestore,
+                ..
+            }
         ));
     }
 
     #[test]
     fn do_while_desugars() {
         let p = parse_and_lower("void f() { uint8_t i = 0; do { i++; } while (i < 3); }").unwrap();
-        assert!(p.functions[0].body.iter().any(|s| matches!(s, Stmt::While { .. })));
+        assert!(p.functions[0]
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::While { .. })));
     }
 
     #[test]
     fn pointer_compare_with_null() {
         let p = parse_and_lower("uint8_t * p; uint8_t f() { return p == 0; }").unwrap();
         let f = &p.functions[0];
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Binary(BinOp::Eq, _, _)));
     }
 }

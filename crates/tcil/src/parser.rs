@@ -26,7 +26,11 @@ pub enum Dialect {
 /// Returns the first lexical or syntactic error encountered.
 pub fn parse_unit(src: &str, dialect: Dialect) -> Result<Unit, CompileError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, dialect };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        dialect,
+    };
     let mut items = Vec::new();
     while !p.at_eof() {
         items.push(p.item()?);
@@ -38,7 +42,11 @@ pub fn parse_unit(src: &str, dialect: Dialect) -> Result<Unit, CompileError> {
 /// that are re-parsed after textual assembly). Mostly useful in tests.
 pub fn parse_block(src: &str, dialect: Dialect) -> Result<Block, CompileError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, dialect };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        dialect,
+    };
     p.expect_punct("{")?;
     let b = p.block_rest()?;
     if !p.at_eof() {
@@ -125,13 +133,19 @@ impl Parser {
         let pos = self.here();
         match self.bump().tok {
             Tok::Ident(s) => Ok((s, pos)),
-            t => Err(CompileError::new(pos, format!("expected identifier, found {t:?}"))),
+            t => Err(CompileError::new(
+                pos,
+                format!("expected identifier, found {t:?}"),
+            )),
         }
     }
 
     fn int_kind_of(&self, t: &Token) -> Option<IntKind> {
         match &t.tok {
-            Tok::Ident(s) => TYPE_KEYWORDS.iter().find(|(k, _)| k == s).map(|&(_, ik)| ik),
+            Tok::Ident(s) => TYPE_KEYWORDS
+                .iter()
+                .find(|(k, _)| k == s)
+                .map(|&(_, ik)| ik),
             _ => None,
         }
     }
@@ -241,18 +255,33 @@ impl Parser {
         }
         if self.peek().is_punct("(") {
             if is_const || norace {
-                return Err(CompileError::new(pos, "`const`/`norace` invalid on functions"));
+                return Err(CompileError::new(
+                    pos,
+                    "`const`/`norace` invalid on functions",
+                ));
             }
             return self.func_decl(kind, inline, ty, name, npos).map(Item::Func);
         }
         if kind != FuncKind::Normal || inline {
-            return Err(CompileError::new(pos, "`task`/`interrupt`/`inline` require a function"));
+            return Err(CompileError::new(
+                pos,
+                "`task`/`interrupt`/`inline` require a function",
+            ));
         }
         let dims = self.array_dims()?;
-        let init = if self.eat_punct("=") { Some(self.initializer()?) } else { None };
+        let init = if self.eat_punct("=") {
+            Some(self.initializer()?)
+        } else {
+            None
+        };
         self.expect_punct(";")?;
         Ok(Item::Global(GlobalDecl {
-            sig: VarSig { ty, name, dims, pos: npos },
+            sig: VarSig {
+                ty,
+                name,
+                dims,
+                pos: npos,
+            },
             init,
             norace,
             is_const,
@@ -293,7 +322,12 @@ impl Parser {
             let (fname, fpos) = self.expect_ident()?;
             let dims = self.array_dims()?;
             self.expect_punct(";")?;
-            fields.push(VarSig { ty, name: fname, dims, pos: fpos });
+            fields.push(VarSig {
+                ty,
+                name: fname,
+                dims,
+                pos: fpos,
+            });
         }
         self.expect_punct(";")?;
         Ok(StructDecl { name, fields, pos })
@@ -309,7 +343,11 @@ impl Parser {
                 break;
             }
             let (name, _) = self.expect_ident()?;
-            let value = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+            let value = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             variants.push((name, value));
             if !self.eat_punct(",") {
                 self.expect_punct("}")?;
@@ -338,7 +376,12 @@ impl Parser {
                 loop {
                     let ty = self.type_expr()?;
                     let (pname, ppos) = self.expect_ident()?;
-                    params.push(VarSig { ty, name: pname, dims: Vec::new(), pos: ppos });
+                    params.push(VarSig {
+                        ty,
+                        name: pname,
+                        dims: Vec::new(),
+                        pos: ppos,
+                    });
                     if !self.eat_punct(",") {
                         self.expect_punct(")")?;
                         break;
@@ -348,7 +391,15 @@ impl Parser {
         }
         self.expect_punct("{")?;
         let body = self.block_rest()?;
-        Ok(FuncDecl { kind, inline, ret, name, params, body, pos })
+        Ok(FuncDecl {
+            kind,
+            inline,
+            ret,
+            name,
+            params,
+            body,
+            pos,
+        })
     }
 
     /// Parses the remainder of a block after the opening `{`.
@@ -373,7 +424,9 @@ impl Parser {
         if self.peek().is_punct("{") {
             self.braced_block()
         } else {
-            Ok(Block { stmts: vec![self.stmt()?] })
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
         }
     }
 
@@ -386,7 +439,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then_ = self.block_or_stmt()?;
-            let else_ = if self.eat_kw("else") { self.block_or_stmt()? } else { Block::default() };
+            let else_ = if self.eat_kw("else") {
+                self.block_or_stmt()?
+            } else {
+                Block::default()
+            };
             return Ok(Stmt::If { cond, then_, else_ });
         }
         if self.eat_kw("while") {
@@ -417,18 +474,34 @@ impl Parser {
                 self.expect_punct(";")?;
                 Some(Box::new(s))
             };
-            let cond = if self.peek().is_punct(";") { None } else { Some(self.expr()?) };
+            let cond = if self.peek().is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
-            let step =
-                if self.peek().is_punct(")") { None } else { Some(Box::new(self.simple_stmt()?)) };
+            let step = if self.peek().is_punct(")") {
+                None
+            } else {
+                Some(Box::new(self.simple_stmt()?))
+            };
             self.expect_punct(")")?;
             let body = self.block_or_stmt()?;
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.peek().is_kw("return") {
             let pos = self.here();
             self.bump();
-            let e = if self.peek().is_punct(";") { None } else { Some(self.expr()?) };
+            let e = if self.peek().is_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(e, pos));
         }
@@ -460,8 +533,20 @@ impl Parser {
             let ty = self.type_expr()?;
             let (name, pos) = self.expect_ident()?;
             let dims = self.array_dims()?;
-            let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
-            return Ok(Stmt::Decl { sig: VarSig { ty, name, dims, pos }, init });
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl {
+                sig: VarSig {
+                    ty,
+                    name,
+                    dims,
+                    pos,
+                },
+                init,
+            });
         }
         let pos = self.here();
         let lhs = self.expr()?;
@@ -481,7 +566,12 @@ impl Parser {
         for (p, op) in ASSIGN_OPS {
             if self.eat_punct(p) {
                 let rhs = self.expr()?;
-                return Ok(Stmt::Assign { op: *op, lhs, rhs, pos });
+                return Ok(Stmt::Assign {
+                    op: *op,
+                    lhs,
+                    rhs,
+                    pos,
+                });
             }
         }
         Ok(Stmt::Expr(lhs))
@@ -516,7 +606,12 @@ impl Parser {
             &[("^", BinOp::Xor)],
             &[("&", BinOp::And)],
             &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
-            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
             &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
             &[("+", BinOp::Add), ("-", BinOp::Sub)],
             &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
@@ -543,13 +638,22 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr, CompileError> {
         let pos = self.here();
         if self.eat_punct("-") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(self.unary()?)), pos));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Neg, Box::new(self.unary()?)),
+                pos,
+            ));
         }
         if self.eat_punct("~") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(self.unary()?)), pos));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::BitNot, Box::new(self.unary()?)),
+                pos,
+            ));
         }
         if self.eat_punct("!") {
-            return Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(self.unary()?)), pos));
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Not, Box::new(self.unary()?)),
+                pos,
+            ));
         }
         if self.eat_punct("*") {
             return Ok(Expr::new(ExprKind::Deref(Box::new(self.unary()?)), pos));
@@ -559,18 +663,29 @@ impl Parser {
         }
         if self.eat_punct("++") {
             let t = self.unary()?;
-            return Ok(Expr::new(ExprKind::IncDec { target: Box::new(t), inc: true }, pos));
+            return Ok(Expr::new(
+                ExprKind::IncDec {
+                    target: Box::new(t),
+                    inc: true,
+                },
+                pos,
+            ));
         }
         if self.eat_punct("--") {
             let t = self.unary()?;
-            return Ok(Expr::new(ExprKind::IncDec { target: Box::new(t), inc: false }, pos));
+            return Ok(Expr::new(
+                ExprKind::IncDec {
+                    target: Box::new(t),
+                    inc: false,
+                },
+                pos,
+            ));
         }
         // Cast: "(" type ")" unary
         if self.peek().is_punct("(") {
             let next = self.peek2();
-            let is_type = next.is_kw("void")
-                || next.is_kw("struct")
-                || self.int_kind_of(next).is_some();
+            let is_type =
+                next.is_kw("void") || next.is_kw("struct") || self.int_kind_of(next).is_some();
             if is_type {
                 self.bump(); // (
                 let ty = self.type_expr()?;
@@ -620,9 +735,21 @@ impl Parser {
                     return Err(self.err_here("function pointers are not supported"));
                 }
             } else if self.eat_punct("++") {
-                e = Expr::new(ExprKind::IncDec { target: Box::new(e), inc: true }, pos);
+                e = Expr::new(
+                    ExprKind::IncDec {
+                        target: Box::new(e),
+                        inc: true,
+                    },
+                    pos,
+                );
             } else if self.eat_punct("--") {
-                e = Expr::new(ExprKind::IncDec { target: Box::new(e), inc: false }, pos);
+                e = Expr::new(
+                    ExprKind::IncDec {
+                        target: Box::new(e),
+                        inc: false,
+                    },
+                    pos,
+                );
             } else {
                 break;
             }
@@ -659,7 +786,15 @@ impl Parser {
                 let (method, _) = self.expect_ident()?;
                 self.expect_punct("(")?;
                 let args = self.call_args()?;
-                return Ok(Expr::new(ExprKind::IfaceCall { kind, iface, method, args }, pos));
+                return Ok(Expr::new(
+                    ExprKind::IfaceCall {
+                        kind,
+                        iface,
+                        method,
+                        args,
+                    },
+                    pos,
+                ));
             }
             if self.eat_kw("post") {
                 let (task, _) = self.expect_ident()?;
@@ -677,7 +812,10 @@ impl Parser {
                 self.expect_punct(")")?;
                 Ok(e)
             }
-            t => Err(CompileError::new(pos, format!("expected expression, found {t:?}"))),
+            t => Err(CompileError::new(
+                pos,
+                format!("expected expression, found {t:?}"),
+            )),
         }
     }
 }
@@ -741,10 +879,16 @@ mod tests {
     #[test]
     fn precedence_binds_correctly() {
         let u = unit("uint16_t x = 1 + 2 * 3;");
-        let Item::Global(g) = &u.items[0] else { panic!() };
-        let Some(Init::Expr(e)) = &g.init else { panic!() };
+        let Item::Global(g) = &u.items[0] else {
+            panic!()
+        };
+        let Some(Init::Expr(e)) = &g.init else {
+            panic!()
+        };
         // (1 + (2 * 3))
-        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("got {e:?}") };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("got {e:?}")
+        };
         assert!(matches!(&rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
     }
 

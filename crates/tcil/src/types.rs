@@ -70,7 +70,11 @@ impl IntKind {
 
     /// Smallest representable value.
     pub fn min_value(self) -> i64 {
-        if self.signed() { -(1i64 << (self.size() * 8 - 1)) } else { 0 }
+        if self.signed() {
+            -(1i64 << (self.size() * 8 - 1))
+        } else {
+            0
+        }
     }
 
     /// Largest representable value.
@@ -193,7 +197,10 @@ pub struct StructDef {
 impl StructDef {
     /// Finds a field index by name.
     pub fn field_index(&self, name: &str) -> Option<u32> {
-        self.fields.iter().position(|f| f.name == name).map(|i| i as u32)
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
     }
 }
 
@@ -290,9 +297,11 @@ pub fn size_of(ty: &Type, structs: &[StructDef]) -> u32 {
         Type::Int(k) => k.size(),
         Type::Ptr(_, k) => k.words() * 2,
         Type::Array(t, n) => size_of(t, structs) * n,
-        Type::Struct(sid) => {
-            structs[sid.0 as usize].fields.iter().map(|f| size_of(&f.ty, structs)).sum()
-        }
+        Type::Struct(sid) => structs[sid.0 as usize]
+            .fields
+            .iter()
+            .map(|f| size_of(&f.ty, structs))
+            .sum(),
     }
 }
 
@@ -303,8 +312,14 @@ pub fn size_of(ty: &Type, structs: &[StructDef]) -> u32 {
 /// Panics if `idx` is out of range for the struct.
 pub fn field_offset(sid: StructId, idx: u32, structs: &[StructDef]) -> u32 {
     let def = &structs[sid.0 as usize];
-    assert!((idx as usize) < def.fields.len(), "field index out of range");
-    def.fields[..idx as usize].iter().map(|f| size_of(&f.ty, structs)).sum()
+    assert!(
+        (idx as usize) < def.fields.len(),
+        "field index out of range"
+    );
+    def.fields[..idx as usize]
+        .iter()
+        .map(|f| size_of(&f.ty, structs))
+        .sum()
 }
 
 impl fmt::Display for Type {
@@ -366,9 +381,18 @@ mod tests {
         let structs = vec![StructDef {
             name: "s".into(),
             fields: vec![
-                Field { name: "a".into(), ty: Type::u8() },
-                Field { name: "b".into(), ty: Type::Int(IntKind::U32) },
-                Field { name: "c".into(), ty: Type::u8() },
+                Field {
+                    name: "a".into(),
+                    ty: Type::u8(),
+                },
+                Field {
+                    name: "b".into(),
+                    ty: Type::Int(IntKind::U32),
+                },
+                Field {
+                    name: "c".into(),
+                    ty: Type::u8(),
+                },
             ],
         }];
         let s = Type::Struct(StructId(0));

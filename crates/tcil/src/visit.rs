@@ -246,8 +246,11 @@ mod tests {
     #[test]
     fn expr_walk_reaches_place_indices() {
         let idx = Expr::const_int(3, IntKind::U16);
-        let arr = Place::local(LocalId(0), crate::types::Type::Array(Box::new(crate::types::Type::u8()), 8))
-            .index(idx, crate::types::Type::u8());
+        let arr = Place::local(
+            LocalId(0),
+            crate::types::Type::Array(Box::new(crate::types::Type::u8()), 8),
+        )
+        .index(idx, crate::types::Type::u8());
         let e = Expr::load(arr);
         let mut consts = 0;
         walk_expr(&e, &mut |x| {

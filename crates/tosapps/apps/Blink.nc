@@ -1,0 +1,46 @@
+// BlinkTask: toggle the red LED from a task posted by a periodic timer
+// (the classic first TinyOS app, in its task-posting variant measured
+// by the paper as "Blink / BlinkTask").
+
+module BlinkTaskM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface Leds;
+}
+implementation {
+    uint8_t led_state;
+
+    task void toggle() {
+        led_state = (uint8_t)(led_state ^ 1);
+        call Leds.set(led_state);
+    }
+
+    command result_t StdControl.init() {
+        led_state = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // 16 base periods = 512 ms.
+        return call Timer.start(16);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        post toggle();
+        return SUCCESS;
+    }
+}
+
+configuration BlinkTask {
+}
+implementation {
+    components Main, BlinkTaskM, TimerC, LedsC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> BlinkTaskM.StdControl;
+    BlinkTaskM.Timer -> TimerC.Timer0;
+    BlinkTaskM.Leds -> LedsC.Leds;
+}

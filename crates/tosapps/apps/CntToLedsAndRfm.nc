@@ -1,0 +1,56 @@
+// CntToLedsAndRfm: a timer-driven counter shown on the LEDs and
+// broadcast over the radio on every tick.
+
+enum {
+    AM_COUNTMSG = 5,
+};
+
+module CntToLedsAndRfmM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface Leds;
+    uses interface SendMsg;
+}
+implementation {
+    uint16_t counter;
+    uint8_t msg[2];
+
+    command result_t StdControl.init() {
+        counter = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // Count every 8 base periods = 256 ms.
+        return call Timer.start(8);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        counter++;
+        call Leds.set((uint8_t)(counter & 7));
+        msg[0] = (uint8_t)(counter & 0xFF);
+        msg[1] = (uint8_t)(counter >> 8);
+        call SendMsg.send(TOS_BCAST_ADDR, AM_COUNTMSG, 2, msg);
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration CntToLedsAndRfm {
+}
+implementation {
+    components Main, CntToLedsAndRfmM, TimerC, LedsC, RadioC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> CntToLedsAndRfmM.StdControl;
+    CntToLedsAndRfmM.Timer -> TimerC.Timer0;
+    CntToLedsAndRfmM.Leds -> LedsC.Leds;
+    CntToLedsAndRfmM.SendMsg -> RadioC.SendMsg;
+}

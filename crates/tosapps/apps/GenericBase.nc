@@ -1,0 +1,43 @@
+// GenericBase: the classic base-station bridge. Every radio frame that
+// passes the CRC is re-framed onto the UART for the attached host.
+
+module GenericBaseM {
+    provides interface StdControl;
+    uses interface ReceiveMsg;
+    uses interface Uart;
+}
+implementation {
+    command result_t StdControl.init() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        return SUCCESS;
+    }
+
+    event result_t ReceiveMsg.receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length) {
+        uint8_t i;
+        call Uart.put(0x7E);
+        call Uart.put(am_type);
+        call Uart.put(length);
+        for (i = 0; i < length; i++) {
+            call Uart.put(payload[i]);
+        }
+        return SUCCESS;
+    }
+}
+
+configuration GenericBase {
+}
+implementation {
+    components Main, GenericBaseM, RadioC, UartC;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> UartC.StdControl;
+    Main.StdControl -> GenericBaseM.StdControl;
+    GenericBaseM.ReceiveMsg -> RadioC.ReceiveMsg;
+    GenericBaseM.Uart -> UartC.Uart;
+}

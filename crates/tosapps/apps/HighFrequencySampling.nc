@@ -1,0 +1,82 @@
+// HighFrequencySampling: sample the sensor on every clock base period,
+// accumulate eight readings, and stream each full buffer over the
+// radio as one bulk packet.
+
+enum {
+    AM_HFSMSG = 22,
+    HFS_SAMPLES = 8,
+};
+
+module HighFrequencySamplingM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface ADC;
+    uses interface SendMsg;
+}
+implementation {
+    uint16_t samples[HFS_SAMPLES];
+    uint8_t nsamples;
+    uint16_t seqno;
+    uint8_t packet[18];
+
+    command result_t StdControl.init() {
+        nsamples = 0;
+        seqno = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // Sample on every base period (32 ms).
+        return call Timer.start(1);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        call ADC.getData();
+        return SUCCESS;
+    }
+
+    task void flush() {
+        uint8_t i;
+        packet[0] = (uint8_t)(seqno & 0xFF);
+        packet[1] = (uint8_t)(seqno >> 8);
+        for (i = 0; i < HFS_SAMPLES; i++) {
+            packet[(uint8_t)(2 + i * 2)] = (uint8_t)(samples[i] & 0xFF);
+            packet[(uint8_t)(3 + i * 2)] = (uint8_t)(samples[i] >> 8);
+        }
+        if (call SendMsg.send(TOS_BCAST_ADDR, AM_HFSMSG, 18, packet) == SUCCESS) {
+            seqno++;
+        }
+    }
+
+    event result_t ADC.dataReady(uint16_t data) {
+        if (nsamples < HFS_SAMPLES) {
+            samples[nsamples] = data;
+            nsamples++;
+        }
+        if (nsamples >= HFS_SAMPLES) {
+            nsamples = 0;
+            post flush();
+        }
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration HighFrequencySampling {
+}
+implementation {
+    components Main, HighFrequencySamplingM, TimerC, PhotoC, RadioC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> HighFrequencySamplingM.StdControl;
+    HighFrequencySamplingM.Timer -> TimerC.Timer0;
+    HighFrequencySamplingM.ADC -> PhotoC.ADC;
+    HighFrequencySamplingM.SendMsg -> RadioC.SendMsg;
+}

@@ -1,0 +1,65 @@
+// Ident: answer identity requests with the node's identity record --
+// a flash-resident tag plus the node address.
+
+enum {
+    AM_IDENTREQ = 20,
+    AM_IDENTREPLY = 21,
+};
+
+// "M16" + version, placed in the flash window (const data).
+const uint8_t IDENT_TAG[4] = {0x4D, 0x31, 0x36, 0x01};
+
+module IdentM {
+    provides interface StdControl;
+    uses interface ReceiveMsg;
+    uses interface SendMsg;
+    uses interface Leds;
+}
+implementation {
+    uint8_t reply[6];
+    uint8_t replies;
+
+    command result_t StdControl.init() {
+        replies = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        return SUCCESS;
+    }
+
+    event result_t ReceiveMsg.receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length) {
+        uint8_t i;
+        if (am_type == AM_IDENTREQ) {
+            for (i = 0; i < 4; i++) {
+                reply[i] = IDENT_TAG[i];
+            }
+            reply[4] = (uint8_t)(TOS_LOCAL_ADDRESS & 0xFF);
+            reply[5] = (uint8_t)(TOS_LOCAL_ADDRESS >> 8);
+            if (call SendMsg.send(TOS_BCAST_ADDR, AM_IDENTREPLY, 6, reply) == SUCCESS) {
+                replies++;
+                call Leds.set((uint8_t)(replies & 7));
+            }
+        }
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration Ident {
+}
+implementation {
+    components Main, IdentM, RadioC, LedsC;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> IdentM.StdControl;
+    IdentM.ReceiveMsg -> RadioC.ReceiveMsg;
+    IdentM.SendMsg -> RadioC.SendMsg;
+    IdentM.Leds -> LedsC.Leds;
+}

@@ -1,0 +1,56 @@
+// MicaHWVerify: the hardware self-test. Each timer tick walks the
+// LEDs, starts an ADC conversion, and reports a status record over
+// the UART: marker, tick counter, sample lo, sample hi.
+
+module MicaHWVerifyM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface ADC;
+    uses interface Leds;
+    uses interface Uart;
+}
+implementation {
+    uint8_t tick;
+
+    command result_t StdControl.init() {
+        tick = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // One self-test round every 8 base periods = 256 ms.
+        return call Timer.start(8);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        tick++;
+        call Leds.set((uint8_t)(tick & 7));
+        call ADC.getData();
+        return SUCCESS;
+    }
+
+    event result_t ADC.dataReady(uint16_t data) {
+        call Uart.put(0xA5);
+        call Uart.put(tick);
+        call Uart.put((uint8_t)(data & 0xFF));
+        call Uart.put((uint8_t)(data >> 8));
+        return SUCCESS;
+    }
+}
+
+configuration MicaHWVerify {
+}
+implementation {
+    components Main, MicaHWVerifyM, TimerC, AdcC, LedsC, UartC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> UartC.StdControl;
+    Main.StdControl -> MicaHWVerifyM.StdControl;
+    MicaHWVerifyM.Timer -> TimerC.Timer0;
+    MicaHWVerifyM.ADC -> AdcC.ADC;
+    MicaHWVerifyM.Leds -> LedsC.Leds;
+    MicaHWVerifyM.Uart -> UartC.Uart;
+}

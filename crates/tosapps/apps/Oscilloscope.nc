@@ -1,0 +1,74 @@
+// Oscilloscope: sample the photo sensor periodically, buffer four
+// readings, and broadcast each full buffer over the radio.
+
+enum {
+    AM_OSCOPEMSG = 10,
+};
+
+module OscilloscopeM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface ADC;
+    uses interface SendMsg;
+}
+implementation {
+    uint8_t packet[10];
+    uint8_t nsamples;
+    uint16_t seqno;
+
+    command result_t StdControl.init() {
+        nsamples = 0;
+        seqno = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // Sample every 4 base periods = 128 ms.
+        return call Timer.start(4);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        call ADC.getData();
+        return SUCCESS;
+    }
+
+    task void send_buffer() {
+        packet[0] = (uint8_t)(seqno & 0xFF);
+        packet[1] = (uint8_t)(seqno >> 8);
+        seqno++;
+        call SendMsg.send(TOS_BCAST_ADDR, AM_OSCOPEMSG, 10, packet);
+    }
+
+    event result_t ADC.dataReady(uint16_t data) {
+        if (nsamples < 4) {
+            packet[(uint8_t)(2 + nsamples * 2)] = (uint8_t)(data & 0xFF);
+            packet[(uint8_t)(3 + nsamples * 2)] = (uint8_t)(data >> 8);
+            nsamples++;
+        }
+        if (nsamples >= 4) {
+            nsamples = 0;
+            post send_buffer();
+        }
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration Oscilloscope {
+}
+implementation {
+    components Main, OscilloscopeM, TimerC, PhotoC, RadioC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> OscilloscopeM.StdControl;
+    OscilloscopeM.Timer -> TimerC.Timer0;
+    OscilloscopeM.ADC -> PhotoC.ADC;
+    OscilloscopeM.SendMsg -> RadioC.SendMsg;
+}

@@ -1,0 +1,65 @@
+// RadioCountToLeds: broadcast a local counter periodically and display
+// the low bits of every counter value heard from other nodes on the
+// LEDs (the TelosB benchmark of the paper's evaluation).
+
+enum {
+    AM_COUNT_RCTL = 6,
+};
+
+module RadioCountToLedsM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface Leds;
+    uses interface SendMsg;
+    uses interface ReceiveMsg;
+}
+implementation {
+    uint16_t counter;
+    uint8_t msg[2];
+
+    command result_t StdControl.init() {
+        counter = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // Broadcast every 8 base periods = 256 ms.
+        return call Timer.start(8);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        counter++;
+        msg[0] = (uint8_t)(counter & 0xFF);
+        msg[1] = (uint8_t)(counter >> 8);
+        call SendMsg.send(TOS_BCAST_ADDR, AM_COUNT_RCTL, 2, msg);
+        return SUCCESS;
+    }
+
+    event result_t ReceiveMsg.receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length) {
+        if (am_type == AM_COUNT_RCTL && length >= 2) {
+            call Leds.set((uint8_t)(payload[0] & 7));
+        }
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration RadioCountToLeds {
+}
+implementation {
+    components Main, RadioCountToLedsM, TimerC, LedsC, RadioC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> RadioCountToLedsM.StdControl;
+    RadioCountToLedsM.Timer -> TimerC.Timer0;
+    RadioCountToLedsM.Leds -> LedsC.Leds;
+    RadioCountToLedsM.SendMsg -> RadioC.SendMsg;
+    RadioCountToLedsM.ReceiveMsg -> RadioC.ReceiveMsg;
+}

@@ -1,0 +1,42 @@
+// RfmToLeds: display the first payload byte of received IntMsg
+// broadcasts on the LEDs.
+
+enum {
+    AM_INTMSG = 4,
+};
+
+module RfmToLedsM {
+    provides interface StdControl;
+    uses interface ReceiveMsg;
+    uses interface Leds;
+}
+implementation {
+    command result_t StdControl.init() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        return SUCCESS;
+    }
+
+    event result_t ReceiveMsg.receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length) {
+        if (am_type == AM_INTMSG && length >= 1) {
+            call Leds.set((uint8_t)(payload[0] & 7));
+        }
+        return SUCCESS;
+    }
+}
+
+configuration RfmToLeds {
+}
+implementation {
+    components Main, RfmToLedsM, RadioC, LedsC;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> RfmToLedsM.StdControl;
+    RfmToLedsM.ReceiveMsg -> RadioC.ReceiveMsg;
+    RfmToLedsM.Leds -> LedsC.Leds;
+}

@@ -1,0 +1,57 @@
+// SenseToRfm: sample the photo sensor periodically and broadcast each
+// reading over the radio.
+
+enum {
+    AM_SENSEMSG = 12,
+};
+
+module SenseToRfmM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface ADC;
+    uses interface SendMsg;
+}
+implementation {
+    uint8_t msg[2];
+
+    command result_t StdControl.init() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // Sample every 8 base periods = 256 ms.
+        return call Timer.start(8);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        call ADC.getData();
+        return SUCCESS;
+    }
+
+    event result_t ADC.dataReady(uint16_t data) {
+        msg[0] = (uint8_t)(data & 0xFF);
+        msg[1] = (uint8_t)(data >> 8);
+        call SendMsg.send(TOS_BCAST_ADDR, AM_SENSEMSG, 2, msg);
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration SenseToRfm {
+}
+implementation {
+    components Main, SenseToRfmM, TimerC, PhotoC, RadioC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> SenseToRfmM.StdControl;
+    SenseToRfmM.Timer -> TimerC.Timer0;
+    SenseToRfmM.ADC -> PhotoC.ADC;
+    SenseToRfmM.SendMsg -> RadioC.SendMsg;
+}

@@ -1,0 +1,122 @@
+// Surge: the multihop data-collection benchmark. Base-station beacons
+// (AM_SURGECMD) establish each node's hop count; nodes with a route
+// periodically sample the sensor and broadcast readings (AM_SURGEMSG),
+// and forward readings heard from deeper nodes toward the base.
+//
+// Reading payload: src lo, src hi, seq lo, seq hi, reading lo,
+// reading hi, hops. Beacon payload: origin lo, origin hi, hops.
+
+enum {
+    AM_SURGEMSG = 17,
+    AM_SURGECMD = 18,
+    SURGE_NO_ROUTE = 0xFF,
+};
+
+module SurgeM {
+    provides interface StdControl;
+    uses interface Timer;
+    uses interface ADC;
+    uses interface SendMsg;
+    uses interface ReceiveMsg;
+    uses interface Leds;
+}
+implementation {
+    uint8_t my_hops;
+    uint16_t seq;
+    uint8_t reading_msg[7];
+    uint8_t fwd_msg[7];
+    uint8_t fwd_busy;
+    uint8_t beacon_msg[3];
+
+    command result_t StdControl.init() {
+        my_hops = SURGE_NO_ROUTE;
+        seq = 0;
+        fwd_busy = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        // Sample every 8 base periods = 256 ms.
+        return call Timer.start(8);
+    }
+
+    command result_t StdControl.stop() {
+        return call Timer.stop();
+    }
+
+    event result_t Timer.fired() {
+        if (my_hops != SURGE_NO_ROUTE) {
+            call ADC.getData();
+        }
+        return SUCCESS;
+    }
+
+    event result_t ADC.dataReady(uint16_t data) {
+        reading_msg[0] = (uint8_t)(TOS_LOCAL_ADDRESS & 0xFF);
+        reading_msg[1] = (uint8_t)(TOS_LOCAL_ADDRESS >> 8);
+        reading_msg[2] = (uint8_t)(seq & 0xFF);
+        reading_msg[3] = (uint8_t)(seq >> 8);
+        reading_msg[4] = (uint8_t)(data & 0xFF);
+        reading_msg[5] = (uint8_t)(data >> 8);
+        reading_msg[6] = my_hops;
+        if (call SendMsg.send(TOS_BCAST_ADDR, AM_SURGEMSG, 7, reading_msg) == SUCCESS) {
+            seq++;
+            call Leds.set((uint8_t)(seq & 7));
+        }
+        return SUCCESS;
+    }
+
+    task void forward() {
+        call SendMsg.send(TOS_BCAST_ADDR, AM_SURGEMSG, 7, fwd_msg);
+        fwd_busy = 0;
+    }
+
+    task void rebroadcast_beacon() {
+        call SendMsg.send(TOS_BCAST_ADDR, AM_SURGECMD, 3, beacon_msg);
+    }
+
+    event result_t ReceiveMsg.receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length) {
+        uint8_t i;
+        uint8_t h;
+        if (am_type == AM_SURGECMD && length >= 3) {
+            h = payload[2];
+            if ((uint8_t)(h + 1) < my_hops) {
+                my_hops = (uint8_t)(h + 1);
+                beacon_msg[0] = payload[0];
+                beacon_msg[1] = payload[1];
+                beacon_msg[2] = my_hops;
+                post rebroadcast_beacon();
+            }
+        }
+        if (am_type == AM_SURGEMSG && length >= 7) {
+            // Forward readings from nodes at least as deep as we are.
+            if (my_hops != SURGE_NO_ROUTE && my_hops <= payload[6] && fwd_busy == 0) {
+                fwd_busy = 1;
+                for (i = 0; i < 7; i++) {
+                    fwd_msg[i] = payload[i];
+                }
+                fwd_msg[6] = my_hops;
+                post forward();
+            }
+        }
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration Surge {
+}
+implementation {
+    components Main, SurgeM, TimerC, PhotoC, RadioC, LedsC;
+    Main.StdControl -> TimerC.StdControl;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> SurgeM.StdControl;
+    SurgeM.Timer -> TimerC.Timer0;
+    SurgeM.ADC -> PhotoC.ADC;
+    SurgeM.SendMsg -> RadioC.SendMsg;
+    SurgeM.ReceiveMsg -> RadioC.ReceiveMsg;
+    SurgeM.Leds -> LedsC.Leds;
+}

@@ -1,0 +1,56 @@
+// TestTimeStamping: echo timestamp requests. Each received request is
+// answered with the original two payload bytes plus the hardware tick
+// counter captured at reception time.
+
+enum {
+    AM_TIMESTAMP = 13,
+};
+
+module TestTimeStampingM {
+    provides interface StdControl;
+    uses interface ReceiveMsg;
+    uses interface SendMsg;
+}
+implementation {
+    uint8_t echo[4];
+
+    command result_t StdControl.init() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        return SUCCESS;
+    }
+
+    event result_t ReceiveMsg.receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length) {
+        uint16_t now;
+        if (am_type == AM_TIMESTAMP && length >= 2) {
+            // Capture the free-running hardware tick counter.
+            now = __hw_read16(0xF014);
+            echo[0] = payload[0];
+            echo[1] = payload[1];
+            echo[2] = (uint8_t)(now & 0xFF);
+            echo[3] = (uint8_t)(now >> 8);
+            call SendMsg.send(TOS_BCAST_ADDR, AM_TIMESTAMP, 4, echo);
+        }
+        return SUCCESS;
+    }
+
+    event result_t SendMsg.sendDone(result_t success) {
+        return SUCCESS;
+    }
+}
+
+configuration TestTimeStamping {
+}
+implementation {
+    components Main, TestTimeStampingM, RadioC;
+    Main.StdControl -> RadioC.StdControl;
+    Main.StdControl -> TestTimeStampingM.StdControl;
+    TestTimeStampingM.ReceiveMsg -> RadioC.ReceiveMsg;
+    TestTimeStampingM.SendMsg -> RadioC.SendMsg;
+}

@@ -1,0 +1,33 @@
+// Split-phase ADC sampling over the 0xF020 conversion engine, with the
+// PhotoC pass-through alias the paper's sensing apps wire to.
+
+module AdcM {
+    provides interface ADC;
+}
+implementation {
+    command result_t ADC.getData() {
+        __hw_write16(0xF020, 1);
+        return SUCCESS;
+    }
+
+    interrupt(ADC) void conversion_done() {
+        signal ADC.dataReady(__hw_read16(0xF022));
+    }
+}
+
+configuration AdcC {
+    provides interface ADC;
+}
+implementation {
+    components AdcM;
+    ADC = AdcM.ADC;
+}
+
+// The photo sensor is a pass-through to the shared conversion engine.
+configuration PhotoC {
+    provides interface ADC;
+}
+implementation {
+    components AdcM;
+    ADC = AdcM.ADC;
+}

@@ -1,0 +1,35 @@
+// The hardware clock: timer 0 programmed through its MMIO registers,
+// its compare-match interrupt re-signaled as the Clock.fire event.
+
+module ClockC {
+    provides interface StdControl;
+    provides interface Clock;
+}
+implementation {
+    command result_t StdControl.init() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        __hw_write16(0xF010, 0);
+        return SUCCESS;
+    }
+
+    command result_t Clock.setRate(uint16_t ticks) {
+        __hw_write16(0xF012, ticks);
+        __hw_write16(0xF010, 1);
+        return SUCCESS;
+    }
+
+    command uint16_t Clock.readCounter() {
+        return __hw_read16(0xF014);
+    }
+
+    interrupt(TIMER0) void compare_match() {
+        signal Clock.fire();
+    }
+}

@@ -1,0 +1,15 @@
+// The LED register wrapper (bits 0-2 of the 0xF000 register).
+
+module LedsC {
+    provides interface Leds;
+}
+implementation {
+    command result_t Leds.set(uint8_t value) {
+        __hw_write8(0xF000, (uint8_t)(value & 7));
+        return SUCCESS;
+    }
+
+    command uint8_t Leds.get() {
+        return __hw_read8(0xF000);
+    }
+}

@@ -1,0 +1,259 @@
+// The active-message radio stack: CRC-framed byte radio with
+// double-buffered receive and interrupt-driven transmit.
+//
+// On-air frame (byte-compatible with `AmPacket::frame_bytes` in the
+// simulation harness): sync 0x7E, addr lo, addr hi, AM type, group,
+// payload length, payload bytes, CRC lo, CRC hi. The CRC-CCITT runs
+// over everything between the sync byte and the CRC trailer.
+//
+// The receive interrupt does only per-byte bookkeeping (the handler
+// must fit inside one 832-cycle byte time even when safety-checked);
+// CRC verification and dispatch run from a posted task while the
+// second buffer absorbs the next frame.
+
+module RadioM {
+    provides interface StdControl;
+    provides interface SendMsg;
+    provides interface ReceiveMsg;
+}
+implementation {
+    enum {
+        RXS_IDLE = 0,
+        RXS_HEADER = 1,
+        RXS_PAYLOAD = 2,
+        RXS_CRC = 3,
+    };
+
+    // ---- receive path ----
+    uint8_t rx_state;
+    uint8_t rx_pos;
+    uint8_t rx_len;
+    uint8_t rx_hdr[5];
+    uint8_t rx_crc_lo;
+    uint8_t rx_buf_a[TOSH_DATA_LENGTH];
+    uint8_t rx_buf_b[TOSH_DATA_LENGTH];
+    uint8_t fill_b;
+
+    // Latched metadata of the frame awaiting delivery.
+    uint16_t r_addr;
+    uint16_t r_crc;
+    uint8_t r_type;
+    uint8_t r_group;
+    uint8_t r_len;
+    uint8_t r_from_b;
+    uint8_t r_pending;
+
+    // ---- transmit path ----
+    uint8_t tx_frame[32];
+    uint8_t tx_len;
+    uint8_t tx_pos;
+    uint8_t tx_active;
+
+    uint16_t crc_step(uint16_t crc, uint8_t b) {
+        uint8_t i;
+        crc = (uint16_t)(crc ^ ((uint16_t)b << 8));
+        for (i = 0; i < 8; i++) {
+            if (crc & 0x8000) {
+                crc = (uint16_t)((crc << 1) ^ 0x1021);
+            } else {
+                crc = (uint16_t)(crc << 1);
+            }
+        }
+        return crc;
+    }
+
+    command result_t StdControl.init() {
+        rx_state = RXS_IDLE;
+        fill_b = 0;
+        r_pending = 0;
+        tx_active = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        __hw_write16(0xF030, 1);
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        __hw_write16(0xF030, 0);
+        return SUCCESS;
+    }
+
+    command result_t SendMsg.send(uint16_t addr, uint8_t am_type, uint8_t length, uint8_t * data) {
+        uint8_t i;
+        uint16_t c;
+        uint8_t was_active;
+        if (length > TOSH_DATA_LENGTH) {
+            return FAIL;
+        }
+        was_active = 0;
+        atomic {
+            if (tx_active) {
+                was_active = 1;
+            } else {
+                tx_active = 1;
+            }
+        }
+        if (was_active) {
+            return FAIL;
+        }
+        tx_frame[0] = 0x7E;
+        tx_frame[1] = (uint8_t)(addr & 0xFF);
+        tx_frame[2] = (uint8_t)(addr >> 8);
+        tx_frame[3] = am_type;
+        tx_frame[4] = TOS_AM_GROUP;
+        tx_frame[5] = length;
+        for (i = 0; i < length; i++) {
+            tx_frame[(uint8_t)(6 + i)] = data[i];
+        }
+        c = 0;
+        for (i = 1; i < (uint8_t)(6 + length); i++) {
+            c = crc_step(c, tx_frame[i]);
+        }
+        tx_frame[(uint8_t)(6 + length)] = (uint8_t)(c & 0xFF);
+        tx_frame[(uint8_t)(7 + length)] = (uint8_t)(c >> 8);
+        atomic {
+            tx_len = (uint8_t)(8 + length);
+            tx_pos = 1;
+        }
+        __hw_write8(0xF032, tx_frame[0]);
+        return SUCCESS;
+    }
+
+    task void send_done() {
+        signal SendMsg.sendDone(SUCCESS);
+    }
+
+    interrupt(RADIO_TX) void byte_sent() {
+        if (tx_active) {
+            if (tx_pos < tx_len) {
+                __hw_write8(0xF032, tx_frame[tx_pos]);
+                tx_pos++;
+            } else {
+                tx_active = 0;
+                post send_done();
+            }
+        }
+    }
+
+    task void deliver() {
+        uint16_t c;
+        uint16_t want;
+        uint16_t addr;
+        uint8_t am_type;
+        uint8_t grp;
+        uint8_t len;
+        uint8_t from_b;
+        uint8_t i;
+        atomic {
+            addr = r_addr;
+            want = r_crc;
+            am_type = r_type;
+            grp = r_group;
+            len = r_len;
+            from_b = r_from_b;
+        }
+        c = 0;
+        c = crc_step(c, (uint8_t)(addr & 0xFF));
+        c = crc_step(c, (uint8_t)(addr >> 8));
+        c = crc_step(c, am_type);
+        c = crc_step(c, grp);
+        c = crc_step(c, len);
+        for (i = 0; i < len; i++) {
+            if (from_b) {
+                c = crc_step(c, rx_buf_b[i]);
+            } else {
+                c = crc_step(c, rx_buf_a[i]);
+            }
+        }
+        if (c == want && grp == TOS_AM_GROUP) {
+            if (addr == TOS_BCAST_ADDR || addr == TOS_LOCAL_ADDRESS) {
+                if (from_b) {
+                    signal ReceiveMsg.receive(addr, am_type, rx_buf_b, len);
+                } else {
+                    signal ReceiveMsg.receive(addr, am_type, rx_buf_a, len);
+                }
+            }
+        }
+        atomic {
+            r_pending = 0;
+        }
+    }
+
+    interrupt(RADIO_RX) void byte_received() {
+        uint8_t b;
+        b = __hw_read8(0xF034);
+        if (rx_state == RXS_IDLE) {
+            if (b == 0x7E) {
+                rx_state = RXS_HEADER;
+                rx_pos = 0;
+            }
+        } else if (rx_state == RXS_HEADER) {
+            if (rx_pos < 5) {
+                rx_hdr[rx_pos] = b;
+                rx_pos++;
+            }
+            if (rx_pos >= 5) {
+                rx_len = rx_hdr[4];
+                if (rx_len > TOSH_DATA_LENGTH) {
+                    // Oversized frame: drop it.
+                    rx_state = RXS_IDLE;
+                } else {
+                    rx_pos = 0;
+                    if (rx_len == 0) {
+                        rx_state = RXS_CRC;
+                    } else {
+                        rx_state = RXS_PAYLOAD;
+                    }
+                }
+            }
+        } else if (rx_state == RXS_PAYLOAD) {
+            if (rx_pos < rx_len) {
+                if (fill_b) {
+                    rx_buf_b[rx_pos] = b;
+                } else {
+                    rx_buf_a[rx_pos] = b;
+                }
+                rx_pos++;
+            }
+            if (rx_pos >= rx_len) {
+                rx_state = RXS_CRC;
+                rx_pos = 0;
+            }
+        } else {
+            if (rx_pos == 0) {
+                rx_crc_lo = b;
+                rx_pos = 1;
+            } else {
+                if (r_pending == 0) {
+                    // Latch the frame and swap fill buffers; if the
+                    // previous frame is still being delivered, drop
+                    // this one (classic buffer-starved behaviour).
+                    r_crc = (uint16_t)(rx_crc_lo | ((uint16_t)b << 8));
+                    r_addr = (uint16_t)(rx_hdr[0] | ((uint16_t)rx_hdr[1] << 8));
+                    r_type = rx_hdr[2];
+                    r_group = rx_hdr[3];
+                    r_len = rx_len;
+                    r_from_b = fill_b;
+                    fill_b = (uint8_t)(fill_b ^ 1);
+                    r_pending = 1;
+                    post deliver();
+                }
+                rx_state = RXS_IDLE;
+            }
+        }
+    }
+}
+
+configuration RadioC {
+    provides interface StdControl;
+    provides interface SendMsg;
+    provides interface ReceiveMsg;
+}
+implementation {
+    components RadioM;
+    StdControl = RadioM.StdControl;
+    SendMsg = RadioM.SendMsg;
+    ReceiveMsg = RadioM.ReceiveMsg;
+}

@@ -1,0 +1,108 @@
+// Virtualized timers multiplexed onto the hardware clock: the library's
+// miniature of TinyOS 1.x TimerC. Two logical timers tick in units of
+// the 32 ms base period (TIMER_BASE_TICKS hardware ticks of 32 cycles
+// at 4 MHz).
+
+enum {
+    TIMER_BASE_TICKS = 4000,
+};
+
+module TimerM {
+    provides interface StdControl;
+    provides interface Timer as Timer0;
+    provides interface Timer as Timer1;
+    uses interface Clock;
+}
+implementation {
+    uint16_t period0;
+    uint16_t period1;
+    uint16_t elapsed0;
+    uint16_t elapsed1;
+    uint8_t running0;
+    uint8_t running1;
+
+    command result_t StdControl.init() {
+        running0 = 0;
+        running1 = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return call Clock.setRate(TIMER_BASE_TICKS);
+    }
+
+    command result_t StdControl.stop() {
+        running0 = 0;
+        running1 = 0;
+        return SUCCESS;
+    }
+
+    command result_t Timer0.start(uint16_t interval) {
+        if (interval == 0) {
+            return FAIL;
+        }
+        atomic {
+            period0 = interval;
+            elapsed0 = 0;
+            running0 = 1;
+        }
+        return SUCCESS;
+    }
+
+    command result_t Timer0.stop() {
+        atomic {
+            running0 = 0;
+        }
+        return SUCCESS;
+    }
+
+    command result_t Timer1.start(uint16_t interval) {
+        if (interval == 0) {
+            return FAIL;
+        }
+        atomic {
+            period1 = interval;
+            elapsed1 = 0;
+            running1 = 1;
+        }
+        return SUCCESS;
+    }
+
+    command result_t Timer1.stop() {
+        atomic {
+            running1 = 0;
+        }
+        return SUCCESS;
+    }
+
+    event result_t Clock.fire() {
+        if (running0) {
+            elapsed0++;
+            if (elapsed0 >= period0) {
+                elapsed0 = 0;
+                signal Timer0.fired();
+            }
+        }
+        if (running1) {
+            elapsed1++;
+            if (elapsed1 >= period1) {
+                elapsed1 = 0;
+                signal Timer1.fired();
+            }
+        }
+        return SUCCESS;
+    }
+}
+
+configuration TimerC {
+    provides interface StdControl;
+    provides interface Timer as Timer0;
+    provides interface Timer as Timer1;
+}
+implementation {
+    components TimerM, ClockC;
+    TimerM.Clock -> ClockC.Clock;
+    StdControl = TimerM.StdControl;
+    Timer0 = TimerM.Timer0;
+    Timer1 = TimerM.Timer1;
+}

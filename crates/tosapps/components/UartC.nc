@@ -1,0 +1,89 @@
+// The debug UART: a byte transmitter with a small software queue,
+// drained by the UART transmit-complete interrupt.
+
+enum {
+    UART_QUEUE_LEN = 16,
+};
+
+module UartM {
+    provides interface StdControl;
+    provides interface Uart;
+}
+implementation {
+    uint8_t queue[UART_QUEUE_LEN];
+    uint8_t head;
+    uint8_t count;
+    uint8_t busy;
+
+    command result_t StdControl.init() {
+        head = 0;
+        count = 0;
+        busy = 0;
+        return SUCCESS;
+    }
+
+    command result_t StdControl.start() {
+        return SUCCESS;
+    }
+
+    command result_t StdControl.stop() {
+        return SUCCESS;
+    }
+
+    command result_t Uart.put(uint8_t data) {
+        uint8_t action;
+        action = 0;
+        atomic {
+            if (busy == 0) {
+                busy = 1;
+                action = 1;
+            } else {
+                if (count < UART_QUEUE_LEN) {
+                    queue[(uint8_t)((head + count) % UART_QUEUE_LEN)] = data;
+                    count++;
+                    action = 2;
+                }
+            }
+        }
+        if (action == 1) {
+            __hw_write8(0xF040, data);
+        }
+        return action ? SUCCESS : FAIL;
+    }
+
+    command uint8_t Uart.pending() {
+        uint8_t n;
+        atomic {
+            n = (uint8_t)(busy + count);
+        }
+        return n;
+    }
+
+    interrupt(UART) void byte_done() {
+        uint8_t data;
+        uint8_t have;
+        have = 0;
+        data = 0;
+        if (count > 0) {
+            data = queue[head];
+            head = (uint8_t)((head + 1) % UART_QUEUE_LEN);
+            count--;
+            have = 1;
+        }
+        if (have) {
+            __hw_write8(0xF040, data);
+        } else {
+            busy = 0;
+        }
+    }
+}
+
+configuration UartC {
+    provides interface StdControl;
+    provides interface Uart;
+}
+implementation {
+    components UartM;
+    StdControl = UartM.StdControl;
+    Uart = UartM.Uart;
+}

@@ -1,0 +1,54 @@
+// The interface vocabulary of the TinyOS-lite component library.
+// Faithful miniatures of the TinyOS 1.x interfaces the paper's twelve
+// benchmark applications are built from.
+
+interface StdControl {
+    command result_t init();
+    command result_t start();
+    command result_t stop();
+}
+
+// The raw hardware clock (timer 0), one tick = 32 CPU cycles.
+interface Clock {
+    command result_t setRate(uint16_t ticks);
+    command uint16_t readCounter();
+    event result_t fire();
+}
+
+// A virtualized timer: interval is in clock base periods (32 ms each).
+interface Timer {
+    command result_t start(uint16_t interval);
+    command result_t stop();
+    event result_t fired();
+}
+
+interface Leds {
+    command result_t set(uint8_t value);
+    command uint8_t get();
+}
+
+// Split-phase analog sampling (the paper's Photo/Temp sensors).
+interface ADC {
+    command result_t getData();
+    event result_t dataReady(uint16_t data);
+}
+
+// Active-message transmission. `send` copies the payload synchronously;
+// `sendDone` is signaled from task context when the frame is on the air.
+interface SendMsg {
+    command result_t send(uint16_t addr, uint8_t am_type, uint8_t length, uint8_t * data);
+    event result_t sendDone(result_t success);
+}
+
+// Active-message reception. Payload points into the radio stack's
+// double-buffered receive storage and is valid for the duration of the
+// event.
+interface ReceiveMsg {
+    event result_t receive(uint16_t addr, uint8_t am_type, uint8_t * payload, uint8_t length);
+}
+
+// Byte-stream debug UART with a small transmit queue.
+interface Uart {
+    command result_t put(uint8_t data);
+    command uint8_t pending();
+}

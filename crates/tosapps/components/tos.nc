@@ -1,0 +1,11 @@
+// Shared TinyOS-lite constants. This header is merged into every
+// application build (nesC-lite headers are global), so it holds only
+// enums -- a global variable here would cost SRAM in every app.
+
+enum {
+    TOS_BCAST_ADDR = 0xFFFF,
+    TOS_LOCAL_ADDRESS = 1,
+    TOS_AM_GROUP = 0x7D,
+    // Maximum active-message payload, matching the buffers in RadioC.
+    TOSH_DATA_LENGTH = 24,
+};

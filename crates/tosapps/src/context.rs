@@ -23,7 +23,12 @@ pub struct AmPacket {
 impl AmPacket {
     /// A broadcast packet of the given type.
     pub fn broadcast(am_type: u8, payload: Vec<u8>) -> AmPacket {
-        AmPacket { addr: 0xFFFF, am_type, group: 0x7D, payload }
+        AmPacket {
+            addr: 0xFFFF,
+            am_type,
+            group: 0x7D,
+            payload,
+        }
     }
 
     /// Serializes to the on-air frame: sync, header, payload, CRC —
@@ -86,7 +91,11 @@ pub struct Context {
 impl Context {
     /// A quiet context (no sensor activity beyond a constant, no radio).
     pub fn quiet(seconds: u64) -> Context {
-        Context { seconds, waveform: Waveform::Const(512), injections: Vec::new() }
+        Context {
+            seconds,
+            waveform: Waveform::Const(512),
+            injections: Vec::new(),
+        }
     }
 
     /// Adds periodic broadcasts of `packet` every `period` cycles,
@@ -101,7 +110,10 @@ impl Context {
         let end = self.seconds * clock_hz;
         let mut t = start;
         while t < end {
-            self.injections.push(Injection { at: t, packet: packet.clone() });
+            self.injections.push(Injection {
+                at: t,
+                packet: packet.clone(),
+            });
             t += period;
         }
         self
@@ -150,12 +162,8 @@ mod tests {
 
     #[test]
     fn periodic_injections_fill_duration() {
-        let c = Context::quiet(2).with_periodic(
-            0,
-            500_000,
-            AmPacket::broadcast(4, vec![1]),
-            1_000_000,
-        );
+        let c =
+            Context::quiet(2).with_periodic(0, 500_000, AmPacket::broadcast(4, vec![1]), 1_000_000);
         assert_eq!(c.injections.len(), 4);
     }
 }

@@ -22,15 +22,27 @@ fn measure(program: &tcil::Program, label: &str) {
 fn main() {
     let spec = tosapps::spec("Oscilloscope_Mica2").expect("known app");
     let out = nesc::compile(&tosapps::source_set(), spec.config).expect("nesc");
-    println!("racy variables (nesC report): {:?}\n", out.report.racy.len());
+    println!(
+        "racy variables (nesC report): {:?}\n",
+        out.report.racy.len()
+    );
 
     let mut program = out.program;
     measure(&program, "after nesC (unsafe)");
 
-    let stats = cure(&mut program, &CureOptions { local_optimize: false, ..Default::default() })
-        .expect("cure");
+    let stats = cure(
+        &mut program,
+        &CureOptions {
+            local_optimize: false,
+            ..Default::default()
+        },
+    )
+    .expect("cure");
     measure(&program, "after CCured (no local opt)");
-    println!("  pointer kinds: {:?}; locks inserted: {}", stats.kinds, stats.locks_inserted);
+    println!(
+        "  pointer kinds: {:?}; locks inserted: {}",
+        stats.kinds, stats.locks_inserted
+    );
 
     ccured::optimize::optimize_checks(&mut program);
     measure(&program, "after CCured local optimizer");
@@ -39,7 +51,13 @@ fn main() {
     measure(&program, "after source-level inlining");
     println!("  {inlined} call sites expanded");
 
-    let cx = cxprop::optimize(&mut program, &CxpropOptions { inline: false, ..Default::default() });
+    let cx = cxprop::optimize(
+        &mut program,
+        &CxpropOptions {
+            inline: false,
+            ..Default::default()
+        },
+    );
     ccured::errmsg::prune_unused_messages(&mut program);
     measure(&program, "after cXprop");
     println!(

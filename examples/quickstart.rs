@@ -17,7 +17,8 @@ fn main() {
     ] {
         let build = build_app(&spec, &config).expect("build");
         let run = simulate(&build, &spec, 5);
-        println!("{:<26} code {:>5} B  sram {:>4} B  checks {:>3} -> {:<3} duty {:>5.2}%  leds {}",
+        println!(
+            "{:<26} code {:>5} B  sram {:>4} B  checks {:>3} -> {:<3} duty {:>5.2}%  leds {}",
             config.name,
             build.metrics.flash_bytes,
             build.metrics.sram_bytes,

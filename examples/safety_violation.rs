@@ -33,7 +33,10 @@ fn main() {
     m.run(1_000_000);
     let power = image.find_global_addr("radio_power").expect("symbol");
     println!("unsafe build:  state={:?}", m.state);
-    println!("               radio_power was 3, is now {} (silent corruption!)", m.ram_peek(power));
+    println!(
+        "               radio_power was 3, is now {} (silent corruption!)",
+        m.ram_peek(power)
+    );
     assert_eq!(m.state, RunState::Halted);
 
     // Safe build.
@@ -43,8 +46,14 @@ fn main() {
     let mut m = Machine::new(&image);
     m.run(1_000_000);
     println!("\nsafe build:    state={:?}", m.state);
-    println!("               {}", m.fault_message().expect("fault message"));
+    println!(
+        "               {}",
+        m.fault_message().expect("fault message")
+    );
     let power = image.find_global_addr("radio_power").expect("symbol");
-    println!("               radio_power still {} — the write never happened", m.ram_peek(power));
+    println!(
+        "               radio_power still {} — the write never happened",
+        m.ram_peek(power)
+    );
     assert_eq!(m.state, RunState::Faulted);
 }

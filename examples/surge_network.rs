@@ -11,8 +11,10 @@ use safe_tinyos::{build_app, BuildConfig};
 fn main() {
     let spec = tosapps::spec("Surge_Mica2").expect("known app");
     let build = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).expect("build");
-    println!("Surge image: {} B flash, {} B SRAM, {} checks surviving",
-        build.metrics.flash_bytes, build.metrics.sram_bytes, build.metrics.checks_surviving);
+    println!(
+        "Surge image: {} B flash, {} B SRAM, {} checks surviving",
+        build.metrics.flash_bytes, build.metrics.sram_bytes, build.metrics.checks_surviving
+    );
 
     // Three identical nodes; node 0 also receives base-station beacons so
     // the routing tree forms.

@@ -55,15 +55,28 @@ fn all_apps_run_fully_safe_without_traps() {
 fn safe_and_unsafe_builds_behave_equivalently() {
     // Device-level observable behaviour must match between the unsafe
     // baseline and the fully optimized safe build.
-    for name in ["BlinkTask_Mica2", "CntToLedsAndRfm_Mica2", "RfmToLeds_Mica2"] {
+    for name in [
+        "BlinkTask_Mica2",
+        "CntToLedsAndRfm_Mica2",
+        "RfmToLeds_Mica2",
+    ] {
         let spec = tosapps::spec(name).unwrap();
         let bu = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
         let bs = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
         let ru = simulate(&bu, &spec, 3);
         let rs = simulate(&bs, &spec, 3);
-        assert_eq!(ru.led_transitions, rs.led_transitions, "{name} LED behaviour diverged");
-        assert_eq!(ru.radio_tx_bytes, rs.radio_tx_bytes, "{name} radio behaviour diverged");
-        assert_eq!(ru.uart_bytes, rs.uart_bytes, "{name} uart behaviour diverged");
+        assert_eq!(
+            ru.led_transitions, rs.led_transitions,
+            "{name} LED behaviour diverged"
+        );
+        assert_eq!(
+            ru.radio_tx_bytes, rs.radio_tx_bytes,
+            "{name} radio behaviour diverged"
+        );
+        assert_eq!(
+            ru.uart_bytes, rs.uart_bytes,
+            "{name} uart behaviour diverged"
+        );
     }
 }
 
@@ -71,17 +84,45 @@ fn safe_and_unsafe_builds_behave_equivalently() {
 fn apps_do_observable_work() {
     let cases: &[(&str, fn(&safe_tinyos::SimResult) -> bool, &str)] = &[
         ("BlinkTask_Mica2", |r| r.led_transitions >= 4, "LED toggles"),
-        ("CntToLedsAndRfm_Mica2", |r| r.radio_tx_bytes > 10, "radio traffic"),
+        (
+            "CntToLedsAndRfm_Mica2",
+            |r| r.radio_tx_bytes > 10,
+            "radio traffic",
+        ),
         ("GenericBase_Mica2", |r| r.uart_bytes > 5, "uart forwarding"),
         ("RfmToLeds_Mica2", |r| r.led_transitions >= 1, "LED display"),
-        ("Oscilloscope_Mica2", |r| r.radio_tx_bytes > 10, "sample messages"),
-        ("SenseToRfm_Mica2", |r| r.radio_tx_bytes > 10, "sense messages"),
+        (
+            "Oscilloscope_Mica2",
+            |r| r.radio_tx_bytes > 10,
+            "sample messages",
+        ),
+        (
+            "SenseToRfm_Mica2",
+            |r| r.radio_tx_bytes > 10,
+            "sense messages",
+        ),
         ("Ident_Mica2", |r| r.radio_tx_bytes > 10, "ident replies"),
         ("TestTimeStamping_Mica2", |r| r.radio_tx_bytes > 5, "echoes"),
-        ("Surge_Mica2", |r| r.radio_tx_bytes > 10, "forwarded readings"),
-        ("HighFrequencySampling_Mica2", |r| r.radio_tx_bytes > 20, "bulk data"),
-        ("MicaHWVerify_Mica2", |r| r.uart_bytes >= 4, "self-test report"),
-        ("RadioCountToLeds_TelosB", |r| r.radio_tx_bytes > 10 && r.led_transitions > 0, "count exchange"),
+        (
+            "Surge_Mica2",
+            |r| r.radio_tx_bytes > 10,
+            "forwarded readings",
+        ),
+        (
+            "HighFrequencySampling_Mica2",
+            |r| r.radio_tx_bytes > 20,
+            "bulk data",
+        ),
+        (
+            "MicaHWVerify_Mica2",
+            |r| r.uart_bytes >= 4,
+            "self-test report",
+        ),
+        (
+            "RadioCountToLeds_TelosB",
+            |r| r.radio_tx_bytes > 10 && r.led_transitions > 0,
+            "count exchange",
+        ),
     ];
     for (name, check, what) in cases {
         let spec = tosapps::spec(name).unwrap();

@@ -1,0 +1,166 @@
+//! Workspace smoke test: exercises the core path of each of the four
+//! `examples/` binaries in-process and asserts it completes without
+//! faulting, so a regression in any example's flow fails `cargo test`
+//! rather than only `cargo run --example`.
+
+use backend::BackendOptions;
+use ccured::{cure, CureOptions};
+use cxprop::{CxpropOptions, InlineOptions};
+use mcu::net::Network;
+use mcu::{Machine, Profile, RunState};
+use safe_tinyos::{build_app, simulate, BuildConfig};
+use safe_tinyos_suite as _;
+
+/// `examples/quickstart.rs`: Blink through three configurations, with
+/// metrics and a FLID table on the safe builds.
+#[test]
+fn quickstart_core_path() {
+    let spec = tosapps::spec("BlinkTask_Mica2").expect("known app");
+    for config in [
+        BuildConfig::unsafe_baseline(),
+        BuildConfig::safe_flid(),
+        BuildConfig::safe_flid_inline_cxprop(),
+    ] {
+        let build = build_app(&spec, &config).expect("build");
+        let run = simulate(&build, &spec, 5);
+        assert_eq!(
+            run.state,
+            RunState::Sleeping,
+            "{}: fault {:?}",
+            config.name,
+            run.fault
+        );
+        assert!(
+            run.led_transitions >= 4,
+            "{}: leds {}",
+            config.name,
+            run.led_transitions
+        );
+    }
+    let build = build_app(&spec, &BuildConfig::safe_flid()).expect("build");
+    assert!(
+        !build.image.flid_table.is_empty(),
+        "safe build carries a FLID table"
+    );
+}
+
+/// `examples/safety_violation.rs`: the same buggy program silently
+/// corrupts memory unsafely and traps with a FLID safely.
+#[test]
+fn safety_violation_core_path() {
+    const BUGGY: &str = "
+        uint8_t samples[8];
+        uint8_t radio_power = 3;
+        void record(uint8_t * buf, uint8_t n) {
+            uint8_t i;
+            for (i = 0; i < n; i++) { buf[i] = (uint8_t)(i + 0xA0); }
+        }
+        void main() { record(samples, 40); }
+    ";
+    let program = tcil::parse_and_lower(BUGGY).expect("parse");
+    let image =
+        backend::compile(&program, Profile::mica2(), &BackendOptions::default()).expect("compile");
+    let mut m = Machine::new(&image);
+    m.run(1_000_000);
+    assert_eq!(m.state, RunState::Halted, "unsafe build runs to completion");
+    let power = image.find_global_addr("radio_power").expect("symbol");
+    assert_ne!(
+        m.ram_peek(power),
+        3,
+        "unsafe build silently corrupts the neighbour"
+    );
+
+    let mut program = tcil::parse_and_lower(BUGGY).expect("parse");
+    cure(&mut program, &CureOptions::default()).expect("cure");
+    let image =
+        backend::compile(&program, Profile::mica2(), &BackendOptions::default()).expect("compile");
+    let mut m = Machine::new(&image);
+    m.run(1_000_000);
+    assert_eq!(m.state, RunState::Faulted, "safe build traps");
+    assert!(m.fault_message().expect("fault message").contains("FLID"));
+    let power = image.find_global_addr("radio_power").expect("symbol");
+    assert_eq!(m.ram_peek(power), 3, "safe build prevents the corruption");
+}
+
+/// `examples/surge_network.rs`: a three-node Surge network forms a
+/// routing tree from injected beacons and carries traffic.
+#[test]
+fn surge_network_core_path() {
+    let spec = tosapps::spec("Surge_Mica2").expect("known app");
+    let build = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).expect("build");
+    let mut nodes = Vec::new();
+    for i in 0..3 {
+        let mut m = Machine::new(&build.image);
+        m.set_waveform(mcu::devices::Waveform::Noise {
+            seed: 0x1000 + i,
+            min: 200,
+            max: 900,
+        });
+        nodes.push(m);
+    }
+    let beacon = tosapps::AmPacket::broadcast(18, vec![0, 0, 0]);
+    for k in 0..4 {
+        nodes[0].inject_rx_bytes(500_000 + k * 8_000_000, &beacon.frame_bytes());
+    }
+    let mut net = Network::new(nodes);
+    net.run(5 * 4_000_000);
+    for (i, n) in net.nodes.iter().enumerate() {
+        assert!(
+            matches!(n.state, RunState::Sleeping | RunState::Running),
+            "node {i}: {:?} (fault {:?})",
+            n.state,
+            n.fault_message()
+        );
+    }
+    let total_tx: usize = net.nodes.iter().map(|n| n.radio_out.len()).sum();
+    assert!(total_tx > 0, "the network carries traffic");
+}
+
+/// `examples/optimization_pipeline.rs`: the stage-by-stage walk keeps
+/// the program compilable at every stage and ends with fewer checks
+/// than CCured inserted.
+#[test]
+fn optimization_pipeline_core_path() {
+    let spec = tosapps::spec("Oscilloscope_Mica2").expect("known app");
+    let out = nesc::compile(&tosapps::source_set(), spec.config).expect("nesc");
+    let mut program = out.program;
+    let compiles = |p: &tcil::Program| {
+        backend::compile(p, Profile::mica2(), &BackendOptions::default()).expect("compile")
+    };
+    compiles(&program);
+
+    cure(
+        &mut program,
+        &CureOptions {
+            local_optimize: false,
+            ..Default::default()
+        },
+    )
+    .expect("cure");
+    let inserted = program.count_checks();
+    assert!(inserted > 0, "CCured inserts checks");
+    compiles(&program);
+
+    ccured::optimize::optimize_checks(&mut program);
+    compiles(&program);
+
+    let inlined = cxprop::inline::run(&mut program, &InlineOptions::default());
+    assert!(inlined > 0, "inliner expands call sites");
+    compiles(&program);
+
+    cxprop::optimize(
+        &mut program,
+        &CxpropOptions {
+            inline: false,
+            ..Default::default()
+        },
+    );
+    ccured::errmsg::prune_unused_messages(&mut program);
+    let image = compiles(&program);
+    assert!(
+        image.surviving_checks() < inserted,
+        "cXprop removes checks: {} -> {}",
+        inserted,
+        image.surviving_checks()
+    );
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this crate implements
+//! the (small) API subset the workspace's benchmarks use: [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`], and
+//! [`black_box`]. Timing methodology is simple wall-clock sampling —
+//! good enough for the relative, trend-over-PRs numbers the repo tracks.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+
+/// The benchmark driver. One instance is shared by a `criterion_group!`.
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` repeatedly and reports mean nanoseconds per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up round (also sizes one iteration).
+        f(&mut b);
+        let once = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let budget = MEASURE_TIME.saturating_sub(b.elapsed);
+        let rounds = if once.is_zero() {
+            8
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as usize
+        };
+        for _ in 0..rounds {
+            f(&mut b);
+        }
+        let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+        println!("{id:<32} {:>14.1} ns/iter ({} iters)", ns, b.iters);
+        self.results.push((id.to_string(), ns));
+        self
+    }
+
+    /// All `(id, ns_per_iter)` results collected so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one call of `f`, accumulating into the bench totals.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a function `$name` that runs each `$target(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
