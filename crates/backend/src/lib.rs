@@ -58,7 +58,20 @@ impl Default for BackendOptions {
     }
 }
 
-/// Compiles `program` to an M16 image for `profile`.
+/// The backend stage proper: runs the weak, GCC-class optimizer over a
+/// copy of `program` and returns the prepared program. Code generation
+/// and data placement happen in [`link`]; splitting the two lets the
+/// driver time them as separate pipeline stages.
+pub fn prepare(program: &Program, options: &BackendOptions) -> Program {
+    let mut program = program.clone();
+    if options.optimize {
+        opt::optimize(&mut program);
+    }
+    program
+}
+
+/// The link stage: lays out data, generates code, and emits the image
+/// for `profile` from an already-[`prepare`]d program.
 ///
 /// # Errors
 ///
@@ -67,17 +80,23 @@ impl Default for BackendOptions {
 /// paper's Figure 3(b) measures exactly such configurations — but the
 /// image's `static_bytes` will exceed the profile's SRAM and running it
 /// will fault.
+pub fn link(program: &Program, profile: Profile) -> Result<Image, CompileError> {
+    let layout = layout::layout(program, &profile)?;
+    gen::generate(program, &layout, profile)
+}
+
+/// Compiles `program` to an M16 image for `profile` ([`prepare`]
+/// followed by [`link`]).
+///
+/// # Errors
+///
+/// See [`link`].
 pub fn compile(
     program: &Program,
     profile: Profile,
     options: &BackendOptions,
 ) -> Result<Image, CompileError> {
-    let mut program = program.clone();
-    if options.optimize {
-        opt::optimize(&mut program);
-    }
-    let layout = layout::layout(&program, &profile)?;
-    gen::generate(&program, &layout, profile)
+    link(&prepare(program, options), profile)
 }
 
 #[cfg(test)]

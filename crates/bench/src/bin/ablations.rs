@@ -5,11 +5,100 @@
 //! * copy propagation feeds precision,
 //! * atomic-section optimization removes/demotes sections.
 
-use bench::{emit_json, json, must_build, pct_change};
-use cxprop::CxpropOptions;
-use safe_tinyos::BuildConfig;
+use std::time::Instant;
+
+use bench::{emit_json, json, pct_change, ExperimentRunner, GridJob};
+use cxprop::{CxpropOptions, CxpropStats};
+use safe_tinyos::{BuildConfig, Stage, StageTimes};
+
+/// One ablation arm of the grid.
+#[derive(Clone, Copy)]
+enum Variant {
+    /// The full safe stack (inliner + cXprop).
+    Full,
+    /// The safe stack without the inliner.
+    NoInline,
+    /// cXprop with DCE disabled (custom pipeline).
+    NoDce,
+    /// cXprop under one abstract domain (custom pipeline).
+    Domain(cxprop::DomainKind),
+}
+
+/// What one ablation cell measured.
+struct Cell {
+    code_bytes: u64,
+    cxprop: Option<CxpropStats>,
+    checks_inserted: usize,
+    checks_surviving: usize,
+}
+
+/// Runs the cached frontend artifact through cure + a custom cXprop
+/// configuration + the stock backend, timing each stage.
+fn custom_pipeline(job: &GridJob<'_, Variant>, cxprop_opts: &CxpropOptions) -> Cell {
+    let mut program = job.frontend();
+    let mut times = StageTimes::default();
+    let start = Instant::now();
+    let cure = ccured::cure(&mut program, &ccured::CureOptions::default())
+        .unwrap_or_else(|e| panic!("{}: cure: {e}", job.spec.name));
+    times.record(Stage::Cure, start.elapsed());
+    let start = Instant::now();
+    let cx = cxprop::optimize(&mut program, cxprop_opts);
+    ccured::errmsg::prune_unused_messages(&mut program);
+    times.record(Stage::Opt, start.elapsed());
+    let start = Instant::now();
+    let prepared = backend::prepare(&program, &backend::BackendOptions::default());
+    times.record(Stage::Backend, start.elapsed());
+    let start = Instant::now();
+    let image = backend::link(&prepared, job.spec.platform.clone())
+        .unwrap_or_else(|e| panic!("{}: link: {e}", job.spec.name));
+    times.record(Stage::Link, start.elapsed());
+    job.record(&times);
+    Cell {
+        code_bytes: image.code_bytes() as u64,
+        cxprop: Some(cx),
+        checks_inserted: cure.checks_inserted,
+        checks_surviving: image.surviving_checks(),
+    }
+}
+
+fn build_cell(job: &GridJob<'_, Variant>, config: &BuildConfig) -> Cell {
+    let b = job.build(config);
+    Cell {
+        code_bytes: b.metrics.code_bytes as u64,
+        cxprop: b.metrics.cxprop,
+        checks_inserted: b.metrics.checks_inserted,
+        checks_surviving: b.metrics.checks_surviving,
+    }
+}
 
 fn main() {
+    let runner = ExperimentRunner::from_env();
+    let variants = [
+        Variant::Full,
+        Variant::NoInline,
+        Variant::NoDce,
+        Variant::Domain(cxprop::DomainKind::Constants),
+        Variant::Domain(cxprop::DomainKind::Intervals),
+    ];
+    let grid = runner.run_grid(tosapps::APP_NAMES, &variants, |job| match *job.item {
+        Variant::Full => build_cell(job, &BuildConfig::safe_flid_inline_cxprop()),
+        Variant::NoInline => build_cell(job, &BuildConfig::safe_flid_cxprop()),
+        Variant::NoDce => custom_pipeline(
+            job,
+            &CxpropOptions {
+                dce: false,
+                ..CxpropOptions::default()
+            },
+        ),
+        Variant::Domain(domain) => custom_pipeline(
+            job,
+            &CxpropOptions {
+                domain,
+                ..CxpropOptions::default()
+            },
+        ),
+    });
+
     println!("§2.1 ablations (totals over all twelve applications)\n");
 
     // --- inlining before the backend (≈5% smaller, per the paper) ---
@@ -21,41 +110,17 @@ fn main() {
     let mut atomics_removed = 0usize;
     let mut atomics_demoted = 0usize;
     let mut copies = 0usize;
-
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
-        let full = must_build(&spec, &BuildConfig::safe_flid_inline_cxprop());
-        with_inline += full.metrics.code_bytes as u64;
-        with_dce += full.metrics.code_bytes as u64;
-        if let Some(cx) = &full.metrics.cxprop {
+    for row in &grid {
+        let full = &row[0];
+        with_inline += full.code_bytes;
+        with_dce += full.code_bytes;
+        if let Some(cx) = &full.cxprop {
             atomics_removed += cx.atomics.removed;
             atomics_demoted += cx.atomics.demoted;
             copies += cx.copies_propagated;
         }
-
-        // No inliner.
-        let no_inline = must_build(&spec, &BuildConfig::safe_flid_cxprop());
-        without_inline += no_inline.metrics.code_bytes as u64;
-
-        // cXprop with DCE disabled.
-        let out = nesc::compile(&tosapps::source_set(), spec.config).unwrap();
-        let mut program = out.program;
-        ccured::cure(&mut program, &ccured::CureOptions::default()).unwrap();
-        cxprop::optimize(
-            &mut program,
-            &CxpropOptions {
-                dce: false,
-                ..CxpropOptions::default()
-            },
-        );
-        ccured::errmsg::prune_unused_messages(&mut program);
-        let image = backend::compile(
-            &program,
-            spec.platform.clone(),
-            &backend::BackendOptions::default(),
-        )
-        .unwrap();
-        without_dce += image.code_bytes() as u64;
+        without_inline += row[1].code_bytes;
+        without_dce += row[2].code_bytes;
     }
 
     println!(
@@ -74,33 +139,12 @@ fn main() {
     println!("\npluggable-domain ablation (surviving checks, all apps):");
     let mut domain_obj = json::Obj::new();
     let mut domain_inserted = 0usize;
-    for (label, domain) in [
-        ("constants", cxprop::DomainKind::Constants),
-        ("intervals", cxprop::DomainKind::Intervals),
-    ] {
+    for (label, column) in [("constants", 3usize), ("intervals", 4usize)] {
         let mut surviving = 0usize;
         let mut inserted = 0usize;
-        for name in tosapps::APP_NAMES {
-            let spec = tosapps::spec(name).unwrap();
-            let out = nesc::compile(&tosapps::source_set(), spec.config).unwrap();
-            let mut program = out.program;
-            let stats = ccured::cure(&mut program, &ccured::CureOptions::default()).unwrap();
-            inserted += stats.checks_inserted;
-            cxprop::optimize(
-                &mut program,
-                &CxpropOptions {
-                    domain,
-                    ..CxpropOptions::default()
-                },
-            );
-            ccured::errmsg::prune_unused_messages(&mut program);
-            let image = backend::compile(
-                &program,
-                spec.platform.clone(),
-                &backend::BackendOptions::default(),
-            )
-            .unwrap();
-            surviving += image.surviving_checks();
+        for row in &grid {
+            inserted += row[column].checks_inserted;
+            surviving += row[column].checks_surviving;
         }
         println!("  {label:<12} {surviving:>5} of {inserted} survive");
         domain_obj = domain_obj.int(label, surviving as i64);
@@ -121,4 +165,5 @@ fn main() {
         .raw("domain_surviving_checks", &domain_obj.build())
         .build();
     emit_json("ablations", &body).expect("write BENCH_ablations.json");
+    runner.emit_speed("ablations");
 }

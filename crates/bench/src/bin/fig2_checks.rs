@@ -1,11 +1,13 @@
 //! Figure 2: percentage of CCured-inserted checks eliminated by four
 //! optimizer stacks, per application, plus the original check counts.
 
-use bench::{emit_json, json, must_build, row};
+use bench::{emit_json, json, row, ExperimentRunner};
 use safe_tinyos::BuildConfig;
 
 fn main() {
+    let runner = ExperimentRunner::from_env();
     let stacks = BuildConfig::fig2_stacks();
+    let grid = runner.metrics_grid(tosapps::APP_NAMES, &stacks);
     let labels: Vec<String> = stacks.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 2 — checks removed by optimizer stack (higher is better)");
     println!(
@@ -15,15 +17,13 @@ fn main() {
     let mut totals = vec![0usize; stacks.len()];
     let mut total_inserted = 0usize;
     let mut app_rows = Vec::new();
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
+    for (name, builds) in tosapps::APP_NAMES.iter().zip(&grid) {
         let mut cells = Vec::new();
         let mut inserted = 0;
         let mut stack_obj = json::Obj::new();
-        for (i, config) in stacks.iter().enumerate() {
-            let b = must_build(&spec, config);
-            inserted = b.metrics.checks_inserted;
-            let removed = inserted.saturating_sub(b.metrics.checks_surviving);
+        for (i, (config, metrics)) in stacks.iter().zip(builds).enumerate() {
+            inserted = metrics.checks_inserted;
+            let removed = inserted.saturating_sub(metrics.checks_surviving);
             totals[i] += removed;
             let pct = removed as f64 * 100.0 / inserted.max(1) as f64;
             cells.push(format!("{pct:.0}%"));
@@ -59,6 +59,7 @@ fn main() {
         .raw("total", &total_obj.build())
         .build();
     emit_json("fig2_checks", &body).expect("write BENCH_fig2_checks.json");
+    runner.emit_speed("fig2_checks");
     println!();
     println!("Expected shape (paper): gcc alone removes a surprising share of easy");
     println!("checks; the CCured optimizer adds little beyond it; cXprop without");

@@ -1,11 +1,16 @@
 //! Figure 3(a): change in code size relative to the unsafe, unoptimized
 //! baseline, across the seven configurations.
 
-use bench::{emit_json, json, must_build, pct_change, row};
+use bench::{emit_json, json, pct_change, row, ExperimentRunner};
 use safe_tinyos::BuildConfig;
 
 fn main() {
+    let runner = ExperimentRunner::from_env();
     let bars = BuildConfig::fig3_bars();
+    // Column 0 of the grid is the baseline every bar is compared to.
+    let mut configs = vec![BuildConfig::unsafe_baseline()];
+    configs.extend(bars.iter().cloned());
+    let grid = runner.metrics_grid(tosapps::APP_NAMES, &configs);
     let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 3(a) — Δ code size vs. unsafe baseline (flash bytes)");
     println!(
@@ -13,15 +18,12 @@ fn main() {
         row("app", &[labels, vec!["baseline".into()]].concat())
     );
     let mut app_rows = Vec::new();
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
-        let base = must_build(&spec, &BuildConfig::unsafe_baseline());
-        let base_bytes = base.metrics.flash_bytes as u64;
+    for (name, builds) in tosapps::APP_NAMES.iter().zip(&grid) {
+        let base_bytes = builds[0].flash_bytes as u64;
         let mut cells = Vec::new();
         let mut bar_obj = json::Obj::new();
-        for config in &bars {
-            let b = must_build(&spec, config);
-            let pct = pct_change(base_bytes, b.metrics.flash_bytes as u64);
+        for (config, metrics) in bars.iter().zip(&builds[1..]) {
+            let pct = pct_change(base_bytes, metrics.flash_bytes as u64);
             cells.push(format!("{pct:+.0}%"));
             bar_obj = bar_obj.num(config.name, pct);
         }
@@ -40,6 +42,8 @@ fn main() {
         .raw("apps", &json::arr(app_rows))
         .build();
     emit_json("fig3a_code_size", &body).expect("write BENCH_fig3a_code_size.json");
+    // The fig3 grid is the canonical toolchain-speed benchmark.
+    runner.emit_speed_canonical("fig3a_code_size");
     println!();
     println!("Expected shape (paper): naive safety costs 20–90% code; verbose-in-ROM");
     println!("is higher still; terse/FLID recover much of it; cXprop (esp. with");

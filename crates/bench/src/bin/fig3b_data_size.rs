@@ -2,11 +2,16 @@
 //! baseline. The paper clips this graph at +100% because the verbose
 //! configurations are "outrageously high — thousands of percent".
 
-use bench::{emit_json, json, must_build, pct_change, row};
+use bench::{emit_json, json, pct_change, row, ExperimentRunner};
 use safe_tinyos::BuildConfig;
 
 fn main() {
+    let runner = ExperimentRunner::from_env();
     let bars = BuildConfig::fig3_bars();
+    // Column 0 of the grid is the baseline every bar is compared to.
+    let mut configs = vec![BuildConfig::unsafe_baseline()];
+    configs.extend(bars.iter().cloned());
+    let grid = runner.metrics_grid(tosapps::APP_NAMES, &configs);
     let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 3(b) — Δ static data size vs. unsafe baseline (SRAM bytes)");
     println!(
@@ -14,15 +19,12 @@ fn main() {
         row("app", &[labels, vec!["baseline".into()]].concat())
     );
     let mut app_rows = Vec::new();
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
-        let base = must_build(&spec, &BuildConfig::unsafe_baseline());
-        let base_bytes = base.metrics.sram_bytes as u64;
+    for (name, builds) in tosapps::APP_NAMES.iter().zip(&grid) {
+        let base_bytes = builds[0].sram_bytes as u64;
         let mut cells = Vec::new();
         let mut bar_obj = json::Obj::new();
-        for config in &bars {
-            let b = must_build(&spec, config);
-            let pct = pct_change(base_bytes, b.metrics.sram_bytes as u64);
+        for (config, metrics) in bars.iter().zip(&builds[1..]) {
+            let pct = pct_change(base_bytes, metrics.sram_bytes as u64);
             // The paper clips at +100%.
             if pct > 100.0 {
                 cells.push(format!(">100% ({pct:.0}%)"));
@@ -46,6 +48,7 @@ fn main() {
         .raw("apps", &json::arr(app_rows))
         .build();
     emit_json("fig3b_data_size", &body).expect("write BENCH_fig3b_data_size.json");
+    runner.emit_speed("fig3b_data_size");
     println!();
     println!("Expected shape (paper): verbose error strings make RAM overhead");
     println!("catastrophic (clipped at 100%); FLIDs reduce it substantially; cXprop");

@@ -2,50 +2,56 @@
 //! unsafe baseline, for the eleven Mica2 applications, each run in its
 //! workload context.
 
-use bench::{emit_json, json, must_build, row, sim_seconds};
+use bench::{emit_json, json, row, sim_seconds, ExperimentRunner};
 use safe_tinyos::{simulate, BuildConfig};
 
 fn main() {
+    let runner = ExperimentRunner::from_env();
     let seconds = sim_seconds();
     // The four duty-cycle-relevant configurations: safe unoptimized,
-    // safe fully optimized, unsafe optimized — compared to the baseline.
-    let configs = vec![
+    // safe fully optimized, unsafe optimized — compared to the baseline
+    // in grid column 0.
+    let bars = [
         BuildConfig::safe_flid(),
         BuildConfig::safe_flid_cxprop(),
         BuildConfig::safe_flid_inline_cxprop(),
         BuildConfig::unsafe_optimized(),
     ];
-    let labels: Vec<String> = configs.iter().map(|c| c.name.to_string()).collect();
+    let mut configs = vec![BuildConfig::unsafe_baseline()];
+    configs.extend(bars.iter().cloned());
+    let apps = tosapps::mica2_apps();
+    // Each job builds and simulates one cell, returning its duty cycle.
+    let grid = runner.run_grid(&apps, &configs, |job| {
+        let build = job.build(job.item);
+        simulate(&build, &job.spec, seconds).duty_cycle_percent
+    });
+    let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
     println!("Figure 3(c) — Δ duty cycle vs. unsafe baseline ({seconds}s simulated)");
     println!(
         "{}",
         row("app", &[labels, vec!["baseline".into()]].concat())
     );
     let mut app_rows = Vec::new();
-    for name in tosapps::mica2_apps() {
-        let spec = tosapps::spec(name).unwrap();
-        let base_build = must_build(&spec, &BuildConfig::unsafe_baseline());
-        let base = simulate(&base_build, &spec, seconds);
+    for (name, duties) in apps.iter().zip(&grid) {
+        let base_duty = duties[0];
         let mut cells = Vec::new();
         let mut cfg_obj = json::Obj::new();
-        for config in &configs {
-            let b = must_build(&spec, config);
-            let r = simulate(&b, &spec, seconds);
-            let delta = r.duty_cycle_percent - base.duty_cycle_percent;
-            let rel = if base.duty_cycle_percent > 0.0 {
-                delta * 100.0 / base.duty_cycle_percent
+        for (config, duty) in bars.iter().zip(&duties[1..]) {
+            let delta = duty - base_duty;
+            let rel = if base_duty > 0.0 {
+                delta * 100.0 / base_duty
             } else {
                 0.0
             };
             cells.push(format!("{rel:+.1}%"));
             cfg_obj = cfg_obj.num(config.name, rel);
         }
-        cells.push(format!("{:.2}%", base.duty_cycle_percent));
+        cells.push(format!("{base_duty:.2}%"));
         println!("{}", row(name, &cells));
         app_rows.push(
             json::Obj::new()
                 .str("app", name)
-                .num("baseline_duty_pct", base.duty_cycle_percent)
+                .num("baseline_duty_pct", base_duty)
                 .raw("rel_delta_pct", &cfg_obj.build())
                 .build(),
         );
@@ -56,6 +62,7 @@ fn main() {
         .raw("apps", &json::arr(app_rows))
         .build();
     emit_json("fig3c_duty_cycle", &body).expect("write BENCH_fig3c_duty_cycle.json");
+    runner.emit_speed("fig3c_duty_cycle");
     println!();
     println!("Expected shape (paper): CCured alone slows apps by a few percent;");
     println!("cXprop alone speeds the unsafe apps by 3–10%; safe + cXprop lands");

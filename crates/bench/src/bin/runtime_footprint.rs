@@ -2,7 +2,7 @@
 //! 1.6 KB RAM / 33 KB ROM port down to 2 B / 314 B, staged as the paper
 //! describes, plus the measured effect on a minimal application.
 
-use bench::{emit_json, json, must_build};
+use bench::{emit_json, json, ExperimentRunner};
 use ccured::runtime::{footprint_at, RuntimeStage, NAIVE_COMPONENTS};
 use safe_tinyos::BuildConfig;
 
@@ -27,36 +27,49 @@ fn main() {
     println!("Paper endpoints: 1638 B RAM / 33 KB ROM naive; 2 B RAM / 314 B ROM tuned.");
     println!();
 
-    // Measured effect on the minimal app (BlinkTask-class).
-    let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
-    let tuned = must_build(&spec, &BuildConfig::safe_flid_inline_cxprop());
-    let naive_cfg = BuildConfig {
-        naive_runtime: true,
-        ..BuildConfig::safe_flid_inline_cxprop()
+    // Measured effect on the minimal app (BlinkTask-class). The tuned
+    // and naive configurations share one cached frontend artifact; the
+    // naive build is *expected* to fail to link, so the job returns a
+    // Result instead of panicking.
+    let runner = ExperimentRunner::from_env();
+    let configs = [
+        BuildConfig::safe_flid_inline_cxprop(),
+        BuildConfig {
+            naive_runtime: true,
+            ..BuildConfig::safe_flid_inline_cxprop()
+        },
+    ];
+    let grid = runner.run_grid(&["BlinkTask_Mica2"], &configs, |job| {
+        job.try_build(job.item)
+            .map(|b| b.metrics)
+            .map_err(|e| e.to_string())
+    });
+    let [tuned, naive] = &grid[0][..] else {
+        unreachable!("two-config grid");
     };
+    let tuned = tuned.as_ref().expect("tuned build succeeds");
     let mica2_ram = 4 * 1024;
     println!("Measured on BlinkTask (safe, optimized):");
     println!(
         "  tuned runtime: {:>6} B SRAM {:>7} B flash",
-        tuned.metrics.sram_bytes, tuned.metrics.flash_bytes
+        tuned.sram_bytes, tuned.flash_bytes
     );
     let mut measured = json::Obj::new()
-        .int("tuned_sram_bytes", tuned.metrics.sram_bytes as i64)
-        .int("tuned_flash_bytes", tuned.metrics.flash_bytes as i64);
-    match safe_tinyos::build_app(&spec, &naive_cfg) {
+        .int("tuned_sram_bytes", tuned.sram_bytes as i64)
+        .int("tuned_flash_bytes", tuned.flash_bytes as i64);
+    match naive {
         Ok(naive) => {
             println!(
                 "  naive runtime: {:>6} B SRAM {:>7} B flash",
-                naive.metrics.sram_bytes, naive.metrics.flash_bytes
+                naive.sram_bytes, naive.flash_bytes
             );
             println!(
                 "  naive runtime RAM share of a Mica2: {:.0}% (paper: 40%)",
-                (naive.metrics.sram_bytes - tuned.metrics.sram_bytes) as f64 * 100.0
-                    / mica2_ram as f64
+                (naive.sram_bytes - tuned.sram_bytes) as f64 * 100.0 / mica2_ram as f64
             );
             measured = measured
-                .int("naive_sram_bytes", naive.metrics.sram_bytes as i64)
-                .int("naive_flash_bytes", naive.metrics.flash_bytes as i64);
+                .int("naive_sram_bytes", naive.sram_bytes as i64)
+                .int("naive_flash_bytes", naive.flash_bytes as i64);
         }
         Err(e) => {
             // The 33 KB naive ROM blob exceeds the M16's 28 KB const-data
@@ -69,7 +82,7 @@ fn main() {
                 "  (modeled: {naive_ram} B RAM = {:.0}% of a Mica2's SRAM, {naive_rom} B ROM)",
                 naive_ram as f64 * 100.0 / mica2_ram as f64
             );
-            measured = measured.str("naive_build_error", &format!("{e}"));
+            measured = measured.str("naive_build_error", e);
         }
     }
     let mut stage_obj = json::Obj::new();
@@ -94,4 +107,5 @@ fn main() {
         .raw("measured_blinktask", &measured.build())
         .build();
     emit_json("runtime_footprint", &body).expect("write BENCH_runtime_footprint.json");
+    runner.emit_speed("runtime_footprint");
 }

@@ -9,12 +9,24 @@
 //! | `fig3c_duty_cycle` | Figure 3(c): Δ duty cycle over simulated minutes |
 //! | `runtime_footprint` | §2.3: the runtime-library reduction story |
 //! | `ablations` | §2.1 claims: early inlining, strong DCE, copy-prop, atomic optimization |
+//!
+//! All of them drive their app × configuration grids through
+//! [`runner::ExperimentRunner`], which shares one frontend artifact
+//! cache per session and fans jobs out across `STOS_THREADS` workers,
+//! and each emits `BENCH_toolchain_speed.json` describing what the
+//! toolchain itself cost.
+
+pub mod runner;
 
 use safe_tinyos::{build_app, Build, BuildConfig};
 use tosapps::AppSpec;
 
-/// Builds one app under one config, panicking with context on failure
-/// (experiment harnesses want loud failures).
+pub use runner::{ExperimentRunner, GridJob, SpeedReport};
+
+/// Builds one app under one config with a throwaway frontend, panicking
+/// with context on failure. Grid-shaped experiments should use
+/// [`ExperimentRunner`] instead, which caches frontend artifacts and
+/// parallelizes.
 pub fn must_build(spec: &AppSpec, config: &BuildConfig) -> Build {
     build_app(spec, config).unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name, config.name))
 }

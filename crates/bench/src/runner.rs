@@ -1,0 +1,315 @@
+//! The parallel experiment runner.
+//!
+//! Every figure harness evaluates an app × configuration grid. The
+//! runner expands the grid into jobs, fans them out across scoped worker
+//! threads sharing one [`BuildSession`] (so the frontend compiles each
+//! app exactly once), and returns results in deterministic grid order —
+//! `result[app_index][item_index]` — regardless of which worker finished
+//! which job first.
+//!
+//! Thread count comes from `STOS_THREADS` (`1` = run serially on the
+//! calling thread) and defaults to the machine's available parallelism.
+//!
+//! The runner also aggregates per-stage wall times across every build it
+//! performs; [`ExperimentRunner::emit_speed`] writes them to
+//! `BENCH_toolchain_speed.json` so the toolchain's own performance is
+//! tracked alongside the paper's figures.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use safe_tinyos::{Build, BuildConfig, BuildSession, Stage, StageTimes};
+use tcil::{CompileError, Program};
+use tosapps::AppSpec;
+
+use crate::{emit_json, json};
+
+/// Worker-thread count: `STOS_THREADS` if set (minimum 1), otherwise the
+/// machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    match std::env::var("STOS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpeedAgg {
+    stages: StageTimes,
+    wall: Duration,
+    jobs: usize,
+}
+
+/// Expands app × config grids into jobs and runs them in parallel over a
+/// shared [`BuildSession`].
+pub struct ExperimentRunner {
+    session: BuildSession,
+    threads: usize,
+    agg: Mutex<SpeedAgg>,
+}
+
+/// One cell of an experiment grid, handed to the job closure.
+pub struct GridJob<'a, C> {
+    /// The app under test.
+    pub spec: AppSpec,
+    /// The grid item (usually a [`BuildConfig`]).
+    pub item: &'a C,
+    /// Row index into the `apps` slice.
+    pub app_index: usize,
+    /// Column index into the `items` slice.
+    pub item_index: usize,
+    runner: &'a ExperimentRunner,
+}
+
+impl<C> GridJob<'_, C> {
+    /// Builds this job's app under `config` through the shared session,
+    /// panicking with context on failure (experiment harnesses want loud
+    /// failures). Stage times are folded into the runner's speed report.
+    pub fn build(&self, config: &BuildConfig) -> Build {
+        self.try_build(config)
+            .unwrap_or_else(|e| panic!("{} / {}: {e}", self.spec.name, config.name))
+    }
+
+    /// [`GridJob::build`] returning the error instead of panicking (for
+    /// configurations that are *expected* to fail, e.g. the naive
+    /// runtime overflowing flash).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors from any stage.
+    pub fn try_build(&self, config: &BuildConfig) -> Result<Build, CompileError> {
+        let build = self.runner.session.build(&self.spec, config)?;
+        self.record(&build.metrics.stage_times);
+        Ok(build)
+    }
+
+    /// A fresh copy of this app's cached frontend output, for jobs that
+    /// run custom pass pipelines instead of a named [`BuildConfig`].
+    /// If this call is the one that compiled the artifact, its frontend
+    /// time is folded into the speed report (exactly once, like
+    /// [`GridJob::try_build`]).
+    pub fn frontend(&self) -> Program {
+        let (artifact, fresh) = self
+            .runner
+            .session
+            .frontend_entry(&self.spec)
+            .unwrap_or_else(|e| panic!("{}: frontend: {e}", self.spec.name));
+        if fresh {
+            let mut times = StageTimes::default();
+            times.record(Stage::Frontend, artifact.elapsed);
+            self.record(&times);
+        }
+        artifact.program()
+    }
+
+    /// Folds externally measured stage times into the speed report
+    /// (custom pipelines record their own).
+    pub fn record(&self, times: &StageTimes) {
+        self.runner.agg.lock().unwrap().stages.add(times);
+    }
+}
+
+impl ExperimentRunner {
+    /// A runner with `STOS_THREADS`-controlled parallelism over the
+    /// stock source set.
+    pub fn from_env() -> ExperimentRunner {
+        Self::with_threads(threads_from_env())
+    }
+
+    /// A runner with an explicit worker count (`1` = serial).
+    pub fn with_threads(threads: usize) -> ExperimentRunner {
+        ExperimentRunner {
+            session: BuildSession::new(),
+            threads: threads.max(1),
+            agg: Mutex::new(SpeedAgg::default()),
+        }
+    }
+
+    /// The shared build session (frontend cache and compile counter).
+    pub fn session(&self) -> &BuildSession {
+        &self.session
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every cell of the `apps` × `items` grid and returns
+    /// the results as `result[app_index][item_index]`.
+    ///
+    /// Jobs are claimed from a shared counter in app-major order (all of
+    /// one app's configurations first, so its frontend artifact is hot),
+    /// but each result lands in its grid slot: the output is
+    /// byte-for-byte independent of scheduling. A panicking job panics
+    /// the whole run when the scope joins.
+    pub fn run_grid<C, R, F>(&self, apps: &[&'static str], items: &[C], f: F) -> Vec<Vec<R>>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(&GridJob<'_, C>) -> R + Sync,
+    {
+        let start = Instant::now();
+        let n = apps.len() * items.len();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let j = next.fetch_add(1, Ordering::Relaxed);
+            if j >= n {
+                break;
+            }
+            let (app_index, item_index) = (j / items.len(), j % items.len());
+            let job = GridJob {
+                spec: tosapps::spec(apps[app_index])
+                    .unwrap_or_else(|| panic!("unknown app {}", apps[app_index])),
+                item: &items[item_index],
+                app_index,
+                item_index,
+                runner: self,
+            };
+            *slots[j].lock().unwrap() = Some(f(&job));
+        };
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                // The worker captures only shared references, so it is
+                // `Copy`: each spawn gets its own handle to the same
+                // job counter and result slots.
+                for _ in 0..workers {
+                    s.spawn(worker);
+                }
+            });
+        }
+        {
+            let mut agg = self.agg.lock().unwrap();
+            agg.wall += start.elapsed();
+            agg.jobs += n;
+        }
+        let mut slots = slots.into_iter();
+        (0..apps.len())
+            .map(|_| {
+                (0..items.len())
+                    .map(|_| {
+                        slots
+                            .next()
+                            .expect("slot per job")
+                            .into_inner()
+                            .unwrap()
+                            .expect("every job ran")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// [`ExperimentRunner::run_grid`] specialized to building each cell's
+    /// [`BuildConfig`] and returning its metrics.
+    pub fn metrics_grid(
+        &self,
+        apps: &[&'static str],
+        configs: &[BuildConfig],
+    ) -> Vec<Vec<safe_tinyos::Metrics>> {
+        self.run_grid(apps, configs, |job| job.build(job.item).metrics)
+    }
+
+    /// The toolchain-speed summary accumulated so far.
+    pub fn speed_report(&self, harness: &str) -> SpeedReport {
+        let agg = self.agg.lock().unwrap();
+        SpeedReport {
+            harness: harness.to_string(),
+            threads: self.threads,
+            jobs: agg.jobs,
+            frontend_compiles: self.session.frontend_compiles(),
+            wall: agg.wall,
+            stages: agg.stages,
+        }
+    }
+
+    /// Writes `BENCH_toolchain_speed_<harness>.json` for this runner's
+    /// work, so each harness's perf trajectory is tracked across PRs
+    /// without the six harnesses clobbering one shared file.
+    pub fn emit_speed(&self, harness: &str) {
+        let report = self.speed_report(harness);
+        emit_json(&format!("toolchain_speed_{harness}"), &report.to_json())
+            .expect("write BENCH_toolchain_speed_*.json");
+    }
+
+    /// [`ExperimentRunner::emit_speed`], additionally writing the
+    /// unsuffixed `BENCH_toolchain_speed.json`. Called by the canonical
+    /// toolchain-speed benchmark (the fig3 grid in `fig3a_code_size`).
+    pub fn emit_speed_canonical(&self, harness: &str) {
+        self.emit_speed(harness);
+        emit_json("toolchain_speed", &self.speed_report(harness).to_json())
+            .expect("write BENCH_toolchain_speed.json");
+    }
+}
+
+/// Aggregate toolchain timing for one harness run.
+#[derive(Debug, Clone)]
+pub struct SpeedReport {
+    /// Which harness produced this report.
+    pub harness: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Grid cells executed.
+    pub jobs: usize,
+    /// Frontend compiles actually performed (≤ apps in the grid).
+    pub frontend_compiles: usize,
+    /// Wall time across all `run_grid` calls.
+    pub wall: Duration,
+    /// Per-stage compile time summed over all builds.
+    pub stages: StageTimes,
+}
+
+impl SpeedReport {
+    /// Total compile time actually spent across all stages, with the
+    /// frontend artifact cache in effect (frontend paid once per app).
+    pub fn compile_time(&self) -> Duration {
+        self.stages.total()
+    }
+
+    /// Estimated compile time of the pre-pipeline harness: the same
+    /// stage work with the frontend re-run for every job instead of
+    /// once per app. Comparing this against [`SpeedReport::compile_time`]
+    /// is apples-to-apples — both exclude non-compile work (simulation,
+    /// printing), which `wall` includes.
+    pub fn serial_compile_estimate(&self) -> Duration {
+        let frontend = self.stages.get(Stage::Frontend);
+        let rest = self.stages.total() - frontend;
+        if self.frontend_compiles == 0 {
+            return rest;
+        }
+        rest + frontend * (self.jobs as u32) / (self.frontend_compiles as u32)
+    }
+
+    /// Serializes the report (times in milliseconds). `wall_ms` covers
+    /// everything the grid ran, including simulation; the
+    /// `compile_ms` / `serial_compile_est_ms` pair isolates the
+    /// toolchain cost with and without the frontend cache.
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut stage_obj = json::Obj::new();
+        for (stage, t) in self.stages.iter() {
+            stage_obj = stage_obj.num(stage.name(), ms(t));
+        }
+        json::Obj::new()
+            .str("figure", "toolchain_speed")
+            .str("harness", &self.harness)
+            .int("threads", self.threads as i64)
+            .int("jobs", self.jobs as i64)
+            .int("frontend_compiles", self.frontend_compiles as i64)
+            .num("wall_ms", ms(self.wall))
+            .num("compile_ms", ms(self.compile_time()))
+            .num("serial_compile_est_ms", ms(self.serial_compile_estimate()))
+            .raw("stage_ms", &stage_obj.build())
+            .build()
+    }
+}

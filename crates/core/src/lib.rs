@@ -24,6 +24,11 @@
 //! assert!(ratio < 1.6, "ratio {ratio}");
 //! ```
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
 use backend::BackendOptions;
 use ccured::{cure, CureOptions, CureStats, ErrorMode};
 use cxprop::{CxpropOptions, CxpropStats};
@@ -191,6 +196,78 @@ impl BuildConfig {
     }
 }
 
+/// A named pipeline stage, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// nesC-lite parse, wiring resolution, and lowering to tcil.
+    Frontend,
+    /// CCured: pointer-kind inference, check insertion, local optimizer.
+    Cure,
+    /// Source-level inliner + cXprop whole-program optimizer.
+    Opt,
+    /// The weak GCC-class backend optimizer.
+    Backend,
+    /// Data layout, code generation, and image emission.
+    Link,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Frontend,
+        Stage::Cure,
+        Stage::Opt,
+        Stage::Backend,
+        Stage::Link,
+    ];
+
+    /// The stage's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::Cure => "cure",
+            Stage::Opt => "opt",
+            Stage::Backend => "backend",
+            Stage::Link => "link",
+        }
+    }
+}
+
+/// Per-stage wall times for one or more builds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    nanos: [u64; Stage::ALL.len()],
+}
+
+impl StageTimes {
+    /// Adds `elapsed` to `stage`'s bucket.
+    pub fn record(&mut self, stage: Stage, elapsed: Duration) {
+        self.nanos[stage as usize] += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// Accumulated time in `stage`.
+    pub fn get(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.nanos[stage as usize])
+    }
+
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// Accumulates another set of stage times into this one.
+    pub fn add(&mut self, other: &StageTimes) {
+        for (a, b) in self.nanos.iter_mut().zip(&other.nanos) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(stage, accumulated time)` in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, Duration)> + '_ {
+        Stage::ALL.into_iter().map(|s| (s, self.get(s)))
+    }
+}
+
 /// Metrics collected from one build.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -211,6 +288,10 @@ pub struct Metrics {
     pub cure: Option<CureStats>,
     /// cXprop statistics, if it ran.
     pub cxprop: Option<CxpropStats>,
+    /// Per-stage wall times for this build. The frontend bucket is
+    /// non-zero only on the build that actually ran the frontend — a
+    /// cache hit in a [`BuildSession`] costs (and records) nothing.
+    pub stage_times: StageTimes,
 }
 
 /// A finished build.
@@ -224,18 +305,180 @@ pub struct Build {
     pub program: Program,
 }
 
-/// Compiles `spec` under `config`.
+/// The frontend's output for one app, cached by a [`BuildSession`] and
+/// cheaply cloned per configuration.
+///
+/// The lowered program sits behind an [`Arc`]; [`FrontendArtifact::program`]
+/// clones it out for the mutating middle-end stages.
+#[derive(Debug, Clone)]
+pub struct FrontendArtifact {
+    out: Arc<nesc::CompileOutput>,
+    /// Wall time of the frontend compile that produced this artifact.
+    pub elapsed: Duration,
+}
+
+impl FrontendArtifact {
+    /// A fresh mutable copy of the lowered program.
+    pub fn program(&self) -> Program {
+        self.out.program.clone()
+    }
+
+    /// The full frontend output (program, concurrency report, component
+    /// instantiation order).
+    pub fn output(&self) -> &nesc::CompileOutput {
+        &self.out
+    }
+}
+
+/// A toolchain session: owns the shared nesC-lite source set, the parsed
+/// frontend, and a per-app [`FrontendArtifact`] cache.
+///
+/// An evaluation grid builds each app under many configurations; the
+/// frontend's work (parse, wiring, lowering) is identical across
+/// configurations, so a session compiles it once per app and hands every
+/// build a cheap clone. Sessions are `Sync`: the experiment runner shares
+/// one across worker threads.
+///
+/// ```
+/// use safe_tinyos::{BuildConfig, BuildSession};
+///
+/// let session = BuildSession::new();
+/// let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+/// let a = session.build(&spec, &BuildConfig::unsafe_baseline()).unwrap();
+/// let b = session.build(&spec, &BuildConfig::safe_flid()).unwrap();
+/// assert_eq!(session.frontend_compiles(), 1); // frontend ran once
+/// assert!(b.metrics.code_bytes > a.metrics.code_bytes);
+/// ```
+pub struct BuildSession {
+    sources: nesc::SourceSet,
+    state: Mutex<SessionState>,
+    frontend_compiles: AtomicUsize,
+}
+
+/// The lazily-parsed frontend and the per-app artifact cache, under one
+/// lock so a miss can parse and compile atomically.
+#[derive(Default)]
+struct SessionState {
+    frontend: Option<nesc::Frontend>,
+    cache: HashMap<String, FrontendArtifact>,
+}
+
+impl BuildSession {
+    /// A session over the stock TinyOS-lite source set.
+    pub fn new() -> BuildSession {
+        Self::with_sources(tosapps::source_set())
+    }
+
+    /// A session over a custom source set.
+    pub fn with_sources(sources: nesc::SourceSet) -> BuildSession {
+        BuildSession {
+            sources,
+            state: Mutex::new(SessionState::default()),
+            frontend_compiles: AtomicUsize::new(0),
+        }
+    }
+
+    /// How many times the frontend actually compiled an app (cache
+    /// misses). A grid over N apps costs exactly N, however many
+    /// configurations it spans.
+    pub fn frontend_compiles(&self) -> usize {
+        self.frontend_compiles.load(Ordering::Relaxed)
+    }
+
+    /// The cached frontend artifact for `spec`, compiling it on first
+    /// use. The cache lock is held across the compile, so the frontend
+    /// runs at most once per app even under concurrent callers. (This
+    /// serializes first-touch frontend compiles of *different* apps
+    /// too — an accepted tradeoff: the runner claims jobs app-major so
+    /// contention is mostly same-app, and the frontend is a few percent
+    /// of grid compile time.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend compile errors.
+    pub fn frontend(&self, spec: &AppSpec) -> Result<FrontendArtifact, CompileError> {
+        self.frontend_entry(spec).map(|(a, _)| a)
+    }
+
+    /// Like [`BuildSession::frontend`], also reporting whether this call
+    /// was the one that compiled the artifact (callers attributing the
+    /// frontend's wall time need to count it exactly once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend compile errors.
+    pub fn frontend_entry(&self, spec: &AppSpec) -> Result<(FrontendArtifact, bool), CompileError> {
+        let mut state = self.state.lock().unwrap();
+        if let Some(a) = state.cache.get(spec.config) {
+            return Ok((a.clone(), false));
+        }
+        let start = Instant::now();
+        if state.frontend.is_none() {
+            state.frontend = Some(nesc::Frontend::new(&self.sources)?);
+        }
+        let out = state
+            .frontend
+            .as_ref()
+            .expect("parsed above")
+            .compile(spec.config)?;
+        let artifact = FrontendArtifact {
+            out: Arc::new(out),
+            elapsed: start.elapsed(),
+        };
+        self.frontend_compiles.fetch_add(1, Ordering::Relaxed);
+        state
+            .cache
+            .insert(spec.config.to_string(), artifact.clone());
+        Ok((artifact, true))
+    }
+
+    /// Builds `spec` under `config`, reusing the cached frontend
+    /// artifact. The frontend's wall time lands in the metrics of the
+    /// one build that compiled it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors from any stage.
+    pub fn build(&self, spec: &AppSpec, config: &BuildConfig) -> Result<Build, CompileError> {
+        let (artifact, fresh) = self.frontend_entry(spec)?;
+        let mut build = build_program(artifact.program(), spec.platform.clone(), config)?;
+        if fresh {
+            build
+                .metrics
+                .stage_times
+                .record(Stage::Frontend, artifact.elapsed);
+        }
+        Ok(build)
+    }
+}
+
+impl Default for BuildSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Compiles `spec` under `config`, running the frontend from scratch.
+///
+/// One-shot convenience over [`BuildSession::build`]; anything building
+/// the same app more than once should use a session.
 ///
 /// # Errors
 ///
 /// Propagates compile errors from any stage.
 pub fn build_app(spec: &AppSpec, config: &BuildConfig) -> Result<Build, CompileError> {
+    let start = Instant::now();
     let out = nesc::compile(&tosapps::source_set(), spec.config)?;
-    build_program(out.program, spec.platform.clone(), config)
+    let frontend = start.elapsed();
+    let mut build = build_program(out.program, spec.platform.clone(), config)?;
+    build.metrics.stage_times.record(Stage::Frontend, frontend);
+    Ok(build)
 }
 
 /// Compiles an already-lowered program under `config` (used by tests and
-/// by experiments that synthesize programs directly).
+/// by experiments that synthesize programs directly), running the named
+/// middle/back-end stages `cure → inline/cxprop → backend → link` and
+/// recording each stage's wall time in the metrics.
 ///
 /// # Errors
 ///
@@ -247,6 +490,7 @@ pub fn build_program(
 ) -> Result<Build, CompileError> {
     let mut metrics = Metrics::default();
     if config.safe {
+        let start = Instant::now();
         let opts = CureOptions {
             error_mode: config.error_mode,
             local_optimize: config.ccured_optimize,
@@ -257,8 +501,10 @@ pub fn build_program(
         metrics.checks_inserted = stats.checks_inserted;
         metrics.locks_inserted = stats.locks_inserted;
         metrics.cure = Some(stats);
+        metrics.stage_times.record(Stage::Cure, start.elapsed());
     }
     if config.cxprop || config.inline {
+        let start = Instant::now();
         let opts = CxpropOptions {
             inline: config.inline,
             // cXprop-off-but-inline-on is used by ablations: run only the
@@ -275,8 +521,14 @@ pub fn build_program(
         // Sweep messages whose checks were removed (Figure 2 methodology:
         // strings of eliminated checks become unreferenced).
         ccured::errmsg::prune_unused_messages(&mut program);
+        metrics.stage_times.record(Stage::Opt, start.elapsed());
     }
-    let image = backend::compile(&program, platform, &BackendOptions { optimize: true })?;
+    let start = Instant::now();
+    let prepared = backend::prepare(&program, &BackendOptions { optimize: true });
+    metrics.stage_times.record(Stage::Backend, start.elapsed());
+    let start = Instant::now();
+    let image = backend::link(&prepared, platform)?;
+    metrics.stage_times.record(Stage::Link, start.elapsed());
     metrics.code_bytes = image.code_bytes();
     metrics.flash_bytes = image.flash_bytes();
     metrics.sram_bytes = image.sram_bytes();

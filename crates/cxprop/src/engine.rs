@@ -244,7 +244,11 @@ pub struct Engine {
 
 impl Engine {
     /// Runs the fixpoint analysis over `program`.
-    pub fn analyze(program: &Program, domain: DomainKind) -> Engine {
+    ///
+    /// Takes `&mut` only to borrow the function bodies in place (they
+    /// are moved out and restored, never cloned); the program is
+    /// unchanged when this returns.
+    pub fn analyze(program: &mut Program, domain: DomainKind) -> Engine {
         let sums = summarize(program);
         let ng = program.globals.len();
         let nf = program.functions.len();
@@ -278,18 +282,27 @@ impl Engine {
                 eng.entry[i] = Some(vec![]);
             }
         }
+        // Move the bodies out of the program so the walker can borrow
+        // the rest of it as context — no per-round (or any) body clones.
+        let mut bodies: Vec<Block> = program
+            .functions
+            .iter_mut()
+            .map(|f| std::mem::take(&mut f.body))
+            .collect();
         let mut rounds = 0;
         while eng.changed && rounds < 12 {
             eng.changed = false;
             rounds += 1;
-            for fi in 0..nf {
+            for (fi, body) in bodies.iter_mut().enumerate() {
                 if !eng.sums.reachable[fi] || eng.entry[fi].is_none() {
                     continue;
                 }
-                let mut body = program.functions[fi].body.clone();
                 let mut stats = EngineStats::default();
-                eng.walk_function(program, fi, &mut body, false, &mut stats);
+                eng.walk_function(program, fi, body, false, &mut stats);
             }
+        }
+        for (f, body) in program.functions.iter_mut().zip(bodies) {
+            f.body = body;
         }
         eng
     }
@@ -298,14 +311,22 @@ impl Engine {
     /// proven checks. Returns what changed.
     pub fn transform(&mut self, program: &mut Program) -> EngineStats {
         let mut stats = EngineStats::default();
-        let snapshot = program.clone();
-        for fi in 0..program.functions.len() {
+        // The walker reads only body-independent context (locals, globals,
+        // structs, strings) from the program, so moving every body out at
+        // once avoids the whole-program snapshot clone.
+        let mut bodies: Vec<Block> = program
+            .functions
+            .iter_mut()
+            .map(|f| std::mem::take(&mut f.body))
+            .collect();
+        for (fi, body) in bodies.iter_mut().enumerate() {
             if !self.sums.reachable[fi] || self.entry[fi].is_none() {
                 continue;
             }
-            let mut body = std::mem::take(&mut program.functions[fi].body);
-            self.walk_function(&snapshot, fi, &mut body, true, &mut stats);
-            program.functions[fi].body = body;
+            self.walk_function(program, fi, body, true, &mut stats);
+        }
+        for (f, body) in program.functions.iter_mut().zip(bodies) {
+            f.body = body;
         }
         for f in &mut program.functions {
             visit::sweep_nops(&mut f.body);
@@ -625,10 +646,10 @@ impl Walker<'_> {
                 if changed {
                     self.eng.changed = true;
                 }
-                // Havoc globals the callee writes.
-                let writes = self.eng.sums.writes[callee].clone();
-                for (gi, w) in writes.iter().enumerate() {
-                    if *w {
+                // Havoc globals the callee writes (indexing into the
+                // summary row directly — no clone per call site).
+                for gi in 0..env.globals.len() {
+                    if self.eng.sums.writes[callee][gi] {
                         env.globals[gi] = self.eng.wpv[gi];
                     }
                 }
@@ -751,14 +772,20 @@ impl Walker<'_> {
         for round in 0..4 {
             let mut iter_env = head.clone();
             self.refine_cond(cond, true, &mut iter_env);
-            let mut scratch = body.clone();
-            let was_transform = self.transform;
-            self.transform = false;
             self.loop_breaks.push(Vec::new());
             let mut sink = EngineStats::default();
-            self.walk_block(&mut scratch, &mut iter_env, &mut sink);
+            if self.transform {
+                // The fixpoint must not rewrite the body: iterate on a
+                // scratch copy with transforms disabled.
+                let mut scratch = body.clone();
+                self.transform = false;
+                self.walk_block(&mut scratch, &mut iter_env, &mut sink);
+                self.transform = true;
+            } else {
+                // Analysis never mutates: walk the body in place.
+                self.walk_block(body, &mut iter_env, &mut sink);
+            }
             let _breaks = self.loop_breaks.pop();
-            self.transform = was_transform;
             let mut merged = head.clone();
             let changed = if iter_env.reachable {
                 merged.join_from(&iter_env)
@@ -771,9 +798,6 @@ impl Walker<'_> {
             }
             if round >= 1 {
                 // Widen to guarantee termination.
-                for (a, b) in head.locals.clone().into_iter().zip(merged.locals.iter()) {
-                    let _ = (a, b);
-                }
                 for (i, l) in merged.locals.iter().enumerate() {
                     let k = self.func().locals[i].ty.as_int().unwrap_or(IntKind::I32);
                     head.locals[i] = head.locals[i].widen(*l, k);

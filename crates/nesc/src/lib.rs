@@ -103,6 +103,51 @@ pub struct CompileOutput {
     pub components: Vec<String>,
 }
 
+/// A frontend with the source set already parsed.
+///
+/// Parsing is app-independent: the same component library serves every
+/// application of an evaluation grid. Constructing a `Frontend` once and
+/// calling [`Frontend::compile`] per app skips the re-parse that
+/// [`compile`] pays on every call — the frontend half of the toolchain's
+/// artifact cache.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    parsed: parse::Parsed,
+}
+
+impl Frontend {
+    /// Parses `sources` into a reusable frontend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for syntax errors in any source file.
+    pub fn new(sources: &SourceSet) -> Result<Frontend, CompileError> {
+        Ok(Frontend {
+            parsed: parse::parse_sources(sources)?,
+        })
+    }
+
+    /// Compiles the application whose top-level configuration (or module)
+    /// is named `app` from the parsed sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for unknown components or interfaces,
+    /// unwired command calls, wiring type mismatches, and any type error
+    /// in module code.
+    pub fn compile(&self, app: &str) -> Result<CompileOutput, CompileError> {
+        let plan = wiring::resolve(&self.parsed, app)?;
+        let unit = generate::generate(&self.parsed, &plan)?;
+        let mut program = tcil::lower::lower_unit(&unit)?;
+        let report = concurrency::analyze(&mut program);
+        Ok(CompileOutput {
+            program,
+            report,
+            components: plan.instantiation_order.clone(),
+        })
+    }
+}
+
 /// Compiles the application whose top-level configuration (or module) is
 /// named `app` from the given sources.
 ///
@@ -112,14 +157,5 @@ pub struct CompileOutput {
 /// interfaces, unwired command calls, wiring type mismatches, and any
 /// type error in module code.
 pub fn compile(sources: &SourceSet, app: &str) -> Result<CompileOutput, CompileError> {
-    let parsed = parse::parse_sources(sources)?;
-    let plan = wiring::resolve(&parsed, app)?;
-    let unit = generate::generate(&parsed, &plan)?;
-    let mut program = tcil::lower::lower_unit(&unit)?;
-    let report = concurrency::analyze(&mut program);
-    Ok(CompileOutput {
-        program,
-        report,
-        components: plan.instantiation_order.clone(),
-    })
+    Frontend::new(sources)?.compile(app)
 }

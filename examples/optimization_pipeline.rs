@@ -21,13 +21,16 @@ fn measure(program: &tcil::Program, label: &str) {
 
 fn main() {
     let spec = tosapps::spec("Oscilloscope_Mica2").expect("known app");
-    let out = nesc::compile(&tosapps::source_set(), spec.config).expect("nesc");
+    // The session's cached frontend artifact: this walk clones the
+    // lowered program out of it, exactly as every grid build does.
+    let session = safe_tinyos::BuildSession::new();
+    let artifact = session.frontend(&spec).expect("nesc");
     println!(
         "racy variables (nesC report): {:?}\n",
-        out.report.racy.len()
+        artifact.output().report.racy.len()
     );
 
-    let mut program = out.program;
+    let mut program = artifact.program();
     measure(&program, "after nesC (unsafe)");
 
     let stats = cure(

@@ -4,10 +4,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use safe_tinyos::{build_app, simulate, BuildConfig};
+use safe_tinyos::{simulate, BuildConfig, BuildSession};
 
 fn main() {
     let spec = tosapps::spec("BlinkTask_Mica2").expect("known app");
+    // One session: the frontend compiles Blink once, every configuration
+    // below reuses the cached artifact.
+    let session = BuildSession::new();
 
     println!("== Safe TinyOS quickstart: {} ==\n", spec.name);
     for config in [
@@ -15,7 +18,7 @@ fn main() {
         BuildConfig::safe_flid(),
         BuildConfig::safe_flid_inline_cxprop(),
     ] {
-        let build = build_app(&spec, &config).expect("build");
+        let build = session.build(&spec, &config).expect("build");
         let run = simulate(&build, &spec, 5);
         println!(
             "{:<26} code {:>5} B  sram {:>4} B  checks {:>3} -> {:<3} duty {:>5.2}%  leds {}",
@@ -30,9 +33,16 @@ fn main() {
     }
 
     // The host-side FLID decompression table (free on the node).
-    let build = build_app(&spec, &BuildConfig::safe_flid()).expect("build");
+    let build = session
+        .build(&spec, &BuildConfig::safe_flid())
+        .expect("build");
     println!("\nFLID table sample (host side):");
     for (flid, msg) in build.image.flid_table.iter().take(5) {
         println!("  {flid:>4} -> {msg}");
     }
+
+    println!(
+        "\n(4 builds, {} frontend compile — the session cached the artifact)",
+        session.frontend_compiles()
+    );
 }

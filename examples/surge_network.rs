@@ -6,11 +6,13 @@
 
 use mcu::net::Network;
 use mcu::Machine;
-use safe_tinyos::{build_app, BuildConfig};
+use safe_tinyos::{BuildConfig, BuildSession};
 
 fn main() {
     let spec = tosapps::spec("Surge_Mica2").expect("known app");
-    let build = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).expect("build");
+    let build = BuildSession::new()
+        .build(&spec, &BuildConfig::safe_flid_inline_cxprop())
+        .expect("build");
     println!(
         "Surge image: {} B flash, {} B SRAM, {} checks surviving",
         build.metrics.flash_bytes, build.metrics.sram_bytes, build.metrics.checks_surviving

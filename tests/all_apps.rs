@@ -1,28 +1,39 @@
 //! Whole-toolchain integration: every benchmark app must build and run
 //! under the key pipeline configurations without faulting, and the
-//! paper's qualitative relationships must hold per app.
+//! paper's qualitative relationships must hold per app. The app ×
+//! config sweeps run through the shared [`ExperimentRunner`] so the
+//! frontend compiles each app once and the grid parallelizes.
 
-use safe_tinyos::{build_app, simulate, BuildConfig};
+use bench::ExperimentRunner;
+use safe_tinyos::{simulate, BuildConfig, BuildSession};
 use safe_tinyos_suite as _;
 
 #[test]
 fn all_apps_build_under_all_fig3_bars() {
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
-        for config in BuildConfig::fig3_bars() {
-            let b = build_app(&spec, &config)
-                .unwrap_or_else(|e| panic!("{name} / {}: {e}", config.name));
-            assert!(b.metrics.code_bytes > 0, "{name} / {}", config.name);
+    let runner = ExperimentRunner::from_env();
+    let bars = BuildConfig::fig3_bars();
+    let grid = runner.metrics_grid(tosapps::APP_NAMES, &bars);
+    for (name, row) in tosapps::APP_NAMES.iter().zip(&grid) {
+        for (config, metrics) in bars.iter().zip(row) {
+            assert!(metrics.code_bytes > 0, "{name} / {}", config.name);
         }
     }
+    assert_eq!(
+        runner.session().frontend_compiles(),
+        tosapps::APP_NAMES.len(),
+        "one frontend compile per app, reused across all bars"
+    );
 }
 
 #[test]
 fn all_apps_run_unsafe_without_faulting() {
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
-        let b = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
-        let r = simulate(&b, &spec, 2);
+    let runner = ExperimentRunner::from_env();
+    let configs = [BuildConfig::unsafe_baseline()];
+    let grid = runner.run_grid(tosapps::APP_NAMES, &configs, |job| {
+        simulate(&job.build(job.item), &job.spec, 2)
+    });
+    for (name, row) in tosapps::APP_NAMES.iter().zip(&grid) {
+        let r = &row[0];
         // Sleeping or mid-burst Running are both healthy end states;
         // Faulted/Halted are not.
         assert!(
@@ -38,10 +49,13 @@ fn all_apps_run_unsafe_without_faulting() {
 fn all_apps_run_fully_safe_without_traps() {
     // The core soundness claim: correct programs keep working after the
     // full safe pipeline — no false-positive traps.
-    for name in tosapps::APP_NAMES {
-        let spec = tosapps::spec(name).unwrap();
-        let b = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
-        let r = simulate(&b, &spec, 2);
+    let runner = ExperimentRunner::from_env();
+    let configs = [BuildConfig::safe_flid_inline_cxprop()];
+    let grid = runner.run_grid(tosapps::APP_NAMES, &configs, |job| {
+        simulate(&job.build(job.item), &job.spec, 2)
+    });
+    for (name, row) in tosapps::APP_NAMES.iter().zip(&grid) {
+        let r = &row[0];
         assert!(
             matches!(r.state, mcu::RunState::Sleeping | mcu::RunState::Running),
             "{name}: {:?} (fault {:?})",
@@ -55,16 +69,21 @@ fn all_apps_run_fully_safe_without_traps() {
 fn safe_and_unsafe_builds_behave_equivalently() {
     // Device-level observable behaviour must match between the unsafe
     // baseline and the fully optimized safe build.
-    for name in [
+    let runner = ExperimentRunner::from_env();
+    let configs = [
+        BuildConfig::unsafe_baseline(),
+        BuildConfig::safe_flid_inline_cxprop(),
+    ];
+    let apps = [
         "BlinkTask_Mica2",
         "CntToLedsAndRfm_Mica2",
         "RfmToLeds_Mica2",
-    ] {
-        let spec = tosapps::spec(name).unwrap();
-        let bu = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
-        let bs = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
-        let ru = simulate(&bu, &spec, 3);
-        let rs = simulate(&bs, &spec, 3);
+    ];
+    let grid = runner.run_grid(&apps, &configs, |job| {
+        simulate(&job.build(job.item), &job.spec, 3)
+    });
+    for (name, row) in apps.iter().zip(&grid) {
+        let (ru, rs) = (&row[0], &row[1]);
         assert_eq!(
             ru.led_transitions, rs.led_transitions,
             "{name} LED behaviour diverged"
@@ -124,9 +143,12 @@ fn apps_do_observable_work() {
             "count exchange",
         ),
     ];
+    let session = BuildSession::new();
     for (name, check, what) in cases {
         let spec = tosapps::spec(name).unwrap();
-        let b = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
+        let b = session
+            .build(&spec, &BuildConfig::unsafe_baseline())
+            .unwrap();
         let r = simulate(&b, &spec, 5);
         assert!(
             check(&r),

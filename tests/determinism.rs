@@ -1,0 +1,69 @@
+//! The parallel experiment runner must be a pure speedup: for the full
+//! Figure 2 + Figure 3 grids, an 8-worker runner has to produce
+//! byte-identical metrics (and therefore byte-identical `BENCH_*.json`
+//! payloads) to a serial runner, and the frontend must compile each app
+//! exactly once per runner however many configurations the grid spans.
+
+use bench::ExperimentRunner;
+use safe_tinyos::{BuildConfig, Metrics};
+use safe_tinyos_suite as _;
+
+/// Every deterministic field of the metrics (stage wall times are
+/// timing-dependent by nature and excluded).
+fn fingerprint(app: &str, config: &str, m: &Metrics) -> String {
+    format!(
+        "{app}/{config}: code={} flash={} sram={} inserted={} surviving={} locks={} cure={:?} cxprop={:?}",
+        m.code_bytes,
+        m.flash_bytes,
+        m.sram_bytes,
+        m.checks_inserted,
+        m.checks_surviving,
+        m.locks_inserted,
+        m.cure,
+        m.cxprop,
+    )
+}
+
+fn full_grid(threads: usize, configs: &[BuildConfig]) -> (String, usize) {
+    let runner = ExperimentRunner::with_threads(threads);
+    let grid = runner.run_grid(tosapps::APP_NAMES, configs, |job| {
+        fingerprint(job.spec.name, job.item.name, &job.build(job.item).metrics)
+    });
+    let lines: Vec<String> = grid.into_iter().flatten().collect();
+    (lines.join("\n"), runner.session().frontend_compiles())
+}
+
+#[test]
+fn parallel_runner_matches_serial_on_fig2_and_fig3_grids() {
+    let mut configs = BuildConfig::fig2_stacks();
+    configs.extend(BuildConfig::fig3_bars());
+    configs.push(BuildConfig::unsafe_baseline());
+
+    let (serial, serial_compiles) = full_grid(1, &configs);
+    let (parallel, parallel_compiles) = full_grid(8, &configs);
+
+    assert_eq!(
+        serial, parallel,
+        "parallel runner diverged from serial baseline"
+    );
+    // The frontend artifact cache: one nesc compile per app per harness
+    // invocation, never one per grid cell.
+    assert_eq!(serial_compiles, tosapps::APP_NAMES.len());
+    assert_eq!(parallel_compiles, tosapps::APP_NAMES.len());
+}
+
+#[test]
+fn grid_results_land_in_grid_order() {
+    let configs = [BuildConfig::unsafe_baseline(), BuildConfig::safe_flid()];
+    let runner = ExperimentRunner::with_threads(4);
+    let grid = runner.run_grid(tosapps::APP_NAMES, &configs, |job| {
+        (job.app_index, job.item_index, job.spec.name)
+    });
+    for (ai, row) in grid.iter().enumerate() {
+        assert_eq!(row.len(), configs.len());
+        for (ci, &(got_ai, got_ci, name)) in row.iter().enumerate() {
+            assert_eq!((got_ai, got_ci), (ai, ci));
+            assert_eq!(name, tosapps::APP_NAMES[ai]);
+        }
+    }
+}

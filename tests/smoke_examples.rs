@@ -8,7 +8,7 @@ use ccured::{cure, CureOptions};
 use cxprop::{CxpropOptions, InlineOptions};
 use mcu::net::Network;
 use mcu::{Machine, Profile, RunState};
-use safe_tinyos::{build_app, simulate, BuildConfig};
+use safe_tinyos::{simulate, BuildConfig, BuildSession};
 use safe_tinyos_suite as _;
 
 /// `examples/quickstart.rs`: Blink through three configurations, with
@@ -16,12 +16,13 @@ use safe_tinyos_suite as _;
 #[test]
 fn quickstart_core_path() {
     let spec = tosapps::spec("BlinkTask_Mica2").expect("known app");
+    let session = BuildSession::new();
     for config in [
         BuildConfig::unsafe_baseline(),
         BuildConfig::safe_flid(),
         BuildConfig::safe_flid_inline_cxprop(),
     ] {
-        let build = build_app(&spec, &config).expect("build");
+        let build = session.build(&spec, &config).expect("build");
         let run = simulate(&build, &spec, 5);
         assert_eq!(
             run.state,
@@ -37,10 +38,17 @@ fn quickstart_core_path() {
             run.led_transitions
         );
     }
-    let build = build_app(&spec, &BuildConfig::safe_flid()).expect("build");
+    let build = session
+        .build(&spec, &BuildConfig::safe_flid())
+        .expect("build");
     assert!(
         !build.image.flid_table.is_empty(),
         "safe build carries a FLID table"
+    );
+    assert_eq!(
+        session.frontend_compiles(),
+        1,
+        "four builds share one frontend artifact"
     );
 }
 
@@ -87,7 +95,9 @@ fn safety_violation_core_path() {
 #[test]
 fn surge_network_core_path() {
     let spec = tosapps::spec("Surge_Mica2").expect("known app");
-    let build = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).expect("build");
+    let build = BuildSession::new()
+        .build(&spec, &BuildConfig::safe_flid_inline_cxprop())
+        .expect("build");
     let mut nodes = Vec::new();
     for i in 0..3 {
         let mut m = Machine::new(&build.image);
@@ -122,8 +132,8 @@ fn surge_network_core_path() {
 #[test]
 fn optimization_pipeline_core_path() {
     let spec = tosapps::spec("Oscilloscope_Mica2").expect("known app");
-    let out = nesc::compile(&tosapps::source_set(), spec.config).expect("nesc");
-    let mut program = out.program;
+    let session = BuildSession::new();
+    let mut program = session.frontend(&spec).expect("nesc").program();
     let compiles = |p: &tcil::Program| {
         backend::compile(p, Profile::mica2(), &BackendOptions::default()).expect("compile")
     };
