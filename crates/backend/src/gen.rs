@@ -132,9 +132,7 @@ impl<'a> FuncGen<'a> {
         // Allocate frame slots for parameters and referenced locals only
         // (the "gcc" tier at least avoids materializing dead locals).
         let mut referenced = vec![false; f.locals.len()];
-        for i in 0..f.params as usize {
-            referenced[i] = true;
-        }
+        referenced[..f.params as usize].fill(true);
         visit::walk_stmts(&f.body, &mut |s| {
             let mut mark_place = |p: &Place| {
                 if let PlaceBase::Local(id) = &p.base {
@@ -511,14 +509,13 @@ impl<'a> FuncGen<'a> {
 
     fn gen_check(&mut self, c: &Check) -> Result<(), CompileError> {
         let mut fail_jumps: Vec<usize> = Vec::new();
-        let ok_jump: Option<usize>;
-        match &c.kind {
+        let ok_jump = match &c.kind {
             CheckKind::NonNull(e) => {
                 self.gen_expr(e)?;
                 if matches!(val_kind(&e.ty, &self.prog.structs), ValKind::Fat(_)) {
                     self.emit(Instr::FatVal);
                 }
-                ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
+                self.emit(Instr::Jnz { target: 0 })
             }
             CheckKind::Upper { ptr, len } => {
                 // null?
@@ -541,7 +538,7 @@ impl<'a> FuncGen<'a> {
                     width: Width::W16,
                     signed: false,
                 });
-                ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
+                self.emit(Instr::Jnz { target: 0 })
             }
             CheckKind::Bounds { ptr, len } => {
                 self.gen_expr(ptr)?;
@@ -574,7 +571,7 @@ impl<'a> FuncGen<'a> {
                     width: Width::W16,
                     signed: false,
                 });
-                ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
+                self.emit(Instr::Jnz { target: 0 })
             }
             CheckKind::IndexBound { idx, n } => {
                 self.gen_expr(idx)?;
@@ -584,9 +581,9 @@ impl<'a> FuncGen<'a> {
                     width: Width::W16,
                     signed: false,
                 });
-                ok_jump = Some(self.emit(Instr::Jnz { target: 0 }));
+                self.emit(Instr::Jnz { target: 0 })
             }
-        }
+        };
         // Fail path.
         let fail_pos = self.here();
         for j in fail_jumps {
@@ -608,9 +605,7 @@ impl<'a> FuncGen<'a> {
         }
         self.emit(Instr::Trap { flid: c.flid.0 });
         let ok_pos = self.here();
-        if let Some(j) = ok_jump {
-            self.patch(j, ok_pos);
-        }
+        self.patch(ok_jump, ok_pos);
         Ok(())
     }
 

@@ -125,7 +125,7 @@ fn render_init(
 ) {
     let size = size_of(ty, structs) as usize;
     match (ty, init) {
-        (_, Init::Zero) => out.extend(std::iter::repeat(0).take(size)),
+        (_, Init::Zero) => out.extend(std::iter::repeat_n(0, size)),
         (Type::Int(k), Init::Int(v)) => {
             let w = k.wrap(*v) as u64;
             out.extend(&w.to_le_bytes()[..k.size() as usize]);
@@ -133,7 +133,7 @@ fn render_init(
         (Type::Ptr(..), Init::Int(v)) => {
             // Only null is accepted by lowering; zero-fill all words.
             debug_assert_eq!(*v, 0);
-            out.extend(std::iter::repeat(0).take(size));
+            out.extend(std::iter::repeat_n(0, size));
         }
         (Type::Array(elem, n), Init::List(items)) => {
             for item in items {
@@ -141,7 +141,7 @@ fn render_init(
             }
             let elem_size = size_of(elem, structs) as usize;
             for _ in items.len()..*n as usize {
-                out.extend(std::iter::repeat(0).take(elem_size));
+                out.extend(std::iter::repeat_n(0, elem_size));
             }
         }
         (Type::Array(_, n), Init::Str(id)) => {
@@ -157,12 +157,12 @@ fn render_init(
                 render_init(&field.ty, item, structs, program, out);
             }
             for field in fields.iter().skip(items.len()) {
-                out.extend(std::iter::repeat(0).take(size_of(&field.ty, structs) as usize));
+                out.extend(std::iter::repeat_n(0, size_of(&field.ty, structs) as usize));
             }
         }
         (t, i) => {
             debug_assert!(false, "initializer shape mismatch: {t} with {i:?}");
-            out.extend(std::iter::repeat(0).take(size));
+            out.extend(std::iter::repeat_n(0, size));
         }
     }
 }

@@ -4,100 +4,54 @@
 //! * strong DCE is worth a few percent of code size,
 //! * copy propagation feeds precision,
 //! * atomic-section optimization removes/demotes sections.
+//!
+//! Each ablation arm is just a [`Pipeline`] — the composite
+//! `cxprop(inline,...)` pass with one knob turned — so the whole grid
+//! goes through [`ExperimentRunner`] like every other figure.
 
-use std::time::Instant;
+use bench::{emit_json, json, pct_change, ExperimentRunner};
+use cxprop::CxpropOptions;
+use safe_tinyos::{Metrics, Pipeline};
 
-use bench::{emit_json, json, pct_change, ExperimentRunner, GridJob};
-use cxprop::{CxpropOptions, CxpropStats};
-use safe_tinyos::{BuildConfig, Stage, StageTimes};
-
-/// One ablation arm of the grid.
-#[derive(Clone, Copy)]
-enum Variant {
-    /// The full safe stack (inliner + cXprop).
-    Full,
-    /// The safe stack without the inliner.
-    NoInline,
-    /// cXprop with DCE disabled (custom pipeline).
-    NoDce,
-    /// cXprop under one abstract domain (custom pipeline).
-    Domain(cxprop::DomainKind),
-}
-
-/// What one ablation cell measured.
-struct Cell {
-    code_bytes: u64,
-    cxprop: Option<CxpropStats>,
-    checks_inserted: usize,
-    checks_surviving: usize,
-}
-
-/// Runs the cached frontend artifact through cure + a custom cXprop
-/// configuration + the stock backend, timing each stage.
-fn custom_pipeline(job: &GridJob<'_, Variant>, cxprop_opts: &CxpropOptions) -> Cell {
-    let mut program = job.frontend();
-    let mut times = StageTimes::default();
-    let start = Instant::now();
-    let cure = ccured::cure(&mut program, &ccured::CureOptions::default())
-        .unwrap_or_else(|e| panic!("{}: cure: {e}", job.spec.name));
-    times.record(Stage::Cure, start.elapsed());
-    let start = Instant::now();
-    let cx = cxprop::optimize(&mut program, cxprop_opts);
-    ccured::errmsg::prune_unused_messages(&mut program);
-    times.record(Stage::Opt, start.elapsed());
-    let start = Instant::now();
-    let prepared = backend::prepare(&program, &backend::BackendOptions::default());
-    times.record(Stage::Backend, start.elapsed());
-    let start = Instant::now();
-    let image = backend::link(&prepared, job.spec.platform.clone())
-        .unwrap_or_else(|e| panic!("{}: link: {e}", job.spec.name));
-    times.record(Stage::Link, start.elapsed());
-    job.record(&times);
-    Cell {
-        code_bytes: image.code_bytes() as u64,
-        cxprop: Some(cx),
-        checks_inserted: cure.checks_inserted,
-        checks_surviving: image.surviving_checks(),
-    }
-}
-
-fn build_cell(job: &GridJob<'_, Variant>, config: &BuildConfig) -> Cell {
-    let b = job.build(config);
-    Cell {
-        code_bytes: b.metrics.code_bytes as u64,
-        cxprop: b.metrics.cxprop,
-        checks_inserted: b.metrics.checks_inserted,
-        checks_surviving: b.metrics.checks_surviving,
-    }
+/// An ablation arm: the full safe stack with `options` swapped into the
+/// composite cXprop pass (which runs the inliner inside the fixpoint,
+/// like the paper's tool).
+fn ablated(name: &str, options: CxpropOptions) -> Pipeline {
+    Pipeline::builder(name)
+        .cure()
+        .cxprop_with(options)
+        .prune()
+        .build()
 }
 
 fn main() {
     let runner = ExperimentRunner::from_env();
     let variants = [
-        Variant::Full,
-        Variant::NoInline,
-        Variant::NoDce,
-        Variant::Domain(cxprop::DomainKind::Constants),
-        Variant::Domain(cxprop::DomainKind::Intervals),
-    ];
-    let grid = runner.run_grid(tosapps::APP_NAMES, &variants, |job| match *job.item {
-        Variant::Full => build_cell(job, &BuildConfig::safe_flid_inline_cxprop()),
-        Variant::NoInline => build_cell(job, &BuildConfig::safe_flid_cxprop()),
-        Variant::NoDce => custom_pipeline(
-            job,
-            &CxpropOptions {
+        Pipeline::safe_flid_inline_cxprop(),
+        Pipeline::safe_flid_cxprop(),
+        ablated(
+            "no-dce",
+            CxpropOptions {
                 dce: false,
                 ..CxpropOptions::default()
             },
         ),
-        Variant::Domain(domain) => custom_pipeline(
-            job,
-            &CxpropOptions {
-                domain,
+        ablated(
+            "domain-constants",
+            CxpropOptions {
+                domain: cxprop::DomainKind::Constants,
                 ..CxpropOptions::default()
             },
         ),
-    });
+        ablated(
+            "domain-intervals",
+            CxpropOptions {
+                domain: cxprop::DomainKind::Intervals,
+                ..CxpropOptions::default()
+            },
+        ),
+    ];
+    let grid: Vec<Vec<Metrics>> = runner.metrics_grid(tosapps::APP_NAMES, &variants);
 
     println!("§2.1 ablations (totals over all twelve applications)\n");
 
@@ -112,15 +66,15 @@ fn main() {
     let mut copies = 0usize;
     for row in &grid {
         let full = &row[0];
-        with_inline += full.code_bytes;
-        with_dce += full.code_bytes;
+        with_inline += full.code_bytes as u64;
+        with_dce += full.code_bytes as u64;
         if let Some(cx) = &full.cxprop {
             atomics_removed += cx.atomics.removed;
             atomics_demoted += cx.atomics.demoted;
             copies += cx.copies_propagated;
         }
-        without_inline += row[1].code_bytes;
-        without_dce += row[2].code_bytes;
+        without_inline += row[1].code_bytes as u64;
+        without_dce += row[2].code_bytes as u64;
     }
 
     println!(

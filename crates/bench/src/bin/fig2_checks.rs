@@ -2,13 +2,15 @@
 //! optimizer stacks, per application, plus the original check counts.
 
 use bench::{emit_json, json, row, ExperimentRunner};
-use safe_tinyos::BuildConfig;
+use safe_tinyos::{pipelines_from_env_or, Pipeline};
 
 fn main() {
     let runner = ExperimentRunner::from_env();
-    let stacks = BuildConfig::fig2_stacks();
+    // The four paper stacks by default; STOS_PIPELINE sweeps any other
+    // composition through the same harness.
+    let stacks = pipelines_from_env_or(Pipeline::fig2_stacks);
     let grid = runner.metrics_grid(tosapps::APP_NAMES, &stacks);
-    let labels: Vec<String> = stacks.iter().map(|c| c.name.to_string()).collect();
+    let labels: Vec<String> = stacks.iter().map(|c| c.name().to_string()).collect();
     println!("Figure 2 — checks removed by optimizer stack (higher is better)");
     println!(
         "{}",
@@ -27,7 +29,7 @@ fn main() {
             totals[i] += removed;
             let pct = removed as f64 * 100.0 / inserted.max(1) as f64;
             cells.push(format!("{pct:.0}%"));
-            stack_obj = stack_obj.num(config.name, pct);
+            stack_obj = stack_obj.num(config.name(), pct);
         }
         total_inserted += inserted;
         cells.push(format!("{inserted}"));
@@ -49,7 +51,7 @@ fn main() {
     let mut total_obj = json::Obj::new().int("checks_inserted", total_inserted as i64);
     for (i, config) in stacks.iter().enumerate() {
         total_obj = total_obj.num(
-            config.name,
+            config.name(),
             totals[i] as f64 * 100.0 / total_inserted.max(1) as f64,
         );
     }

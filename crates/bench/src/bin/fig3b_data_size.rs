@@ -3,16 +3,16 @@
 //! configurations are "outrageously high — thousands of percent".
 
 use bench::{emit_json, json, pct_change, row, ExperimentRunner};
-use safe_tinyos::BuildConfig;
+use safe_tinyos::{pipelines_from_env_or, Pipeline};
 
 fn main() {
     let runner = ExperimentRunner::from_env();
-    let bars = BuildConfig::fig3_bars();
+    let bars = pipelines_from_env_or(Pipeline::fig3_bars);
     // Column 0 of the grid is the baseline every bar is compared to.
-    let mut configs = vec![BuildConfig::unsafe_baseline()];
+    let mut configs = vec![Pipeline::unsafe_baseline()];
     configs.extend(bars.iter().cloned());
     let grid = runner.metrics_grid(tosapps::APP_NAMES, &configs);
-    let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
+    let labels: Vec<String> = bars.iter().map(|c| c.name().to_string()).collect();
     println!("Figure 3(b) — Δ static data size vs. unsafe baseline (SRAM bytes)");
     println!(
         "{}",
@@ -31,7 +31,7 @@ fn main() {
             } else {
                 cells.push(format!("{pct:+.0}%"));
             }
-            bar_obj = bar_obj.num(config.name, pct);
+            bar_obj = bar_obj.num(config.name(), pct);
         }
         cells.push(format!("{base_bytes}"));
         println!("{}", row(name, &cells));

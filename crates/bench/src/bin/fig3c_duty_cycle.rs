@@ -3,7 +3,7 @@
 //! workload context.
 
 use bench::{emit_json, json, row, sim_seconds, ExperimentRunner};
-use safe_tinyos::{simulate, BuildConfig};
+use safe_tinyos::{pipelines_from_env_or, simulate, Pipeline};
 
 fn main() {
     let runner = ExperimentRunner::from_env();
@@ -11,13 +11,15 @@ fn main() {
     // The four duty-cycle-relevant configurations: safe unoptimized,
     // safe fully optimized, unsafe optimized — compared to the baseline
     // in grid column 0.
-    let bars = [
-        BuildConfig::safe_flid(),
-        BuildConfig::safe_flid_cxprop(),
-        BuildConfig::safe_flid_inline_cxprop(),
-        BuildConfig::unsafe_optimized(),
-    ];
-    let mut configs = vec![BuildConfig::unsafe_baseline()];
+    let bars = pipelines_from_env_or(|| {
+        vec![
+            Pipeline::safe_flid(),
+            Pipeline::safe_flid_cxprop(),
+            Pipeline::safe_flid_inline_cxprop(),
+            Pipeline::unsafe_optimized(),
+        ]
+    });
+    let mut configs = vec![Pipeline::unsafe_baseline()];
     configs.extend(bars.iter().cloned());
     let apps = tosapps::mica2_apps();
     // Each job builds and simulates one cell, returning its duty cycle.
@@ -25,7 +27,7 @@ fn main() {
         let build = job.build(job.item);
         simulate(&build, &job.spec, seconds).duty_cycle_percent
     });
-    let labels: Vec<String> = bars.iter().map(|c| c.name.to_string()).collect();
+    let labels: Vec<String> = bars.iter().map(|c| c.name().to_string()).collect();
     println!("Figure 3(c) — Δ duty cycle vs. unsafe baseline ({seconds}s simulated)");
     println!(
         "{}",
@@ -44,7 +46,7 @@ fn main() {
                 0.0
             };
             cells.push(format!("{rel:+.1}%"));
-            cfg_obj = cfg_obj.num(config.name, rel);
+            cfg_obj = cfg_obj.num(config.name(), rel);
         }
         cells.push(format!("{base_duty:.2}%"));
         println!("{}", row(name, &cells));

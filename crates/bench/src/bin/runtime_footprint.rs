@@ -4,7 +4,8 @@
 
 use bench::{emit_json, json, ExperimentRunner};
 use ccured::runtime::{footprint_at, RuntimeStage, NAIVE_COMPONENTS};
-use safe_tinyos::BuildConfig;
+use ccured::CureOptions;
+use safe_tinyos::Pipeline;
 
 fn main() {
     println!("§2.3 — CCured runtime library footprint (modeled components)");
@@ -33,11 +34,16 @@ fn main() {
     // Result instead of panicking.
     let runner = ExperimentRunner::from_env();
     let configs = [
-        BuildConfig::safe_flid_inline_cxprop(),
-        BuildConfig {
-            naive_runtime: true,
-            ..BuildConfig::safe_flid_inline_cxprop()
-        },
+        Pipeline::safe_flid_inline_cxprop(),
+        Pipeline::builder("safe-flid-inline-cxprop-naive")
+            .cure_with(CureOptions {
+                naive_runtime: true,
+                ..CureOptions::default()
+            })
+            .inline()
+            .cxprop()
+            .prune()
+            .build(),
     ];
     let grid = runner.run_grid(&["BlinkTask_Mica2"], &configs, |job| {
         job.try_build(job.item)

@@ -9,6 +9,7 @@
 //! | `fig3c_duty_cycle` | Figure 3(c): Δ duty cycle over simulated minutes |
 //! | `runtime_footprint` | §2.3: the runtime-library reduction story |
 //! | `ablations` | §2.1 claims: early inlining, strong DCE, copy-prop, atomic optimization |
+//! | `pipeline_matrix` | pass subsets/orders/options × 3 apps — the composition sweep the paper couldn't afford |
 //!
 //! All of them drive their app × configuration grids through
 //! [`runner::ExperimentRunner`], which shares one frontend artifact
@@ -18,17 +19,17 @@
 
 pub mod runner;
 
-use safe_tinyos::{build_app, Build, BuildConfig};
+use safe_tinyos::{build_app, Build, Pipeline};
 use tosapps::AppSpec;
 
 pub use runner::{ExperimentRunner, GridJob, SpeedReport};
 
-/// Builds one app under one config with a throwaway frontend, panicking
-/// with context on failure. Grid-shaped experiments should use
+/// Builds one app under one pipeline with a throwaway frontend,
+/// panicking with context on failure. Grid-shaped experiments should use
 /// [`ExperimentRunner`] instead, which caches frontend artifacts and
 /// parallelizes.
-pub fn must_build(spec: &AppSpec, config: &BuildConfig) -> Build {
-    build_app(spec, config).unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name, config.name))
+pub fn must_build(spec: &AppSpec, pipeline: &Pipeline) -> Build {
+    build_app(spec, pipeline).unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name, pipeline.name()))
 }
 
 /// Percent change of `new` relative to `base`.

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use safe_tinyos::{Build, BuildConfig, BuildSession, Stage, StageTimes};
+use safe_tinyos::{Build, BuildSession, Pipeline, Stage, StageTimes};
 use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
@@ -58,7 +58,7 @@ pub struct ExperimentRunner {
 pub struct GridJob<'a, C> {
     /// The app under test.
     pub spec: AppSpec,
-    /// The grid item (usually a [`BuildConfig`]).
+    /// The grid item (usually a [`Pipeline`]).
     pub item: &'a C,
     /// Row index into the `apps` slice.
     pub app_index: usize,
@@ -68,29 +68,29 @@ pub struct GridJob<'a, C> {
 }
 
 impl<C> GridJob<'_, C> {
-    /// Builds this job's app under `config` through the shared session,
+    /// Builds this job's app under `pipeline` through the shared session,
     /// panicking with context on failure (experiment harnesses want loud
     /// failures). Stage times are folded into the runner's speed report.
-    pub fn build(&self, config: &BuildConfig) -> Build {
-        self.try_build(config)
-            .unwrap_or_else(|e| panic!("{} / {}: {e}", self.spec.name, config.name))
+    pub fn build(&self, pipeline: &Pipeline) -> Build {
+        self.try_build(pipeline)
+            .unwrap_or_else(|e| panic!("{} / {}: {e}", self.spec.name, pipeline.name()))
     }
 
     /// [`GridJob::build`] returning the error instead of panicking (for
-    /// configurations that are *expected* to fail, e.g. the naive
-    /// runtime overflowing flash).
+    /// pipelines that are *expected* to fail, e.g. the naive runtime
+    /// overflowing flash).
     ///
     /// # Errors
     ///
-    /// Propagates compile errors from any stage.
-    pub fn try_build(&self, config: &BuildConfig) -> Result<Build, CompileError> {
-        let build = self.runner.session.build(&self.spec, config)?;
+    /// Propagates compile errors from any pass.
+    pub fn try_build(&self, pipeline: &Pipeline) -> Result<Build, CompileError> {
+        let build = self.runner.session.build(&self.spec, pipeline)?;
         self.record(&build.metrics.stage_times);
         Ok(build)
     }
 
     /// A fresh copy of this app's cached frontend output, for jobs that
-    /// run custom pass pipelines instead of a named [`BuildConfig`].
+    /// drive the stage crates directly instead of a [`Pipeline`].
     /// If this call is the one that compiled the artifact, its frontend
     /// time is folded into the speed report (exactly once, like
     /// [`GridJob::try_build`]).
@@ -211,13 +211,13 @@ impl ExperimentRunner {
     }
 
     /// [`ExperimentRunner::run_grid`] specialized to building each cell's
-    /// [`BuildConfig`] and returning its metrics.
+    /// [`Pipeline`] and returning its metrics.
     pub fn metrics_grid(
         &self,
         apps: &[&'static str],
-        configs: &[BuildConfig],
+        pipelines: &[Pipeline],
     ) -> Vec<Vec<safe_tinyos::Metrics>> {
-        self.run_grid(apps, configs, |job| job.build(job.item).metrics)
+        self.run_grid(apps, pipelines, |job| job.build(job.item).metrics)
     }
 
     /// The toolchain-speed summary accumulated so far.

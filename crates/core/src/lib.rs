@@ -1,7 +1,7 @@
 //! Safe TinyOS: the toolchain driver.
 //!
-//! This crate wires the stages of the paper's Figure 1 into named
-//! pipeline configurations — one per bar of Figures 2 and 3 — and
+//! This crate wires the stages of the paper's Figure 1 into composable
+//! pass [`Pipeline`]s — with one preset per bar of Figures 2 and 3 — and
 //! collects the metrics the evaluation reports: code size, static data
 //! size, checks inserted/surviving, and duty cycle.
 //!
@@ -12,198 +12,62 @@
 //! # Example
 //!
 //! ```
-//! use safe_tinyos::{build_app, BuildConfig};
+//! use safe_tinyos::{build_app, Pipeline};
 //!
 //! let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
-//! let unsafe_build = build_app(&spec, &BuildConfig::unsafe_baseline()).unwrap();
-//! let safe_build = build_app(&spec, &BuildConfig::safe_flid_inline_cxprop()).unwrap();
+//! let unsafe_build = build_app(&spec, &Pipeline::unsafe_baseline()).unwrap();
+//! let safe_build = build_app(&spec, &Pipeline::safe_flid_inline_cxprop()).unwrap();
 //! assert!(safe_build.metrics.checks_inserted > 0);
 //! assert!(safe_build.metrics.checks_surviving < safe_build.metrics.checks_inserted);
 //! // Optimized safe code lands near the unsafe baseline (Figure 3a).
 //! let ratio = safe_build.metrics.code_bytes as f64 / unsafe_build.metrics.code_bytes as f64;
 //! assert!(ratio < 1.6, "ratio {ratio}");
 //! ```
+//!
+//! Arbitrary stacks come from the pipeline-spec language (see
+//! [`spec`]):
+//!
+//! ```
+//! use safe_tinyos::Pipeline;
+//!
+//! let custom = Pipeline::parse("cure(terse)|cxprop(domain=constants,rounds=1)|prune").unwrap();
+//! let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+//! let build = safe_tinyos::build_app(&spec, &custom).unwrap();
+//! assert!(build.metrics.checks_inserted > 0);
+//! ```
+
+pub mod pipeline;
+pub mod spec;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use backend::BackendOptions;
-use ccured::{cure, CureOptions, CureStats, ErrorMode};
-use cxprop::{CxpropOptions, CxpropStats};
+use ccured::CureStats;
+use cxprop::CxpropStats;
 use mcu::{Image, Machine, RunState};
 use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
-/// A named toolchain configuration (one bar of the paper's figures).
-#[derive(Debug, Clone)]
-pub struct BuildConfig {
-    /// Short name used in experiment output.
-    pub name: &'static str,
-    /// Run the CCured stage.
-    pub safe: bool,
-    /// Error-message configuration (safe builds).
-    pub error_mode: ErrorMode,
-    /// Run CCured's local check optimizer.
-    pub ccured_optimize: bool,
-    /// Run the source-level inliner before cXprop.
-    pub inline: bool,
-    /// Run the cXprop whole-program optimizer.
-    pub cxprop: bool,
-    /// Use the naive (unported) runtime footprint (§2.3 experiment).
-    pub naive_runtime: bool,
-}
+pub use pipeline::{
+    BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
+    PipelineBuilder, PruneErrmsgPass, PRESET_NAMES,
+};
+pub use spec::{parse_pipeline_list, pipelines_from_env_or, SpecError};
 
-impl BuildConfig {
-    /// The paper's baseline: unsafe, unoptimized (plain nesC + gcc).
-    pub fn unsafe_baseline() -> Self {
-        BuildConfig {
-            name: "unsafe",
-            safe: false,
-            error_mode: ErrorMode::Flid,
-            ccured_optimize: false,
-            inline: false,
-            cxprop: false,
-            naive_runtime: false,
-        }
-    }
-
-    /// Figure 3 bar 7: unsafe, inlined and optimized by cXprop (the
-    /// "new baseline").
-    pub fn unsafe_optimized() -> Self {
-        BuildConfig {
-            name: "unsafe+cxprop",
-            inline: true,
-            cxprop: true,
-            ..Self::unsafe_baseline()
-        }
-    }
-
-    /// Figure 3 bar 1: safe, verbose error messages in SRAM.
-    pub fn safe_verbose_ram() -> Self {
-        BuildConfig {
-            name: "safe-verbose-ram",
-            safe: true,
-            error_mode: ErrorMode::VerboseRam,
-            ccured_optimize: true,
-            inline: false,
-            cxprop: false,
-            naive_runtime: false,
-        }
-    }
-
-    /// Figure 3 bar 2: safe, verbose error messages in ROM.
-    pub fn safe_verbose_rom() -> Self {
-        BuildConfig {
-            name: "safe-verbose-rom",
-            error_mode: ErrorMode::VerboseRom,
-            ..Self::safe_verbose_ram()
-        }
-    }
-
-    /// Figure 3 bar 3: safe, terse error messages.
-    pub fn safe_terse() -> Self {
-        BuildConfig {
-            name: "safe-terse",
-            error_mode: ErrorMode::Terse,
-            ..Self::safe_verbose_ram()
-        }
-    }
-
-    /// Figure 3 bar 4: safe, FLID-compressed error messages.
-    pub fn safe_flid() -> Self {
-        BuildConfig {
-            name: "safe-flid",
-            error_mode: ErrorMode::Flid,
-            ..Self::safe_verbose_ram()
-        }
-    }
-
-    /// Figure 3 bar 5: safe + FLIDs + cXprop (no inliner).
-    pub fn safe_flid_cxprop() -> Self {
-        BuildConfig {
-            name: "safe-flid-cxprop",
-            cxprop: true,
-            ..Self::safe_flid()
-        }
-    }
-
-    /// Figure 3 bar 6: safe + FLIDs + inliner + cXprop (the full stack).
-    pub fn safe_flid_inline_cxprop() -> Self {
-        BuildConfig {
-            name: "safe-flid-inline-cxprop",
-            inline: true,
-            cxprop: true,
-            ..Self::safe_flid()
-        }
-    }
-
-    /// Figure 2 config 1: gcc alone (checks inserted, nothing else).
-    pub fn fig2_gcc_only() -> Self {
-        BuildConfig {
-            name: "gcc",
-            ccured_optimize: false,
-            ..Self::safe_flid()
-        }
-    }
-
-    /// Figure 2 config 2: CCured optimizer + gcc.
-    pub fn fig2_ccured_gcc() -> Self {
-        BuildConfig {
-            name: "ccured+gcc",
-            ..Self::safe_flid()
-        }
-    }
-
-    /// Figure 2 config 3: CCured optimizer + cXprop (no inliner) + gcc.
-    pub fn fig2_ccured_cxprop_gcc() -> Self {
-        BuildConfig {
-            name: "ccured+cxprop+gcc",
-            ..Self::safe_flid_cxprop()
-        }
-    }
-
-    /// Figure 2 config 4: CCured optimizer + inliner + cXprop + gcc.
-    pub fn fig2_full() -> Self {
-        BuildConfig {
-            name: "ccured+inline+cxprop+gcc",
-            ..Self::safe_flid_inline_cxprop()
-        }
-    }
-
-    /// The seven Figure 3 bars, in the paper's order.
-    pub fn fig3_bars() -> Vec<BuildConfig> {
-        vec![
-            Self::safe_verbose_ram(),
-            Self::safe_verbose_rom(),
-            Self::safe_terse(),
-            Self::safe_flid(),
-            Self::safe_flid_cxprop(),
-            Self::safe_flid_inline_cxprop(),
-            Self::unsafe_optimized(),
-        ]
-    }
-
-    /// The four Figure 2 optimizer stacks, in the paper's order.
-    pub fn fig2_stacks() -> Vec<BuildConfig> {
-        vec![
-            Self::fig2_gcc_only(),
-            Self::fig2_ccured_gcc(),
-            Self::fig2_ccured_cxprop_gcc(),
-            Self::fig2_full(),
-        ]
-    }
-}
-
-/// A named pipeline stage, in execution order.
+/// A coarse, fixed-slot rollup of pipeline timing: every [`Pass`] maps
+/// onto one of these five buckets (see [`Pass::stage`]), keeping the
+/// `BENCH_toolchain_speed*.json` schema stable while pipelines grow
+/// arbitrary pass lists (whose exact per-pass times live in
+/// [`PassTimes`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
     /// nesC-lite parse, wiring resolution, and lowering to tcil.
     Frontend,
     /// CCured: pointer-kind inference, check insertion, local optimizer.
     Cure,
-    /// Source-level inliner + cXprop whole-program optimizer.
+    /// Middle-end optimizers: inliner, cXprop, error-message pruning.
     Opt,
     /// The weak GCC-class backend optimizer.
     Backend,
@@ -288,10 +152,13 @@ pub struct Metrics {
     pub cure: Option<CureStats>,
     /// cXprop statistics, if it ran.
     pub cxprop: Option<CxpropStats>,
-    /// Per-stage wall times for this build. The frontend bucket is
-    /// non-zero only on the build that actually ran the frontend — a
+    /// Coarse per-stage wall times for this build. The frontend bucket
+    /// is non-zero only on the build that actually ran the frontend — a
     /// cache hit in a [`BuildSession`] costs (and records) nothing.
     pub stage_times: StageTimes,
+    /// Per-pass wall times, keyed by pass name (dynamic buckets; the
+    /// fine-grained view [`Metrics::stage_times`] rolls up).
+    pub pass_times: PassTimes,
 }
 
 /// A finished build.
@@ -301,7 +168,8 @@ pub struct Build {
     pub image: Image,
     /// Collected metrics.
     pub metrics: Metrics,
-    /// The final IR (for inspection).
+    /// The final middle-end IR (for inspection; the backend prepares and
+    /// links from a copy).
     pub program: Program,
 }
 
@@ -309,7 +177,7 @@ pub struct Build {
 /// cheaply cloned per configuration.
 ///
 /// The lowered program sits behind an [`Arc`]; [`FrontendArtifact::program`]
-/// clones it out for the mutating middle-end stages.
+/// clones it out for the mutating middle-end passes.
 #[derive(Debug, Clone)]
 pub struct FrontendArtifact {
     out: Arc<nesc::CompileOutput>,
@@ -333,19 +201,19 @@ impl FrontendArtifact {
 /// A toolchain session: owns the shared nesC-lite source set, the parsed
 /// frontend, and a per-app [`FrontendArtifact`] cache.
 ///
-/// An evaluation grid builds each app under many configurations; the
+/// An evaluation grid builds each app under many pipelines; the
 /// frontend's work (parse, wiring, lowering) is identical across
-/// configurations, so a session compiles it once per app and hands every
+/// pipelines, so a session compiles it once per app and hands every
 /// build a cheap clone. Sessions are `Sync`: the experiment runner shares
 /// one across worker threads.
 ///
 /// ```
-/// use safe_tinyos::{BuildConfig, BuildSession};
+/// use safe_tinyos::{BuildSession, Pipeline};
 ///
 /// let session = BuildSession::new();
 /// let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
-/// let a = session.build(&spec, &BuildConfig::unsafe_baseline()).unwrap();
-/// let b = session.build(&spec, &BuildConfig::safe_flid()).unwrap();
+/// let a = session.build(&spec, &Pipeline::unsafe_baseline()).unwrap();
+/// let b = session.build(&spec, &Pipeline::safe_flid()).unwrap();
 /// assert_eq!(session.frontend_compiles(), 1); // frontend ran once
 /// assert!(b.metrics.code_bytes > a.metrics.code_bytes);
 /// ```
@@ -380,7 +248,7 @@ impl BuildSession {
 
     /// How many times the frontend actually compiled an app (cache
     /// misses). A grid over N apps costs exactly N, however many
-    /// configurations it spans.
+    /// pipelines it spans.
     pub fn frontend_compiles(&self) -> usize {
         self.frontend_compiles.load(Ordering::Relaxed)
     }
@@ -432,21 +300,25 @@ impl BuildSession {
         Ok((artifact, true))
     }
 
-    /// Builds `spec` under `config`, reusing the cached frontend
+    /// Builds `spec` under `pipeline`, reusing the cached frontend
     /// artifact. The frontend's wall time lands in the metrics of the
     /// one build that compiled it.
     ///
     /// # Errors
     ///
-    /// Propagates compile errors from any stage.
-    pub fn build(&self, spec: &AppSpec, config: &BuildConfig) -> Result<Build, CompileError> {
+    /// Propagates compile errors from any pass.
+    pub fn build(&self, spec: &AppSpec, pipeline: &Pipeline) -> Result<Build, CompileError> {
         let (artifact, fresh) = self.frontend_entry(spec)?;
-        let mut build = build_program(artifact.program(), spec.platform.clone(), config)?;
+        let mut build = pipeline.build(artifact.program(), spec.platform.clone())?;
         if fresh {
             build
                 .metrics
                 .stage_times
                 .record(Stage::Frontend, artifact.elapsed);
+            build
+                .metrics
+                .pass_times
+                .record(Stage::Frontend.name(), artifact.elapsed);
         }
         Ok(build)
     }
@@ -458,86 +330,16 @@ impl Default for BuildSession {
     }
 }
 
-/// Compiles `spec` under `config`, running the frontend from scratch.
-///
-/// One-shot convenience over [`BuildSession::build`]; anything building
-/// the same app more than once should use a session.
-///
-/// # Errors
-///
-/// Propagates compile errors from any stage.
-pub fn build_app(spec: &AppSpec, config: &BuildConfig) -> Result<Build, CompileError> {
-    let start = Instant::now();
-    let out = nesc::compile(&tosapps::source_set(), spec.config)?;
-    let frontend = start.elapsed();
-    let mut build = build_program(out.program, spec.platform.clone(), config)?;
-    build.metrics.stage_times.record(Stage::Frontend, frontend);
-    Ok(build)
-}
-
-/// Compiles an already-lowered program under `config` (used by tests and
-/// by experiments that synthesize programs directly), running the named
-/// middle/back-end stages `cure → inline/cxprop → backend → link` and
-/// recording each stage's wall time in the metrics.
+/// Compiles `spec` under `pipeline` with a throwaway one-shot
+/// [`BuildSession`] (so frontend timing and attribution follow the
+/// session rules). Anything building the same app more than once should
+/// hold a session instead.
 ///
 /// # Errors
 ///
-/// Propagates compile errors from any stage.
-pub fn build_program(
-    mut program: Program,
-    platform: mcu::Profile,
-    config: &BuildConfig,
-) -> Result<Build, CompileError> {
-    let mut metrics = Metrics::default();
-    if config.safe {
-        let start = Instant::now();
-        let opts = CureOptions {
-            error_mode: config.error_mode,
-            local_optimize: config.ccured_optimize,
-            lock_racy_checks: true,
-            naive_runtime: config.naive_runtime,
-        };
-        let stats = cure(&mut program, &opts)?;
-        metrics.checks_inserted = stats.checks_inserted;
-        metrics.locks_inserted = stats.locks_inserted;
-        metrics.cure = Some(stats);
-        metrics.stage_times.record(Stage::Cure, start.elapsed());
-    }
-    if config.cxprop || config.inline {
-        let start = Instant::now();
-        let opts = CxpropOptions {
-            inline: config.inline,
-            // cXprop-off-but-inline-on is used by ablations: run only the
-            // inliner by disabling every other pass.
-            dce: config.cxprop,
-            copyprop: config.cxprop,
-            atomic_opt: config.cxprop,
-            refine_races: config.cxprop,
-            max_rounds: if config.cxprop { 3 } else { 0 },
-            ..CxpropOptions::default()
-        };
-        let stats = cxprop::optimize(&mut program, &opts);
-        metrics.cxprop = Some(stats);
-        // Sweep messages whose checks were removed (Figure 2 methodology:
-        // strings of eliminated checks become unreferenced).
-        ccured::errmsg::prune_unused_messages(&mut program);
-        metrics.stage_times.record(Stage::Opt, start.elapsed());
-    }
-    let start = Instant::now();
-    let prepared = backend::prepare(&program, &BackendOptions { optimize: true });
-    metrics.stage_times.record(Stage::Backend, start.elapsed());
-    let start = Instant::now();
-    let image = backend::link(&prepared, platform)?;
-    metrics.stage_times.record(Stage::Link, start.elapsed());
-    metrics.code_bytes = image.code_bytes();
-    metrics.flash_bytes = image.flash_bytes();
-    metrics.sram_bytes = image.sram_bytes();
-    metrics.checks_surviving = image.surviving_checks();
-    Ok(Build {
-        image,
-        metrics,
-        program,
-    })
+/// Propagates compile errors from any pass.
+pub fn build_app(spec: &AppSpec, pipeline: &Pipeline) -> Result<Build, CompileError> {
+    BuildSession::new().build(spec, pipeline)
 }
 
 /// Result of a duty-cycle simulation.
@@ -613,29 +415,30 @@ mod tests {
     #[test]
     fn blink_runs_unsafe_and_safe() {
         let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
-        for config in [
-            BuildConfig::unsafe_baseline(),
-            BuildConfig::safe_flid_inline_cxprop(),
+        let session = BuildSession::new();
+        for pipeline in [
+            Pipeline::unsafe_baseline(),
+            Pipeline::safe_flid_inline_cxprop(),
         ] {
-            let b = build_app(&spec, &config).unwrap();
+            let b = session.build(&spec, &pipeline).unwrap();
             let r = simulate(&b, &spec, 3);
             assert_eq!(
                 r.state,
                 RunState::Sleeping,
                 "{}: fault {:?}",
-                config.name,
+                pipeline.name(),
                 r.fault
             );
             assert!(
                 r.led_transitions >= 4,
                 "{}: LEDs toggled {}",
-                config.name,
+                pipeline.name(),
                 r.led_transitions
             );
             assert!(
                 r.duty_cycle_percent < 50.0,
                 "{}: duty {}",
-                config.name,
+                pipeline.name(),
                 r.duty_cycle_percent
             );
         }
@@ -643,9 +446,32 @@ mod tests {
 
     #[test]
     fn fig3_bar_order_is_paper_order() {
-        let bars = BuildConfig::fig3_bars();
+        let bars = Pipeline::fig3_bars();
         assert_eq!(bars.len(), 7);
-        assert_eq!(bars[0].name, "safe-verbose-ram");
-        assert_eq!(bars[6].name, "unsafe+cxprop");
+        assert_eq!(bars[0].name(), "safe-verbose-ram");
+        assert_eq!(bars[6].name(), "unsafe+cxprop");
+    }
+
+    #[test]
+    fn every_preset_resolves_and_is_named_consistently() {
+        for name in PRESET_NAMES {
+            let p = Pipeline::preset(name).unwrap_or_else(|| panic!("missing preset {name}"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(Pipeline::preset("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn pass_times_roll_up_into_stages() {
+        let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+        let b = build_app(&spec, &Pipeline::safe_flid_inline_cxprop()).unwrap();
+        let t = &b.metrics.pass_times;
+        for pass in ["cure", "inline", "cxprop", "prune", "backend", "link"] {
+            assert!(t.get(pass) > Duration::ZERO, "pass {pass} untimed");
+        }
+        // Opt rollup = inline + cxprop + prune, to the nanosecond.
+        let opt = t.get("inline") + t.get("cxprop") + t.get("prune");
+        assert_eq!(b.metrics.stage_times.get(Stage::Opt), opt);
+        assert_eq!(t.total(), b.metrics.stage_times.total());
     }
 }

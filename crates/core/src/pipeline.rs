@@ -1,0 +1,716 @@
+//! The composable pass manager: [`Pass`], [`Pipeline`], and the preset
+//! registry.
+//!
+//! The paper's evaluation is a study of *optimizer-stack compositions* —
+//! Figure 2 compares four pass stacks, Figure 3 seven — so the driver's
+//! unit of configuration is an ordered, named list of passes rather than
+//! a closed struct of booleans. Each pass mutates the lowered
+//! [`tcil::Program`] in place and deposits its statistics into a
+//! [`PassCx`]; the pipeline times every pass individually (dynamic
+//! [`PassTimes`] buckets keyed by pass name) and rolls each one up into
+//! the coarse [`Stage`] enum so the `BENCH_toolchain_speed*.json` schema
+//! is unchanged.
+//!
+//! Pipelines come from three places:
+//!
+//! * the preset registry ([`Pipeline::preset`], one preset per bar of the
+//!   paper's figures),
+//! * the fluent [`PipelineBuilder`] (`Pipeline::builder("x").cure()...`),
+//! * the textual spec language of [`crate::spec`]
+//!   (`Pipeline::parse("cure(flid)|inline|cxprop(rounds=3)")`), also
+//!   honored process-wide via the `STOS_PIPELINE` environment variable.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use backend::BackendOptions;
+use ccured::CureOptions;
+use cxprop::{CxpropOptions, InlineOptions};
+use tcil::{CompileError, Program};
+
+use crate::{Build, Metrics, Stage};
+
+/// Mutable context threaded through a pipeline run: the metrics being
+/// collected, the target platform, and the backend's prepared program
+/// (set by the `backend` pass, consumed by the final link).
+pub struct PassCx {
+    platform: mcu::Profile,
+    /// Metrics accumulated so far; passes deposit their statistics here.
+    pub metrics: Metrics,
+    prepared: Option<Program>,
+    /// The most recent backend pass's options. Unlike the prepared
+    /// program itself, these survive invalidation: if later passes force
+    /// a re-prepare at link time, it honors what the spec asked for.
+    backend_options: Option<BackendOptions>,
+}
+
+impl PassCx {
+    /// The platform the pipeline is building for.
+    pub fn platform(&self) -> &mcu::Profile {
+        &self.platform
+    }
+
+    /// Stores the backend-prepared program for the final link. Any later
+    /// pass invalidates it (the pipeline discards the stale preparation
+    /// and re-prepares at link time, reusing the most recent backend
+    /// pass's options).
+    pub fn set_prepared(&mut self, prepared: Program) {
+        self.prepared = Some(prepared);
+    }
+}
+
+/// One stage of a [`Pipeline`]: a named, individually timed transform of
+/// the lowered program.
+///
+/// Implementations must be `Send + Sync` (pipelines are shared across
+/// experiment-runner worker threads) and are held behind an [`Arc`], so
+/// a pass carries its options but no per-run state — per-run results go
+/// through the [`PassCx`].
+pub trait Pass: Send + Sync {
+    /// The pass's name: its spec-language keyword and its bucket in
+    /// [`PassTimes`].
+    fn name(&self) -> &str;
+
+    /// The coarse [`Stage`] this pass's wall time rolls up into.
+    fn stage(&self) -> Stage;
+
+    /// The pass's canonical spec-language rendering, including any
+    /// non-default options (e.g. `cxprop(domain=constants,rounds=1)`).
+    fn spec(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Transforms `program` in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the pass's compile errors.
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError>;
+}
+
+/// Per-pass wall times: dynamic buckets keyed by pass name, in first-run
+/// order. The dynamic generalization of [`crate::StageTimes`] — a
+/// pipeline can contain any number of passes, including the same pass
+/// twice (times accumulate into one bucket).
+#[derive(Debug, Clone, Default)]
+pub struct PassTimes {
+    entries: Vec<(String, Duration)>,
+}
+
+impl PassTimes {
+    /// Adds `elapsed` to `pass`'s bucket, creating it on first use.
+    pub fn record(&mut self, pass: &str, elapsed: Duration) {
+        match self.entries.iter_mut().find(|(name, _)| name == pass) {
+            Some((_, t)) => *t += elapsed,
+            None => self.entries.push((pass.to_string(), elapsed)),
+        }
+    }
+
+    /// Accumulated time in `pass` (zero if it never ran).
+    pub fn get(&self, pass: &str) -> Duration {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == pass)
+            .map(|(_, t)| *t)
+            .unwrap_or_default()
+    }
+
+    /// Sum over all passes.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, t)| *t).sum()
+    }
+
+    /// Accumulates another set of pass times into this one.
+    pub fn add(&mut self, other: &PassTimes) {
+        for (name, t) in &other.entries {
+            self.record(name, *t);
+        }
+    }
+
+    /// Iterates `(pass name, accumulated time)` in first-run order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> + '_ {
+        self.entries.iter().map(|(name, t)| (name.as_str(), *t))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The built-in passes.
+// ---------------------------------------------------------------------
+
+/// The CCured stage: pointer-kind inference, check insertion, error
+/// messages, and (optionally) the local check optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct CurePass {
+    /// Options forwarded to [`ccured::cure`].
+    pub options: CureOptions,
+}
+
+impl Pass for CurePass {
+    fn name(&self) -> &str {
+        "cure"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Cure
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_cure(&self.options)
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        let mut stats = ccured::cure(program, &self.options)?;
+        if let Some(prior) = cx.metrics.cure.take() {
+            // Accumulate counters across repeated cure passes (each run
+            // really does insert its own checks); the pointer-kind and
+            // runtime censuses are point-in-time, so latest wins.
+            stats.checks_inserted += prior.checks_inserted;
+            stats.checks_removed_locally += prior.checks_removed_locally;
+            stats.locks_inserted += prior.locks_inserted;
+            stats.message_bytes.0 += prior.message_bytes.0;
+            stats.message_bytes.1 += prior.message_bytes.1;
+        }
+        cx.metrics.checks_inserted = stats.checks_inserted;
+        cx.metrics.locks_inserted = stats.locks_inserted;
+        cx.metrics.cure = Some(stats);
+        Ok(())
+    }
+}
+
+/// The standalone source-level inliner (runs [`cxprop::inline`] outside
+/// the cXprop fixpoint; the composite `cxprop(inline)` runs it inside,
+/// after race refinement, as the paper's tool did).
+#[derive(Debug, Clone, Default)]
+pub struct InlinePass {
+    /// Inliner thresholds.
+    pub options: InlineOptions,
+}
+
+impl Pass for InlinePass {
+    fn name(&self) -> &str {
+        "inline"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Opt
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_inline(&self.options)
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        let inlined = cxprop::inline::run(program, &self.options);
+        cx.metrics
+            .cxprop
+            .get_or_insert_with(Default::default)
+            .inlined += inlined;
+        Ok(())
+    }
+}
+
+/// The cXprop whole-program optimizer. Inlined-call-site counts from an
+/// earlier [`InlinePass`] are folded into this pass's statistics so
+/// `Metrics::cxprop` reports the stack's total either way.
+#[derive(Debug, Clone)]
+pub struct CxpropPass {
+    /// Options forwarded to [`cxprop::optimize`].
+    pub options: CxpropOptions,
+}
+
+impl Default for CxpropPass {
+    /// Unlike [`CxpropOptions::default`], the standalone pass defaults to
+    /// *not* inlining — `inline` is its own pass in the spec language.
+    fn default() -> Self {
+        CxpropPass {
+            options: CxpropOptions {
+                inline: false,
+                ..CxpropOptions::default()
+            },
+        }
+    }
+}
+
+impl Pass for CxpropPass {
+    fn name(&self) -> &str {
+        "cxprop"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Opt
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_cxprop(&self.options)
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        let mut stats = cxprop::optimize(program, &self.options);
+        if let Some(prior) = cx.metrics.cxprop.take() {
+            // Accumulate across repeated cxprop/inline passes so the
+            // metrics report what the whole stack did, not just the last
+            // run. The race report is point-in-time, so latest wins.
+            stats.inlined += prior.inlined;
+            stats.engine.checks_removed += prior.engine.checks_removed;
+            stats.engine.branches_folded += prior.engine.branches_folded;
+            stats.engine.consts_folded += prior.engine.consts_folded;
+            stats.copies_propagated += prior.copies_propagated;
+            stats.dce.functions_removed += prior.dce.functions_removed;
+            stats.dce.globals_removed += prior.dce.globals_removed;
+            stats.dce.stores_removed += prior.dce.stores_removed;
+            stats.atomics.removed += prior.atomics.removed;
+            stats.atomics.demoted += prior.atomics.demoted;
+        }
+        cx.metrics.cxprop = Some(stats);
+        Ok(())
+    }
+}
+
+/// Sweeps error-message globals whose checks were optimized away
+/// (Figure 2 methodology: strings of eliminated checks become
+/// unreferenced and must not be charged to the image).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PruneErrmsgPass;
+
+impl Pass for PruneErrmsgPass {
+    fn name(&self) -> &str {
+        "prune"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Opt
+    }
+
+    fn run(&self, program: &mut Program, _cx: &mut PassCx) -> Result<(), CompileError> {
+        ccured::errmsg::prune_unused_messages(program);
+        Ok(())
+    }
+}
+
+/// The backend-prepare stage: the weak GCC-class optimizer over a copy of
+/// the program, staged for the final link. If other passes run after it,
+/// the pipeline re-prepares at link time with this pass's options; a
+/// pipeline with no backend pass at all prepares with the defaults.
+#[derive(Debug, Clone, Default)]
+pub struct BackendPass {
+    /// Options forwarded to [`backend::prepare`].
+    pub options: BackendOptions,
+}
+
+impl Pass for BackendPass {
+    fn name(&self) -> &str {
+        "backend"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Backend
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_backend(&self.options)
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        cx.backend_options = Some(self.options.clone());
+        cx.set_prepared(backend::prepare(program, &self.options));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline.
+// ---------------------------------------------------------------------
+
+/// An ordered, named list of passes — one optimizer-stack composition.
+///
+/// The name is an owned `String` so generated sweep configurations are
+/// nameable, not just the static presets. `Display` renders the
+/// canonical spec string, which [`Pipeline::parse`] round-trips.
+///
+/// ```
+/// use safe_tinyos::Pipeline;
+///
+/// let p = Pipeline::parse("cure(flid) | inline | cxprop(rounds=3)").unwrap();
+/// assert_eq!(p.to_string(), "cure(flid)|inline|cxprop");
+/// assert_eq!(Pipeline::parse(&p.to_string()).unwrap().to_string(), p.to_string());
+/// ```
+#[derive(Clone)]
+pub struct Pipeline {
+    name: String,
+    passes: Vec<Arc<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// Starts a fluent builder for a pipeline called `name`.
+    pub fn builder(name: impl Into<String>) -> PipelineBuilder {
+        PipelineBuilder {
+            name: name.into(),
+            passes: Vec::new(),
+        }
+    }
+
+    /// Parses a pipeline-spec string (see [`crate::spec`] for the
+    /// grammar). The pipeline's name is the canonical spec rendering.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty specs, unknown passes, and unknown or malformed
+    /// options.
+    pub fn parse(spec: &str) -> Result<Pipeline, crate::spec::SpecError> {
+        crate::spec::parse(spec)
+    }
+
+    /// The pipeline's display name (experiment-output label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The same pipeline under a different name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Pipeline {
+        self.name = name.into();
+        self
+    }
+
+    /// The passes, in execution order.
+    pub fn passes(&self) -> &[Arc<dyn Pass>] {
+        &self.passes
+    }
+
+    /// The canonical spec string (what `Display` renders).
+    pub fn spec(&self) -> String {
+        self.passes
+            .iter()
+            .map(|p| p.spec())
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// Runs the pipeline over an already-lowered program: every pass in
+    /// order (each individually timed), then the final link. If no
+    /// backend pass prepared the program — or passes ran after it did —
+    /// the backend re-runs at link time with the most recent backend
+    /// pass's options (defaults if there was none), so every composition
+    /// yields a linkable image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors from any pass or from the link.
+    pub fn build(
+        &self,
+        mut program: Program,
+        platform: mcu::Profile,
+    ) -> Result<Build, CompileError> {
+        let mut cx = PassCx {
+            platform,
+            metrics: Metrics::default(),
+            prepared: None,
+            backend_options: None,
+        };
+        for pass in &self.passes {
+            // A later pass invalidates any staged preparation: the
+            // backend's output is only reusable when nothing ran after
+            // it, whatever order a generated sweep put the passes in.
+            cx.prepared = None;
+            let start = Instant::now();
+            pass.run(&mut program, &mut cx)?;
+            let elapsed = start.elapsed();
+            cx.metrics.stage_times.record(pass.stage(), elapsed);
+            cx.metrics.pass_times.record(pass.name(), elapsed);
+        }
+        let prepared = match cx.prepared.take() {
+            Some(prepared) => prepared,
+            None => {
+                // No usable preparation staged: re-prepare with the most
+                // recent backend pass's options (default if none ran).
+                // An invalidated prepare's time stays on the books — the
+                // work really happened — so a backend-mid-pipeline stack
+                // honestly shows two prepares in its timing.
+                let options = cx.backend_options.take().unwrap_or_default();
+                let start = Instant::now();
+                let prepared = backend::prepare(&program, &options);
+                let elapsed = start.elapsed();
+                cx.metrics.stage_times.record(Stage::Backend, elapsed);
+                cx.metrics.pass_times.record("backend", elapsed);
+                prepared
+            }
+        };
+        let start = Instant::now();
+        let image = backend::link(&prepared, cx.platform)?;
+        let elapsed = start.elapsed();
+        let mut metrics = cx.metrics;
+        metrics.stage_times.record(Stage::Link, elapsed);
+        metrics.pass_times.record("link", elapsed);
+        metrics.code_bytes = image.code_bytes();
+        metrics.flash_bytes = image.flash_bytes();
+        metrics.sram_bytes = image.sram_bytes();
+        metrics.checks_surviving = image.surviving_checks();
+        Ok(Build {
+            image,
+            metrics,
+            program,
+        })
+    }
+}
+
+impl Pipeline {
+    pub(crate) fn from_parts(name: String, passes: Vec<Arc<dyn Pass>>) -> Pipeline {
+        Pipeline { name, passes }
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("name", &self.name)
+            .field("spec", &self.spec())
+            .finish()
+    }
+}
+
+/// Fluent construction of a [`Pipeline`]: chain pass methods in
+/// execution order, then [`PipelineBuilder::build`].
+///
+/// ```
+/// use safe_tinyos::Pipeline;
+///
+/// let p = Pipeline::builder("my-stack").cure().inline().cxprop().prune().build();
+/// assert_eq!(p.to_string(), "cure(flid)|inline|cxprop|prune");
+/// ```
+pub struct PipelineBuilder {
+    name: String,
+    passes: Vec<Arc<dyn Pass>>,
+}
+
+impl PipelineBuilder {
+    /// Appends an arbitrary (possibly user-defined) pass.
+    pub fn pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Arc::new(pass));
+        self
+    }
+
+    /// Appends the CCured pass with default options (FLIDs, local
+    /// optimizer on).
+    pub fn cure(self) -> Self {
+        self.pass(CurePass::default())
+    }
+
+    /// Appends the CCured pass with explicit options.
+    pub fn cure_with(self, options: CureOptions) -> Self {
+        self.pass(CurePass { options })
+    }
+
+    /// Appends the standalone inliner with default thresholds.
+    pub fn inline(self) -> Self {
+        self.pass(InlinePass::default())
+    }
+
+    /// Appends the standalone inliner with explicit thresholds.
+    pub fn inline_with(self, options: InlineOptions) -> Self {
+        self.pass(InlinePass { options })
+    }
+
+    /// Appends cXprop with the standalone-pass defaults (no inlining).
+    pub fn cxprop(self) -> Self {
+        self.pass(CxpropPass::default())
+    }
+
+    /// Appends cXprop with explicit options (set `inline: true` to run
+    /// the inliner inside the fixpoint, as the paper's composite did).
+    pub fn cxprop_with(self, options: CxpropOptions) -> Self {
+        self.pass(CxpropPass { options })
+    }
+
+    /// Appends the error-message pruner.
+    pub fn prune(self) -> Self {
+        self.pass(PruneErrmsgPass)
+    }
+
+    /// Appends the backend-prepare pass (weak optimizer on).
+    pub fn backend(self) -> Self {
+        self.pass(BackendPass::default())
+    }
+
+    /// Appends the backend-prepare pass with explicit options.
+    pub fn backend_with(self, options: BackendOptions) -> Self {
+        self.pass(BackendPass { options })
+    }
+
+    /// Finishes the pipeline.
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            name: self.name,
+            passes: self.passes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Presets: one pipeline per bar of the paper's figures.
+// ---------------------------------------------------------------------
+
+/// Every preset name, in registry order (Figure 3's seven bars, the
+/// unsafe baseline, then Figure 2's four stacks).
+pub const PRESET_NAMES: [&str; 12] = [
+    "unsafe",
+    "unsafe+cxprop",
+    "safe-verbose-ram",
+    "safe-verbose-rom",
+    "safe-terse",
+    "safe-flid",
+    "safe-flid-cxprop",
+    "safe-flid-inline-cxprop",
+    "gcc",
+    "ccured+gcc",
+    "ccured+cxprop+gcc",
+    "ccured+inline+cxprop+gcc",
+];
+
+impl Pipeline {
+    /// Looks up a preset pipeline by name (see [`PRESET_NAMES`]).
+    pub fn preset(name: &str) -> Option<Pipeline> {
+        Some(match name {
+            "unsafe" => Self::unsafe_baseline(),
+            "unsafe+cxprop" => Self::unsafe_optimized(),
+            "safe-verbose-ram" => Self::safe_verbose_ram(),
+            "safe-verbose-rom" => Self::safe_verbose_rom(),
+            "safe-terse" => Self::safe_terse(),
+            "safe-flid" => Self::safe_flid(),
+            "safe-flid-cxprop" => Self::safe_flid_cxprop(),
+            "safe-flid-inline-cxprop" => Self::safe_flid_inline_cxprop(),
+            "gcc" => Self::fig2_gcc_only(),
+            "ccured+gcc" => Self::fig2_ccured_gcc(),
+            "ccured+cxprop+gcc" => Self::fig2_ccured_cxprop_gcc(),
+            "ccured+inline+cxprop+gcc" => Self::fig2_full(),
+            _ => return None,
+        })
+    }
+
+    /// The paper's baseline: unsafe, unoptimized (plain nesC + gcc —
+    /// just the backend).
+    pub fn unsafe_baseline() -> Pipeline {
+        Self::builder("unsafe").backend().build()
+    }
+
+    /// Figure 3 bar 7: unsafe, inlined and optimized by cXprop (the
+    /// "new baseline").
+    pub fn unsafe_optimized() -> Pipeline {
+        Self::builder("unsafe+cxprop")
+            .inline()
+            .cxprop()
+            .prune()
+            .build()
+    }
+
+    fn safe_with(name: &str, error_mode: ccured::ErrorMode) -> Pipeline {
+        Self::builder(name)
+            .cure_with(CureOptions {
+                error_mode,
+                ..CureOptions::default()
+            })
+            .build()
+    }
+
+    /// Figure 3 bar 1: safe, verbose error messages in SRAM.
+    pub fn safe_verbose_ram() -> Pipeline {
+        Self::safe_with("safe-verbose-ram", ccured::ErrorMode::VerboseRam)
+    }
+
+    /// Figure 3 bar 2: safe, verbose error messages in ROM.
+    pub fn safe_verbose_rom() -> Pipeline {
+        Self::safe_with("safe-verbose-rom", ccured::ErrorMode::VerboseRom)
+    }
+
+    /// Figure 3 bar 3: safe, terse error messages.
+    pub fn safe_terse() -> Pipeline {
+        Self::safe_with("safe-terse", ccured::ErrorMode::Terse)
+    }
+
+    /// Figure 3 bar 4: safe, FLID-compressed error messages.
+    pub fn safe_flid() -> Pipeline {
+        Self::safe_with("safe-flid", ccured::ErrorMode::Flid)
+    }
+
+    /// Figure 3 bar 5: safe + FLIDs + cXprop (no inliner).
+    pub fn safe_flid_cxprop() -> Pipeline {
+        Self::builder("safe-flid-cxprop")
+            .cure()
+            .cxprop()
+            .prune()
+            .build()
+    }
+
+    /// Figure 3 bar 6: safe + FLIDs + inliner + cXprop (the full stack).
+    pub fn safe_flid_inline_cxprop() -> Pipeline {
+        Self::builder("safe-flid-inline-cxprop")
+            .cure()
+            .inline()
+            .cxprop()
+            .prune()
+            .build()
+    }
+
+    /// Figure 2 config 1: gcc alone (checks inserted, nothing else —
+    /// CCured's local optimizer off).
+    pub fn fig2_gcc_only() -> Pipeline {
+        Self::builder("gcc")
+            .cure_with(CureOptions {
+                local_optimize: false,
+                ..CureOptions::default()
+            })
+            .build()
+    }
+
+    /// Figure 2 config 2: CCured optimizer + gcc.
+    pub fn fig2_ccured_gcc() -> Pipeline {
+        Self::builder("ccured+gcc").cure().build()
+    }
+
+    /// Figure 2 config 3: CCured optimizer + cXprop (no inliner) + gcc.
+    pub fn fig2_ccured_cxprop_gcc() -> Pipeline {
+        Self::builder("ccured+cxprop+gcc")
+            .cure()
+            .cxprop()
+            .prune()
+            .build()
+    }
+
+    /// Figure 2 config 4: CCured optimizer + inliner + cXprop + gcc.
+    pub fn fig2_full() -> Pipeline {
+        Self::builder("ccured+inline+cxprop+gcc")
+            .cure()
+            .inline()
+            .cxprop()
+            .prune()
+            .build()
+    }
+
+    /// The seven Figure 3 bars, in the paper's order.
+    pub fn fig3_bars() -> Vec<Pipeline> {
+        vec![
+            Self::safe_verbose_ram(),
+            Self::safe_verbose_rom(),
+            Self::safe_terse(),
+            Self::safe_flid(),
+            Self::safe_flid_cxprop(),
+            Self::safe_flid_inline_cxprop(),
+            Self::unsafe_optimized(),
+        ]
+    }
+
+    /// The four Figure 2 optimizer stacks, in the paper's order.
+    pub fn fig2_stacks() -> Vec<Pipeline> {
+        vec![
+            Self::fig2_gcc_only(),
+            Self::fig2_ccured_gcc(),
+            Self::fig2_ccured_cxprop_gcc(),
+            Self::fig2_full(),
+        ]
+    }
+}

@@ -1,0 +1,372 @@
+//! The pipeline-spec language: a textual notation for optimizer-stack
+//! compositions, parsed into a [`Pipeline`] and round-tripped by its
+//! `Display`.
+//!
+//! # Grammar
+//!
+//! ```text
+//! pipeline := pass ( "|" pass )*
+//! pass     := name [ "(" opt ( "," opt )* ")" ]
+//! opt      := flag | key "=" value
+//! ```
+//!
+//! Whitespace around tokens is ignored. The passes and their options:
+//!
+//! | Pass | Options |
+//! |------|---------|
+//! | `cure` | mode `flid` / `terse` / `verbose-ram` / `verbose-rom`; flags `opt`/`noopt` (local check optimizer), `lock`/`nolock` (racy-check locking), `naive` (§2.3 naive runtime) |
+//! | `inline` | `max-size=N`, `single-site=N`, `rounds=N` |
+//! | `cxprop` | flag `inline` (run the inliner inside the fixpoint, after race refinement — the paper's composite); `domain=constants`/`intervals`; `rounds=N`; flags `dce`/`nodce`, `copyprop`/`nocopyprop`, `atomic`/`noatomic`, `refine`/`norefine` |
+//! | `prune` | (none) |
+//! | `backend` | `opt`/`noopt` (weak GCC-class optimizer) |
+//!
+//! Examples: `cure(flid)|inline|cxprop(rounds=3)`,
+//! `cure(terse,noopt)|cxprop(domain=constants)|prune`, `backend(noopt)`.
+//!
+//! A pipeline parsed from a spec is *named* by its canonical rendering
+//! (an owned `String`, so sweep-generated stacks label experiment output
+//! correctly); prefix `name:` inside `STOS_PIPELINE` entries to label it
+//! explicitly.
+//!
+//! # `STOS_PIPELINE`
+//!
+//! The environment variable holds a `;`-separated list of entries, each
+//! one of
+//!
+//! * a preset name (`safe-flid-inline-cxprop`, see
+//!   [`crate::pipeline::PRESET_NAMES`]),
+//! * a spec string (`cure(flid)|cxprop`),
+//! * `name:spec` to parse a spec but keep an explicit label
+//!   (`gcc:cure(flid,noopt)`).
+//!
+//! Harnesses that honor it (fig2, fig3a/b/c, `pipeline_matrix`) replace
+//! their default stack list with the parsed one.
+
+use std::fmt;
+use std::sync::Arc;
+
+use backend::BackendOptions;
+use ccured::{CureOptions, ErrorMode};
+use cxprop::{CxpropOptions, DomainKind, InlineOptions};
+
+use crate::pipeline::{
+    BackendPass, CurePass, CxpropPass, InlinePass, Pass, Pipeline, PruneErrmsgPass,
+};
+
+/// A pipeline-spec parse error, with the offending fragment named.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> SpecError {
+        SpecError(msg.into())
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The spec-language pass keywords, for error messages.
+pub const PASS_NAMES: [&str; 5] = ["cure", "inline", "cxprop", "prune", "backend"];
+
+/// Parses a spec string into a [`Pipeline`] named by its canonical
+/// rendering.
+///
+/// # Errors
+///
+/// Rejects empty specs, unknown passes, and unknown or malformed
+/// options.
+pub fn parse(spec: &str) -> Result<Pipeline, SpecError> {
+    let trimmed = spec.trim();
+    if trimmed.is_empty() {
+        return Err(SpecError::new(
+            "empty spec (for a bare-backend build, use \"backend\")",
+        ));
+    }
+    let mut passes: Vec<Arc<dyn Pass>> = Vec::new();
+    for segment in trimmed.split('|') {
+        passes.push(parse_pass(segment.trim())?);
+    }
+    let name = passes
+        .iter()
+        .map(|p| p.spec())
+        .collect::<Vec<_>>()
+        .join("|");
+    Ok(Pipeline::from_parts(name, passes))
+}
+
+/// Splits one segment into `(name, options)`.
+fn split_segment(segment: &str) -> Result<(&str, Vec<&str>), SpecError> {
+    if segment.is_empty() {
+        return Err(SpecError::new("empty pass segment"));
+    }
+    let Some(open) = segment.find('(') else {
+        return Ok((segment, Vec::new()));
+    };
+    let rest = &segment[open + 1..];
+    let Some(close) = rest.rfind(')') else {
+        return Err(SpecError::new(format!("`{segment}`: missing `)`")));
+    };
+    if !rest[close + 1..].trim().is_empty() {
+        return Err(SpecError::new(format!(
+            "`{segment}`: trailing input after `)`"
+        )));
+    }
+    let name = segment[..open].trim();
+    let opts = rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|o| !o.is_empty())
+        .collect();
+    Ok((name, opts))
+}
+
+/// Parses `key=value`'s value as a count.
+fn parse_count(pass: &str, opt: &str) -> Result<usize, SpecError> {
+    let (key, value) = opt.split_once('=').expect("caller checked");
+    value
+        .trim()
+        .parse()
+        .map_err(|_| SpecError::new(format!("{pass}: `{}` needs a number, got `{value}`", key)))
+}
+
+fn unknown_option(pass: &str, opt: &str, known: &str) -> SpecError {
+    SpecError::new(format!("{pass}: unknown option `{opt}` (known: {known})"))
+}
+
+fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
+    let (name, opts) = split_segment(segment)?;
+    match name {
+        "cure" => {
+            let mut options = CureOptions::default();
+            for opt in opts {
+                match opt {
+                    "flid" => options.error_mode = ErrorMode::Flid,
+                    "terse" => options.error_mode = ErrorMode::Terse,
+                    "verbose-ram" => options.error_mode = ErrorMode::VerboseRam,
+                    "verbose-rom" => options.error_mode = ErrorMode::VerboseRom,
+                    "opt" => options.local_optimize = true,
+                    "noopt" => options.local_optimize = false,
+                    "lock" => options.lock_racy_checks = true,
+                    "nolock" => options.lock_racy_checks = false,
+                    "naive" => options.naive_runtime = true,
+                    _ => return Err(unknown_option(
+                        "cure",
+                        opt,
+                        "flid, terse, verbose-ram, verbose-rom, opt, noopt, lock, nolock, naive",
+                    )),
+                }
+            }
+            Ok(Arc::new(CurePass { options }))
+        }
+        "inline" => {
+            let mut options = InlineOptions::default();
+            for opt in opts {
+                if opt.starts_with("max-size=") {
+                    options.max_size = parse_count("inline", opt)?;
+                } else if opt.starts_with("single-site=") {
+                    options.max_single_site = parse_count("inline", opt)?;
+                } else if opt.starts_with("rounds=") {
+                    options.rounds = parse_count("inline", opt)?;
+                } else {
+                    return Err(unknown_option(
+                        "inline",
+                        opt,
+                        "max-size=N, single-site=N, rounds=N",
+                    ));
+                }
+            }
+            Ok(Arc::new(InlinePass { options }))
+        }
+        "cxprop" => {
+            let mut options = CxpropPass::default().options;
+            for opt in opts {
+                match opt {
+                    "inline" => options.inline = true,
+                    "dce" => options.dce = true,
+                    "nodce" => options.dce = false,
+                    "copyprop" => options.copyprop = true,
+                    "nocopyprop" => options.copyprop = false,
+                    "atomic" => options.atomic_opt = true,
+                    "noatomic" => options.atomic_opt = false,
+                    "refine" => options.refine_races = true,
+                    "norefine" => options.refine_races = false,
+                    "domain=constants" => options.domain = DomainKind::Constants,
+                    "domain=intervals" => options.domain = DomainKind::Intervals,
+                    _ if opt.starts_with("rounds=") => {
+                        options.max_rounds = parse_count("cxprop", opt)?;
+                    }
+                    _ => {
+                        return Err(unknown_option(
+                            "cxprop",
+                            opt,
+                            "inline, domain=constants|intervals, rounds=N, dce, nodce, \
+                             copyprop, nocopyprop, atomic, noatomic, refine, norefine",
+                        ))
+                    }
+                }
+            }
+            Ok(Arc::new(CxpropPass { options }))
+        }
+        "prune" => {
+            if let Some(opt) = opts.first() {
+                return Err(SpecError::new(format!(
+                    "prune: takes no options, got `{opt}`"
+                )));
+            }
+            Ok(Arc::new(PruneErrmsgPass))
+        }
+        "backend" => {
+            let mut options = BackendOptions::default();
+            for opt in opts {
+                match opt {
+                    "opt" => options.optimize = true,
+                    "noopt" => options.optimize = false,
+                    _ => return Err(unknown_option("backend", opt, "opt, noopt")),
+                }
+            }
+            Ok(Arc::new(BackendPass { options }))
+        }
+        _ => Err(SpecError::new(format!(
+            "unknown pass `{name}` (known: {})",
+            PASS_NAMES.join(", ")
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical renderings (each pass's `Pass::spec`). Only non-default
+// options are shown, in a fixed order, so parse → Display → parse is
+// stable after one canonicalization.
+// ---------------------------------------------------------------------
+
+pub(crate) fn render_cure(options: &CureOptions) -> String {
+    // The error mode is always rendered: it is the pass's headline
+    // configuration (Figure 3 bars 1–4).
+    let mut opts = vec![match options.error_mode {
+        ErrorMode::Flid => "flid",
+        ErrorMode::Terse => "terse",
+        ErrorMode::VerboseRam => "verbose-ram",
+        ErrorMode::VerboseRom => "verbose-rom",
+    }
+    .to_string()];
+    if !options.local_optimize {
+        opts.push("noopt".into());
+    }
+    if !options.lock_racy_checks {
+        opts.push("nolock".into());
+    }
+    if options.naive_runtime {
+        opts.push("naive".into());
+    }
+    format!("cure({})", opts.join(","))
+}
+
+pub(crate) fn render_inline(options: &InlineOptions) -> String {
+    let default = InlineOptions::default();
+    let mut opts = Vec::new();
+    if options.max_size != default.max_size {
+        opts.push(format!("max-size={}", options.max_size));
+    }
+    if options.max_single_site != default.max_single_site {
+        opts.push(format!("single-site={}", options.max_single_site));
+    }
+    if options.rounds != default.rounds {
+        opts.push(format!("rounds={}", options.rounds));
+    }
+    render("inline", opts)
+}
+
+pub(crate) fn render_cxprop(options: &CxpropOptions) -> String {
+    let default = CxpropPass::default().options;
+    let mut opts = Vec::new();
+    if options.inline {
+        opts.push("inline".to_string());
+    }
+    if options.domain != default.domain {
+        opts.push(match options.domain {
+            DomainKind::Constants => "domain=constants".to_string(),
+            DomainKind::Intervals => "domain=intervals".to_string(),
+        });
+    }
+    if options.max_rounds != default.max_rounds {
+        opts.push(format!("rounds={}", options.max_rounds));
+    }
+    if !options.dce {
+        opts.push("nodce".into());
+    }
+    if !options.copyprop {
+        opts.push("nocopyprop".into());
+    }
+    if !options.atomic_opt {
+        opts.push("noatomic".into());
+    }
+    if !options.refine_races {
+        opts.push("norefine".into());
+    }
+    render("cxprop", opts)
+}
+
+pub(crate) fn render_backend(options: &BackendOptions) -> String {
+    let opts = if options.optimize {
+        Vec::new()
+    } else {
+        vec!["noopt".to_string()]
+    };
+    render("backend", opts)
+}
+
+fn render(name: &str, opts: Vec<String>) -> String {
+    if opts.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}({})", opts.join(","))
+    }
+}
+
+// ---------------------------------------------------------------------
+// STOS_PIPELINE.
+// ---------------------------------------------------------------------
+
+/// Parses a `;`-separated pipeline list (the `STOS_PIPELINE` format):
+/// each entry a preset name, a spec string, or `name:spec`.
+///
+/// # Errors
+///
+/// Propagates the first entry's parse error; an empty list is an error.
+pub fn parse_pipeline_list(list: &str) -> Result<Vec<Pipeline>, SpecError> {
+    let mut pipelines = Vec::new();
+    for entry in list.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        if let Some((name, spec)) = entry.split_once(':') {
+            // The labeled form relabels a preset or a parsed spec alike.
+            let pipeline = match Pipeline::preset(spec.trim()) {
+                Some(preset) => preset,
+                None => parse(spec)?,
+            };
+            pipelines.push(pipeline.with_name(name.trim()));
+        } else if let Some(preset) = Pipeline::preset(entry) {
+            pipelines.push(preset);
+        } else {
+            pipelines.push(parse(entry)?);
+        }
+    }
+    if pipelines.is_empty() {
+        return Err(SpecError::new("empty pipeline list"));
+    }
+    Ok(pipelines)
+}
+
+/// The stack list a harness should run: `STOS_PIPELINE` if set (panicking
+/// loudly on a malformed value — harnesses want loud failures), otherwise
+/// `default()`.
+pub fn pipelines_from_env_or(default: impl FnOnce() -> Vec<Pipeline>) -> Vec<Pipeline> {
+    match std::env::var("STOS_PIPELINE") {
+        Ok(list) => parse_pipeline_list(&list).unwrap_or_else(|e| panic!("STOS_PIPELINE: {e}")),
+        Err(_) => default(),
+    }
+}

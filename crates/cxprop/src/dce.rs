@@ -168,11 +168,11 @@ fn remove_dead_stores(program: &mut Program) -> usize {
                     *s = Stmt::Nop;
                     removed += 1;
                 }
-                Stmt::Call { dst, .. } | Stmt::BuiltinCall { dst, .. } => {
-                    if dst.as_ref().map(&dead_dst).unwrap_or(false) {
-                        *dst = None; // keep the call, drop the dead result
-                        removed += 1;
-                    }
+                Stmt::Call { dst, .. } | Stmt::BuiltinCall { dst, .. }
+                    if dst.as_ref().map(&dead_dst).unwrap_or(false) =>
+                {
+                    *dst = None; // keep the call, drop the dead result
+                    removed += 1;
                 }
                 _ => {}
             }

@@ -106,8 +106,8 @@ pub fn summarize(program: &Program) -> Summaries {
     // Transitive closure of writes / indirect writes.
     loop {
         let mut changed = false;
-        for fi in 0..nf {
-            for &c in &callees[fi] {
+        for (fi, fi_callees) in callees.iter().enumerate() {
+            for &c in fi_callees {
                 let c = c as usize;
                 if s.indirect_writes[c] && !s.indirect_writes[fi] {
                     s.indirect_writes[fi] = true;
@@ -877,32 +877,28 @@ impl Walker<'_> {
                     AVal::Int(i) => i,
                     _ => return,
                 };
-                if let Some((target, cur)) = self.refinable_load(a, env) {
-                    if let AVal::Int(ia) = cur {
-                        let refined = ia.refine(*op, vb, taken);
-                        self.set_refined(target, AVal::Int(refined), env);
-                    }
+                if let Some((target, AVal::Int(ia))) = self.refinable_load(a, env) {
+                    let refined = ia.refine(*op, vb, taken);
+                    self.set_refined(target, AVal::Int(refined), env);
                 }
                 // Symmetric case: const op load — flip the comparison.
                 let va = match self.eval(a, env) {
                     AVal::Int(i) => i,
                     _ => return,
                 };
-                if let Some((target, cur)) = self.refinable_load(b, env) {
-                    if let AVal::Int(ib) = cur {
-                        let flipped = match op {
-                            BinOp::Lt => BinOp::Le, // a < b  ≡  b >= a+1... approximate with >=
-                            BinOp::Le => BinOp::Lt,
-                            o => *o,
-                        };
-                        // a OP b refines b via the flipped relation with
-                        // inverted taken-ness for orderings.
-                        let refined = match op {
-                            BinOp::Eq | BinOp::Ne => ib.refine(*op, va, taken),
-                            _ => ib.refine(flipped, va, !taken),
-                        };
-                        self.set_refined(target, AVal::Int(refined), env);
-                    }
+                if let Some((target, AVal::Int(ib))) = self.refinable_load(b, env) {
+                    let flipped = match op {
+                        BinOp::Lt => BinOp::Le, // a < b  ≡  b >= a+1... approximate with >=
+                        BinOp::Le => BinOp::Lt,
+                        o => *o,
+                    };
+                    // a OP b refines b via the flipped relation with
+                    // inverted taken-ness for orderings.
+                    let refined = match op {
+                        BinOp::Eq | BinOp::Ne => ib.refine(*op, va, taken),
+                        _ => ib.refine(flipped, va, !taken),
+                    };
+                    self.set_refined(target, AVal::Int(refined), env);
                 }
             }
             ExprKind::Load(_) => {

@@ -673,33 +673,27 @@ impl Machine {
                 self.devices.timer1.enabled = enable;
             }
             TIMER1_COMPARE => self.devices.timer1.compare = v,
-            ADC_CTRL => {
-                if v & 1 != 0 && !self.devices.adc.busy {
-                    self.devices.adc.busy = true;
-                    self.events.push(Reverse((
-                        self.cycles + ADC_CONVERSION_CYCLES,
-                        Event::AdcDone,
-                    )));
-                }
+            ADC_CTRL if v & 1 != 0 && !self.devices.adc.busy => {
+                self.devices.adc.busy = true;
+                self.events.push(Reverse((
+                    self.cycles + ADC_CONVERSION_CYCLES,
+                    Event::AdcDone,
+                )));
             }
             RADIO_CTRL => self.devices.radio.rx_enabled = v & 1 != 0,
-            RADIO_TX => {
-                if !self.devices.radio.tx_busy {
-                    self.devices.radio.tx_busy = true;
-                    self.radio_out.push((self.cycles, (v & 0xFF) as u8));
-                    self.events.push(Reverse((
-                        self.cycles + RADIO_BYTE_CYCLES,
-                        Event::RadioTxDone,
-                    )));
-                }
+            RADIO_TX if !self.devices.radio.tx_busy => {
+                self.devices.radio.tx_busy = true;
+                self.radio_out.push((self.cycles, (v & 0xFF) as u8));
+                self.events.push(Reverse((
+                    self.cycles + RADIO_BYTE_CYCLES,
+                    Event::RadioTxDone,
+                )));
             }
-            UART_DATA => {
-                if !self.devices.uart.tx_busy {
-                    self.devices.uart.tx_busy = true;
-                    self.uart_out.push((v & 0xFF) as u8);
-                    self.events
-                        .push(Reverse((self.cycles + UART_BYTE_CYCLES, Event::UartTxDone)));
-                }
+            UART_DATA if !self.devices.uart.tx_busy => {
+                self.devices.uart.tx_busy = true;
+                self.uart_out.push((v & 0xFF) as u8);
+                self.events
+                    .push(Reverse((self.cycles + UART_BYTE_CYCLES, Event::UartTxDone)));
             }
             _ => {}
         }

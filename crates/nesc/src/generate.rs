@@ -346,7 +346,7 @@ impl<'a> Generator<'a> {
                 _ => None,
             })
             .collect();
-        for ((user_mod, user_alias), _providers) in &self.plan.cmd_targets {
+        for (user_mod, user_alias) in self.plan.cmd_targets.keys() {
             let m = &self.parsed.modules[user_mod];
             let Some(slot) = m.slot(user_alias) else {
                 continue;

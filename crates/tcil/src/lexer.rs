@@ -135,7 +135,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 text = &text[2..];
             }
             // Allow C suffixes (u, l, ul, ...) by trimming them.
-            let trimmed = text.trim_end_matches(|c: char| matches!(c, 'u' | 'U' | 'l' | 'L'));
+            let trimmed = text.trim_end_matches(['u', 'U', 'l', 'L']);
             let v = i64::from_str_radix(trimmed, radix)
                 .map_err(|_| CompileError::new(pos, format!("invalid integer literal `{text}`")))?;
             toks.push(Token {

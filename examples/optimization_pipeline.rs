@@ -71,4 +71,19 @@ fn main() {
         cx.dce.globals_removed,
         cx.atomics.demoted
     );
+
+    // The same walk as one pass-manager pipeline, from a spec string,
+    // with every pass individually timed.
+    let pipeline = safe_tinyos::Pipeline::parse("cure|inline|cxprop|prune").expect("valid spec");
+    let build = pipeline
+        .build(artifact.program(), spec.platform.clone())
+        .expect("build");
+    println!("\nas one pipeline  {pipeline}:");
+    for (pass, t) in build.metrics.pass_times.iter() {
+        println!("  {pass:<8} {:>7.2} ms", t.as_secs_f64() * 1e3);
+    }
+    println!(
+        "  => {} B code, {} of {} checks survive",
+        build.metrics.code_bytes, build.metrics.checks_surviving, build.metrics.checks_inserted
+    );
 }

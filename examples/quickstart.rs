@@ -4,25 +4,25 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use safe_tinyos::{simulate, BuildConfig, BuildSession};
+use safe_tinyos::{simulate, BuildSession, Pipeline};
 
 fn main() {
     let spec = tosapps::spec("BlinkTask_Mica2").expect("known app");
-    // One session: the frontend compiles Blink once, every configuration
+    // One session: the frontend compiles Blink once, every pipeline
     // below reuses the cached artifact.
     let session = BuildSession::new();
 
     println!("== Safe TinyOS quickstart: {} ==\n", spec.name);
-    for config in [
-        BuildConfig::unsafe_baseline(),
-        BuildConfig::safe_flid(),
-        BuildConfig::safe_flid_inline_cxprop(),
+    for pipeline in [
+        Pipeline::unsafe_baseline(),
+        Pipeline::safe_flid(),
+        Pipeline::safe_flid_inline_cxprop(),
     ] {
-        let build = session.build(&spec, &config).expect("build");
+        let build = session.build(&spec, &pipeline).expect("build");
         let run = simulate(&build, &spec, 5);
         println!(
             "{:<26} code {:>5} B  sram {:>4} B  checks {:>3} -> {:<3} duty {:>5.2}%  leds {}",
-            config.name,
+            pipeline.name(),
             build.metrics.flash_bytes,
             build.metrics.sram_bytes,
             build.metrics.checks_inserted,
@@ -32,17 +32,24 @@ fn main() {
         );
     }
 
+    // Any other stack is one spec string away (`STOS_PIPELINE` takes
+    // the same notation).
+    let custom = Pipeline::parse("cure(terse)|cxprop(rounds=1)|prune").expect("valid spec");
+    let build = session.build(&spec, &custom).expect("build");
+    println!(
+        "\ncustom {custom}: code {} B, {} of {} checks survive",
+        build.metrics.flash_bytes, build.metrics.checks_surviving, build.metrics.checks_inserted,
+    );
+
     // The host-side FLID decompression table (free on the node).
-    let build = session
-        .build(&spec, &BuildConfig::safe_flid())
-        .expect("build");
+    let build = session.build(&spec, &Pipeline::safe_flid()).expect("build");
     println!("\nFLID table sample (host side):");
     for (flid, msg) in build.image.flid_table.iter().take(5) {
         println!("  {flid:>4} -> {msg}");
     }
 
     println!(
-        "\n(4 builds, {} frontend compile — the session cached the artifact)",
+        "\n(5 builds, {} frontend compile — the session cached the artifact)",
         session.frontend_compiles()
     );
 }

@@ -6,12 +6,12 @@
 
 use mcu::net::Network;
 use mcu::Machine;
-use safe_tinyos::{BuildConfig, BuildSession};
+use safe_tinyos::{BuildSession, Pipeline};
 
 fn main() {
     let spec = tosapps::spec("Surge_Mica2").expect("known app");
     let build = BuildSession::new()
-        .build(&spec, &BuildConfig::safe_flid_inline_cxprop())
+        .build(&spec, &Pipeline::safe_flid_inline_cxprop())
         .expect("build");
     println!(
         "Surge image: {} B flash, {} B SRAM, {} checks surviving",

@@ -5,17 +5,17 @@
 //! frontend compiles each app once and the grid parallelizes.
 
 use bench::ExperimentRunner;
-use safe_tinyos::{simulate, BuildConfig, BuildSession};
+use safe_tinyos::{simulate, BuildSession, Pipeline};
 use safe_tinyos_suite as _;
 
 #[test]
 fn all_apps_build_under_all_fig3_bars() {
     let runner = ExperimentRunner::from_env();
-    let bars = BuildConfig::fig3_bars();
+    let bars = Pipeline::fig3_bars();
     let grid = runner.metrics_grid(tosapps::APP_NAMES, &bars);
     for (name, row) in tosapps::APP_NAMES.iter().zip(&grid) {
         for (config, metrics) in bars.iter().zip(row) {
-            assert!(metrics.code_bytes > 0, "{name} / {}", config.name);
+            assert!(metrics.code_bytes > 0, "{name} / {}", config.name());
         }
     }
     assert_eq!(
@@ -28,7 +28,7 @@ fn all_apps_build_under_all_fig3_bars() {
 #[test]
 fn all_apps_run_unsafe_without_faulting() {
     let runner = ExperimentRunner::from_env();
-    let configs = [BuildConfig::unsafe_baseline()];
+    let configs = [Pipeline::unsafe_baseline()];
     let grid = runner.run_grid(tosapps::APP_NAMES, &configs, |job| {
         simulate(&job.build(job.item), &job.spec, 2)
     });
@@ -50,7 +50,7 @@ fn all_apps_run_fully_safe_without_traps() {
     // The core soundness claim: correct programs keep working after the
     // full safe pipeline — no false-positive traps.
     let runner = ExperimentRunner::from_env();
-    let configs = [BuildConfig::safe_flid_inline_cxprop()];
+    let configs = [Pipeline::safe_flid_inline_cxprop()];
     let grid = runner.run_grid(tosapps::APP_NAMES, &configs, |job| {
         simulate(&job.build(job.item), &job.spec, 2)
     });
@@ -71,8 +71,8 @@ fn safe_and_unsafe_builds_behave_equivalently() {
     // baseline and the fully optimized safe build.
     let runner = ExperimentRunner::from_env();
     let configs = [
-        BuildConfig::unsafe_baseline(),
-        BuildConfig::safe_flid_inline_cxprop(),
+        Pipeline::unsafe_baseline(),
+        Pipeline::safe_flid_inline_cxprop(),
     ];
     let apps = [
         "BlinkTask_Mica2",
@@ -101,7 +101,8 @@ fn safe_and_unsafe_builds_behave_equivalently() {
 
 #[test]
 fn apps_do_observable_work() {
-    let cases: &[(&str, fn(&safe_tinyos::SimResult) -> bool, &str)] = &[
+    type Check = fn(&safe_tinyos::SimResult) -> bool;
+    let cases: &[(&str, Check, &str)] = &[
         ("BlinkTask_Mica2", |r| r.led_transitions >= 4, "LED toggles"),
         (
             "CntToLedsAndRfm_Mica2",
@@ -146,9 +147,7 @@ fn apps_do_observable_work() {
     let session = BuildSession::new();
     for (name, check, what) in cases {
         let spec = tosapps::spec(name).unwrap();
-        let b = session
-            .build(&spec, &BuildConfig::unsafe_baseline())
-            .unwrap();
+        let b = session.build(&spec, &Pipeline::unsafe_baseline()).unwrap();
         let r = simulate(&b, &spec, 5);
         assert!(
             check(&r),

@@ -5,7 +5,7 @@
 //! exactly once per runner however many configurations the grid spans.
 
 use bench::ExperimentRunner;
-use safe_tinyos::{BuildConfig, Metrics};
+use safe_tinyos::{Metrics, Pipeline};
 use safe_tinyos_suite as _;
 
 /// Every deterministic field of the metrics (stage wall times are
@@ -24,10 +24,10 @@ fn fingerprint(app: &str, config: &str, m: &Metrics) -> String {
     )
 }
 
-fn full_grid(threads: usize, configs: &[BuildConfig]) -> (String, usize) {
+fn full_grid(threads: usize, configs: &[Pipeline]) -> (String, usize) {
     let runner = ExperimentRunner::with_threads(threads);
     let grid = runner.run_grid(tosapps::APP_NAMES, configs, |job| {
-        fingerprint(job.spec.name, job.item.name, &job.build(job.item).metrics)
+        fingerprint(job.spec.name, job.item.name(), &job.build(job.item).metrics)
     });
     let lines: Vec<String> = grid.into_iter().flatten().collect();
     (lines.join("\n"), runner.session().frontend_compiles())
@@ -35,9 +35,9 @@ fn full_grid(threads: usize, configs: &[BuildConfig]) -> (String, usize) {
 
 #[test]
 fn parallel_runner_matches_serial_on_fig2_and_fig3_grids() {
-    let mut configs = BuildConfig::fig2_stacks();
-    configs.extend(BuildConfig::fig3_bars());
-    configs.push(BuildConfig::unsafe_baseline());
+    let mut configs = Pipeline::fig2_stacks();
+    configs.extend(Pipeline::fig3_bars());
+    configs.push(Pipeline::unsafe_baseline());
 
     let (serial, serial_compiles) = full_grid(1, &configs);
     let (parallel, parallel_compiles) = full_grid(8, &configs);
@@ -54,7 +54,7 @@ fn parallel_runner_matches_serial_on_fig2_and_fig3_grids() {
 
 #[test]
 fn grid_results_land_in_grid_order() {
-    let configs = [BuildConfig::unsafe_baseline(), BuildConfig::safe_flid()];
+    let configs = [Pipeline::unsafe_baseline(), Pipeline::safe_flid()];
     let runner = ExperimentRunner::with_threads(4);
     let grid = runner.run_grid(tosapps::APP_NAMES, &configs, |job| {
         (job.app_index, job.item_index, job.spec.name)

@@ -3,7 +3,7 @@
 //! a safe and an unsafe configuration, and repeated cache hits must not
 //! drift (the middle-end mutates its copy, never the cached artifact).
 
-use safe_tinyos::{build_app, BuildConfig, BuildSession, Stage};
+use safe_tinyos::{build_app, BuildSession, Pipeline, Stage};
 use safe_tinyos_suite as _;
 
 #[test]
@@ -12,23 +12,25 @@ fn cached_artifact_builds_byte_identical_images() {
     for name in ["BlinkTask_Mica2", "Surge_Mica2"] {
         let spec = tosapps::spec(name).unwrap();
         for config in [
-            BuildConfig::unsafe_baseline(),
-            BuildConfig::safe_flid_inline_cxprop(),
+            Pipeline::unsafe_baseline(),
+            Pipeline::safe_flid_inline_cxprop(),
         ] {
             let fresh = build_app(&spec, &config).unwrap();
             let cached = session.build(&spec, &config).unwrap();
             let cached_again = session.build(&spec, &config).unwrap();
             assert_eq!(
-                fresh.image, cached.image,
+                fresh.image,
+                cached.image,
                 "{name}/{}: cached artifact diverged from fresh compile",
-                config.name
+                config.name()
             );
             assert_eq!(
-                cached.image, cached_again.image,
+                cached.image,
+                cached_again.image,
                 "{name}/{}: cache hit mutated the artifact",
-                config.name
+                config.name()
             );
-            assert_eq!(fresh.program, cached.program, "{name}/{}", config.name);
+            assert_eq!(fresh.program, cached.program, "{name}/{}", config.name());
         }
     }
     // Two apps, four builds each: the frontend ran once per app.
@@ -51,10 +53,8 @@ fn frontend_artifact_is_shared_not_recompiled() {
 fn frontend_time_attributed_to_first_build_only() {
     let session = BuildSession::new();
     let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
-    let first = session
-        .build(&spec, &BuildConfig::unsafe_baseline())
-        .unwrap();
-    let second = session.build(&spec, &BuildConfig::safe_flid()).unwrap();
+    let first = session.build(&spec, &Pipeline::unsafe_baseline()).unwrap();
+    let second = session.build(&spec, &Pipeline::safe_flid()).unwrap();
     assert!(first.metrics.stage_times.get(Stage::Frontend) > std::time::Duration::ZERO);
     assert_eq!(
         second.metrics.stage_times.get(Stage::Frontend),

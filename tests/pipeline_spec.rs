@@ -1,0 +1,187 @@
+//! The pipeline-spec language: parse/Display round-trips, rejection of
+//! malformed specs, preset coverage, and the composition property that
+//! motivates the pass manager — *every* legal pass permutation builds a
+//! Blink image that runs to `Sleeping` without faulting.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use safe_tinyos::{simulate, BuildSession, Pipeline, PRESET_NAMES};
+use safe_tinyos_suite as _;
+
+#[test]
+fn parse_display_round_trips() {
+    // Left: accepted input. Right: its canonical rendering — which must
+    // itself parse back to the same canonical form (idempotence).
+    let cases = [
+        ("cure", "cure(flid)"),
+        ("cure(flid)", "cure(flid)"),
+        (
+            " cure ( terse , noopt ) | prune ",
+            "cure(terse,noopt)|prune",
+        ),
+        (
+            "cure(flid)|inline|cxprop(rounds=3)",
+            "cure(flid)|inline|cxprop",
+        ),
+        (
+            "cxprop(rounds=1,domain=constants)",
+            "cxprop(domain=constants,rounds=1)",
+        ),
+        (
+            "cxprop(inline,nodce,norefine)",
+            "cxprop(inline,nodce,norefine)",
+        ),
+        ("inline(max-size=48)", "inline(max-size=48)"),
+        ("inline(max-size=16)", "inline"),
+        ("backend(opt)", "backend"),
+        ("backend(noopt)", "backend(noopt)"),
+        (
+            "cure(verbose-rom,nolock,naive)",
+            "cure(verbose-rom,nolock,naive)",
+        ),
+    ];
+    for (input, canonical) in cases {
+        let p = Pipeline::parse(input).unwrap_or_else(|e| panic!("{input}: {e}"));
+        assert_eq!(p.to_string(), canonical, "canonicalizing `{input}`");
+        assert_eq!(
+            p.name(),
+            canonical,
+            "a parsed pipeline is named by its spec"
+        );
+        let again = Pipeline::parse(canonical).unwrap();
+        assert_eq!(again.to_string(), canonical, "`{canonical}` must be stable");
+    }
+}
+
+#[test]
+fn malformed_specs_are_rejected_with_context() {
+    let cases = [
+        ("", "empty"),
+        ("   ", "empty"),
+        ("cure|", "empty pass"),
+        ("frobnicate", "unknown pass"),
+        ("cure(flid", "missing `)`"),
+        ("cure(flid)x", "trailing input"),
+        ("cure(shiny)", "unknown option"),
+        ("inline(max-size=lots)", "needs a number"),
+        ("cxprop(domain=octagons)", "unknown option"),
+        ("prune(hard)", "takes no options"),
+        ("backend(fast)", "unknown option"),
+    ];
+    for (input, expect) in cases {
+        let err = Pipeline::parse(input).expect_err(input).to_string();
+        assert!(
+            err.contains(expect),
+            "`{input}` -> `{err}` (wanted `{expect}`)"
+        );
+    }
+}
+
+#[test]
+fn every_preset_spec_round_trips() {
+    for name in PRESET_NAMES {
+        let preset = Pipeline::preset(name).unwrap();
+        let spec = preset.spec();
+        let reparsed = Pipeline::parse(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed.spec(), spec, "{name}");
+        // A reparsed spec is named by the spec; the preset keeps its
+        // figure label.
+        assert_eq!(preset.name(), name);
+    }
+}
+
+#[test]
+fn pipeline_lists_accept_presets_specs_and_labels() {
+    let list = safe_tinyos::parse_pipeline_list(
+        "safe-flid; cure(terse)|prune ; mystack:cure(flid)|cxprop|prune",
+    )
+    .unwrap();
+    assert_eq!(list.len(), 3);
+    assert_eq!(list[0].name(), "safe-flid");
+    assert_eq!(list[1].name(), "cure(terse)|prune");
+    assert_eq!(list[2].name(), "mystack");
+    assert_eq!(list[2].spec(), "cure(flid)|cxprop|prune");
+
+    // The labeled form also relabels presets.
+    let relabeled = safe_tinyos::parse_pipeline_list("baseline:safe-flid").unwrap();
+    assert_eq!(relabeled[0].name(), "baseline");
+    assert_eq!(relabeled[0].spec(), Pipeline::safe_flid().spec());
+
+    assert!(safe_tinyos::parse_pipeline_list("").is_err());
+    assert!(safe_tinyos::parse_pipeline_list("safe-flid;bogus").is_err());
+}
+
+// ---------------------------------------------------------------------
+// The permutation property.
+// ---------------------------------------------------------------------
+
+/// One shared session: Blink's frontend compiles once for the whole
+/// property run.
+fn session() -> &'static BuildSession {
+    static SESSION: OnceLock<BuildSession> = OnceLock::new();
+    SESSION.get_or_init(BuildSession::new)
+}
+
+/// Decodes `mask` (subset of the four middle-end passes) and `perm`
+/// (Lehmer code) into a pass order.
+fn permuted_passes(mask: usize, perm: usize) -> Vec<&'static str> {
+    let mut chosen: Vec<&'static str> = ["cure", "inline", "cxprop", "prune"]
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, p)| p)
+        .collect();
+    let mut order = Vec::with_capacity(chosen.len());
+    let mut code = perm;
+    while !chosen.is_empty() {
+        let n = chosen.len();
+        order.push(chosen.remove(code % n));
+        code /= n;
+    }
+    order
+}
+
+#[test]
+fn mid_pipeline_backend_options_are_honored() {
+    // A backend pass that is not last is invalidated (later passes
+    // mutate the program), but the link-time re-prepare must still use
+    // its options, not the defaults.
+    let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+    let mid = Pipeline::parse("cure(flid)|backend(noopt)|prune").unwrap();
+    let last = Pipeline::parse("cure(flid)|prune|backend(noopt)").unwrap();
+    let a = safe_tinyos::build_app(&spec, &mid).unwrap();
+    let b = safe_tinyos::build_app(&spec, &last).unwrap();
+    assert_eq!(a.image, b.image);
+}
+
+#[test]
+fn permutation_decoder_is_exhaustive() {
+    // All 24 orders of the full four-pass set must be reachable (the
+    // mixed-radix decode must not skip any).
+    let orders: std::collections::HashSet<Vec<&str>> =
+        (0..24).map(|perm| permuted_passes(15, perm)).collect();
+    assert_eq!(orders.len(), 24);
+}
+
+proptest! {
+    /// Any subset of the middle-end passes, in any order, must yield a
+    /// Blink image that runs to `Sleeping` without faulting — the pass
+    /// manager admits no composition that breaks a correct program.
+    #[test]
+    fn any_pass_permutation_yields_a_working_blink(mask in 1usize..16, perm in 0usize..24) {
+        let order = permuted_passes(mask, perm);
+        let spec_string = order.join("|");
+        let pipeline = Pipeline::parse(&spec_string).unwrap();
+        let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
+        let build = session()
+            .build(&spec, &pipeline)
+            .unwrap_or_else(|e| panic!("{spec_string}: {e}"));
+        let r = simulate(&build, &spec, 3);
+        prop_assert!(
+            r.state == mcu::RunState::Sleeping,
+            "{}: state {:?}, fault {:?}", spec_string, r.state, r.fault
+        );
+        prop_assert!(r.led_transitions >= 4, "{}: leds {}", spec_string, r.led_transitions);
+    }
+}

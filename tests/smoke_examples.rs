@@ -8,7 +8,7 @@ use ccured::{cure, CureOptions};
 use cxprop::{CxpropOptions, InlineOptions};
 use mcu::net::Network;
 use mcu::{Machine, Profile, RunState};
-use safe_tinyos::{simulate, BuildConfig, BuildSession};
+use safe_tinyos::{simulate, BuildSession, Pipeline};
 use safe_tinyos_suite as _;
 
 /// `examples/quickstart.rs`: Blink through three configurations, with
@@ -18,9 +18,9 @@ fn quickstart_core_path() {
     let spec = tosapps::spec("BlinkTask_Mica2").expect("known app");
     let session = BuildSession::new();
     for config in [
-        BuildConfig::unsafe_baseline(),
-        BuildConfig::safe_flid(),
-        BuildConfig::safe_flid_inline_cxprop(),
+        Pipeline::unsafe_baseline(),
+        Pipeline::safe_flid(),
+        Pipeline::safe_flid_inline_cxprop(),
     ] {
         let build = session.build(&spec, &config).expect("build");
         let run = simulate(&build, &spec, 5);
@@ -28,19 +28,17 @@ fn quickstart_core_path() {
             run.state,
             RunState::Sleeping,
             "{}: fault {:?}",
-            config.name,
+            config.name(),
             run.fault
         );
         assert!(
             run.led_transitions >= 4,
             "{}: leds {}",
-            config.name,
+            config.name(),
             run.led_transitions
         );
     }
-    let build = session
-        .build(&spec, &BuildConfig::safe_flid())
-        .expect("build");
+    let build = session.build(&spec, &Pipeline::safe_flid()).expect("build");
     assert!(
         !build.image.flid_table.is_empty(),
         "safe build carries a FLID table"
@@ -96,7 +94,7 @@ fn safety_violation_core_path() {
 fn surge_network_core_path() {
     let spec = tosapps::spec("Surge_Mica2").expect("known app");
     let build = BuildSession::new()
-        .build(&spec, &BuildConfig::safe_flid_inline_cxprop())
+        .build(&spec, &Pipeline::safe_flid_inline_cxprop())
         .expect("build");
     let mut nodes = Vec::new();
     for i in 0..3 {

@@ -14,16 +14,9 @@ pub use std::hint::black_box;
 const MEASURE_TIME: Duration = Duration::from_millis(300);
 
 /// The benchmark driver. One instance is shared by a `criterion_group!`.
+#[derive(Default)]
 pub struct Criterion {
     results: Vec<(String, f64)>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion {
-            results: Vec::new(),
-        }
-    }
 }
 
 impl Criterion {
