@@ -1,0 +1,33 @@
+//! CI's bench-regression gate: `regression_gate <baseline.json>
+//! <fresh.json>` compares the two `BENCH_toolchain_speed.json` files on
+//! wall time and exits non-zero when the fresh run is more than
+//! `STOS_REGRESSION_FACTOR`× (default 2×) slower than the baseline.
+
+use bench::gate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: regression_gate <baseline.json> <fresh.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("regression_gate: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let fresh = read(&fresh_path);
+    let factor = gate::factor_from_env();
+    match gate::check(&baseline, &fresh, factor) {
+        Ok(out) => println!(
+            "bench gate ok: wall {:.1}ms vs baseline {:.1}ms ({:.2}x <= {factor:.2}x)",
+            out.fresh_ms, out.baseline_ms, out.ratio
+        ),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

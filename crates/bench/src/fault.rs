@@ -1,0 +1,141 @@
+//! The fault-injection campaign harness: app × pipeline × injection-site
+//! grids through the [`ExperimentRunner`], rendered as the
+//! `BENCH_fault_injection.json` detection-rate report.
+//!
+//! This is the evaluation axis the paper claims but never plots: cured
+//! images convert silent memory corruption into trapped,
+//! FLID-diagnosable failures. The default grid compares the uncured
+//! `gcc` baseline against three cured stacks; every fault plan, run, and
+//! verdict is deterministic, so the rendered JSON is byte-identical
+//! across worker-thread counts and across machines.
+//!
+//! One deliberate modeling choice: the cured+optimized stacks run cXprop
+//! in the *constants* domain. The interval domain proves most index
+//! checks redundant under uncorrupted program semantics and removes
+//! them — which also removes their fault coverage (run
+//! `STOS_PIPELINE='ccured+cxprop+gcc'` through the harness to watch the
+//! detection rate collapse to zero). The constants-domain stacks keep
+//! the checks and the coverage; the contrast is the experiment.
+
+use safe_tinyos::{CampaignConfig, CampaignReport, Pipeline};
+
+use crate::{json, row, ExperimentRunner};
+
+/// The default campaign pipelines: the uncured baseline the paper calls
+/// `gcc` (plain nesC + backend, zero checks), then three cured stacks.
+pub fn default_pipelines() -> Vec<Pipeline> {
+    vec![
+        // In this campaign "gcc" is the *uncured* compiler, per the
+        // paper's terminology — not the Figure 2 preset of the same
+        // name (cure with the local optimizer off).
+        Pipeline::unsafe_baseline().with_name("gcc"),
+        Pipeline::fig2_ccured_gcc(),
+        Pipeline::parse("cure(flid)|cxprop(domain=constants)|prune")
+            .expect("static spec")
+            .with_name("ccured+cxprop[const]+gcc"),
+        Pipeline::parse("cure(flid)|inline|cxprop(domain=constants)|prune")
+            .expect("static spec")
+            .with_name("ccured+inline+cxprop[const]+gcc"),
+    ]
+}
+
+/// Runs the campaign grid: one [`CampaignReport`] per app × pipeline
+/// cell, in deterministic grid order.
+pub fn campaign_grid(
+    runner: &ExperimentRunner,
+    apps: &[&'static str],
+    pipelines: &[Pipeline],
+    config: &CampaignConfig,
+) -> Vec<Vec<CampaignReport>> {
+    runner.run_grid(apps, pipelines, |job| job.campaign(job.item, config))
+}
+
+/// Renders the campaign grid as the `BENCH_fault_injection.json` body:
+/// per-pipeline rollups (injection counts, verdict tally, detection
+/// rate) with per-app breakdowns, every detection carrying its site,
+/// cycle point, FLID, and decoded message.
+pub fn render_json(
+    apps: &[&'static str],
+    pipelines: &[Pipeline],
+    config: &CampaignConfig,
+    grid: &[Vec<CampaignReport>],
+) -> String {
+    let mut pipeline_rows = Vec::new();
+    for (ci, pipeline) in pipelines.iter().enumerate() {
+        let mut totals = ccured::VerdictCounts::default();
+        let mut app_rows = Vec::new();
+        for (ai, app) in apps.iter().enumerate() {
+            let report = &grid[ai][ci];
+            totals.add(&report.counts);
+            let detections = report.detections().map(|(site, flid, message)| {
+                json::Obj::new()
+                    .str("site", &site.site)
+                    .int("at_cycle", site.at_cycle as i64)
+                    .int("flid", flid as i64)
+                    .str("message", message)
+                    .build()
+            });
+            app_rows.push(
+                json::Obj::new()
+                    .str("app", app)
+                    .int("detected", report.counts.detected as i64)
+                    .int("crash", report.counts.crashed as i64)
+                    .int("silent", report.counts.silent as i64)
+                    .int("benign", report.counts.benign as i64)
+                    .raw("detections", &json::arr(detections))
+                    .build(),
+            );
+        }
+        pipeline_rows.push(
+            json::Obj::new()
+                .str("pipeline", pipeline.name())
+                .int("injected", totals.total() as i64)
+                .int("detected", totals.detected as i64)
+                .int("crash", totals.crashed as i64)
+                .int("silent", totals.silent as i64)
+                .int("benign", totals.benign as i64)
+                .num("detection_rate_pct", totals.detection_rate_pct())
+                .raw("apps", &json::arr(app_rows))
+                .build(),
+        );
+    }
+    json::Obj::new()
+        .str("figure", "fault_injection")
+        .int("seconds", config.seconds as i64)
+        .int("sites", config.sites as i64)
+        .int("seed", config.seed as i64)
+        .raw("pipelines", &json::arr(pipeline_rows))
+        .build()
+}
+
+/// Prints the campaign's summary table (apps down, pipelines across,
+/// `detected/silent` per cell, rollup row at the bottom).
+pub fn print_table(apps: &[&'static str], pipelines: &[Pipeline], grid: &[Vec<CampaignReport>]) {
+    let labels: Vec<String> = pipelines.iter().map(|p| p.name().to_string()).collect();
+    println!("{}", row("app (det/silent)", &labels));
+    let mut totals = vec![ccured::VerdictCounts::default(); pipelines.len()];
+    for (ai, app) in apps.iter().enumerate() {
+        let cells: Vec<String> = grid[ai]
+            .iter()
+            .enumerate()
+            .map(|(ci, r)| {
+                totals[ci].add(&r.counts);
+                format!("{}/{}", r.counts.detected, r.counts.silent)
+            })
+            .collect();
+        println!("{}", row(app, &cells));
+    }
+    let rollup: Vec<String> = totals
+        .iter()
+        .map(|t| format!("{:.1}%", t.detection_rate_pct()))
+        .collect();
+    println!("{}", row("detection rate", &rollup));
+}
+
+/// Per-pipeline detection totals over the grid, in pipeline order.
+pub fn detection_totals(grid: &[Vec<CampaignReport>]) -> Vec<usize> {
+    let pipelines = grid.first().map_or(0, Vec::len);
+    (0..pipelines)
+        .map(|ci| grid.iter().map(|row| row[ci].counts.detected).sum())
+        .collect()
+}

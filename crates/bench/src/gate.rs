@@ -1,0 +1,125 @@
+//! The bench-regression gate: compares a freshly produced
+//! `BENCH_toolchain_speed.json` against the committed baseline and
+//! fails when the toolchain got more than a configurable factor slower.
+//!
+//! CI's `gates` job downloads the harness job's artifacts and runs the
+//! `regression_gate` binary over them; the factor defaults to 2× and is
+//! overridable through `STOS_REGRESSION_FACTOR` (wall times on shared
+//! runners are noisy — the gate catches order-of-magnitude rot, not
+//! percent-level drift).
+
+/// Default regression factor: fail when fresh wall time exceeds
+/// baseline × 2.
+pub const DEFAULT_FACTOR: f64 = 2.0;
+
+/// The regression factor in effect: `STOS_REGRESSION_FACTOR` if set and
+/// parseable, else [`DEFAULT_FACTOR`].
+pub fn factor_from_env() -> f64 {
+    std::env::var("STOS_REGRESSION_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+        .unwrap_or(DEFAULT_FACTOR)
+}
+
+/// Extracts the first number stored under `"key":` in a flat JSON body
+/// (the `BENCH_*.json` files are shallow enough that a scan beats
+/// hand-rolling a full parser in an offline build).
+pub fn extract_num(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The gate's measurement: baseline and fresh wall times and their
+/// ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateOutcome {
+    /// The committed baseline's wall time (ms).
+    pub baseline_ms: f64,
+    /// The fresh run's wall time (ms).
+    pub fresh_ms: f64,
+    /// `fresh / baseline` (0 when the baseline is 0).
+    pub ratio: f64,
+}
+
+/// Compares two `BENCH_toolchain_speed.json` bodies on `wall_ms`.
+///
+/// # Errors
+///
+/// Returns a description when either body lacks a parseable `wall_ms`,
+/// or when the fresh wall time exceeds `baseline × factor`.
+pub fn check(baseline: &str, fresh: &str, factor: f64) -> Result<GateOutcome, String> {
+    let baseline_ms =
+        extract_num(baseline, "wall_ms").ok_or("baseline JSON has no wall_ms field")?;
+    let fresh_ms = extract_num(fresh, "wall_ms").ok_or("fresh JSON has no wall_ms field")?;
+    let ratio = if baseline_ms > 0.0 {
+        fresh_ms / baseline_ms
+    } else {
+        0.0
+    };
+    let outcome = GateOutcome {
+        baseline_ms,
+        fresh_ms,
+        ratio,
+    };
+    if ratio > factor {
+        return Err(format!(
+            "bench regression: wall {fresh_ms:.1}ms vs baseline {baseline_ms:.1}ms \
+             ({ratio:.2}x > allowed {factor:.2}x)"
+        ));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str =
+        r#"{"figure":"toolchain_speed","wall_ms":100.0,"stage_ms":{"frontend":5.0}}"#;
+
+    #[test]
+    fn extracts_top_level_numbers() {
+        assert_eq!(extract_num(BASE, "wall_ms"), Some(100.0));
+        assert_eq!(extract_num(BASE, "frontend"), Some(5.0));
+        assert_eq!(extract_num(BASE, "missing"), None);
+    }
+
+    #[test]
+    fn within_factor_passes() {
+        let fresh = r#"{"wall_ms":180.0}"#;
+        let out = check(BASE, fresh, 2.0).unwrap();
+        assert_eq!(out.baseline_ms, 100.0);
+        assert_eq!(out.fresh_ms, 180.0);
+        assert!((out.ratio - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beyond_factor_fails() {
+        let fresh = r#"{"wall_ms":250.0}"#;
+        let err = check(BASE, fresh, 2.0).unwrap_err();
+        assert!(err.contains("2.50x"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_fail() {
+        assert!(check("{}", r#"{"wall_ms":1.0}"#, 2.0).is_err());
+        assert!(check(BASE, "{}", 2.0).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_never_regresses() {
+        let base = r#"{"wall_ms":0.0}"#;
+        let fresh = r#"{"wall_ms":50.0}"#;
+        assert!(check(base, fresh, 2.0).is_ok());
+    }
+
+    #[test]
+    fn env_factor_defaults_sanely() {
+        // The env var is unset in the test environment.
+        assert_eq!(factor_from_env(), DEFAULT_FACTOR);
+    }
+}

@@ -10,6 +10,7 @@
 //! | `runtime_footprint` | §2.3: the runtime-library reduction story |
 //! | `ablations` | §2.1 claims: early inlining, strong DCE, copy-prop, atomic optimization |
 //! | `pipeline_matrix` | pass subsets/orders/options × 3 apps — the composition sweep the paper couldn't afford |
+//! | `fault_injection` | §2's detection claim: injected-corruption campaigns per pipeline, detection rates and FLID triage |
 //!
 //! All of them drive their app × configuration grids through
 //! [`runner::ExperimentRunner`], which shares one frontend artifact
@@ -17,11 +18,14 @@
 //! and each emits `BENCH_toolchain_speed.json` describing what the
 //! toolchain itself cost.
 
+pub mod fault;
+pub mod gate;
 pub mod runner;
 
 use safe_tinyos::{build_app, Build, Pipeline};
 use tosapps::AppSpec;
 
+pub use knobs::sim_seconds;
 pub use runner::{ExperimentRunner, GridJob, SpeedReport};
 
 /// Builds one app under one pipeline with a throwaway frontend,
@@ -49,14 +53,34 @@ pub fn row(label: &str, cells: &[String]) -> String {
     s
 }
 
-/// Simulated seconds for duty-cycle runs: the paper uses 3 minutes; a
-/// smaller default keeps the harness quick. Override with the
-/// `STOS_SECONDS` environment variable.
-pub fn sim_seconds() -> u64 {
-    std::env::var("STOS_SECONDS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10)
+/// Run-shortening environment knobs, shared by every harness and parsed
+/// exactly once per process (CI shortens runs by exporting these; the
+/// harnesses must all agree on what they saw, even if the environment
+/// mutates mid-run).
+pub mod knobs {
+    use std::sync::OnceLock;
+
+    fn parse_u64(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Simulated seconds for duty-cycle and fault-campaign runs: the
+    /// paper uses 3 minutes; a smaller default keeps the harnesses
+    /// quick. Override with `STOS_SECONDS`.
+    pub fn sim_seconds() -> u64 {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_SECONDS", 10))
+    }
+
+    /// Injection sites per app × pipeline cell of a fault campaign.
+    /// Override with `STOS_FAULTS`.
+    pub fn fault_sites() -> usize {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_FAULTS", 16)) as usize
+    }
 }
 
 /// Writes `body` to `BENCH_<name>.json` in `STOS_BENCH_DIR` (default:

@@ -113,6 +113,20 @@ impl<C> GridJob<'_, C> {
     pub fn record(&self, times: &StageTimes) {
         self.runner.agg.lock().unwrap().stages.add(times);
     }
+
+    /// Builds this job's app under `pipeline` (stage times folded into
+    /// the speed report, like [`GridJob::build`]) and runs a
+    /// fault-injection campaign against the result. Campaigns are pure
+    /// functions of the build, workload, and config, so grid output is
+    /// byte-identical across worker-thread counts.
+    pub fn campaign(
+        &self,
+        pipeline: &Pipeline,
+        config: &safe_tinyos::CampaignConfig,
+    ) -> safe_tinyos::CampaignReport {
+        let build = self.build(pipeline);
+        safe_tinyos::run_campaign(&build, &self.spec, config)
+    }
 }
 
 impl ExperimentRunner {

@@ -22,6 +22,10 @@
 //!    with a host-side decompression table.
 //! 5. [`runtime`] — the runtime-library footprint model (§2.3: the naive
 //!    port costs 1.6 KB RAM / 33 KB ROM; the tuned runtime 2 B / 314 B).
+//! 6. [`triage`] — fault-campaign classification: given a golden run and
+//!    an injected run, decide whether the corruption was trapped with a
+//!    decodable FLID, crashed, silently corrupted behavior, or was
+//!    benign.
 //!
 //! # Example
 //!
@@ -43,12 +47,14 @@ pub mod instrument;
 pub mod kinds;
 pub mod optimize;
 pub mod runtime;
+pub mod triage;
 
 use tcil::{CompileError, Program};
 
 pub use errmsg::ErrorMode;
 pub use kinds::KindSummary;
 pub use runtime::RuntimeModel;
+pub use triage::{RunObservation, Verdict, VerdictCounts};
 
 /// Options controlling the curing pass.
 #[derive(Debug, Clone)]

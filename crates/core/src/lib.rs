@@ -36,6 +36,7 @@
 //! assert!(build.metrics.checks_inserted > 0);
 //! ```
 
+pub mod campaign;
 pub mod pipeline;
 pub mod spec;
 
@@ -50,6 +51,7 @@ use mcu::{Image, Machine, RunState};
 use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, SiteResult};
 pub use pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
     PipelineBuilder, PruneErrmsgPass, PRESET_NAMES,
@@ -322,6 +324,24 @@ impl BuildSession {
         }
         Ok(build)
     }
+
+    /// Builds `spec` under `pipeline` (through the frontend cache) and
+    /// runs a fault-injection campaign against the result — the hook an
+    /// experiment grid uses to measure detection rates per pipeline
+    /// preset (see [`campaign`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors from any pass.
+    pub fn campaign(
+        &self,
+        spec: &AppSpec,
+        pipeline: &Pipeline,
+        config: &CampaignConfig,
+    ) -> Result<CampaignReport, CompileError> {
+        let build = self.build(spec, pipeline)?;
+        Ok(campaign::run_campaign(&build, spec, config))
+    }
 }
 
 impl Default for BuildSession {
@@ -361,23 +381,34 @@ pub struct SimResult {
     pub instructions: u64,
 }
 
-/// Runs `build` in `spec`'s context for `seconds` of simulated time
-/// (overriding the context default).
-pub fn simulate(build: &Build, spec: &AppSpec, seconds: u64) -> SimResult {
+/// Creates a machine for `build` with `spec`'s workload context applied
+/// (waveform set, radio traffic scheduled) for `seconds` of simulated
+/// time, returning the machine and the run horizon in cycles. Shared by
+/// [`simulate`] and the fault-injection campaigns in [`campaign`], which
+/// must set machines up identically for golden and injected runs.
+pub fn prepare_machine(build: &Build, spec: &AppSpec, seconds: u64) -> (Machine, u64) {
     let mut ctx = spec.context.clone();
     ctx.seconds = seconds;
     let mut m = Machine::new(&build.image);
     // Rebuild periodic injections for the overridden duration.
     let hz = build.image.profile.clock_hz;
+    let until = ctx.duration_cycles(hz);
     m.set_waveform(ctx.waveform.clone());
     for inj in &ctx.injections {
-        if inj.at < ctx.duration_cycles(hz) {
+        if inj.at < until {
             m.inject_rx_bytes(inj.at, &inj.packet.frame_bytes());
         }
     }
     // Extend periodic patterns beyond the stock context if needed.
-    extend_injections(&spec.context, &mut m, hz, ctx.duration_cycles(hz));
-    m.run(ctx.duration_cycles(hz));
+    extend_injections(&spec.context, &mut m, hz, until);
+    (m, until)
+}
+
+/// Runs `build` in `spec`'s context for `seconds` of simulated time
+/// (overriding the context default).
+pub fn simulate(build: &Build, spec: &AppSpec, seconds: u64) -> SimResult {
+    let (mut m, until) = prepare_machine(build, spec, seconds);
+    m.run(until);
     SimResult {
         duty_cycle_percent: m.duty_cycle_percent(),
         state: m.state,

@@ -1,0 +1,391 @@
+//! Fault injection: deterministic corruption of a running node.
+//!
+//! The paper's central claim is that cured programs convert silent
+//! memory corruption into trapped, FLID-diagnosable failures. This
+//! module supplies the *corruption*: a [`FaultPlan`] names one physical
+//! fault — a bit flip in data RAM, a pointer-sized word overwritten with
+//! a wild value, or a clobbered frame-pointer register — and the cycle
+//! point at which to apply it, and [`apply`] injects it into a live
+//! [`Machine`] between instructions, exactly as a cosmic-ray upset or a
+//! stray DMA write would land.
+//!
+//! Campaign drivers get their plans from [`enumerate_sites`]: a seeded,
+//! deterministic enumerator over the image's static-data region. The
+//! same seed always yields the same plan list for the same image, so
+//! campaigns are reproducible and byte-identical across worker-thread
+//! counts.
+//!
+//! # Example
+//!
+//! ```
+//! use mcu::faults::{apply, FaultKind, FaultPlan};
+//! use mcu::image::CodeFunction;
+//! use mcu::isa::{Instr, Width};
+//! use mcu::{Image, Machine, Profile};
+//!
+//! // A program that spins forever reading a global.
+//! let mut f = CodeFunction::new("main");
+//! f.code = vec![
+//!     Instr::LdGlobal { addr: 0x0200, width: Width::W8, signed: false },
+//!     Instr::Pop,
+//!     Instr::Jmp { target: 0 },
+//! ];
+//! let mut image = Image::new(Profile::mica2());
+//! let main = image.add_function(f);
+//! image.entry = Some(main);
+//! let mut m = Machine::new(&image);
+//! m.run(100);
+//! apply(&mut m, &FaultPlan { at_cycle: 100, kind: FaultKind::BitFlip { addr: 0x0200, mask: 0x04 } });
+//! assert_eq!(m.ram_peek(0x0200), 0x04);
+//! ```
+
+use crate::image::Image;
+use crate::machine::{Machine, RunState};
+
+/// One physical corruption to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR `mask` into the RAM byte at `addr` — the classic single/multi
+    /// bit upset in a data cell.
+    BitFlip {
+        /// The corrupted address (data SRAM).
+        addr: u16,
+        /// Bits to flip.
+        mask: u8,
+    },
+    /// Overwrite the aligned 16-bit word at `addr` with `value` — a
+    /// pointer-sized cell rewritten to point somewhere wild. In a cured
+    /// image this lands in a fat pointer's value word (caught by the
+    /// next bounds check); in an uncured image it redirects the next
+    /// dereference silently.
+    PointerWord {
+        /// The corrupted word address.
+        addr: u16,
+        /// The wild value written over it.
+        value: u16,
+    },
+    /// XOR `mask` into the frame-pointer register — corrupted register
+    /// state, misdirecting every subsequent local access.
+    FramePointer {
+        /// Bits to flip in FP.
+        mask: u16,
+    },
+}
+
+/// One planned injection: what to corrupt and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Total-cycle point at which the corruption lands (the driver runs
+    /// the machine to this cycle, applies, and resumes).
+    pub at_cycle: u64,
+    /// The corruption.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// A short, stable site label for reports
+    /// (e.g. `bitflip@0x0214^04`, `ptr@0x0220=0x0000`, `fp^0x0010`).
+    pub fn label(&self) -> String {
+        match self.kind {
+            FaultKind::BitFlip { addr, mask } => format!("bitflip@0x{addr:04x}^{mask:02x}"),
+            FaultKind::PointerWord { addr, value } => format!("ptr@0x{addr:04x}=0x{value:04x}"),
+            FaultKind::FramePointer { mask } => format!("fp^0x{mask:04x}"),
+        }
+    }
+}
+
+/// Applies `plan`'s corruption to a live machine (the cycle point is the
+/// caller's business: run to `plan.at_cycle` first). Halted or faulted
+/// machines are left untouched — there is no state left to corrupt.
+pub fn apply(m: &mut Machine, plan: &FaultPlan) {
+    if !matches!(m.state, RunState::Running | RunState::Sleeping) {
+        return;
+    }
+    match plan.kind {
+        FaultKind::BitFlip { addr, mask } => {
+            let v = m.ram_peek(addr) ^ mask;
+            m.ram_poke(addr, v);
+        }
+        FaultKind::PointerWord { addr, value } => m.ram_poke16(addr, value),
+        FaultKind::FramePointer { mask } => m.corrupt_fp(mask),
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64): enough statistical quality to
+/// scatter fault sites, zero dependencies, and stable output forever —
+/// campaign JSON must be byte-identical across platforms and thread
+/// counts.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `[0, bound)` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Wild values a corrupted pointer word cycles through: null (cured
+/// traps the null check; uncured faults on the null page), two mapped
+/// in-SRAM addresses (silent redirection for uncured, a bounds trap for
+/// cured), and one just past the static-data extent.
+fn wild_pointer_value(rng: &mut SplitMix64, image: &Image) -> u16 {
+    let base = image.profile.sram_base();
+    let top = image.static_top.max(base + 2);
+    match rng.below(4) {
+        0 => 0x0000,
+        1 => base + (rng.below((top - base) as u64) as u16 & !1),
+        2 => top.saturating_sub(2) & !1,
+        _ => top.wrapping_add(64),
+    }
+}
+
+/// A wild pointer-word overwrite at an even address inside
+/// `[base, top)`. The caller guarantees `top >= base + 2`.
+fn wild_pointer_word(rng: &mut SplitMix64, image: &Image, base: u16, top: u16) -> FaultKind {
+    let addr = (base + rng.below((top - base) as u64) as u16).min(top - 2) & !1;
+    FaultKind::PointerWord {
+        addr,
+        value: wild_pointer_value(rng, image),
+    }
+}
+
+/// Enumerates `count` deterministic fault plans for `image`: sites drawn
+/// from the static-data region `[sram_base, static_top)`, cycle points
+/// spread across the middle of `[0, window)` (skipping the first and
+/// last eighth, so boot code has run and the fault has time to bite).
+///
+/// `targets` names the RAM cells the campaign most wants probed —
+/// typically addresses the driver knows feed checked accesses (array
+/// index variables, pointer cells). Half of the plans flip high bits in
+/// a target cell (pushing an index far out of range, or a pointer far
+/// off its object); the rest are background upsets: random bit flips,
+/// wild pointer-word overwrites, and frame-pointer corruption. The mix
+/// is fixed per plan index, not drawn from the RNG, so changing `seed`
+/// moves the sites without changing the fault-model balance.
+///
+/// The same `(image layout, targets, seed, count, window)` always yields
+/// the same plans. With no targets and no static data, every plan
+/// degrades to a frame-pointer upset.
+pub fn enumerate_sites(
+    image: &Image,
+    targets: &[u16],
+    seed: u64,
+    count: usize,
+    window: u64,
+) -> Vec<FaultPlan> {
+    let base = image.profile.sram_base();
+    let top = image.static_top;
+    let has_data = top > base;
+    // A pointer-word overwrite needs a full even-aligned word inside
+    // the region; a one-byte region degrades to bit flips / FP upsets.
+    let has_word = top >= base + 2;
+    let mut rng = SplitMix64::new(seed);
+    let mut plans = Vec::with_capacity(count);
+    let window = window.max(16);
+    // High-bit masks for targeted flips: any of these pushes a small
+    // array index far beyond its bound (or a pointer's low byte far off
+    // its object) while staying a plausible single/double upset.
+    const HIGH_MASKS: [u8; 4] = [0x80, 0xC0, 0xA0, 0xE0];
+    for i in 0..count {
+        let at_cycle = window / 8 + rng.below(window * 3 / 4);
+        let kind = match i % 4 {
+            0 | 1 if !targets.is_empty() => FaultKind::BitFlip {
+                addr: targets[rng.below(targets.len() as u64) as usize],
+                mask: HIGH_MASKS[rng.below(HIGH_MASKS.len() as u64) as usize],
+            },
+            0 | 1 if has_word => wild_pointer_word(&mut rng, image, base, top),
+            2 if has_word && i % 8 == 2 => wild_pointer_word(&mut rng, image, base, top),
+            2 if has_data => {
+                let addr = base + rng.below((top - base) as u64) as u16;
+                FaultKind::BitFlip {
+                    addr,
+                    mask: 1 << rng.below(8),
+                }
+            }
+            _ => FaultKind::FramePointer {
+                mask: 1 << (1 + rng.below(12)),
+            },
+        };
+        plans.push(FaultPlan { at_cycle, kind });
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{CodeFunction, Profile};
+    use crate::isa::{Instr, Width};
+
+    fn looping_image() -> Image {
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("main");
+        f.code = vec![
+            Instr::LdGlobal {
+                addr: 0x0200,
+                width: Width::W8,
+                signed: false,
+            },
+            Instr::Pop,
+            Instr::Jmp { target: 0 },
+        ];
+        let e = img.add_function(f);
+        img.entry = Some(e);
+        img.static_top = 0x0300;
+        img.static_bytes = 0x0200;
+        img
+    }
+
+    #[test]
+    fn same_seed_same_plans() {
+        let img = looping_image();
+        let a = enumerate_sites(&img, &[0x0204], 42, 32, 1_000_000);
+        let b = enumerate_sites(&img, &[0x0204], 42, 32, 1_000_000);
+        assert_eq!(a, b);
+        let c = enumerate_sites(&img, &[0x0204], 43, 32, 1_000_000);
+        assert_ne!(a, c, "a different seed should move the sites");
+    }
+
+    #[test]
+    fn plans_stay_in_bounds() {
+        let img = looping_image();
+        let base = img.profile.sram_base();
+        let targets = [0x0210, 0x0214];
+        for plan in enumerate_sites(&img, &targets, 7, 64, 800_000) {
+            assert!(plan.at_cycle < 800_000, "{plan:?}");
+            match plan.kind {
+                FaultKind::BitFlip { addr, mask } => {
+                    assert!(
+                        (addr >= base && addr < img.static_top) || targets.contains(&addr),
+                        "{plan:?}"
+                    );
+                    assert_ne!(mask, 0);
+                }
+                FaultKind::PointerWord { addr, .. } => {
+                    assert!(addr >= base && addr + 1 < img.static_top, "{plan:?}");
+                }
+                FaultKind::FramePointer { mask } => assert_ne!(mask, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn half_the_plans_probe_target_cells() {
+        let img = looping_image();
+        let targets = [0x0220];
+        let plans = enumerate_sites(&img, &targets, 5, 32, 1_000_000);
+        let targeted = plans
+            .iter()
+            .filter(
+                |p| matches!(p.kind, FaultKind::BitFlip { addr, mask } if addr == 0x0220 && mask & 0x80 != 0),
+            )
+            .count();
+        assert_eq!(targeted, 16, "plan indices 0,1 mod 4 hit the targets");
+    }
+
+    #[test]
+    fn one_byte_region_never_plants_pointer_words() {
+        // A single byte of static data cannot hold an aligned word: the
+        // pointer-word arms must degrade instead of clamping below
+        // sram_base (addr would underflow to the null page).
+        let mut img = looping_image();
+        img.static_top = img.profile.sram_base() + 1;
+        let base = img.profile.sram_base();
+        for plan in enumerate_sites(&img, &[], 3, 64, 500_000) {
+            match plan.kind {
+                FaultKind::PointerWord { .. } => panic!("no word fits: {plan:?}"),
+                FaultKind::BitFlip { addr, .. } => assert_eq!(addr, base, "{plan:?}"),
+                FaultKind::FramePointer { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dataless_image_degrades_to_register_faults() {
+        let mut img = looping_image();
+        img.static_top = img.profile.sram_base();
+        for plan in enumerate_sites(&img, &[], 1, 16, 100_000) {
+            assert!(
+                matches!(plan.kind, FaultKind::FramePointer { .. }),
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_flips_and_pointer_word_overwrites() {
+        let img = looping_image();
+        let mut m = Machine::new(&img);
+        m.run(50);
+        apply(
+            &mut m,
+            &FaultPlan {
+                at_cycle: 50,
+                kind: FaultKind::BitFlip {
+                    addr: 0x0200,
+                    mask: 0x81,
+                },
+            },
+        );
+        assert_eq!(m.ram_peek(0x0200), 0x81);
+        apply(
+            &mut m,
+            &FaultPlan {
+                at_cycle: 50,
+                kind: FaultKind::PointerWord {
+                    addr: 0x0210,
+                    value: 0xBEEF,
+                },
+            },
+        );
+        assert_eq!(m.ram_peek16(0x0210), 0xBEEF);
+    }
+
+    #[test]
+    fn halted_machines_are_not_corrupted() {
+        let mut img = Image::new(Profile::mica2());
+        let mut f = CodeFunction::new("main");
+        f.code = vec![Instr::Halt];
+        let e = img.add_function(f);
+        img.entry = Some(e);
+        let mut m = Machine::new(&img);
+        m.run(100);
+        assert_eq!(m.state, RunState::Halted);
+        apply(
+            &mut m,
+            &FaultPlan {
+                at_cycle: 100,
+                kind: FaultKind::BitFlip {
+                    addr: 0x0200,
+                    mask: 0xFF,
+                },
+            },
+        );
+        assert_eq!(m.ram_peek(0x0200), 0, "halted machine left untouched");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Pin the stream: campaign reproducibility depends on it.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+}

@@ -14,7 +14,10 @@
 //!   interrupts, sleep/wake accounting, and safety-trap handling,
 //! * [`devices`] — memory-mapped timer, ADC, byte radio, UART, and LEDs,
 //! * [`net`] — a shared broadcast radio channel for multi-node simulations
-//!   (the Avrora "network of motes" role).
+//!   (the Avrora "network of motes" role),
+//! * [`faults`] — deterministic fault injection: seeded corruption plans
+//!   (RAM bit flips, wild pointer words, register upsets) applied to a
+//!   live machine, the substrate of the detection-rate campaigns.
 //!
 //! # Memory map
 //!
@@ -51,11 +54,13 @@
 //! ```
 
 pub mod devices;
+pub mod faults;
 pub mod image;
 pub mod isa;
 pub mod machine;
 pub mod net;
 
+pub use faults::{FaultKind, FaultPlan};
 pub use image::{CodeFunction, Image, Profile};
 pub use machine::{Fault, Machine, RunState};
 

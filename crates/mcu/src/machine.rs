@@ -180,6 +180,27 @@ impl Machine {
         u16::from_le_bytes([self.ram[addr as usize], self.ram[addr as usize + 1]])
     }
 
+    /// Physically overwrites one byte of RAM, bypassing the memory map
+    /// and write protection — this is corruption (see [`crate::faults`]),
+    /// not a store the program performed.
+    pub fn ram_poke(&mut self, addr: u16, value: u8) {
+        self.ram[addr as usize] = value;
+    }
+
+    /// Physically overwrites a little-endian 16-bit word of RAM
+    /// (see [`Machine::ram_poke`]).
+    pub fn ram_poke16(&mut self, addr: u16, value: u16) {
+        let [lo, hi] = value.to_le_bytes();
+        self.ram[addr as usize] = lo;
+        self.ram[addr as usize + 1] = hi;
+    }
+
+    /// Flips bits in the frame-pointer register — corrupted register
+    /// state for fault-injection campaigns (see [`crate::faults`]).
+    pub fn corrupt_fp(&mut self, mask: u16) {
+        self.fp ^= mask;
+    }
+
     /// Whether the global interrupt-enable flag is set.
     pub fn interrupts_enabled(&self) -> bool {
         self.irq_enabled

@@ -3,9 +3,12 @@
 //! byte-identical metrics (and therefore byte-identical `BENCH_*.json`
 //! payloads) to a serial runner, and the frontend must compile each app
 //! exactly once per runner however many configurations the grid spans.
+//! The fault-injection campaign adds a stronger case: hundreds of
+//! simulated corruption runs per grid cell, whose rendered JSON must
+//! still be byte-identical for the same seed.
 
-use bench::ExperimentRunner;
-use safe_tinyos::{Metrics, Pipeline};
+use bench::{fault, ExperimentRunner};
+use safe_tinyos::{CampaignConfig, Metrics, Pipeline};
 use safe_tinyos_suite as _;
 
 /// Every deterministic field of the metrics (stage wall times are
@@ -50,6 +53,35 @@ fn parallel_runner_matches_serial_on_fig2_and_fig3_grids() {
     // invocation, never one per grid cell.
     assert_eq!(serial_compiles, tosapps::APP_NAMES.len());
     assert_eq!(parallel_compiles, tosapps::APP_NAMES.len());
+}
+
+#[test]
+fn fault_campaign_json_matches_serial_under_8_threads() {
+    // A scaled-down fault_injection harness run: same seed, serial vs
+    // 8 workers, over a 3-app × 4-pipeline × 8-site campaign. The
+    // rendered BENCH_fault_injection.json body must be byte-identical.
+    let apps = ["BlinkTask_Mica2", "RfmToLeds_Mica2", "Surge_Mica2"];
+    let pipelines = fault::default_pipelines();
+    let config = CampaignConfig {
+        seconds: 2,
+        sites: 8,
+        seed: 0xC0DE,
+    };
+    let body_with = |threads: usize| {
+        let runner = ExperimentRunner::with_threads(threads);
+        let grid = fault::campaign_grid(&runner, &apps, &pipelines, &config);
+        fault::render_json(&apps, &pipelines, &config, &grid)
+    };
+    let serial = body_with(1);
+    let parallel = body_with(8);
+    assert_eq!(
+        serial, parallel,
+        "fault campaign diverged between serial and 8-thread runs"
+    );
+    // The report is non-trivial: the cured stacks detect where the
+    // uncured gcc baseline cannot.
+    assert!(serial.contains("\"pipeline\":\"gcc\",\"injected\":24,\"detected\":0"));
+    assert!(serial.contains("\"flid\":"));
 }
 
 #[test]
