@@ -1,0 +1,23 @@
+//! CI's differential-oracle gate: `difftest_gate <BENCH_difftest.json>`
+//! exits non-zero when the published report contains any Miscompile
+//! verdict, or any CheckStrengthReduction verdict for a cured preset.
+
+use bench::gate;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: difftest_gate <BENCH_difftest.json>");
+        std::process::exit(2);
+    };
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("difftest_gate: {path}: {e}");
+        std::process::exit(2);
+    });
+    match gate::difftest_check(&body) {
+        Ok(_) => println!("difftest gate ok: zero miscompiles, full cured detection parity"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,20 +9,33 @@
 //! verdict is deterministic, so the rendered JSON is byte-identical
 //! across worker-thread counts and across machines.
 //!
-//! One deliberate modeling choice: the cured+optimized stacks run cXprop
-//! in the *constants* domain. The interval domain proves most index
-//! checks redundant under uncorrupted program semantics and removes
-//! them — which also removes their fault coverage (run
-//! `STOS_PIPELINE='ccured+cxprop+gcc'` through the harness to watch the
-//! detection rate collapse to zero). The constants-domain stacks keep
-//! the checks and the coverage; the contrast is the experiment.
+//! The grid carries its own history lesson: through PR 4, the
+//! interval-domain cured stacks detected *nothing* — classical check
+//! elimination proves most index checks redundant under uncorrupted
+//! program semantics and deletes them, fault coverage and all. The
+//! engine's fault-hardened elimination policy (see `cxprop::engine`)
+//! fixed that: a check is now removed only when its proof covers every
+//! value a corrupted cell can take, so the interval stacks detect at
+//! full parity with the constants-domain ones. The
+//! `ccured+cxprop[ival,noharden]+gcc` stack keeps the classical policy
+//! on the grid as a pinned experiment — its detection rate is asserted
+//! to be exactly zero, so the collapse stays measurable instead of
+//! becoming folklore.
 
 use safe_tinyos::{CampaignConfig, CampaignReport, Pipeline};
 
 use crate::{json, row, ExperimentRunner};
 
+/// The pinned-collapse stack: interval-domain cXprop with the classical
+/// (pre-fix) check-elimination policy. Exempt from the
+/// detects-more-than-gcc gate; asserted to detect exactly zero.
+pub const NOHARDEN_STACK: &str = "ccured+cxprop[ival,noharden]+gcc";
+
 /// The default campaign pipelines: the uncured baseline the paper calls
-/// `gcc` (plain nesC + backend, zero checks), then three cured stacks.
+/// `gcc` (plain nesC + backend, zero checks), the interval-domain
+/// Figure 2 stacks (hardened elimination — nonzero detection), the
+/// constants-domain contrast stacks, and the [`NOHARDEN_STACK`]
+/// collapse exhibit.
 pub fn default_pipelines() -> Vec<Pipeline> {
     vec![
         // In this campaign "gcc" is the *uncured* compiler, per the
@@ -30,12 +43,17 @@ pub fn default_pipelines() -> Vec<Pipeline> {
         // name (cure with the local optimizer off).
         Pipeline::unsafe_baseline().with_name("gcc"),
         Pipeline::fig2_ccured_gcc(),
+        Pipeline::fig2_ccured_cxprop_gcc(),
+        Pipeline::fig2_full(),
         Pipeline::parse("cure(flid)|cxprop(domain=constants)|prune")
             .expect("static spec")
             .with_name("ccured+cxprop[const]+gcc"),
         Pipeline::parse("cure(flid)|inline|cxprop(domain=constants)|prune")
             .expect("static spec")
             .with_name("ccured+inline+cxprop[const]+gcc"),
+        Pipeline::parse("cure(flid)|cxprop(noharden)|prune")
+            .expect("static spec")
+            .with_name(NOHARDEN_STACK),
     ]
 }
 

@@ -1,12 +1,18 @@
-//! The bench-regression gate: compares a freshly produced
-//! `BENCH_toolchain_speed.json` against the committed baseline and
-//! fails when the toolchain got more than a configurable factor slower.
+//! CI gate logic over published `BENCH_*.json` artifacts.
+//!
+//! * The **bench-regression gate** compares a freshly produced
+//!   `BENCH_toolchain_speed.json` against the committed baseline and
+//!   fails when the toolchain got more than a configurable factor
+//!   slower (`STOS_REGRESSION_FACTOR`, default 2× — wall times on
+//!   shared runners are noisy; the gate catches order-of-magnitude
+//!   rot, not percent-level drift).
+//! * The **difftest gate** ([`difftest_check`], the `difftest_gate`
+//!   binary) fails on any Miscompile verdict in a published
+//!   `BENCH_difftest.json` — the differential oracle's hard invariant.
 //!
 //! CI's `gates` job downloads the harness job's artifacts and runs the
-//! `regression_gate` binary over them; the factor defaults to 2× and is
-//! overridable through `STOS_REGRESSION_FACTOR` (wall times on shared
-//! runners are noisy — the gate catches order-of-magnitude rot, not
-//! percent-level drift).
+//! gate binaries over them, so a failure always points at bytes you can
+//! fetch from the run.
 
 /// Default regression factor: fail when fresh wall time exceeds
 /// baseline × 2.
@@ -74,6 +80,35 @@ pub fn check(baseline: &str, fresh: &str, factor: f64) -> Result<GateOutcome, St
     Ok(outcome)
 }
 
+/// Gates a published `BENCH_difftest.json` body: zero Miscompile
+/// verdicts, and (belt and braces with the harness's own self-gate)
+/// zero CheckStrengthReduction verdicts for cured presets. Returns the
+/// `(miscompiles, cured strength reductions)` it found when both are
+/// zero.
+///
+/// # Errors
+///
+/// Returns a description when the body lacks the total fields or when
+/// either total is non-zero.
+pub fn difftest_check(body: &str) -> Result<(usize, usize), String> {
+    let miscompiles = extract_num(body, "total_miscompiles")
+        .ok_or("difftest JSON has no total_miscompiles field")? as usize;
+    let csr = extract_num(body, "total_cured_strength_reductions")
+        .ok_or("difftest JSON has no total_cured_strength_reductions field")?
+        as usize;
+    if miscompiles > 0 {
+        return Err(format!(
+            "difftest gate: {miscompiles} miscompile verdict(s) in the published report"
+        ));
+    }
+    if csr > 0 {
+        return Err(format!(
+            "difftest gate: cured presets lost {csr} detection(s) the reference makes"
+        ));
+    }
+    Ok((miscompiles, csr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +156,21 @@ mod tests {
     fn env_factor_defaults_sanely() {
         // The env var is unset in the test environment.
         assert_eq!(factor_from_env(), DEFAULT_FACTOR);
+    }
+
+    #[test]
+    fn difftest_gate_passes_clean_reports() {
+        let body =
+            r#"{"figure":"difftest","total_miscompiles":0,"total_cured_strength_reductions":0}"#;
+        assert_eq!(difftest_check(body), Ok((0, 0)));
+    }
+
+    #[test]
+    fn difftest_gate_fails_on_miscompiles_and_cured_csr() {
+        let bad = r#"{"total_miscompiles":2,"total_cured_strength_reductions":0}"#;
+        assert!(difftest_check(bad).unwrap_err().contains("2 miscompile"));
+        let lost = r#"{"total_miscompiles":0,"total_cured_strength_reductions":3}"#;
+        assert!(difftest_check(lost).unwrap_err().contains("3 detection"));
+        assert!(difftest_check("{}").is_err());
     }
 }

@@ -18,6 +18,7 @@
 //! and each emits `BENCH_toolchain_speed.json` describing what the
 //! toolchain itself cost.
 
+pub mod diff;
 pub mod fault;
 pub mod gate;
 pub mod runner;
@@ -80,6 +81,22 @@ pub mod knobs {
     pub fn fault_sites() -> usize {
         static CELL: OnceLock<u64> = OnceLock::new();
         *CELL.get_or_init(|| parse_u64("STOS_FAULTS", 16)) as usize
+    }
+
+    /// Generated-program subjects for the differential oracle.
+    /// Override with `STOS_DIFF_SEEDS`.
+    pub fn diff_seeds() -> u64 {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_DIFF_SEEDS", 50))
+    }
+
+    /// First seed of the differential oracle's range (the subjects are
+    /// `STOS_DIFF_BASE .. STOS_DIFF_BASE + STOS_DIFF_SEEDS`). Override
+    /// with `STOS_DIFF_BASE` — set `STOS_DIFF_SEEDS=1 STOS_DIFF_BASE=N`
+    /// to replay one divergence-triggering seed.
+    pub fn diff_base() -> u64 {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_DIFF_BASE", 1))
     }
 }
 

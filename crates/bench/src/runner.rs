@@ -169,15 +169,7 @@ impl ExperimentRunner {
         R: Send,
         F: Fn(&GridJob<'_, C>) -> R + Sync,
     {
-        let start = Instant::now();
-        let n = apps.len() * items.len();
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let worker = || loop {
-            let j = next.fetch_add(1, Ordering::Relaxed);
-            if j >= n {
-                break;
-            }
+        let flat = self.run_indexed(apps.len() * items.len(), |j| {
             let (app_index, item_index) = (j / items.len(), j % items.len());
             let job = GridJob {
                 spec: tosapps::spec(apps[app_index])
@@ -187,7 +179,53 @@ impl ExperimentRunner {
                 item_index,
                 runner: self,
             };
-            *slots[j].lock().unwrap() = Some(f(&job));
+            f(&job)
+        });
+        let mut flat = flat.into_iter();
+        (0..apps.len())
+            .map(|_| {
+                (0..items.len())
+                    .map(|_| flat.next().expect("result per job"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs `f` over every item of a flat (app-less) work list and
+    /// returns the results in item order — the one-dimensional sibling
+    /// of [`ExperimentRunner::run_grid`], for harnesses whose subjects
+    /// are not benchmark apps (the differential oracle's generated
+    /// seeds).
+    pub fn run_items<C, R, F>(&self, items: &[C], f: F) -> Vec<R>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(usize, &C) -> R + Sync,
+    {
+        self.run_indexed(items.len(), |j| f(j, &items[j]))
+    }
+
+    /// The shared work-stealing core behind [`ExperimentRunner::run_grid`]
+    /// and [`ExperimentRunner::run_items`]: runs `f(0..n)` across the
+    /// configured workers. Jobs are claimed from a shared counter in
+    /// index order, but each result lands in its own slot, so the output
+    /// is byte-for-byte independent of scheduling. A panicking job
+    /// panics the whole run when the scope joins. Wall time and job
+    /// count are folded into the speed report.
+    fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let start = Instant::now();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let j = next.fetch_add(1, Ordering::Relaxed);
+            if j >= n {
+                break;
+            }
+            *slots[j].lock().unwrap() = Some(f(j));
         };
         let workers = self.threads.min(n);
         if workers <= 1 {
@@ -207,20 +245,9 @@ impl ExperimentRunner {
             agg.wall += start.elapsed();
             agg.jobs += n;
         }
-        let mut slots = slots.into_iter();
-        (0..apps.len())
-            .map(|_| {
-                (0..items.len())
-                    .map(|_| {
-                        slots
-                            .next()
-                            .expect("slot per job")
-                            .into_inner()
-                            .unwrap()
-                            .expect("every job ran")
-                    })
-                    .collect()
-            })
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every job ran"))
             .collect()
     }
 

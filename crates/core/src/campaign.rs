@@ -111,6 +111,20 @@ impl CampaignReport {
 /// and deduplicated — plan enumeration must not depend on traversal
 /// order.
 pub fn target_cells(build: &Build) -> Vec<u16> {
+    target_names(build)
+        .iter()
+        .filter_map(|name| build.image.find_global_addr(name))
+        .collect::<BTreeSet<u16>>()
+        .into_iter()
+        .collect()
+}
+
+/// The *names* of the index globals [`target_cells`] resolves — the
+/// layout-independent half of the fault model. The differential oracle
+/// ([`crate::difftest`]) targets cells by name so the same logical fault
+/// can be injected into two differently-laid-out builds of one program.
+/// Sorted and deduplicated for enumeration-order independence.
+pub fn target_names(build: &Build) -> Vec<String> {
     let mut ids: BTreeSet<u32> = BTreeSet::new();
     let mark_index_expr = |ie: &Expr, ids: &mut BTreeSet<u32>| {
         visit::walk_expr(ie, &mut |e| {
@@ -160,11 +174,8 @@ pub fn target_cells(build: &Build) -> Vec<u16> {
         });
     }
     ids.iter()
-        .filter_map(|gid| {
-            let name = &build.program.globals[*gid as usize].name;
-            build.image.find_global_addr(name)
-        })
-        .collect::<BTreeSet<u16>>()
+        .map(|gid| build.program.globals[*gid as usize].name.clone())
+        .collect::<BTreeSet<String>>()
         .into_iter()
         .collect()
 }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod campaign;
+pub mod difftest;
 pub mod pipeline;
 pub mod spec;
 
@@ -52,6 +53,7 @@ use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, SiteResult};
+pub use difftest::{DiffCase, DiffConfig, DiffCounts, DiffVerdict, SubjectReport};
 pub use pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
     PipelineBuilder, PruneErrmsgPass, PRESET_NAMES,

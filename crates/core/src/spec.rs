@@ -10,13 +10,19 @@
 //! opt      := flag | key "=" value
 //! ```
 //!
-//! Whitespace around tokens is ignored. The passes and their options:
+//! Whitespace (spaces, tabs, newlines) around tokens — pass names,
+//! options, `|`, and `;` in pipeline lists — is ignored; the canonical
+//! `Display` rendering uses none. Within one pass, each option key may
+//! appear at most once: `cxprop(rounds=2,rounds=3)` and contradictory
+//! flag pairs like `cure(opt,noopt)` are rejected rather than silently
+//! last-wins (a flag and its negation share a key, as do the four cure
+//! error modes). The passes and their options:
 //!
 //! | Pass | Options |
 //! |------|---------|
 //! | `cure` | mode `flid` / `terse` / `verbose-ram` / `verbose-rom`; flags `opt`/`noopt` (local check optimizer), `lock`/`nolock` (racy-check locking), `naive` (§2.3 naive runtime) |
 //! | `inline` | `max-size=N`, `single-site=N`, `rounds=N` |
-//! | `cxprop` | flag `inline` (run the inliner inside the fixpoint, after race refinement — the paper's composite); `domain=constants`/`intervals`; `rounds=N`; flags `dce`/`nodce`, `copyprop`/`nocopyprop`, `atomic`/`noatomic`, `refine`/`norefine` |
+//! | `cxprop` | flag `inline` (run the inliner inside the fixpoint, after race refinement — the paper's composite); `domain=constants`/`intervals`; `rounds=N`; flags `dce`/`nodce`, `copyprop`/`nocopyprop`, `atomic`/`noatomic`, `refine`/`norefine`, `harden`/`noharden` (fault-hardened check elimination; `noharden` restores the classical policy) |
 //! | `prune` | (none) |
 //! | `backend` | `opt`/`noopt` (weak GCC-class optimizer) |
 //!
@@ -139,40 +145,115 @@ fn unknown_option(pass: &str, opt: &str, known: &str) -> SpecError {
     SpecError::new(format!("{pass}: unknown option `{opt}` (known: {known})"))
 }
 
+/// Duplicate-option tracking for one pass segment. Every option maps to
+/// a canonical *key* (a flag and its negation share one, e.g.
+/// `dce`/`nodce`; the four cure error modes share `error mode`); a key
+/// claimed twice is rejected rather than silently last-wins — the
+/// `Display` canonicalization renders each key at most once, so a spec
+/// that sets one twice cannot round-trip and is a user error by
+/// construction.
+struct SeenOpts {
+    pass: &'static str,
+    seen: Vec<(&'static str, String)>,
+}
+
+impl SeenOpts {
+    fn new(pass: &'static str) -> SeenOpts {
+        SeenOpts {
+            pass,
+            seen: Vec::new(),
+        }
+    }
+
+    fn claim(&mut self, key: &'static str, opt: &str) -> Result<(), SpecError> {
+        if let Some((_, first)) = self.seen.iter().find(|(k, _)| *k == key) {
+            return Err(SpecError::new(format!(
+                "{}: duplicate option `{opt}` ({key} already set by `{first}`)",
+                self.pass
+            )));
+        }
+        self.seen.push((key, opt.to_string()));
+        Ok(())
+    }
+
+    /// Claims `key` for `opt` and stores `value` — one call per match
+    /// arm, so the duplicate check can never drift from the assignment.
+    fn set<T>(
+        &mut self,
+        key: &'static str,
+        opt: &str,
+        slot: &mut T,
+        value: T,
+    ) -> Result<(), SpecError> {
+        self.claim(key, opt)?;
+        *slot = value;
+        Ok(())
+    }
+}
+
 fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
     let (name, opts) = split_segment(segment)?;
     match name {
         "cure" => {
             let mut options = CureOptions::default();
+            let mut seen = SeenOpts::new("cure");
             for opt in opts {
+                // Each arm claims its canonical key before acting, so a
+                // flag and its negation (or two error modes) collide.
                 match opt {
-                    "flid" => options.error_mode = ErrorMode::Flid,
-                    "terse" => options.error_mode = ErrorMode::Terse,
-                    "verbose-ram" => options.error_mode = ErrorMode::VerboseRam,
-                    "verbose-rom" => options.error_mode = ErrorMode::VerboseRom,
-                    "opt" => options.local_optimize = true,
-                    "noopt" => options.local_optimize = false,
-                    "lock" => options.lock_racy_checks = true,
-                    "nolock" => options.lock_racy_checks = false,
-                    "naive" => options.naive_runtime = true,
-                    _ => return Err(unknown_option(
+                    "flid" => seen.set("error mode", opt, &mut options.error_mode, ErrorMode::Flid),
+                    "terse" => {
+                        seen.set("error mode", opt, &mut options.error_mode, ErrorMode::Terse)
+                    }
+                    "verbose-ram" => seen.set(
+                        "error mode",
+                        opt,
+                        &mut options.error_mode,
+                        ErrorMode::VerboseRam,
+                    ),
+                    "verbose-rom" => seen.set(
+                        "error mode",
+                        opt,
+                        &mut options.error_mode,
+                        ErrorMode::VerboseRom,
+                    ),
+                    "opt" => seen.set("local optimizer", opt, &mut options.local_optimize, true),
+                    "noopt" => seen.set("local optimizer", opt, &mut options.local_optimize, false),
+                    "lock" => seen.set(
+                        "racy-check locking",
+                        opt,
+                        &mut options.lock_racy_checks,
+                        true,
+                    ),
+                    "nolock" => seen.set(
+                        "racy-check locking",
+                        opt,
+                        &mut options.lock_racy_checks,
+                        false,
+                    ),
+                    "naive" => seen.set("runtime", opt, &mut options.naive_runtime, true),
+                    _ => Err(unknown_option(
                         "cure",
                         opt,
                         "flid, terse, verbose-ram, verbose-rom, opt, noopt, lock, nolock, naive",
                     )),
-                }
+                }?;
             }
             Ok(Arc::new(CurePass { options }))
         }
         "inline" => {
             let mut options = InlineOptions::default();
+            let mut seen = SeenOpts::new("inline");
             for opt in opts {
                 if opt.starts_with("max-size=") {
-                    options.max_size = parse_count("inline", opt)?;
+                    let v = parse_count("inline", opt)?;
+                    seen.set("max-size", opt, &mut options.max_size, v)?;
                 } else if opt.starts_with("single-site=") {
-                    options.max_single_site = parse_count("inline", opt)?;
+                    let v = parse_count("inline", opt)?;
+                    seen.set("single-site", opt, &mut options.max_single_site, v)?;
                 } else if opt.starts_with("rounds=") {
-                    options.rounds = parse_count("inline", opt)?;
+                    let v = parse_count("inline", opt)?;
+                    seen.set("rounds", opt, &mut options.rounds, v)?;
                 } else {
                     return Err(unknown_option(
                         "inline",
@@ -185,31 +266,40 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         }
         "cxprop" => {
             let mut options = CxpropPass::default().options;
+            let mut seen = SeenOpts::new("cxprop");
             for opt in opts {
                 match opt {
-                    "inline" => options.inline = true,
-                    "dce" => options.dce = true,
-                    "nodce" => options.dce = false,
-                    "copyprop" => options.copyprop = true,
-                    "nocopyprop" => options.copyprop = false,
-                    "atomic" => options.atomic_opt = true,
-                    "noatomic" => options.atomic_opt = false,
-                    "refine" => options.refine_races = true,
-                    "norefine" => options.refine_races = false,
-                    "domain=constants" => options.domain = DomainKind::Constants,
-                    "domain=intervals" => options.domain = DomainKind::Intervals,
+                    "inline" => seen.set("inline", opt, &mut options.inline, true),
+                    "dce" => seen.set("dce", opt, &mut options.dce, true),
+                    "nodce" => seen.set("dce", opt, &mut options.dce, false),
+                    "copyprop" => seen.set("copyprop", opt, &mut options.copyprop, true),
+                    "nocopyprop" => seen.set("copyprop", opt, &mut options.copyprop, false),
+                    "atomic" => seen.set("atomic", opt, &mut options.atomic_opt, true),
+                    "noatomic" => seen.set("atomic", opt, &mut options.atomic_opt, false),
+                    "refine" => seen.set("race refinement", opt, &mut options.refine_races, true),
+                    "norefine" => {
+                        seen.set("race refinement", opt, &mut options.refine_races, false)
+                    }
+                    "harden" => seen.set("hardening", opt, &mut options.fault_harden, true),
+                    "noharden" => seen.set("hardening", opt, &mut options.fault_harden, false),
+                    "domain=constants" => {
+                        seen.set("domain", opt, &mut options.domain, DomainKind::Constants)
+                    }
+                    "domain=intervals" => {
+                        seen.set("domain", opt, &mut options.domain, DomainKind::Intervals)
+                    }
                     _ if opt.starts_with("rounds=") => {
-                        options.max_rounds = parse_count("cxprop", opt)?;
+                        let rounds = parse_count("cxprop", opt)?;
+                        seen.set("rounds", opt, &mut options.max_rounds, rounds)
                     }
-                    _ => {
-                        return Err(unknown_option(
-                            "cxprop",
-                            opt,
-                            "inline, domain=constants|intervals, rounds=N, dce, nodce, \
-                             copyprop, nocopyprop, atomic, noatomic, refine, norefine",
-                        ))
-                    }
-                }
+                    _ => Err(unknown_option(
+                        "cxprop",
+                        opt,
+                        "inline, domain=constants|intervals, rounds=N, dce, nodce, \
+                         copyprop, nocopyprop, atomic, noatomic, refine, norefine, \
+                         harden, noharden",
+                    )),
+                }?;
             }
             Ok(Arc::new(CxpropPass { options }))
         }
@@ -223,12 +313,13 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         }
         "backend" => {
             let mut options = BackendOptions::default();
+            let mut seen = SeenOpts::new("backend");
             for opt in opts {
                 match opt {
-                    "opt" => options.optimize = true,
-                    "noopt" => options.optimize = false,
-                    _ => return Err(unknown_option("backend", opt, "opt, noopt")),
-                }
+                    "opt" => seen.set("optimizer", opt, &mut options.optimize, true),
+                    "noopt" => seen.set("optimizer", opt, &mut options.optimize, false),
+                    _ => Err(unknown_option("backend", opt, "opt, noopt")),
+                }?;
             }
             Ok(Arc::new(BackendPass { options }))
         }
@@ -308,6 +399,9 @@ pub(crate) fn render_cxprop(options: &CxpropOptions) -> String {
     }
     if !options.refine_races {
         opts.push("norefine".into());
+    }
+    if !options.fault_harden {
+        opts.push("noharden".into());
     }
     render("cxprop", opts)
 }

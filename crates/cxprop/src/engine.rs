@@ -17,6 +17,35 @@
 //! per-function entry values, return summaries, and whole-program global
 //! values; then a **transform** pass that folds constant expressions and
 //! branches and deletes checks the analysis proves redundant.
+//!
+//! # Fault-hardened check elimination
+//!
+//! Check *removal* answers to a stricter standard than ordinary dataflow
+//! soundness. An interval proof that an index global stays in `0..N`
+//! holds for every uncorrupted execution — but the checks exist to catch
+//! *corrupted* ones: a bit flip in a RAM cell produces any value the
+//! cell's type can represent, invariants be damned. Deleting a check on
+//! the strength of such an invariant silently deletes the program's
+//! fault coverage (the fault-injection campaign measures exactly this
+//! collapse).
+//!
+//! The engine therefore keeps a second, *hardened* value for every
+//! local: the value the expression would have if every load from a
+//! RAM-resident mutable global returned the global's full type range
+//! (ROM-resident `const` globals are immune and keep their precise
+//! value; locals live in the stack region outside the static-data fault
+//! window and stay precise, including refinements earned from checks
+//! and branches that the running code actually executed). A check is
+//! removed only when it passes in **both** worlds — i.e. when the
+//! interval proof covers the entire fault-reachable value set, such as
+//! a `u8` index into a 256-element array or an index reduced by
+//! `% N` between the load and the access. Constant and branch folding
+//! keep using the ordinary (uncorrupted-semantics) values: folding can
+//! mask a fault but never removes a trap.
+//!
+//! `harden: false` (the spec language's `cxprop(noharden)`) restores the
+//! classical policy, which is how the campaign harness demonstrates the
+//! coverage collapse on demand.
 
 use tcil::ir::*;
 use tcil::types::{size_of, IntKind, Type};
@@ -192,9 +221,16 @@ pub fn summarize(program: &Program) -> Summaries {
 }
 
 /// The flow environment at a program point.
+///
+/// `hard_locals` is the fault-hardened shadow of `locals`: the value
+/// each local would hold if every global it was computed from had been
+/// corrupted to an arbitrary value of its type (see the module docs).
+/// Globals need no shadow — their hardened value is always their type's
+/// top, by definition of the fault model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Env {
     locals: Vec<AVal>,
+    hard_locals: Vec<AVal>,
     globals: Vec<AVal>,
     reachable: bool,
 }
@@ -209,7 +245,12 @@ impl Env {
             return true;
         }
         let mut changed = false;
-        for (a, b) in self.locals.iter_mut().zip(&other.locals) {
+        for (a, b) in self
+            .locals
+            .iter_mut()
+            .chain(self.hard_locals.iter_mut())
+            .zip(other.locals.iter().chain(&other.hard_locals))
+        {
             let j = a.join(*b);
             if j != *a {
                 *a = j;
@@ -231,24 +272,38 @@ impl Env {
 pub struct Engine {
     /// Chosen integer domain.
     pub domain: DomainKind,
+    /// Fault-hardened check elimination (see the module docs). When
+    /// false, checks are removed on uncorrupted-semantics proofs alone —
+    /// the classical (pre-fix) policy.
+    pub harden: bool,
     /// Program facts.
     pub sums: Summaries,
     /// Whole-program abstract value of each global.
     pub wpv: Vec<AVal>,
     /// Join of argument values at every call site, per function.
     pub entry: Vec<Option<Vec<AVal>>>,
+    /// Fault-hardened twin of [`Engine::entry`].
+    pub entry_hard: Vec<Option<Vec<AVal>>>,
     /// Return-value summaries.
     pub retv: Vec<AVal>,
+    /// Fault-hardened twin of [`Engine::retv`].
+    pub retv_hard: Vec<AVal>,
     changed: bool,
 }
 
 impl Engine {
-    /// Runs the fixpoint analysis over `program`.
+    /// Runs the fixpoint analysis over `program` with fault-hardened
+    /// check elimination (the default policy).
     ///
     /// Takes `&mut` only to borrow the function bodies in place (they
     /// are moved out and restored, never cloned); the program is
     /// unchanged when this returns.
     pub fn analyze(program: &mut Program, domain: DomainKind) -> Engine {
+        Self::analyze_opts(program, domain, true)
+    }
+
+    /// [`Engine::analyze`] with the hardening policy explicit.
+    pub fn analyze_opts(program: &mut Program, domain: DomainKind, harden: bool) -> Engine {
         let sums = summarize(program);
         let ng = program.globals.len();
         let nf = program.functions.len();
@@ -270,16 +325,20 @@ impl Engine {
         }
         let mut eng = Engine {
             domain,
+            harden,
             sums,
             wpv,
             entry: vec![None; nf],
+            entry_hard: vec![None; nf],
             retv: vec![AVal::Bot; nf],
+            retv_hard: vec![AVal::Bot; nf],
             changed: true,
         };
         // Roots have no parameters.
         for (i, f) in program.functions.iter().enumerate() {
             if program.entry == Some(FuncId(i as u32)) || f.interrupt.is_some() {
                 eng.entry[i] = Some(vec![]);
+                eng.entry_hard[i] = Some(vec![]);
             }
         }
         // Move the bodies out of the program so the walker can borrow
@@ -337,6 +396,7 @@ impl Engine {
     fn entry_env(&self, program: &Program, fi: usize) -> Env {
         let f = &program.functions[fi];
         let mut locals: Vec<AVal> = f.locals.iter().map(|l| AVal::top_for(&l.ty)).collect();
+        let mut hard_locals = locals.clone();
         if let Some(params) = &self.entry[fi] {
             for (i, v) in params.iter().enumerate() {
                 if i < locals.len() {
@@ -344,8 +404,16 @@ impl Engine {
                 }
             }
         }
+        if let Some(params) = &self.entry_hard[fi] {
+            for (i, v) in params.iter().enumerate() {
+                if i < hard_locals.len() {
+                    hard_locals[i] = *v;
+                }
+            }
+        }
         Env {
             locals,
+            hard_locals,
             globals: self.wpv.clone(),
             reachable: true,
         }
@@ -425,7 +493,18 @@ impl Walker<'_> {
 
     // ----- evaluation -----
 
+    /// Evaluates `e` under uncorrupted program semantics.
     fn eval(&self, e: &Expr, env: &Env) -> AVal {
+        self.eval_in(e, env, false)
+    }
+
+    /// Evaluates `e`; with `hard` set, under the fault model — loads of
+    /// RAM-resident mutable globals return the global's full type range
+    /// and locals read their hardened shadow values. With `hard` unset
+    /// (or hardening disabled engine-wide) this is the ordinary
+    /// evaluation.
+    fn eval_in(&self, e: &Expr, env: &Env, hard: bool) -> AVal {
+        let hard = hard && self.eng.harden;
         let v = match &e.kind {
             ExprKind::Const(c) => match &e.ty {
                 Type::Ptr(..) if *c == 0 => AVal::Ptr(APtr::null()),
@@ -437,18 +516,18 @@ impl Walker<'_> {
                 AVal::Ptr(APtr::object(Ival::const_(len + 1), Ival::const_(0)))
             }
             ExprKind::SizeOf(t) => AVal::Int(Ival::const_(size_of(t, &self.prog.structs) as i64)),
-            ExprKind::Load(p) => self.eval_place(p, env),
+            ExprKind::Load(p) => self.eval_place(p, env, hard),
             ExprKind::AddrOf(p) => AVal::Ptr(addr_of_value(
                 p,
                 |pl| self.place_ty(pl),
                 &self.prog.structs,
-                |i| match self.eval(i, env) {
+                |i| match self.eval_in(i, env, hard) {
                     AVal::Int(iv) => iv,
                     _ => Ival::any(),
                 },
             )),
-            ExprKind::MakeFat { val, .. } => self.eval(val, env),
-            ExprKind::Unary(op, a) => match self.eval(a, env) {
+            ExprKind::MakeFat { val, .. } => self.eval_in(val, env, hard),
+            ExprKind::Unary(op, a) => match self.eval_in(a, env, hard) {
                 AVal::Int(i) => {
                     let k = a.ty.as_int().unwrap_or(IntKind::U16);
                     AVal::Int(Ival::unop(*op, i, k))
@@ -460,8 +539,8 @@ impl Walker<'_> {
                 },
                 _ => AVal::top_for(&e.ty),
             },
-            ExprKind::Binary(op, a, b) => self.eval_binary(*op, a, b, env, &e.ty),
-            ExprKind::Cast(a) => match (self.eval(a, env), e.ty.as_int()) {
+            ExprKind::Binary(op, a, b) => self.eval_binary(*op, a, b, env, &e.ty, hard),
+            ExprKind::Cast(a) => match (self.eval_in(a, env, hard), e.ty.as_int()) {
                 (AVal::Int(i), Some(k)) => AVal::Int(i.cast(k)),
                 (v @ AVal::Ptr(_), None) if e.ty.is_ptr() => v,
                 _ => AVal::top_for(&e.ty),
@@ -473,9 +552,9 @@ impl Walker<'_> {
         }
     }
 
-    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr, env: &Env, ty: &Type) -> AVal {
-        let va = self.eval(a, env);
-        let vb = self.eval(b, env);
+    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr, env: &Env, ty: &Type, hard: bool) -> AVal {
+        let va = self.eval_in(a, env, hard);
+        let vb = self.eval_in(b, env, hard);
         match op {
             BinOp::PtrAdd | BinOp::PtrSub => {
                 let elem = match &a.ty {
@@ -520,14 +599,25 @@ impl Walker<'_> {
         }
     }
 
-    fn eval_place(&self, p: &Place, env: &Env) -> AVal {
+    fn eval_place(&self, p: &Place, env: &Env, hard: bool) -> AVal {
         if !p.elems.is_empty() {
             return AVal::top_for(&p.ty);
         }
         match &p.base {
-            PlaceBase::Local(id) => env.locals[id.0 as usize],
+            PlaceBase::Local(id) => {
+                if hard {
+                    env.hard_locals[id.0 as usize]
+                } else {
+                    env.locals[id.0 as usize]
+                }
+            }
             PlaceBase::Global(g) => {
                 let gi = g.0 as usize;
+                if hard && !self.prog.globals[gi].is_const {
+                    // A RAM cell under the fault model: any value of its
+                    // type (`const` globals live in ROM and are immune).
+                    return AVal::top_for(&p.ty);
+                }
                 if self.refinable(gi) {
                     env.globals[gi]
                 } else {
@@ -566,7 +656,7 @@ impl Walker<'_> {
 
     // ----- assignment effects -----
 
-    fn assign_place(&mut self, p: &Place, v: AVal, env: &mut Env) {
+    fn assign_place(&mut self, p: &Place, v: AVal, v_hard: AVal, env: &mut Env) {
         if !p.elems.is_empty() {
             // Field/array stores: field-insensitive; nothing tracked, but a
             // store through a pointer may hit address-taken globals (their
@@ -574,7 +664,10 @@ impl Walker<'_> {
             return;
         }
         match &p.base {
-            PlaceBase::Local(id) => env.locals[id.0 as usize] = v,
+            PlaceBase::Local(id) => {
+                env.locals[id.0 as usize] = v;
+                env.hard_locals[id.0 as usize] = v_hard;
+            }
             PlaceBase::Global(g) => {
                 let gi = g.0 as usize;
                 env.globals[gi] = v;
@@ -624,7 +717,16 @@ impl Walker<'_> {
             Stmt::Assign(place, e) => {
                 let v = self.eval(e, env);
                 self.fold_expr_to_const(e, env, stats);
-                self.assign_place(&place.clone(), v, env);
+                // Hardened value after folding: a folded constant no
+                // longer reads RAM, so it is fault-immune by construction.
+                // (With hardening off the twin equals `v`; skip the
+                // second evaluation.)
+                let vh = if self.eng.harden {
+                    self.eval_in(e, env, true)
+                } else {
+                    v
+                };
+                self.assign_place(&place.clone(), v, vh, env);
             }
             Stmt::Call { dst, func, args } => {
                 let callee = func.0 as usize;
@@ -632,11 +734,25 @@ impl Walker<'_> {
                 for a in args.iter_mut() {
                     self.fold_expr_to_const(a, env, stats);
                 }
-                // Join into the callee's entry summary.
+                let vals_hard: Vec<AVal> = if self.eng.harden {
+                    args.iter().map(|a| self.eval_in(a, env, true)).collect()
+                } else {
+                    vals.clone()
+                };
+                // Join into the callee's entry summaries (both worlds).
                 let params = self.prog.functions[callee].params as usize;
-                let entry = self.eng.entry[callee].get_or_insert_with(|| vec![AVal::Bot; params]);
                 let mut changed = false;
+                let entry = self.eng.entry[callee].get_or_insert_with(|| vec![AVal::Bot; params]);
                 for (slot, v) in entry.iter_mut().zip(vals.iter()) {
+                    let j = slot.join(*v);
+                    if j != *slot {
+                        *slot = j;
+                        changed = true;
+                    }
+                }
+                let entry_hard =
+                    self.eng.entry_hard[callee].get_or_insert_with(|| vec![AVal::Bot; params]);
+                for (slot, v) in entry_hard.iter_mut().zip(vals_hard.iter()) {
                     let j = slot.join(*v);
                     if j != *slot {
                         *slot = j;
@@ -655,7 +771,8 @@ impl Walker<'_> {
                 }
                 if let Some(d) = dst.clone() {
                     let rv = self.eng.retv[callee];
-                    self.assign_place(&d, rv, env);
+                    let rvh = self.eng.retv_hard[callee];
+                    self.assign_place(&d, rv, rvh, env);
                 }
             }
             Stmt::BuiltinCall { dst, args, .. } => {
@@ -664,7 +781,7 @@ impl Walker<'_> {
                 }
                 if let Some(d) = dst.clone() {
                     let top = AVal::top_for(&d.ty);
-                    self.assign_place(&d, top, env);
+                    self.assign_place(&d, top, top, env);
                 }
             }
             Stmt::If { cond, then_, else_ } => {
@@ -709,9 +826,19 @@ impl Walker<'_> {
                 if let Some(e) = e {
                     let v = self.eval(e, env);
                     self.fold_expr_to_const(e, env, stats);
+                    let vh = if self.eng.harden {
+                        self.eval_in(e, env, true)
+                    } else {
+                        v
+                    };
                     let j = self.eng.retv[self.fidx].join(v);
                     if j != self.eng.retv[self.fidx] {
                         self.eng.retv[self.fidx] = j;
+                        self.eng.changed = true;
+                    }
+                    let jh = self.eng.retv_hard[self.fidx].join(vh);
+                    if jh != self.eng.retv_hard[self.fidx] {
+                        self.eng.retv_hard[self.fidx] = jh;
                         self.eng.changed = true;
                     }
                 }
@@ -745,13 +872,21 @@ impl Walker<'_> {
             }
             Stmt::Block(b) => self.walk_block(b, env, stats),
             Stmt::Check(c) => {
-                if self.check_passes(c, env) {
+                // Removal demands the proof in both worlds: the ordinary
+                // one *and* the fault-hardened one, where every mutable
+                // RAM global holds an arbitrary value of its type. A
+                // check provable only from uncorrupted-run invariants is
+                // exactly the fault coverage the cured build exists for.
+                let passes = self.check_passes(c, env, false);
+                if passes && (!self.eng.harden || self.check_passes(c, env, true)) {
                     if self.transform {
                         stats.checks_removed += 1;
                         *s = Stmt::Nop;
                     }
                 } else {
-                    // Execution continues only if the check passed: refine.
+                    // Execution continues only if the check passed:
+                    // refine (the hardened shadow too — the running code
+                    // really did pass this check).
                     self.refine_check(&c.clone(), env);
                 }
             }
@@ -801,6 +936,10 @@ impl Walker<'_> {
                 for (i, l) in merged.locals.iter().enumerate() {
                     let k = self.func().locals[i].ty.as_int().unwrap_or(IntKind::I32);
                     head.locals[i] = head.locals[i].widen(*l, k);
+                }
+                for (i, l) in merged.hard_locals.iter().enumerate() {
+                    let k = self.func().locals[i].ty.as_int().unwrap_or(IntKind::I32);
+                    head.hard_locals[i] = head.hard_locals[i].widen(*l, k);
                 }
                 for (i, g) in merged.globals.iter().enumerate() {
                     let k = self.prog.globals[i].ty.as_int().unwrap_or(IntKind::I32);
@@ -872,7 +1011,11 @@ impl Walker<'_> {
                     }
                     return;
                 }
-                // Integer refinement on direct loads.
+                // Integer refinement on direct loads. The hardened
+                // shadow refines too — the branch really executed on the
+                // loaded value — but against the *hardened* bound: a
+                // bound read from a corruptible global constrains
+                // nothing in the fault world.
                 let vb = match self.eval(b, env) {
                     AVal::Int(i) => i,
                     _ => return,
@@ -880,6 +1023,11 @@ impl Walker<'_> {
                 if let Some((target, AVal::Int(ia))) = self.refinable_load(a, env) {
                     let refined = ia.refine(*op, vb, taken);
                     self.set_refined(target, AVal::Int(refined), env);
+                    if let (Some(AVal::Int(ha)), AVal::Int(hb)) =
+                        (self.hard_of(target, env), self.eval_in(b, env, true))
+                    {
+                        self.set_refined_hard(target, AVal::Int(ha.refine(*op, hb, taken)), env);
+                    }
                 }
                 // Symmetric case: const op load — flip the comparison.
                 let va = match self.eval(a, env) {
@@ -894,11 +1042,16 @@ impl Walker<'_> {
                     };
                     // a OP b refines b via the flipped relation with
                     // inverted taken-ness for orderings.
-                    let refined = match op {
+                    let refine_with = |ib: Ival, va: Ival| match op {
                         BinOp::Eq | BinOp::Ne => ib.refine(*op, va, taken),
                         _ => ib.refine(flipped, va, !taken),
                     };
-                    self.set_refined(target, AVal::Int(refined), env);
+                    self.set_refined(target, AVal::Int(refine_with(ib, va)), env);
+                    if let (Some(AVal::Int(hb)), AVal::Int(ha)) =
+                        (self.hard_of(target, env), self.eval_in(a, env, true))
+                    {
+                        self.set_refined_hard(target, AVal::Int(refine_with(hb, ha)), env);
+                    }
                 }
             }
             ExprKind::Load(_) => {
@@ -911,6 +1064,15 @@ impl Walker<'_> {
                                 i.meet(Ival::const_(0))
                             };
                             self.set_refined(target, AVal::Int(refined), env);
+                            if !taken {
+                                if let Some(AVal::Int(h)) = self.hard_of(target, env) {
+                                    self.set_refined_hard(
+                                        target,
+                                        AVal::Int(h.meet(Ival::const_(0))),
+                                        env,
+                                    );
+                                }
+                            }
                         }
                         AVal::Ptr(_) => self.refine_ptr_null(cond, taken, env),
                         _ => {}
@@ -957,28 +1119,50 @@ impl Walker<'_> {
         }
     }
 
+    /// The fault-hardened shadow of a refinement target, if it has one
+    /// (locals only — globals are unconditionally top in the fault
+    /// world, so refining them there would be unsound).
+    fn hard_of(&self, target: RefTarget, env: &Env) -> Option<AVal> {
+        match target {
+            RefTarget::Local(i) => Some(env.hard_locals[i]),
+            RefTarget::Global(_) => None,
+        }
+    }
+
+    fn set_refined_hard(&self, target: RefTarget, v: AVal, env: &mut Env) {
+        if let RefTarget::Local(i) = target {
+            env.hard_locals[i] = v;
+        }
+    }
+
     fn refine_ptr_null(&self, e: &Expr, nonnull: bool, env: &mut Env) {
         if let Some((target, AVal::Ptr(mut p))) = self.refinable_load(e, env) {
             p.null = if nonnull { Tri::No } else { Tri::Yes };
             self.set_refined(target, AVal::Ptr(p), env);
+            if let Some(AVal::Ptr(mut h)) = self.hard_of(target, env) {
+                h.null = if nonnull { Tri::No } else { Tri::Yes };
+                self.set_refined_hard(target, AVal::Ptr(h), env);
+            }
         }
     }
 
     // ----- checks -----
 
-    fn check_passes(&self, c: &Check, env: &Env) -> bool {
+    /// Whether `c` provably passes; with `hard`, under the fault model
+    /// (see [`Walker::eval_in`]).
+    fn check_passes(&self, c: &Check, env: &Env, hard: bool) -> bool {
         match &c.kind {
             CheckKind::NonNull(e) => {
-                matches!(self.eval(e, env), AVal::Ptr(p) if p.null == Tri::No)
+                matches!(self.eval_in(e, env, hard), AVal::Ptr(p) if p.null == Tri::No)
             }
-            CheckKind::Upper { ptr, len } => match self.eval(ptr, env) {
+            CheckKind::Upper { ptr, len } => match self.eval_in(ptr, env, hard) {
                 AVal::Ptr(p) => {
                     p.null == Tri::No
                         && matches!(p.room.bounds(), Some((lo, _)) if lo >= *len as i64)
                 }
                 _ => false,
             },
-            CheckKind::Bounds { ptr, len } => match self.eval(ptr, env) {
+            CheckKind::Bounds { ptr, len } => match self.eval_in(ptr, env, hard) {
                 AVal::Ptr(p) => {
                     p.null == Tri::No
                         && matches!(p.room.bounds(), Some((lo, _)) if lo >= *len as i64)
@@ -986,7 +1170,7 @@ impl Walker<'_> {
                 }
                 _ => false,
             },
-            CheckKind::IndexBound { idx, n } => match self.eval(idx, env) {
+            CheckKind::IndexBound { idx, n } => match self.eval_in(idx, env, hard) {
                 AVal::Int(i) => {
                     matches!(i.bounds(), Some((lo, hi)) if lo >= 0 && hi < *n as i64)
                 }
@@ -995,7 +1179,9 @@ impl Walker<'_> {
         }
     }
 
-    /// After a passing check, execution is conditioned on its truth.
+    /// After a passing check, execution is conditioned on its truth —
+    /// in both worlds: whatever may have been corrupted beforehand, the
+    /// value the surviving check just tested satisfied it.
     fn refine_check(&self, c: &Check, env: &mut Env) {
         let (ptr_expr, need_room, need_back) = match &c.kind {
             CheckKind::NonNull(e) => (e, None, false),
@@ -1003,21 +1189,31 @@ impl Walker<'_> {
             CheckKind::Bounds { ptr, len } => (ptr, Some(*len), true),
             CheckKind::IndexBound { idx, n } => {
                 if let Some((target, AVal::Int(i))) = self.refinable_load(idx, env) {
-                    let refined = i.meet(Ival::Range(0, *n as i64 - 1));
-                    self.set_refined(target, AVal::Int(refined), env);
+                    let range = Ival::Range(0, *n as i64 - 1);
+                    self.set_refined(target, AVal::Int(i.meet(range)), env);
+                    if let Some(AVal::Int(h)) = self.hard_of(target, env) {
+                        self.set_refined_hard(target, AVal::Int(h.meet(range)), env);
+                    }
                 }
                 return;
             }
         };
         if let Some((target, AVal::Ptr(mut p))) = self.refinable_load(ptr_expr, env) {
-            p.null = Tri::No;
-            if let Some(len) = need_room {
-                p.room = p.room.meet(Ival::Range(len as i64, i64::MAX / 4));
-            }
-            if need_back {
-                p.back = p.back.meet(Ival::Range(0, i64::MAX / 4));
-            }
+            let strengthen = |p: &mut APtr| {
+                p.null = Tri::No;
+                if let Some(len) = need_room {
+                    p.room = p.room.meet(Ival::Range(len as i64, i64::MAX / 4));
+                }
+                if need_back {
+                    p.back = p.back.meet(Ival::Range(0, i64::MAX / 4));
+                }
+            };
+            strengthen(&mut p);
             self.set_refined(target, AVal::Ptr(p), env);
+            if let Some(AVal::Ptr(mut h)) = self.hard_of(target, env) {
+                strengthen(&mut h);
+                self.set_refined_hard(target, AVal::Ptr(h), env);
+            }
         }
     }
 }

@@ -143,12 +143,24 @@ impl Ival {
                 Ival::Range(0, ah.min(bh))
             }
             BinOp::Or | BinOp::Xor if al >= 0 && bl >= 0 => {
-                // Result < next power of two above both maxima.
+                // Result < next power of two above both maxima. The
+                // power-of-two walk saturates: a huge maximum must clamp
+                // to `i64::MAX`, never wrap into a negative (lo > hi)
+                // pseudo-interval that would decide comparisons wrongly.
                 let m = ah.max(bh).max(1) as u64;
-                let hi = (m.next_power_of_two().saturating_mul(2) - 1) as i64;
+                let hi = m
+                    .checked_next_power_of_two()
+                    .and_then(|p| p.checked_mul(2))
+                    .map_or(i64::MAX, |p| i64::try_from(p - 1).unwrap_or(i64::MAX));
                 exact(0, hi)
             }
-            BinOp::Shl if bl == bh && (0..16).contains(&bl) && al >= 0 => exact(al << bl, ah << bl),
+            BinOp::Shl if bl == bh && (0..16).contains(&bl) && al >= 0 => {
+                // Saturating shifts: `ah << bl` on a wide bound would
+                // overflow i64 (wrapping to a nonsense range in release,
+                // panicking in debug).
+                let sh = |v: i64| v.checked_mul(1i64 << bl).unwrap_or(i64::MAX);
+                exact(sh(al), sh(ah))
+            }
             BinOp::Shr if bl == bh && (0..16).contains(&bl) && al >= 0 => {
                 Ival::Range(al >> bl, ah >> bl)
             }
@@ -323,6 +335,26 @@ mod tests {
         assert_eq!(w, Ival::Range(0, 255));
         // Stable once widened.
         assert_eq!(w.widen(w, IntKind::U8), w);
+    }
+
+    #[test]
+    fn wide_shift_saturates_instead_of_overflowing() {
+        // A near-i64-wide bound shifted left must clamp, not wrap (or
+        // panic in debug): the result collapses to the kind's top.
+        let a = Ival::Range(0, i64::MAX / 4);
+        let b = Ival::const_(15);
+        let r = Ival::binop(BinOp::Shl, a, b, IntKind::U16);
+        assert_eq!(r, Ival::top(IntKind::U16));
+    }
+
+    #[test]
+    fn wide_or_never_builds_an_inverted_interval() {
+        // next_power_of_two on a huge maximum must not wrap hi below lo.
+        let a = Ival::Range(0, i64::MAX / 4);
+        let r = Ival::binop(BinOp::Or, a, a, IntKind::U16);
+        let (lo, hi) = r.bounds().expect("non-bottom");
+        assert!(lo <= hi, "inverted interval {lo}..{hi}");
+        assert_eq!(r, Ival::top(IntKind::U16));
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct CxpropOptions {
     pub inline_options: InlineOptions,
     /// Abstract integer domain.
     pub domain: DomainKind,
+    /// Fault-hardened check elimination: remove a check only when the
+    /// proof also covers the fault-reachable value set (loads of mutable
+    /// RAM globals widened to their type's full range — see
+    /// [`engine`]'s module docs). Disable (`cxprop(noharden)`) to get
+    /// the classical policy, which the fault-injection harness uses to
+    /// demonstrate the detection-rate collapse it causes.
+    pub fault_harden: bool,
     /// Run copy propagation.
     pub copyprop: bool,
     /// Run dead code/data elimination.
@@ -79,6 +86,7 @@ impl Default for CxpropOptions {
             inline: true,
             inline_options: InlineOptions::default(),
             domain: DomainKind::Intervals,
+            fault_harden: true,
             copyprop: true,
             dce: true,
             atomic_opt: true,
@@ -116,7 +124,7 @@ pub fn optimize(program: &mut Program, options: &CxpropOptions) -> CxpropStats {
     }
     for _ in 0..options.max_rounds {
         let mut changed = false;
-        let mut eng = engine::Engine::analyze(program, options.domain);
+        let mut eng = engine::Engine::analyze_opts(program, options.domain, options.fault_harden);
         let es = eng.transform(program);
         stats.engine.checks_removed += es.checks_removed;
         stats.engine.branches_folded += es.branches_folded;
@@ -230,6 +238,88 @@ mod tests {
         let intervals = count(DomainKind::Intervals);
         let constants = count(DomainKind::Constants);
         assert!(intervals <= constants, "{intervals} vs {constants}");
+    }
+
+    #[test]
+    fn hardened_elimination_keeps_checks_on_ram_global_indices() {
+        // `pos` provably stays in 0..8 under uncorrupted semantics (the
+        // only store masks with & 7), so the classical interval policy
+        // deletes the index check — and with it the coverage against a
+        // bit flip in `pos`. The hardened policy must keep it: the proof
+        // rests on an invariant a corrupted RAM cell does not honor.
+        let src = "
+             uint8_t buf[8];
+             uint8_t pos;
+             uint16_t sum;
+             void main() {
+                 uint8_t i;
+                 for (i = 0; i < 100; i++) {
+                     pos = (uint8_t)((pos + 1) & 7);
+                     sum += buf[pos];
+                 }
+             }";
+        let count = |harden: bool| {
+            let mut p = tcil::parse_and_lower(src).unwrap();
+            cure(&mut p, &CureOptions::default()).unwrap();
+            let opts = CxpropOptions {
+                inline: false,
+                fault_harden: harden,
+                ..Default::default()
+            };
+            optimize(&mut p, &opts);
+            p.count_checks()
+        };
+        assert_eq!(count(false), 0, "classical policy removes the check");
+        assert!(count(true) > 0, "hardened policy keeps fault coverage");
+    }
+
+    #[test]
+    fn hardened_elimination_still_removes_locally_proven_checks() {
+        // A loop over a *local* counter: locals sit outside the
+        // static-data fault window, so the branch-refined proof covers
+        // the fault-reachable set too and the check still goes away —
+        // the Figure 2/3 wins survive hardening.
+        let src = "
+             uint8_t buf[8];
+             uint16_t sum;
+             void main() {
+                 uint8_t i;
+                 for (i = 0; i < 8; i++) { sum += buf[i]; }
+             }";
+        let mut p = tcil::parse_and_lower(src).unwrap();
+        cure(&mut p, &CureOptions::default()).unwrap();
+        assert!(p.count_checks() > 0);
+        optimize(&mut p, &CxpropOptions::default());
+        assert_eq!(p.count_checks(), 0, "local-index proof survives hardening");
+    }
+
+    #[test]
+    fn hardened_elimination_removes_checks_whose_proof_covers_the_type() {
+        // An index masked to 0..8 *at the access* is safe for every
+        // value the corrupted cell can take — the proof covers the full
+        // fault-reachable set, so even the hardened policy removes it.
+        let src = "
+             uint8_t buf[8];
+             uint8_t pos;
+             uint16_t sum;
+             void main() {
+                 uint8_t i;
+                 for (i = 0; i < 100; i++) {
+                     pos = (uint8_t)(pos + 3);
+                     sum += buf[pos & 7];
+                 }
+             }";
+        let mut p = tcil::parse_and_lower(src).unwrap();
+        cure(&mut p, &CureOptions::default()).unwrap();
+        assert!(p.count_checks() > 0);
+        optimize(
+            &mut p,
+            &CxpropOptions {
+                inline: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.count_checks(), 0, "mask-at-access proof is fault-proof");
     }
 
     #[test]

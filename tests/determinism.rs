@@ -85,6 +85,36 @@ fn fault_campaign_json_matches_serial_under_8_threads() {
 }
 
 #[test]
+fn difftest_json_matches_serial_under_8_threads() {
+    // A scaled-down differential-oracle run: 6 generated seeds + 2 apps
+    // across 3 presets, serial vs 8 workers. The rendered
+    // BENCH_difftest.json body must be byte-identical — the oracle is a
+    // pure function of (seeds, presets, config), whatever the schedule.
+    let seeds: Vec<u64> = (1..=6).collect();
+    let apps = ["BlinkTask_Mica2", "SenseToRfm_Mica2"];
+    let presets = [
+        Pipeline::unsafe_baseline(),
+        Pipeline::safe_flid_cxprop(),
+        Pipeline::safe_flid_inline_cxprop(),
+    ];
+    let cfg = safe_tinyos::DiffConfig::default();
+    let body_with = |threads: usize| {
+        let runner = ExperimentRunner::with_threads(threads);
+        let mut reports = bench::diff::seed_reports(&runner, &seeds, &presets, &cfg);
+        reports.extend(bench::diff::app_reports(&runner, &apps, &presets, 2, &cfg));
+        let tallies = bench::diff::tally(&presets, &reports);
+        bench::diff::render_json(&seeds, &apps, &presets, &cfg, 2, &tallies)
+    };
+    let serial = body_with(1);
+    let parallel = body_with(8);
+    assert_eq!(
+        serial, parallel,
+        "differential oracle diverged between serial and 8-thread runs"
+    );
+    assert!(serial.contains("\"total_miscompiles\":0"), "{serial}");
+}
+
+#[test]
 fn grid_results_land_in_grid_order() {
     let configs = [Pipeline::unsafe_baseline(), Pipeline::safe_flid()];
     let runner = ExperimentRunner::with_threads(4);

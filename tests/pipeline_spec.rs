@@ -32,6 +32,11 @@ fn parse_display_round_trips() {
             "cxprop(inline,nodce,norefine)",
             "cxprop(inline,nodce,norefine)",
         ),
+        ("cxprop(noharden)", "cxprop(noharden)"),
+        ("cxprop(harden)", "cxprop"),
+        // Stray whitespace of any flavor around tokens and `|` is
+        // normalized away by the canonical rendering.
+        ("\t cure ( flid )\n |\n\tprune ", "cure(flid)|prune"),
         ("inline(max-size=48)", "inline(max-size=48)"),
         ("inline(max-size=16)", "inline"),
         ("backend(opt)", "backend"),
@@ -68,6 +73,19 @@ fn malformed_specs_are_rejected_with_context() {
         ("cxprop(domain=octagons)", "unknown option"),
         ("prune(hard)", "takes no options"),
         ("backend(fast)", "unknown option"),
+        // One option key per pass segment: repeats and contradictory
+        // flag pairs are rejected, never silently last-wins.
+        ("cxprop(rounds=2,rounds=3)", "duplicate option"),
+        ("cxprop(dce,nodce)", "duplicate option"),
+        (
+            "cxprop(domain=constants,domain=intervals)",
+            "duplicate option",
+        ),
+        ("cure(flid,terse)", "duplicate option"),
+        ("cure(opt,noopt)", "duplicate option"),
+        ("cure(flid,flid)", "duplicate option"),
+        ("inline(max-size=4,max-size=8)", "duplicate option"),
+        ("backend(opt,noopt)", "duplicate option"),
     ];
     for (input, expect) in cases {
         let err = Pipeline::parse(input).expect_err(input).to_string();
@@ -110,6 +128,22 @@ fn pipeline_lists_accept_presets_specs_and_labels() {
 
     assert!(safe_tinyos::parse_pipeline_list("").is_err());
     assert!(safe_tinyos::parse_pipeline_list("safe-flid;bogus").is_err());
+}
+
+#[test]
+fn pipeline_lists_normalize_stray_whitespace() {
+    // Tabs/newlines/spaces around `;`, `:`, and `|` parse to the same
+    // canonical pipelines as the tight spelling — consistent with each
+    // pipeline's Display round-trip. Empty entries are skipped.
+    let tight = safe_tinyos::parse_pipeline_list("safe-flid;lbl:cure(flid)|prune").unwrap();
+    let loose =
+        safe_tinyos::parse_pipeline_list("\n safe-flid \t; ; lbl :\tcure( flid ) \n| prune ;")
+            .unwrap();
+    assert_eq!(tight.len(), loose.len());
+    for (t, l) in tight.iter().zip(&loose) {
+        assert_eq!(t.name(), l.name());
+        assert_eq!(t.spec(), l.spec());
+    }
 }
 
 // ---------------------------------------------------------------------
