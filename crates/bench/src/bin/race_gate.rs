@@ -1,0 +1,31 @@
+//! CI's race-analysis gate: `race_gate <committed> <fresh>` compares the
+//! time-independent `"analysis"` object of a freshly published
+//! `BENCH_races.json` against the committed baseline byte-for-byte, and
+//! fails if the diagnostic census drifted or the fresh torn campaign
+//! found any divergence on a hardened build.
+
+use bench::gate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(committed), Some(fresh)) = (args.next(), args.next()) else {
+        eprintln!("usage: race_gate <committed BENCH_races.json> <fresh BENCH_races.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("race_gate: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match gate::race_check(&read(&committed), &read(&fresh)) {
+        Ok(bytes) => println!(
+            "race gate ok: analysis object matches the committed baseline \
+             ({bytes} bytes), hardened builds torn-update immune"
+        ),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

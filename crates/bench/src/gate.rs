@@ -9,6 +9,13 @@
 //! * The **difftest gate** ([`difftest_check`], the `difftest_gate`
 //!   binary) fails on any Miscompile verdict in a published
 //!   `BENCH_difftest.json` — the differential oracle's hard invariant.
+//! * The **race gate** ([`race_check`], the `race_gate` binary)
+//!   byte-compares the time-independent `"analysis"` object of a
+//!   published `BENCH_races.json` against the committed baseline — any
+//!   drift in the diagnostic census, hardening counts, or code-size
+//!   deltas is a behavior change someone must sign off on by
+//!   regenerating the baseline — and checks the fresh `"dynamics"`
+//!   object still shows hardened builds immune to torn updates.
 //!
 //! CI's `gates` job downloads the harness job's artifacts and runs the
 //! gate binaries over them, so a failure always points at bytes you can
@@ -109,6 +116,76 @@ pub fn difftest_check(body: &str) -> Result<(usize, usize), String> {
     Ok((miscompiles, csr))
 }
 
+/// Extracts the balanced `{...}` object stored under `"key":` in a JSON
+/// body. The `BENCH_*.json` writers never emit `{` or `}` inside string
+/// literals (names are app/pass identifiers), so a brace counter is
+/// exact for them; this is not a general JSON parser.
+pub fn extract_obj<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":{{");
+    let start = body.find(&needle)? + needle.len() - 1;
+    let mut depth = 0usize;
+    for (i, b) in body[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Gates a published `BENCH_races.json` body against the committed
+/// baseline: the `"analysis"` objects must be byte-identical (it holds
+/// only time-independent facts — diagnostic censuses, hardening counts,
+/// code-size deltas), and the published `"dynamics"` object must show
+/// zero divergences for the hardened builds. Returns the matched
+/// `"analysis"` byte length.
+///
+/// # Errors
+///
+/// Returns a description when either body lacks the `"analysis"` object,
+/// the objects differ, the fresh body lacks `hardened_divergences`, or
+/// that count is non-zero.
+pub fn race_check(committed: &str, fresh: &str) -> Result<usize, String> {
+    let want = extract_obj(committed, "analysis")
+        .ok_or("committed BENCH_races.json has no analysis object")?;
+    let got =
+        extract_obj(fresh, "analysis").ok_or("fresh BENCH_races.json has no analysis object")?;
+    if want != got {
+        let at = want
+            .bytes()
+            .zip(got.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| want.len().min(got.len()));
+        let ctx = |s: &str| {
+            let lo = at.saturating_sub(40);
+            s.get(lo..(at + 40).min(s.len())).unwrap_or("").to_string()
+        };
+        return Err(format!(
+            "race gate: analysis object drifted from the committed baseline \
+             (first difference at byte {at}):\n  committed: …{}…\n  fresh:     …{}…\n\
+             regenerate BENCH_races.json if the change is intended",
+            ctx(want),
+            ctx(got)
+        ));
+    }
+    let hardened = extract_num(fresh, "hardened_divergences")
+        .ok_or("fresh BENCH_races.json has no hardened_divergences field")?
+        as usize;
+    if hardened > 0 {
+        return Err(format!(
+            "race gate: {hardened} torn-update divergence(s) on races(fix) builds — \
+             the hardening is no longer airtight"
+        ));
+    }
+    Ok(got.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +249,44 @@ mod tests {
         let lost = r#"{"total_miscompiles":0,"total_cured_strength_reductions":3}"#;
         assert!(difftest_check(lost).unwrap_err().contains("3 detection"));
         assert!(difftest_check("{}").is_err());
+    }
+
+    const RACES: &str = r#"{"figure":"race_analysis","analysis":{"apps":[{"app":"A","r001":2}],"totals":{"r001":2}},"dynamics":{"hardened_divergences":0,"unhardened_divergences":5}}"#;
+
+    #[test]
+    fn extract_obj_returns_balanced_objects() {
+        assert_eq!(
+            extract_obj(RACES, "analysis"),
+            Some(r#"{"apps":[{"app":"A","r001":2}],"totals":{"r001":2}}"#)
+        );
+        assert_eq!(extract_obj(RACES, "totals"), Some(r#"{"r001":2}"#));
+        assert_eq!(extract_obj(RACES, "missing"), None);
+        assert_eq!(extract_obj(r#"{"analysis":{"#, "analysis"), None);
+    }
+
+    #[test]
+    fn race_gate_passes_identical_analysis() {
+        let n = race_check(RACES, RACES).unwrap();
+        assert_eq!(n, extract_obj(RACES, "analysis").unwrap().len());
+    }
+
+    #[test]
+    fn race_gate_fails_on_analysis_drift() {
+        let fresh = RACES.replace(r#""r001":2"#, r#""r001":3"#);
+        let err = race_check(RACES, &fresh).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+    }
+
+    #[test]
+    fn race_gate_fails_on_hardened_divergences() {
+        let fresh = RACES.replace(r#""hardened_divergences":0"#, r#""hardened_divergences":1"#);
+        let err = race_check(RACES, &fresh).unwrap_err();
+        assert!(err.contains("airtight"), "{err}");
+    }
+
+    #[test]
+    fn race_gate_requires_both_objects() {
+        assert!(race_check("{}", RACES).is_err());
+        assert!(race_check(RACES, "{}").is_err());
     }
 }

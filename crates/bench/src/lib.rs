@@ -21,6 +21,7 @@
 pub mod diff;
 pub mod fault;
 pub mod gate;
+pub mod races;
 pub mod runner;
 
 use safe_tinyos::{build_app, Build, Pipeline};
@@ -97,6 +98,13 @@ pub mod knobs {
     pub fn diff_base() -> u64 {
         static CELL: OnceLock<u64> = OnceLock::new();
         *CELL.get_or_init(|| parse_u64("STOS_DIFF_BASE", 1))
+    }
+
+    /// Torn-update injections per flagged target in the race-analysis
+    /// campaign. Override with `STOS_TORN`.
+    pub fn torn_sites() -> usize {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_TORN", 4)) as usize
     }
 }
 

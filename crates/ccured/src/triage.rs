@@ -171,6 +171,15 @@ impl VerdictCounts {
         }
         self.detected as f64 * 100.0 / self.total() as f64
     }
+
+    /// Injections whose run diverged from golden at all — everything but
+    /// [`Verdict::Benign`]. The atomicity-fault campaigns compare this
+    /// across builds: a build mechanically immune to a fault class (e.g.
+    /// torn 16-bit updates after `races(fix)`) tallies every injection
+    /// benign, so its divergence count is the hardening's residue.
+    pub fn divergences(&self) -> usize {
+        self.detected + self.crashed + self.silent
+    }
 }
 
 #[cfg(test)]

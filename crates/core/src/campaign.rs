@@ -34,7 +34,7 @@
 use std::collections::BTreeSet;
 
 use ccured::triage::{self, RunObservation, Verdict, VerdictCounts};
-use mcu::faults::{self, FaultPlan};
+use mcu::faults::{self, FaultKind, FaultPlan};
 use mcu::RunState;
 use tcil::ir::{CheckKind, Expr, ExprKind, Place, PlaceBase, PlaceElem, Stmt};
 use tcil::visit;
@@ -215,6 +215,104 @@ pub fn run_campaign(build: &Build, spec: &AppSpec, config: &CampaignConfig) -> C
     }
 }
 
+// ---------------------------------------------------------------------
+// The torn-update atomicity campaign.
+// ---------------------------------------------------------------------
+
+/// XOR masks for torn corruption, cycled per injection so one campaign
+/// probes several bit positions of each half.
+const TORN_MASKS: [u8; 4] = [0x80, 0x01, 0x40, 0x08];
+
+/// The names of the multi-byte globals with *flagged torn access sites*
+/// (reads or writes) in `build`'s final program — the torn-update fault
+/// model's target pool (classification runs on a clone; the build is not
+/// mutated). Sorted and deduplicated for enumeration-order independence.
+///
+/// For a `races(fix)` build this is empty by construction: the point of
+/// the campaign is to enumerate targets from the *unhardened* build and
+/// inject the same logical faults (by name) into both.
+pub fn torn_target_names(build: &Build) -> Vec<String> {
+    let mut program = build.program.clone();
+    let findings = cxprop::race_sites::classify(&mut program);
+    findings
+        .sites
+        .iter()
+        .filter(|s| s.width > 1)
+        .map(|s| s.global.clone())
+        .collect::<BTreeSet<String>>()
+        .into_iter()
+        .collect()
+}
+
+/// Enumerates torn-update plans for `build`: for each named 16-bit
+/// target present in the image's symbol table (a name optimized away by
+/// DCE is skipped), `per_target` watchpoints — the 1st, 2nd, … Nth
+/// IRQ-enabled 16-bit access to the global — alternating low/high byte,
+/// with a mask cycled from `TORN_MASKS`. Plans apply at boot (cycle 0,
+/// the skew-free injection point): arming a watchpoint costs no
+/// execution, so golden and injected runs never drift apart before the
+/// fault lands.
+pub fn torn_plans(build: &Build, names: &[String], per_target: usize) -> Vec<FaultPlan> {
+    let mut plans = Vec::new();
+    for name in names {
+        let Some(addr) = build.image.find_global_addr(name) else {
+            continue;
+        };
+        for i in 0..per_target {
+            plans.push(FaultPlan {
+                at_cycle: 0,
+                kind: FaultKind::TornUpdate16 {
+                    addr,
+                    nth: (i / 2 + 1) as u32,
+                    mask: TORN_MASKS[i % TORN_MASKS.len()],
+                    hi: i % 2 == 1,
+                },
+            });
+        }
+    }
+    plans
+}
+
+/// Runs a torn-update atomicity campaign against one build: one golden
+/// run, then one replay per plan from [`torn_plans`] over `names`
+/// (enumerate them from the unhardened build via [`torn_target_names`]
+/// so hardened and unhardened builds face the same logical faults).
+///
+/// A build whose flagged accesses all sit inside atomic sections is
+/// mechanically immune — the watchpoint only fires on accesses executed
+/// with interrupts enabled — so every replay matches golden and tallies
+/// [`Verdict::Benign`]. The interesting measure is therefore
+/// [`VerdictCounts::divergences`] compared across builds.
+pub fn run_torn_campaign(
+    build: &Build,
+    spec: &AppSpec,
+    names: &[String],
+    per_target: usize,
+    seconds: u64,
+) -> CampaignReport {
+    let (mut golden_machine, until) = prepare_machine(build, spec, seconds);
+    golden_machine.run(until);
+    let golden = RunObservation::capture(&golden_machine);
+
+    let plans = torn_plans(build, names, per_target);
+    let mut results = Vec::with_capacity(plans.len());
+    let mut counts = VerdictCounts::default();
+    for plan in &plans {
+        let verdict = run_injected(build, spec, seconds, plan, &golden);
+        counts.record(&verdict);
+        results.push(SiteResult {
+            site: plan.label(),
+            at_cycle: plan.at_cycle,
+            verdict,
+        });
+    }
+    CampaignReport {
+        golden_state: golden_machine.state,
+        results,
+        counts,
+    }
+}
+
 /// One injected replay: run to the fault point, corrupt, resume, triage.
 fn run_injected(
     build: &Build,
@@ -252,6 +350,48 @@ mod tests {
         let a = campaign(&Pipeline::safe_flid(), &cfg);
         let b = campaign(&Pipeline::safe_flid(), &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn torn_campaign_separates_hardened_from_unhardened() {
+        // HighFrequencySampling's flush() task reads its racy uint16_t
+        // sample buffer with interrupts enabled — a runtime-reachable
+        // torn-read hazard (most apps only touch their 16-bit globals
+        // from handler context or in pre-IrqEnable init code, where the
+        // watchpoint can never fire).
+        let session = crate::BuildSession::new();
+        let spec = tosapps::spec("HighFrequencySampling_Mica2").unwrap();
+        let unhardened = session
+            .build(&spec, &Pipeline::parse("cure(flid)|cxprop|prune").unwrap())
+            .unwrap();
+        let hardened = session
+            .build(
+                &spec,
+                &Pipeline::parse("cure(flid)|races(fix)|cxprop|prune").unwrap(),
+            )
+            .unwrap();
+        // Targets come from the unhardened build; the hardened build has
+        // no flagged torn accesses left, by construction.
+        let names = torn_target_names(&unhardened);
+        assert!(!names.is_empty(), "no torn-access targets flagged");
+        assert!(torn_target_names(&hardened).is_empty());
+
+        let torn = |build: &crate::Build| run_torn_campaign(build, &spec, &names, 4, 2);
+        let hardened_report = torn(&hardened);
+        assert_eq!(
+            hardened_report.counts.divergences(),
+            0,
+            "hardened build not immune: {:?}",
+            hardened_report.results
+        );
+        let unhardened_report = torn(&unhardened);
+        assert!(
+            unhardened_report.counts.divergences() > 0,
+            "no torn injection diverged on the unhardened build: {:?}",
+            unhardened_report.results
+        );
+        // Determinism: same build, same plans, same report.
+        assert_eq!(torn(&unhardened), unhardened_report);
     }
 
     #[test]

@@ -979,11 +979,24 @@ pub fn generate_source(seed: u64) -> String {
 
     // Optional never-firing interrupt handler: no timer is enabled, so
     // runtime behavior stays deterministic, but the analysis must treat
-    // `shared` as asynchronously touched.
+    // everything it touches as asynchronously accessed. Besides its own
+    // `shared` global, the handler read-modify-writes one named task
+    // global and plain-writes another (possibly 16-bit) — so generated
+    // programs exercise every per-site race code (`R001`–`R003`), not
+    // just the dedicated `shared` byte.
     g.has_isr = g.chance(50);
     if g.has_isr {
         src.push_str("uint8_t shared;\n");
-        src.push_str("interrupt(TIMER0) void isr() { shared = (uint8_t)(shared + 1); }\n");
+        let rmw = g.below(n_scalars);
+        let wr = g.below(n_scalars);
+        let (rmw_name, rmw_kind) = (g.scalars[rmw].name.clone(), g.scalars[rmw].kind);
+        let (wr_name, wr_kind) = (g.scalars[wr].name.clone(), g.scalars[wr].kind);
+        let wr_val = g.literal(&wr_kind);
+        src.push_str(&format!(
+            "interrupt(TIMER0) void isr() {{ shared = (uint8_t)(shared + 1); \
+             {rmw_name} = ({})({rmw_name} + 1); {wr_name} = ({})({wr_val}); }}\n",
+            rmw_kind.name, wr_kind.name
+        ));
         g.scalars.push(ScalarVar {
             name: "shared".to_string(),
             kind: KINDS[0],

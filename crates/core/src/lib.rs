@@ -37,6 +37,7 @@
 //! ```
 
 pub mod campaign;
+pub mod diag;
 pub mod difftest;
 pub mod pipeline;
 pub mod spec;
@@ -52,11 +53,15 @@ use mcu::{Image, Machine, RunState};
 use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, SiteResult};
+pub use campaign::{
+    run_campaign, run_torn_campaign, torn_plans, torn_target_names, CampaignConfig, CampaignReport,
+    SiteResult,
+};
+pub use diag::{Diagnostic, Severity};
 pub use difftest::{DiffCase, DiffConfig, DiffCounts, DiffVerdict, SubjectReport};
 pub use pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
-    PipelineBuilder, PruneErrmsgPass, PRESET_NAMES,
+    PipelineBuilder, PruneErrmsgPass, RacesPass, PRESET_NAMES,
 };
 pub use spec::{parse_pipeline_list, pipelines_from_env_or, SpecError};
 
@@ -136,6 +141,32 @@ impl StageTimes {
     }
 }
 
+/// Concurrency-analysis rollup for one build: what the race analyses
+/// found and what the atomic-section transforms did. Filled by the
+/// `cxprop` pass (refinement + atomic optimization counts) and the
+/// `races` pass (per-site analysis + auto-hardening counts); `None` when
+/// neither ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceStats {
+    /// Globals confirmed racy by the most recent refinement.
+    pub racy_globals: usize,
+    /// Globals a coarser earlier analysis flagged that the most recent
+    /// refinement cleared.
+    pub cleared_globals: usize,
+    /// Atomic sections removed (nested or async-only), accumulated
+    /// across the stack.
+    pub atomics_removed: usize,
+    /// Atomic sections demoted from save/restore to disable/enable,
+    /// accumulated across the stack.
+    pub atomics_demoted: usize,
+    /// Minimal atomic sections `races(fix)` wrapped around flagged
+    /// sites, accumulated across the stack.
+    pub sections_added: usize,
+    /// Iterations `races(fix)` needed to reach its fixpoint (from the
+    /// most recent run).
+    pub fix_iterations: usize,
+}
+
 /// Metrics collected from one build.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -156,6 +187,11 @@ pub struct Metrics {
     pub cure: Option<CureStats>,
     /// cXprop statistics, if it ran.
     pub cxprop: Option<CxpropStats>,
+    /// Concurrency-analysis rollup, if a race-aware pass ran.
+    pub races: Option<RaceStats>,
+    /// Structured diagnostics emitted by analysis passes, in emission
+    /// order (see [`diag`]).
+    pub diagnostics: Vec<Diagnostic>,
     /// Coarse per-stage wall times for this build. The frontend bucket
     /// is non-zero only on the build that actually ran the frontend — a
     /// cache hit in a [`BuildSession`] costs (and records) nothing.

@@ -29,6 +29,7 @@ use ccured::CureOptions;
 use cxprop::{CxpropOptions, InlineOptions};
 use tcil::{CompileError, Program};
 
+use crate::diag::{Diagnostic, Severity};
 use crate::{Build, Metrics, Stage};
 
 /// Mutable context threaded through a pipeline run: the metrics being
@@ -57,6 +58,13 @@ impl PassCx {
     /// pass's options).
     pub fn set_prepared(&mut self, prepared: Program) {
         self.prepared = Some(prepared);
+    }
+
+    /// Emits a structured diagnostic into the build's metrics. Any pass
+    /// can report findings this way; they accumulate in emission order
+    /// in [`Metrics::diagnostics`].
+    pub fn emit(&mut self, diagnostic: Diagnostic) {
+        self.metrics.diagnostics.push(diagnostic);
     }
 }
 
@@ -247,6 +255,19 @@ impl Pass for CxpropPass {
 
     fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
         let mut stats = cxprop::optimize(program, &self.options);
+        {
+            // Surface the concurrency counts in the build-level rollup:
+            // refinement censuses are point-in-time (latest wins, and
+            // only when refinement actually ran), atomic-section work
+            // accumulates across the stack.
+            let races = cx.metrics.races.get_or_insert_with(Default::default);
+            if self.options.refine_races {
+                races.racy_globals = stats.races.racy.len();
+                races.cleared_globals = stats.races.cleared.len();
+            }
+            races.atomics_removed += stats.atomics.removed;
+            races.atomics_demoted += stats.atomics.demoted;
+        }
         if let Some(prior) = cx.metrics.cxprop.take() {
             // Accumulate across repeated cxprop/inline passes so the
             // metrics report what the whole stack did, not just the last
@@ -284,6 +305,78 @@ impl Pass for PruneErrmsgPass {
 
     fn run(&self, program: &mut Program, _cx: &mut PassCx) -> Result<(), CompileError> {
         ccured::errmsg::prune_unused_messages(program);
+        Ok(())
+    }
+}
+
+/// The whole-program race & atomicity analysis pass (`races`), with an
+/// optional auto-hardening transform (`races(fix)`).
+///
+/// The analysis runs [`cxprop::race_sites::classify`]: it refines the
+/// racy-global set on the pointer-following concurrency lattice, walks
+/// every racy global's actual access sites in synchronous code, and
+/// emits one [`Diagnostic`] per unprotected site — `R001`
+/// (unprotected-sync-write), `R002` (torn-16bit-access), or `R003`
+/// (async-rmw) — with a FLID-style `func:site` location.
+///
+/// With `fix`, the pass first runs [`cxprop::race_sites::harden`]:
+/// every flagged statement is wrapped in a minimal atomic section and
+/// the analysis is re-run to a zero-diagnostic fixpoint, then
+/// [`cxprop::atomic_opt`] cleans up the nesting the wrapping introduced.
+/// The diagnostics the pass emits are the *post-fix* findings — an empty
+/// set is the fixpoint certificate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RacesPass {
+    /// Auto-harden flagged sites instead of only reporting them.
+    pub fix: bool,
+}
+
+impl Pass for RacesPass {
+    fn name(&self) -> &str {
+        "races"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Opt
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_races(self.fix)
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        let fix_stats = if self.fix {
+            let stats = cxprop::race_sites::harden(program);
+            let cleanup = cxprop::atomic_opt::run(program);
+            let races = cx.metrics.races.get_or_insert_with(Default::default);
+            races.atomics_removed += cleanup.removed;
+            races.atomics_demoted += cleanup.demoted;
+            Some(stats)
+        } else {
+            None
+        };
+        let findings = cxprop::race_sites::classify(program);
+        for site in &findings.sites {
+            let kind = site.kind;
+            cx.emit(Diagnostic::new(
+                Severity::Warning,
+                kind.code(),
+                site.label(),
+                format!(
+                    "{} of racy global `{}` ({} bytes)",
+                    kind.name(),
+                    site.global,
+                    site.width
+                ),
+            ));
+        }
+        let races = cx.metrics.races.get_or_insert_with(Default::default);
+        races.racy_globals = findings.report.racy.len();
+        races.cleared_globals = races.cleared_globals.max(findings.report.cleared.len());
+        if let Some(stats) = fix_stats {
+            races.sections_added += stats.sections_added;
+            races.fix_iterations = stats.iterations;
+        }
         Ok(())
     }
 }
@@ -530,6 +623,17 @@ impl PipelineBuilder {
     /// Appends the error-message pruner.
     pub fn prune(self) -> Self {
         self.pass(PruneErrmsgPass)
+    }
+
+    /// Appends the race & atomicity analysis pass (report only).
+    pub fn races(self) -> Self {
+        self.pass(RacesPass { fix: false })
+    }
+
+    /// Appends the race & atomicity pass with auto-hardening
+    /// (`races(fix)`).
+    pub fn races_fix(self) -> Self {
+        self.pass(RacesPass { fix: true })
     }
 
     /// Appends the backend-prepare pass (weak optimizer on).

@@ -24,6 +24,7 @@
 //! | `inline` | `max-size=N`, `single-site=N`, `rounds=N` |
 //! | `cxprop` | flag `inline` (run the inliner inside the fixpoint, after race refinement — the paper's composite); `domain=constants`/`intervals`; `rounds=N`; flags `dce`/`nodce`, `copyprop`/`nocopyprop`, `atomic`/`noatomic`, `refine`/`norefine`, `harden`/`noharden` (fault-hardened check elimination; `noharden` restores the classical policy) |
 //! | `prune` | (none) |
+//! | `races` | flag `fix` (auto-harden flagged access sites in minimal atomic sections and re-analyze to a zero-diagnostic fixpoint; without it the pass only reports `R001`–`R003` diagnostics) |
 //! | `backend` | `opt`/`noopt` (weak GCC-class optimizer) |
 //!
 //! Examples: `cure(flid)|inline|cxprop(rounds=3)`,
@@ -56,7 +57,7 @@ use ccured::{CureOptions, ErrorMode};
 use cxprop::{CxpropOptions, DomainKind, InlineOptions};
 
 use crate::pipeline::{
-    BackendPass, CurePass, CxpropPass, InlinePass, Pass, Pipeline, PruneErrmsgPass,
+    BackendPass, CurePass, CxpropPass, InlinePass, Pass, Pipeline, PruneErrmsgPass, RacesPass,
 };
 
 /// A pipeline-spec parse error, with the offending fragment named.
@@ -78,7 +79,7 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// The spec-language pass keywords, for error messages.
-pub const PASS_NAMES: [&str; 5] = ["cure", "inline", "cxprop", "prune", "backend"];
+pub const PASS_NAMES: [&str; 6] = ["cure", "inline", "cxprop", "prune", "races", "backend"];
 
 /// Parses a spec string into a [`Pipeline`] named by its canonical
 /// rendering.
@@ -311,6 +312,17 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
             }
             Ok(Arc::new(PruneErrmsgPass))
         }
+        "races" => {
+            let mut fix = false;
+            let mut seen = SeenOpts::new("races");
+            for opt in opts {
+                match opt {
+                    "fix" => seen.set("fix", opt, &mut fix, true),
+                    _ => Err(unknown_option("races", opt, "fix")),
+                }?;
+            }
+            Ok(Arc::new(RacesPass { fix }))
+        }
         "backend" => {
             let mut options = BackendOptions::default();
             let mut seen = SeenOpts::new("backend");
@@ -404,6 +416,15 @@ pub(crate) fn render_cxprop(options: &CxpropOptions) -> String {
         opts.push("noharden".into());
     }
     render("cxprop", opts)
+}
+
+pub(crate) fn render_races(fix: bool) -> String {
+    let opts = if fix {
+        vec!["fix".to_string()]
+    } else {
+        Vec::new()
+    };
+    render("races", opts)
 }
 
 pub(crate) fn render_backend(options: &BackendOptions) -> String {

@@ -42,6 +42,7 @@ pub mod dce;
 pub mod engine;
 pub mod inline;
 pub mod ival;
+pub mod race_sites;
 pub mod races;
 
 use tcil::Program;
@@ -50,6 +51,7 @@ pub use atomic_opt::AtomicStats;
 pub use dce::DceStats;
 pub use engine::{DomainKind, EngineStats};
 pub use inline::InlineOptions;
+pub use race_sites::{HardenStats, RaceFindings, RaceSite, SiteKind};
 pub use races::RaceReport;
 
 /// Pipeline options.

@@ -33,8 +33,20 @@ struct Acc {
     addr_taken: bool,
 }
 
-/// Re-runs race detection and updates [`Global::racy`] flags in place.
-pub fn refine(program: &mut Program) -> RaceReport {
+/// Per-function context reachability: the two-level concurrency lattice
+/// every race analysis in this crate shares. `is_async[f]` — reachable
+/// from an interrupt handler; `is_sync[f]` — reachable from `main` or a
+/// task. A function can be both (mixed context) or neither (dead).
+#[derive(Debug, Clone)]
+pub struct Contexts {
+    /// Reachable from interrupt handlers.
+    pub is_async: Vec<bool>,
+    /// Reachable from `main` / tasks.
+    pub is_sync: Vec<bool>,
+}
+
+/// Computes [`Contexts`] over `program`'s call graph.
+pub fn contexts(program: &Program) -> Contexts {
     let nf = program.functions.len();
     let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nf];
     for (fi, f) in program.functions.iter().enumerate() {
@@ -71,6 +83,12 @@ pub fn refine(program: &mut Program) -> RaceReport {
             .chain(program.tasks.iter().map(|t| t.0))
             .collect(),
     );
+    Contexts { is_async, is_sync }
+}
+
+/// Re-runs race detection and updates [`Global::racy`] flags in place.
+pub fn refine(program: &mut Program) -> RaceReport {
+    let Contexts { is_async, is_sync } = contexts(program);
 
     let ng = program.globals.len();
     let mut acc = vec![Acc::default(); ng];

@@ -70,6 +70,29 @@ pub enum FaultKind {
         /// Bits to flip in FP.
         mask: u16,
     },
+    /// Arm a torn-16-bit-update watchpoint on the word at `addr`: the
+    /// `nth` 16-bit access (load or store, one shared event stream)
+    /// executed there **with interrupts enabled** has `mask` XORed into
+    /// one of its bytes — into RAM for a store, into the value being
+    /// read for a load — modelling an interrupt handler touching the
+    /// variable between the two 8-bit bus transfers of the access (see
+    /// [`crate::machine::TornWatch`]). Unlike the other kinds this is an
+    /// *atomicity* fault: an access wrapped in an `atomic` section runs
+    /// with interrupts disabled and never opens the hazard window, so
+    /// race-hardened builds are immune by construction. Plans of this
+    /// kind are applied at boot (`at_cycle: 0`) and keyed on the
+    /// access-event count, which makes them comparable across
+    /// differently optimized builds of the same program.
+    TornUpdate16 {
+        /// Watched word address (a 16-bit global's placement).
+        addr: u16,
+        /// Which IRQ-enabled access to tear (1-based).
+        nth: u32,
+        /// Bits to flip in the chosen byte.
+        mask: u8,
+        /// Tear the high byte (`addr + 1`) instead of the low byte.
+        hi: bool,
+    },
 }
 
 /// One planned injection: what to corrupt and when.
@@ -90,6 +113,15 @@ impl FaultPlan {
             FaultKind::BitFlip { addr, mask } => format!("bitflip@0x{addr:04x}^{mask:02x}"),
             FaultKind::PointerWord { addr, value } => format!("ptr@0x{addr:04x}=0x{value:04x}"),
             FaultKind::FramePointer { mask } => format!("fp^0x{mask:04x}"),
+            FaultKind::TornUpdate16 {
+                addr,
+                nth,
+                mask,
+                hi,
+            } => {
+                let byte = if hi { "hi" } else { "lo" };
+                format!("torn@0x{addr:04x}#{nth}^{mask:02x}{byte}")
+            }
         }
     }
 }
@@ -108,6 +140,12 @@ pub fn apply(m: &mut Machine, plan: &FaultPlan) {
         }
         FaultKind::PointerWord { addr, value } => m.ram_poke16(addr, value),
         FaultKind::FramePointer { mask } => m.corrupt_fp(mask),
+        FaultKind::TornUpdate16 {
+            addr,
+            nth,
+            mask,
+            hi,
+        } => m.arm_torn_watch(addr, nth, mask, hi),
     }
 }
 
@@ -282,6 +320,9 @@ mod tests {
                     assert!(addr >= base && addr + 1 < img.static_top, "{plan:?}");
                 }
                 FaultKind::FramePointer { mask } => assert_ne!(mask, 0),
+                FaultKind::TornUpdate16 { .. } => {
+                    panic!("enumerate_sites never plans torn updates: {plan:?}")
+                }
             }
         }
     }
@@ -313,6 +354,9 @@ mod tests {
                 FaultKind::PointerWord { .. } => panic!("no word fits: {plan:?}"),
                 FaultKind::BitFlip { addr, .. } => assert_eq!(addr, base, "{plan:?}"),
                 FaultKind::FramePointer { .. } => {}
+                FaultKind::TornUpdate16 { .. } => {
+                    panic!("enumerate_sites never plans torn updates: {plan:?}")
+                }
             }
         }
     }

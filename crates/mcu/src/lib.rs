@@ -62,7 +62,7 @@ pub mod net;
 
 pub use faults::{FaultKind, FaultPlan};
 pub use image::{CodeFunction, Image, Profile};
-pub use machine::{Fault, Machine, RunState};
+pub use machine::{Fault, Machine, RunState, TornWatch};
 
 /// Number of interrupt vectors on the M16.
 pub const NUM_VECTORS: usize = 8;

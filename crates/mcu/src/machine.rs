@@ -55,6 +55,41 @@ struct Frame {
 /// Cycles charged for interrupt entry (vectoring + register save).
 const IRQ_ENTRY_CYCLES: u64 = 8;
 
+/// An armed torn-16-bit-update watchpoint (see
+/// [`crate::faults::FaultKind::TornUpdate16`]).
+///
+/// The M16 ISA moves a 16-bit word in one instruction, but the hardware
+/// it models (the Mica2's AVR) crosses an 8-bit bus twice per access —
+/// an interrupt arriving between the two transfers leaves a store
+/// half-written, or hands a load a half-updated value. The watchpoint
+/// reproduces exactly that hazard window: it counts 16-bit accesses
+/// (loads and stores in one event stream) to `addr` executed **while
+/// interrupts are enabled** — accesses inside an `atomic` section run
+/// with the IRQ flag clear and are mechanically immune — and on the
+/// `nth` such access XORs `mask` into one byte of the word: into RAM for
+/// a store (persistent, as if a handler clobbered the variable
+/// mid-update), into the in-flight value for a load (transient, as if
+/// the variable changed between the two read transfers). Keyed on the
+/// logical access-event count, not a cycle number, so the same plan is
+/// comparable across differently optimized builds of one program (the
+/// skew-free technique the differential oracle uses for boot-state
+/// flips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWatch {
+    /// Watched word address (a 16-bit global's placement).
+    pub addr: u16,
+    /// Which IRQ-enabled 16-bit store to tear (1-based).
+    pub nth: u32,
+    /// XOR mask applied to the chosen byte.
+    pub mask: u8,
+    /// Corrupt the high byte (`addr + 1`) instead of the low byte.
+    pub hi: bool,
+    /// IRQ-enabled 16-bit stores to `addr` seen so far.
+    pub seen: u32,
+    /// Whether the tear has been applied.
+    pub fired: bool,
+}
+
 /// A simulated M16 node.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -87,6 +122,7 @@ pub struct Machine {
     pub radio_out: Vec<(u64, u8)>,
     /// Number of instructions executed (profiling aid).
     pub instr_count: u64,
+    torn_watch: Option<TornWatch>,
 }
 
 impl Machine {
@@ -128,6 +164,7 @@ impl Machine {
             uart_out: Vec::new(),
             radio_out: Vec::new(),
             instr_count: 0,
+            torn_watch: None,
         };
         m.devices.adc.waveform = Waveform::default();
         m
@@ -204,6 +241,26 @@ impl Machine {
     /// Whether the global interrupt-enable flag is set.
     pub fn interrupts_enabled(&self) -> bool {
         self.irq_enabled
+    }
+
+    /// Arms a torn-16-bit-update watchpoint (see [`TornWatch`]). At most
+    /// one watch is armed at a time; arming replaces any previous one.
+    pub fn arm_torn_watch(&mut self, addr: u16, nth: u32, mask: u8, hi: bool) {
+        self.torn_watch = Some(TornWatch {
+            addr,
+            nth,
+            mask,
+            hi,
+            seen: 0,
+            fired: false,
+        });
+    }
+
+    /// The armed torn-update watchpoint, if any (inspection helper: a
+    /// campaign uses `fired` to tell "hazard window never opened" from
+    /// "tear applied but absorbed").
+    pub fn torn_watch(&self) -> Option<&TornWatch> {
+        self.torn_watch.as_ref()
     }
 
     /// Runs until `until` total cycles have elapsed (or the machine halts
@@ -613,6 +670,22 @@ impl Machine {
         for i in 0..width.bytes() as usize {
             v |= (self.ram[addr as usize + i] as u64) << (8 * i);
         }
+        // Torn-read watchpoint: the symmetric hazard — an interrupt
+        // between the two bus reads of a 16-bit load hands the reader a
+        // half-updated value. Firing corrupts the in-flight value only;
+        // memory is untouched (the corruption a racing writer would have
+        // made visible is transient to this one read).
+        if width == Width::W16 && self.irq_enabled {
+            if let Some(w) = &mut self.torn_watch {
+                if w.addr == addr && !w.fired {
+                    w.seen += 1;
+                    if w.seen == w.nth {
+                        w.fired = true;
+                        v ^= (w.mask as u64) << (8 * w.hi as usize);
+                    }
+                }
+            }
+        }
         Some(width.wrap(v as i64, signed))
     }
 
@@ -632,6 +705,21 @@ impl Machine {
         let uv = width.wrap(v, false) as u64;
         for i in 0..width.bytes() as usize {
             self.ram[addr as usize + i] = (uv >> (8 * i)) as u8;
+        }
+        // Torn-update watchpoint: a 16-bit store with interrupts enabled
+        // is exactly the two-bus-write hazard window the watch models.
+        if width == Width::W16 && self.irq_enabled {
+            if let Some(w) = &mut self.torn_watch {
+                if w.addr == addr && !w.fired {
+                    w.seen += 1;
+                    if w.seen == w.nth {
+                        w.fired = true;
+                        let byte = addr.wrapping_add(w.hi as u16);
+                        let mask = w.mask;
+                        self.ram[byte as usize] ^= mask;
+                    }
+                }
+            }
         }
     }
 
@@ -1073,5 +1161,73 @@ mod tests {
         let mut m = Machine::new(&img);
         m.run(100);
         assert!(m.irq_enabled);
+    }
+
+    #[test]
+    fn torn_watch_tears_nth_store_but_not_irq_disabled_ones() {
+        // Store 0x1234 to 0x0200 three times: once with IRQs disabled
+        // (boot-style init — invisible to the watch), twice enabled.
+        // A watch on the 2nd IRQ-enabled access tears the final store.
+        let img = image_with(vec![
+            Instr::PushI(0x1234),
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
+            Instr::IrqEnable,
+            Instr::PushI(0x1234),
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
+            Instr::PushI(0x1234),
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(&img);
+        m.arm_torn_watch(0x0200, 2, 0x80, true);
+        m.run(1000);
+        assert_eq!(m.state, RunState::Halted);
+        assert!(m.torn_watch().unwrap().fired);
+        // High byte 0x12 ^ 0x80 = 0x92 → word 0x9234.
+        assert_eq!(m.load_mem(0x0200, Width::W16, false), Some(0x9234));
+    }
+
+    #[test]
+    fn torn_watch_tears_loads_transiently() {
+        // Load a 16-bit word with IRQs enabled and store the result
+        // elsewhere: the watch corrupts the in-flight value (what the
+        // reader saw) while the watched word itself stays intact.
+        let img = image_with(vec![
+            Instr::PushI(0x1234),
+            Instr::StGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+            },
+            Instr::IrqEnable,
+            Instr::LdGlobal {
+                addr: 0x0200,
+                width: Width::W16,
+                signed: false,
+            },
+            Instr::StGlobal {
+                addr: 0x0210,
+                width: Width::W16,
+            },
+            Instr::Halt,
+        ]);
+        let mut m = Machine::new(&img);
+        m.arm_torn_watch(0x0200, 1, 0x01, false);
+        m.run(1000);
+        assert_eq!(m.state, RunState::Halted);
+        assert!(m.torn_watch().unwrap().fired);
+        // The reader observed 0x1234 ^ 0x0001 = 0x1235...
+        assert_eq!(m.load_mem(0x0210, Width::W16, false), Some(0x1235));
+        // ...but memory was never touched (this load runs after Halt, so
+        // the already-fired watch stays quiet).
+        assert_eq!(m.load_mem(0x0200, Width::W16, false), Some(0x1234));
     }
 }

@@ -22,6 +22,41 @@ pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
     }
 }
 
+/// Pre-order walk over every statement of `block`, passing each one its
+/// deterministic *site index*: the statement's position in the walk,
+/// starting at 0. Site indices are the statement-level analogue of the
+/// FLID convention — the IR carries no source positions, so analyses
+/// label a statement site `func:index` (see [`site_label`]) exactly as
+/// the CCured instrumenter labels check sites. The numbering is stable
+/// under any walk of the same body, which lets one pass record sites and
+/// another (or a later fixpoint iteration) find the same statements
+/// again.
+pub fn walk_stmts_sited<'a>(block: &'a Block, f: &mut impl FnMut(u32, &'a Stmt)) {
+    fn go<'a>(block: &'a Block, next: &mut u32, f: &mut impl FnMut(u32, &'a Stmt)) {
+        for s in block {
+            let idx = *next;
+            *next += 1;
+            f(idx, s);
+            match s {
+                Stmt::If { then_, else_, .. } => {
+                    go(then_, next, f);
+                    go(else_, next, f);
+                }
+                Stmt::While { body, .. } | Stmt::Atomic { body, .. } => go(body, next, f),
+                Stmt::Block(b) => go(b, next, f),
+                _ => {}
+            }
+        }
+    }
+    go(block, &mut 0, f);
+}
+
+/// The FLID-style label of a statement site: `func:index`, matching the
+/// `func:site` convention of check FLID messages.
+pub fn site_label(func: &str, site: u32) -> String {
+    format!("{func}:{site}")
+}
+
 /// Mutable pre-order walk over every statement.
 pub fn walk_stmts_mut(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
     for s in block.iter_mut() {
@@ -228,6 +263,26 @@ mod tests {
         let mut n = 0;
         walk_stmts(&b, &mut |_| n += 1);
         assert_eq!(n, 5); // assign, if, nop, while, break
+    }
+
+    #[test]
+    fn sited_walk_numbers_statements_in_preorder() {
+        let b = sample_block();
+        let mut seen = Vec::new();
+        walk_stmts_sited(&b, &mut |idx, s| {
+            seen.push((idx, std::mem::discriminant(s)));
+        });
+        // assign=0, if=1, nop=2 (then), while=3 (else), break=4.
+        assert_eq!(seen.len(), 5);
+        assert_eq!(
+            seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        // The numbering matches the plain walk's visit order.
+        let mut order = Vec::new();
+        walk_stmts(&b, &mut |s| order.push(std::mem::discriminant(s)));
+        assert_eq!(order, seen.into_iter().map(|(_, d)| d).collect::<Vec<_>>());
+        assert_eq!(site_label("f", 3), "f:3");
     }
 
     #[test]

@@ -115,6 +115,44 @@ fn difftest_json_matches_serial_under_8_threads() {
 }
 
 #[test]
+fn race_analysis_matches_serial_under_8_threads() {
+    // The race analyzer and auto-hardener over every app: the rendered
+    // analysis object of BENCH_races.json (diagnostic censuses, section
+    // counts, code-size deltas) plus every per-site diagnostic string
+    // must be byte-identical between a serial and an 8-worker runner,
+    // and every races(fix) build must reach the zero-diagnostic
+    // fixpoint.
+    let stacks = bench::races::stacks();
+    let body_with = |threads: usize| {
+        let runner = ExperimentRunner::with_threads(threads);
+        let grid = runner.metrics_grid(tosapps::APP_NAMES, &stacks);
+        let mut lines = Vec::new();
+        for (app, row) in tosapps::APP_NAMES.iter().zip(&grid) {
+            for (stack, m) in stacks.iter().zip(row) {
+                lines.push(format!("{app}/{}: races={:?}", stack.name(), m.races));
+                lines.extend(m.diagnostics.iter().map(|d| format!("  {d}")));
+                if stack.spec().contains("races(fix)") {
+                    assert!(
+                        m.diagnostics.is_empty(),
+                        "{app}: races(fix) left diagnostics: {:?}",
+                        m.diagnostics
+                    );
+                }
+            }
+        }
+        lines.join("\n")
+    };
+    let serial = body_with(1);
+    let parallel = body_with(8);
+    assert_eq!(
+        serial, parallel,
+        "race analysis diverged between serial and 8-thread runs"
+    );
+    // The analyzer stack reported per-site diagnostics (R001 at least).
+    assert!(serial.contains("[R001]"), "{serial}");
+}
+
+#[test]
 fn grid_results_land_in_grid_order() {
     let configs = [Pipeline::unsafe_baseline(), Pipeline::safe_flid()];
     let runner = ExperimentRunner::with_threads(4);

@@ -34,6 +34,12 @@ fn parse_display_round_trips() {
         ),
         ("cxprop(noharden)", "cxprop(noharden)"),
         ("cxprop(harden)", "cxprop"),
+        ("races", "races"),
+        ("races(fix)", "races(fix)"),
+        (
+            " cure ( flid ) | races ( fix ) | cxprop ( norefine ) ",
+            "cure(flid)|races(fix)|cxprop(norefine)",
+        ),
         // Stray whitespace of any flavor around tokens and `|` is
         // normalized away by the canonical rendering.
         ("\t cure ( flid )\n |\n\tprune ", "cure(flid)|prune"),
@@ -86,6 +92,8 @@ fn malformed_specs_are_rejected_with_context() {
         ("cure(flid,flid)", "duplicate option"),
         ("inline(max-size=4,max-size=8)", "duplicate option"),
         ("backend(opt,noopt)", "duplicate option"),
+        ("races(hard)", "unknown option"),
+        ("races(fix,fix)", "duplicate option"),
     ];
     for (input, expect) in cases {
         let err = Pipeline::parse(input).expect_err(input).to_string();
