@@ -1,0 +1,25 @@
+//! CI's engine gate: `sim_speed_gate <BENCH_sim_speed.json>` exits
+//! non-zero when the published report shows an engine divergence or a
+//! gated-kernel speedup below the published floor.
+
+use bench::gate;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: sim_speed_gate <BENCH_sim_speed.json>");
+        std::process::exit(2);
+    };
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("sim_speed_gate: {path}: {e}");
+        std::process::exit(2);
+    });
+    match gate::sim_speed_check(&body) {
+        Ok((speedup, min)) => println!(
+            "sim_speed gate ok: engines identical, gated kernel speedup {speedup:.1}x >= {min:.1}x"
+        ),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

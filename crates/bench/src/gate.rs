@@ -116,6 +116,35 @@ pub fn difftest_check(body: &str) -> Result<(usize, usize), String> {
     Ok((miscompiles, csr))
 }
 
+/// Gates a published `BENCH_sim_speed.json` body: the engines must have
+/// agreed on every subject (`engines_identical`), and the gated kernel
+/// aggregate speedup must reach the published `speedup_min`. Returns
+/// `(kernel_speedup, speedup_min)` on success.
+///
+/// # Errors
+///
+/// Returns a description when the body lacks a field, the engines
+/// diverged, or the speedup is below the floor.
+pub fn sim_speed_check(body: &str) -> Result<(f64, f64), String> {
+    let speedup =
+        extract_num(body, "kernel_speedup").ok_or("sim_speed JSON has no kernel_speedup field")?;
+    let min = extract_num(body, "speedup_min").ok_or("sim_speed JSON has no speedup_min field")?;
+    let needle = "\"engines_identical\":";
+    let ident = body
+        .find(needle)
+        .map(|i| body[i + needle.len()..].trim_start().starts_with("true"))
+        .ok_or("sim_speed JSON has no engines_identical field")?;
+    if !ident {
+        return Err("sim_speed gate: engines diverged on at least one subject".into());
+    }
+    if speedup < min {
+        return Err(format!(
+            "sim_speed gate: gated kernel speedup {speedup:.2}x below the {min:.1}x floor"
+        ));
+    }
+    Ok((speedup, min))
+}
+
 /// Extracts the balanced `{...}` object stored under `"key":` in a JSON
 /// body. The `BENCH_*.json` writers never emit `{` or `}` inside string
 /// literals (names are app/pass identifiers), so a brace counter is

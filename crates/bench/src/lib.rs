@@ -21,6 +21,7 @@
 pub mod diff;
 pub mod fault;
 pub mod gate;
+pub mod kernels;
 pub mod races;
 pub mod runner;
 
@@ -105,6 +106,13 @@ pub mod knobs {
     pub fn torn_sites() -> usize {
         static CELL: OnceLock<u64> = OnceLock::new();
         *CELL.get_or_init(|| parse_u64("STOS_TORN", 4)) as usize
+    }
+
+    /// Simulated cycles each `sim_speed` compute kernel runs per
+    /// engine. Override with `STOS_KERNEL_CYCLES`.
+    pub fn kernel_cycles() -> u64 {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_KERNEL_CYCLES", 200_000_000))
     }
 }
 

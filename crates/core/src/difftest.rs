@@ -354,7 +354,13 @@ impl Workload<'_> {
     /// A machine set up for `build` and the run horizon in cycles.
     fn machine(&self, build: &Build) -> (Machine, u64) {
         match self {
-            Workload::Raw { budget } => (Machine::new(&build.image), *budget),
+            Workload::Raw { budget } => {
+                let mut m = Machine::new(&build.image);
+                if m.engine() == mcu::Engine::Bt {
+                    m.set_block_cache(build.block_cache());
+                }
+                (m, *budget)
+            }
             Workload::App { spec, seconds, .. } => prepare_machine(build, spec, *seconds),
         }
     }

@@ -44,7 +44,7 @@ pub mod spec;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ccured::CureStats;
@@ -211,6 +211,31 @@ pub struct Build {
     /// The final middle-end IR (for inspection; the backend prepares and
     /// links from a copy).
     pub program: Program,
+    /// Lazily-built basic-block cache for the translating execution
+    /// engine, shared across every machine spun up from this build
+    /// (clones share it too — the image is identical, so the decode is).
+    block_cache: OnceLock<Arc<mcu::BlockCache>>,
+}
+
+impl Build {
+    /// A build over `image` with `metrics` and final IR `program`.
+    pub fn new(image: Image, metrics: Metrics, program: Program) -> Build {
+        Build {
+            image,
+            metrics,
+            program,
+            block_cache: OnceLock::new(),
+        }
+    }
+
+    /// The build's shared basic-block cache, decoding the image on first
+    /// use. Machines handed this cache skip their own per-machine decode
+    /// when running under [`mcu::Engine::Bt`].
+    pub fn block_cache(&self) -> Arc<mcu::BlockCache> {
+        self.block_cache
+            .get_or_init(|| Arc::new(mcu::BlockCache::build(&self.image)))
+            .clone()
+    }
 }
 
 /// The frontend's output for one app, cached by a [`BuildSession`] and
@@ -428,6 +453,9 @@ pub fn prepare_machine(build: &Build, spec: &AppSpec, seconds: u64) -> (Machine,
     let mut ctx = spec.context.clone();
     ctx.seconds = seconds;
     let mut m = Machine::new(&build.image);
+    if m.engine() == mcu::Engine::Bt {
+        m.set_block_cache(build.block_cache());
+    }
     // Rebuild periodic injections for the overridden duration.
     let hz = build.image.profile.clock_hz;
     let until = ctx.duration_cycles(hz);

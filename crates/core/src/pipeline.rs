@@ -538,11 +538,7 @@ impl Pipeline {
         metrics.flash_bytes = image.flash_bytes();
         metrics.sram_bytes = image.sram_bytes();
         metrics.checks_surviving = image.surviving_checks();
-        Ok(Build {
-            image,
-            metrics,
-            program,
-        })
+        Ok(Build::new(image, metrics, program))
     }
 }
 

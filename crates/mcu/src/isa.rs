@@ -22,6 +22,7 @@ pub enum Width {
 
 impl Width {
     /// Width in bytes.
+    #[inline]
     pub fn bytes(self) -> u32 {
         match self {
             Width::W8 => 1,
@@ -31,6 +32,7 @@ impl Width {
     }
 
     /// Wraps `v` to this width with the given signedness.
+    #[inline]
     pub fn wrap(self, v: i64, signed: bool) -> i64 {
         match (self, signed) {
             (Width::W8, false) => v as u8 as i64,
@@ -128,7 +130,7 @@ pub enum UnAluOp {
 /// Branch targets are indices into the owning function's instruction list
 /// (resolved by the code generator; the encoding model charges 2 bytes for
 /// a target, like an AVR relative branch pair).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instr {
     /// Push an immediate constant.
     PushI(i64),

@@ -10,8 +10,14 @@
 //! * [`image`] — linked program images: code, initialized data, read-only
 //!   data in the flash window, interrupt vectors, and the host-side FLID
 //!   error-message table,
-//! * [`machine`] — the interpreter: evaluation stack, RAM call frames,
+//! * [`machine`] — the machine model: evaluation stack, RAM call frames,
 //!   interrupts, sleep/wake accounting, and safety-trap handling,
+//! * [`engine`] + [`bbcache`] — the two execution engines behind
+//!   [`Machine::run`]: the faithful per-instruction interpreter and a
+//!   basic-block translation engine (decode once, superinstruction
+//!   fusion, faithful fallback at every observable boundary) selected
+//!   via `STOS_ENGINE=interp|bt` — byte-identical observables, ≥10×
+//!   the cycles/sec,
 //! * [`devices`] — memory-mapped timer, ADC, byte radio, UART, and LEDs,
 //! * [`net`] — a shared broadcast radio channel for multi-node simulations
 //!   (the Avrora "network of motes" role),
@@ -53,13 +59,17 @@
 //! assert_eq!(m.devices.leds.value, 5);
 //! ```
 
+pub mod bbcache;
 pub mod devices;
+pub mod engine;
 pub mod faults;
 pub mod image;
 pub mod isa;
 pub mod machine;
 pub mod net;
 
+pub use bbcache::{BlockCache, CacheStats};
+pub use engine::Engine;
 pub use faults::{FaultKind, FaultPlan};
 pub use image::{CodeFunction, Image, Profile};
 pub use machine::{Fault, Machine, RunState, TornWatch};

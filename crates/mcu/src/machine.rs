@@ -26,8 +26,9 @@ pub enum Fault {
     /// the node can never wake.
     DeadSleep,
     /// Malformed code (backend bug): evaluation stack underflow, bad
-    /// function index, or fall off the end of a function.
-    BadCode(&'static str),
+    /// function index, or fall off the end of a function. Carries a
+    /// message naming the offending site.
+    BadCode(String),
 }
 
 /// Execution state of a machine.
@@ -44,13 +45,19 @@ pub enum RunState {
 }
 
 #[derive(Debug, Clone)]
-struct Frame {
+pub(crate) struct Frame {
     caller_func: u32,
     caller_pc: u32,
     caller_fp: u16,
     callee_frame_size: u16,
     is_irq: bool,
 }
+
+/// Size of the machine's address space in bytes.
+pub(crate) const RAM_BYTES: usize = 0x1_0000;
+
+/// Maximum number of `Call` arguments popped without a heap allocation.
+const INLINE_ARGS: usize = 8;
 
 /// Cycles charged for interrupt entry (vectoring + register save).
 const IRQ_ENTRY_CYCLES: u64 = 8;
@@ -93,17 +100,19 @@ pub struct TornWatch {
 /// A simulated M16 node.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    img: Image,
-    ram: Vec<u8>,
-    cur_func: u32,
-    pc: u32,
-    fp: u16,
-    sp: u16,
-    eval: Vec<i64>,
-    frames: Vec<Frame>,
-    irq_enabled: bool,
-    pending: u8,
-    events: BinaryHeap<Reverse<(u64, Event)>>,
+    pub(crate) img: Image,
+    /// Fixed-size address space: indexing with a `u16`-derived offset
+    /// needs no bounds re-check in either engine.
+    pub(crate) ram: Box<[u8; RAM_BYTES]>,
+    pub(crate) cur_func: u32,
+    pub(crate) pc: u32,
+    pub(crate) fp: u16,
+    pub(crate) sp: u16,
+    pub(crate) eval: Vec<i64>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) irq_enabled: bool,
+    pub(crate) pending: u8,
+    pub(crate) events: BinaryHeap<Reverse<(u64, Event)>>,
     /// Total elapsed cycles.
     pub cycles: u64,
     /// Cycles spent awake (executing, not sleeping) — the duty-cycle
@@ -122,7 +131,20 @@ pub struct Machine {
     pub radio_out: Vec<(u64, u8)>,
     /// Number of instructions executed (profiling aid).
     pub instr_count: u64,
-    torn_watch: Option<TornWatch>,
+    pub(crate) torn_watch: Option<TornWatch>,
+    /// Cached `img.profile.sram_base()` (memory-map hot path).
+    pub(crate) sram_base: u16,
+    /// Cached `img.profile.sram_end()` (memory-map hot path).
+    pub(crate) sram_end: u16,
+    /// Set by `store_mem` whenever a store lands in MMIO space: the
+    /// block engine bails out of its fast loop so device events and
+    /// interrupt windows are handled with per-instruction fidelity.
+    pub(crate) mmio_sync: bool,
+    /// Which execution engine `run` uses.
+    engine: crate::engine::Engine,
+    /// Predecoded basic blocks for `img` (built lazily, shareable across
+    /// machines running the same image).
+    pub(crate) bbcache: Option<std::sync::Arc<crate::bbcache::BlockCache>>,
 }
 
 impl Machine {
@@ -135,13 +157,17 @@ impl Machine {
     pub fn new(image: &Image) -> Machine {
         let img = image.clone();
         let entry = img.entry.expect("image has no entry function");
-        let mut ram = vec![0u8; 0x1_0000];
+        let mut ram: Box<[u8; RAM_BYTES]> = vec![0u8; RAM_BYTES]
+            .into_boxed_slice()
+            .try_into()
+            .expect("RAM_BYTES-long vec");
         for (addr, bytes) in &img.rodata {
             ram[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
         }
         for (addr, bytes) in &img.data_init {
             ram[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
         }
+        let sram_base = img.profile.sram_base();
         let sram_end = img.profile.sram_end();
         let frame = img.functions[entry as usize].frame_size;
         let mut m = Machine {
@@ -165,9 +191,42 @@ impl Machine {
             radio_out: Vec::new(),
             instr_count: 0,
             torn_watch: None,
+            sram_base,
+            sram_end,
+            mmio_sync: false,
+            engine: crate::engine::Engine::from_env(),
+            bbcache: None,
         };
         m.devices.adc.waveform = Waveform::default();
         m
+    }
+
+    /// The execution engine this machine runs under (defaults to the
+    /// `STOS_ENGINE` environment knob, read once per process).
+    pub fn engine(&self) -> crate::engine::Engine {
+        self.engine
+    }
+
+    /// Selects the execution engine explicitly, overriding the
+    /// `STOS_ENGINE` default (the `sim_speed` harness measures both
+    /// engines in one process this way).
+    pub fn set_engine(&mut self, engine: crate::engine::Engine) {
+        self.engine = engine;
+    }
+
+    /// Attaches a predecoded block cache built from this machine's image
+    /// (see [`crate::bbcache::BlockCache`]). Campaigns and difftests that
+    /// replay one image across many machines share a single decode this
+    /// way; without an attached cache the block engine decodes lazily on
+    /// first use.
+    pub fn set_block_cache(&mut self, cache: std::sync::Arc<crate::bbcache::BlockCache>) {
+        self.bbcache = Some(cache);
+    }
+
+    /// The full 64 KiB address space (test/inspection helper: RAM
+    /// snapshot comparisons between engines).
+    pub fn ram_bytes(&self) -> &[u8] {
+        &self.ram[..]
     }
 
     /// Sets the ADC sensor waveform (workload context).
@@ -265,7 +324,19 @@ impl Machine {
 
     /// Runs until `until` total cycles have elapsed (or the machine halts
     /// or faults). Returns the final state.
+    ///
+    /// Dispatches to the engine selected by [`Machine::set_engine`] /
+    /// `STOS_ENGINE`; both engines produce byte-identical observables
+    /// (cycles, instruction counts, RAM, device traces, faults).
     pub fn run(&mut self, until: u64) -> RunState {
+        match self.engine {
+            crate::engine::Engine::Interp => self.run_interp(until),
+            crate::engine::Engine::Bt => self.run_bt(until),
+        }
+    }
+
+    /// The faithful per-instruction interpreter loop.
+    pub(crate) fn run_interp(&mut self, until: u64) -> RunState {
         while self.cycles < until {
             match self.state {
                 RunState::Running => {
@@ -275,68 +346,81 @@ impl Machine {
                     }
                     self.step();
                 }
-                RunState::Sleeping => {
-                    if self.pending != 0 && self.irq_enabled {
-                        self.state = RunState::Running;
-                        continue;
-                    }
-                    if !self.irq_enabled {
-                        self.fail(Fault::DeadSleep);
-                        break;
-                    }
-                    match self.events.peek() {
-                        Some(Reverse((t, _))) if *t < until => {
-                            let t = *t;
-                            if t > self.cycles {
-                                self.cycles = t; // asleep: not counted awake
-                            }
-                            self.deliver_due_events();
-                        }
-                        _ => {
-                            self.cycles = until;
-                        }
-                    }
-                }
+                RunState::Sleeping => self.sleep_pump(until),
                 RunState::Halted | RunState::Faulted => break,
             }
         }
         self.state
     }
 
-    /// Executes exactly one instruction if running (test helper).
+    /// One iteration of the sleep state: wake on a pending enabled
+    /// interrupt, fault on a dead sleep, otherwise fast-forward `cycles`
+    /// (not counted awake) to the next event strictly before `until` —
+    /// or to `until` itself when none is due. Shared verbatim by both
+    /// engines so sleep accounting cannot diverge.
+    pub(crate) fn sleep_pump(&mut self, until: u64) {
+        debug_assert_eq!(self.state, RunState::Sleeping);
+        if self.pending != 0 && self.irq_enabled {
+            self.state = RunState::Running;
+            return;
+        }
+        if !self.irq_enabled {
+            self.fail(Fault::DeadSleep);
+            return;
+        }
+        match self.events.peek() {
+            Some(Reverse((t, _))) if *t < until => {
+                let t = *t;
+                if t > self.cycles {
+                    self.cycles = t; // asleep: not counted awake
+                }
+                self.deliver_due_events();
+            }
+            _ => {
+                self.cycles = until;
+            }
+        }
+    }
+
+    /// Executes exactly one instruction if running (test helper, and the
+    /// faithful single-step both engines bottom out in).
     pub fn step(&mut self) {
         debug_assert_eq!(self.state, RunState::Running);
         let func = &self.img.functions[self.cur_func as usize];
-        let Some(instr) = func.code.get(self.pc as usize) else {
-            self.fail(Fault::BadCode("pc past end of function"));
+        let Some(&instr) = func.code.get(self.pc as usize) else {
+            let msg = format!(
+                "pc {} past end of function #{} ({})",
+                self.pc, self.cur_func, func.name
+            );
+            self.fail(Fault::BadCode(msg));
             return;
         };
-        let instr = instr.clone();
         let cost = instr.cycles();
         self.cycles += cost;
         self.awake_cycles += cost;
         self.instr_count += 1;
         self.pc += 1;
-        self.exec(instr);
+        self.exec(&instr);
     }
 
-    fn fail(&mut self, fault: Fault) {
+    pub(crate) fn fail(&mut self, fault: Fault) {
         self.fault = Some(fault);
         self.state = RunState::Faulted;
     }
 
-    fn pop(&mut self) -> i64 {
+    #[inline]
+    pub(crate) fn pop(&mut self) -> i64 {
         match self.eval.pop() {
             Some(v) => v,
             None => {
-                self.fail(Fault::BadCode("evaluation stack underflow"));
+                self.fail(Fault::BadCode("evaluation stack underflow".into()));
                 0
             }
         }
     }
 
-    fn exec(&mut self, instr: Instr) {
-        match instr {
+    pub(crate) fn exec(&mut self, instr: &Instr) {
+        match *instr {
             Instr::PushI(v) => self.eval.push(v),
             Instr::LdLocal { off, width, signed } => {
                 let addr = self.fp.wrapping_add(off);
@@ -409,18 +493,7 @@ impl Machine {
             Instr::Call { func } => self.do_call(func, false),
             Instr::Ret | Instr::Reti => {
                 let was_irq = matches!(instr, Instr::Reti);
-                match self.frames.pop() {
-                    Some(fr) => {
-                        self.sp = self.sp.wrapping_add(fr.callee_frame_size);
-                        self.cur_func = fr.caller_func;
-                        self.pc = fr.caller_pc;
-                        self.fp = fr.caller_fp;
-                        if was_irq || fr.is_irq {
-                            self.irq_enabled = true;
-                        }
-                    }
-                    None => self.state = RunState::Halted,
-                }
+                self.do_ret(was_irq);
             }
             Instr::Trap { flid } => self.fail(Fault::SafetyTrap(flid)),
             Instr::Halt => self.state = RunState::Halted,
@@ -507,9 +580,26 @@ impl Machine {
         }
     }
 
+    /// Pops the current frame: `Ret`/`Reti` semantics, shared by both
+    /// engines. Returning from an interrupt frame re-enables interrupts.
+    pub(crate) fn do_ret(&mut self, was_irq: bool) {
+        match self.frames.pop() {
+            Some(fr) => {
+                self.sp = self.sp.wrapping_add(fr.callee_frame_size);
+                self.cur_func = fr.caller_func;
+                self.pc = fr.caller_pc;
+                self.fp = fr.caller_fp;
+                if was_irq || fr.is_irq {
+                    self.irq_enabled = true;
+                }
+            }
+            None => self.state = RunState::Halted,
+        }
+    }
+
     /// Loads a fat pointer from memory onto the eval stack: layout is
     /// `val, end[, base]` as little-endian words.
-    fn fat_load(&mut self, addr: u16, seq: bool) {
+    pub(crate) fn fat_load(&mut self, addr: u16, seq: bool) {
         let Some(val) = self.load_mem(addr, Width::W16, false) else {
             return;
         };
@@ -528,7 +618,7 @@ impl Machine {
             .push(crate::isa::fat_pack(val as u16, base as u16, end as u16));
     }
 
-    fn fat_store(&mut self, addr: u16, cell: i64, seq: bool) {
+    pub(crate) fn fat_store(&mut self, addr: u16, cell: i64, seq: bool) {
         let (v, b, e) = crate::isa::fat_unpack(cell);
         self.store_mem(addr, v as i64, Width::W16);
         self.store_mem(addr.wrapping_add(2), e as i64, Width::W16);
@@ -537,7 +627,8 @@ impl Machine {
         }
     }
 
-    fn alu(&self, op: AluOp, a: i64, b: i64, width: Width, signed: bool) -> Option<i64> {
+    #[inline]
+    pub(crate) fn alu(&self, op: AluOp, a: i64, b: i64, width: Width, signed: bool) -> Option<i64> {
         let wa = width.wrap(a, signed);
         let wb = width.wrap(b, signed);
         let ua = width.wrap(a, false) as u64;
@@ -596,24 +687,31 @@ impl Machine {
         })
     }
 
-    fn do_call(&mut self, func: u32, is_irq: bool) {
+    pub(crate) fn do_call(&mut self, func: u32, is_irq: bool) {
         let Some(callee) = self.img.functions.get(func as usize) else {
-            self.fail(Fault::BadCode("bad function index"));
+            self.fail(Fault::BadCode(format!("bad function index {func}")));
             return;
         };
         let frame_size = callee.frame_size;
-        let params: Vec<_> = callee.params.clone();
+        let nparams = callee.params.len();
         let new_sp = self.sp.wrapping_sub(frame_size);
         if new_sp < self.img.static_top || new_sp > self.sp {
             self.fail(Fault::StackOverflow);
             return;
         }
         // Pop arguments (last argument on top) into the callee frame.
-        let mut args = Vec::with_capacity(params.len());
-        for _ in 0..params.len() {
-            args.push(self.pop());
+        // A fixed buffer keeps the common case allocation-free.
+        let mut inline_args = [0i64; INLINE_ARGS];
+        let mut heap_args;
+        let args: &mut [i64] = if nparams <= INLINE_ARGS {
+            &mut inline_args[..nparams]
+        } else {
+            heap_args = vec![0i64; nparams];
+            &mut heap_args[..]
+        };
+        for a in args.iter_mut().rev() {
+            *a = self.pop();
         }
-        args.reverse();
         self.frames.push(Frame {
             caller_func: self.cur_func,
             caller_pc: self.pc,
@@ -625,7 +723,8 @@ impl Machine {
         self.fp = new_sp;
         self.cur_func = func;
         self.pc = 0;
-        for (slot, v) in params.iter().zip(args) {
+        for (i, &v) in args.iter().enumerate().take(nparams) {
+            let slot = self.img.functions[func as usize].params[i];
             let addr = self.fp.wrapping_add(slot.off);
             match slot.kind {
                 crate::image::SlotKind::Scalar(w) => self.store_mem(addr, v, w),
@@ -634,7 +733,7 @@ impl Machine {
         }
     }
 
-    fn maybe_dispatch_irq(&mut self) -> bool {
+    pub(crate) fn maybe_dispatch_irq(&mut self) -> bool {
         if !self.irq_enabled || self.pending == 0 || self.state != RunState::Running {
             return false;
         }
@@ -657,7 +756,7 @@ impl Machine {
 
     // ----- memory -----
 
-    fn load_mem(&mut self, addr: u16, width: Width, signed: bool) -> Option<i64> {
+    pub(crate) fn load_mem(&mut self, addr: u16, width: Width, signed: bool) -> Option<i64> {
         if addr >= MMIO_BASE {
             let v = self.mmio_read(addr);
             return Some(width.wrap(v as i64, signed));
@@ -689,9 +788,12 @@ impl Machine {
         Some(width.wrap(v as i64, signed))
     }
 
-    fn store_mem(&mut self, addr: u16, v: i64, width: Width) {
+    pub(crate) fn store_mem(&mut self, addr: u16, v: i64, width: Width) {
         if addr >= MMIO_BASE {
             self.mmio_write(addr, width.wrap(v, false) as u16);
+            // Device registers may schedule events or change interrupt
+            // sources: tell the block engine to resynchronize.
+            self.mmio_sync = true;
             return;
         }
         if addr >= 0x8000 {
@@ -726,8 +828,8 @@ impl Machine {
     /// Whether `[addr, addr+len)` is mapped readable memory: SRAM or the
     /// flash window. The null page and the gap above SRAM fault.
     fn mapped(&self, addr: u16, len: u16) -> bool {
-        let base = self.img.profile.sram_base();
-        let end = self.img.profile.sram_end();
+        let base = self.sram_base;
+        let end = self.sram_end;
         let last = addr.checked_add(len - 1);
         let Some(last) = last else { return false };
         (addr >= base && last < end) || (0x8000..MMIO_BASE).contains(&addr) && last < MMIO_BASE
@@ -808,7 +910,7 @@ impl Machine {
         }
     }
 
-    fn deliver_due_events(&mut self) {
+    pub(crate) fn deliver_due_events(&mut self) {
         while let Some(Reverse((t, _))) = self.events.peek() {
             if *t > self.cycles {
                 break;

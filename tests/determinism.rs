@@ -153,6 +153,68 @@ fn race_analysis_matches_serial_under_8_threads() {
 }
 
 #[test]
+fn campaigns_trigger_identically_under_both_engines() {
+    // The block-translation engine must take every observable exit —
+    // trap, crash, torn-watch access count — exactly where the
+    // interpreter does. Replay a scaled-down fault-injection campaign
+    // (rendered JSON byte-compared) and a torn-update campaign (whose
+    // watchpoint fires at a 16-bit *access count*, so a single
+    // over- or under-counted access moves the verdict) under both
+    // engines and require identical results.
+    let apps = ["BlinkTask_Mica2", "Surge_Mica2"];
+    let pipelines = fault::default_pipelines();
+    let config = CampaignConfig {
+        seconds: 2,
+        sites: 6,
+        seed: 0x7E57,
+    };
+    let torn_stack = bench::races::stacks().remove(0);
+    let body_with = |engine: mcu::Engine| {
+        mcu::Engine::set_global_override(Some(engine));
+        assert_eq!(mcu::Engine::from_env(), engine);
+        let runner = ExperimentRunner::with_threads(4);
+        let grid = fault::campaign_grid(&runner, &apps, &pipelines, &config);
+        let fault_json = fault::render_json(&apps, &pipelines, &config, &grid);
+        // The torn campaign targets the first app whose baseline build
+        // flags multi-byte globals (enumeration is deterministic).
+        let mut torn_lines = Vec::new();
+        for app in ["RfmToLeds_Mica2", "Surge_Mica2", "SenseToRfm_Mica2"] {
+            let spec = tosapps::spec(app).expect("known app");
+            let build = bench::must_build(&spec, &torn_stack);
+            let names = safe_tinyos::torn_target_names(&build);
+            if names.is_empty() {
+                continue;
+            }
+            let rep = safe_tinyos::run_torn_campaign(&build, &spec, &names, 2, 2);
+            torn_lines.extend(
+                rep.results
+                    .iter()
+                    .map(|r| format!("{app}/{} @{}: {:?}", r.site, r.at_cycle, r.verdict)),
+            );
+            break;
+        }
+        mcu::Engine::set_global_override(None);
+        assert!(
+            !torn_lines.is_empty(),
+            "no app offered torn targets — campaign exercised nothing"
+        );
+        (fault_json, torn_lines.join("\n"))
+    };
+    let (fault_interp, torn_interp) = body_with(mcu::Engine::Interp);
+    let (fault_bt, torn_bt) = body_with(mcu::Engine::Bt);
+    assert_eq!(
+        fault_interp, fault_bt,
+        "fault campaign diverged between interp and bt engines"
+    );
+    assert_eq!(
+        torn_interp, torn_bt,
+        "torn campaign diverged between interp and bt engines"
+    );
+    // Non-trivial: the campaign produced real detections.
+    assert!(fault_interp.contains("\"detected\""), "{fault_interp}");
+}
+
+#[test]
 fn grid_results_land_in_grid_order() {
     let configs = [Pipeline::unsafe_baseline(), Pipeline::safe_flid()];
     let runner = ExperimentRunner::with_threads(4);

@@ -130,6 +130,31 @@ proptest! {
     }
 
     #[test]
+    fn generated_programs_identical_under_both_engines(seed in 1u64..5000) {
+        // Engine identity over the difftest generator's program space:
+        // for any generated program, the block-translation engine must
+        // produce the same DiffObservation (state, fault category,
+        // UART/radio streams, LED transitions, final RAM by name) AND
+        // the same cycle/instruction accounting as the interpreter —
+        // on the same build, so any mismatch is an engine bug, not a
+        // pipeline difference.
+        let program = safe_tinyos::difftest::generate_program(seed).unwrap();
+        let preset = safe_tinyos::Pipeline::safe_flid_inline_cxprop();
+        let build = preset.build(program, mcu::Profile::mica2()).unwrap();
+        let run = |engine: mcu::Engine| {
+            let mut m = mcu::Machine::new(&build.image);
+            m.set_engine(engine);
+            if engine == mcu::Engine::Bt {
+                m.set_block_cache(build.block_cache());
+            }
+            m.run(200_000);
+            let obs = safe_tinyos::difftest::DiffObservation::capture(&build, &m);
+            (obs, m.cycles, m.awake_cycles, m.instr_count)
+        };
+        prop_assert_eq!(run(mcu::Engine::Interp), run(mcu::Engine::Bt));
+    }
+
+    #[test]
     fn frame_round_trips_through_radio_framing(payload in prop::collection::vec(any::<u8>(), 0..20)) {
         // The Rust frame builder and the in-language CRC must agree: a
         // packet injected into RfmToLeds-style parsing is never dropped.
