@@ -1,0 +1,33 @@
+//! CI's fleet gate: `fleet_gate <committed> <fresh>` compares the
+//! byte-pinned `"pinned"` object of a freshly published
+//! `BENCH_fleet.json` against the committed baseline. The fresh run may
+//! sweep a smaller mote population (CI sets `STOS_MOTES`); each fresh
+//! row is byte-compared against the committed row with the same
+//! `(motes, seed)` key, the campaign verdict histogram must match
+//! whole, and the fresh run must report lockstep equivalence.
+
+use bench::gate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(committed), Some(fresh)) = (args.next(), args.next()) else {
+        eprintln!("usage: fleet_gate <committed BENCH_fleet.json> <fresh BENCH_fleet.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("fleet_gate: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match gate::fleet_check(&read(&committed), &read(&fresh)) {
+        Ok(rows) => println!(
+            "fleet gate ok: {rows} sweep row(s) match the committed baseline, \
+             campaign verdicts identical, lockstep equivalence holds"
+        ),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

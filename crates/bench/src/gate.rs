@@ -215,6 +215,149 @@ pub fn race_check(committed: &str, fresh: &str) -> Result<usize, String> {
     Ok(got.len())
 }
 
+/// Extracts the balanced `[...]` array stored under `"key":` in a JSON
+/// body. Same caveats as [`extract_obj`]: the `BENCH_*.json` writers
+/// never emit brackets inside string literals.
+pub fn extract_arr<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":[");
+    let start = body.find(&needle)? + needle.len() - 1;
+    let mut depth = 0usize;
+    for (i, b) in body[start..].bytes().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&body[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a JSON array of objects into its top-level object slices.
+pub fn split_objs(arr: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, b) in arr.bytes().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&arr[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders the first byte difference between two strings with context,
+/// for gate failure messages.
+fn first_diff(want: &str, got: &str) -> String {
+    let at = want
+        .bytes()
+        .zip(got.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| want.len().min(got.len()));
+    let ctx = |s: &str| {
+        let lo = at.saturating_sub(40);
+        s.get(lo..(at + 40).min(s.len())).unwrap_or("").to_string()
+    };
+    format!(
+        "first difference at byte {at}:\n  committed: …{}…\n  fresh:     …{}…",
+        ctx(want),
+        ctx(got)
+    )
+}
+
+/// Gates a published `BENCH_fleet.json` body against the committed
+/// baseline. The fresh run may sweep a smaller mote population (CI sets
+/// `STOS_MOTES`/`STOS_FLEET_SEEDS`), so each fresh `"pinned"` row is
+/// byte-compared against the committed row with the same
+/// `(motes, seed)` key; the campaign histogram and the horizon are
+/// compared whole, and the fresh run must report lockstep equivalence.
+/// Returns the number of rows matched.
+///
+/// # Errors
+///
+/// Returns a description when either body lacks the `"pinned"` object,
+/// the horizons differ, equivalence failed, the campaign drifted, a
+/// fresh row has no committed counterpart, or a matched row's bytes
+/// drifted.
+pub fn fleet_check(committed: &str, fresh: &str) -> Result<usize, String> {
+    let want = extract_obj(committed, "pinned")
+        .ok_or("committed BENCH_fleet.json has no pinned object")?;
+    let got = extract_obj(fresh, "pinned").ok_or("fresh BENCH_fleet.json has no pinned object")?;
+    let key = |row: &str| {
+        (
+            extract_num(row, "motes").map(|v| v as u64),
+            extract_num(row, "seed").map(|v| v as u64),
+        )
+    };
+
+    let want_secs =
+        extract_num(want, "fleet_seconds").ok_or("committed pinned object has no fleet_seconds")?;
+    let got_secs =
+        extract_num(got, "fleet_seconds").ok_or("fresh pinned object has no fleet_seconds")?;
+    if want_secs != got_secs {
+        return Err(format!(
+            "fleet gate: horizon mismatch — committed ran {want_secs}s, fresh ran {got_secs}s \
+             (STOS_FLEET_SECONDS must match the committed baseline)"
+        ));
+    }
+    if !got.contains("\"equivalence_ok\":true") {
+        return Err(
+            "fleet gate: the event-driven engine diverged from the lockstep reference \
+             (equivalence_ok is not true)"
+                .into(),
+        );
+    }
+    let want_campaign =
+        extract_obj(want, "campaign").ok_or("committed pinned object has no campaign")?;
+    let got_campaign = extract_obj(got, "campaign").ok_or("fresh pinned object has no campaign")?;
+    if want_campaign != got_campaign {
+        return Err(format!(
+            "fleet gate: campaign verdicts drifted from the committed baseline ({})\n\
+             regenerate BENCH_fleet.json if the change is intended",
+            first_diff(want_campaign, got_campaign)
+        ));
+    }
+
+    let want_rows = split_objs(extract_arr(want, "rows").ok_or("committed pinned has no rows")?);
+    let got_rows = split_objs(extract_arr(got, "rows").ok_or("fresh pinned has no rows")?);
+    if got_rows.is_empty() {
+        return Err("fleet gate: fresh run produced no sweep rows".into());
+    }
+    for row in &got_rows {
+        let k = key(row);
+        let Some(base) = want_rows.iter().find(|w| key(w) == k) else {
+            return Err(format!(
+                "fleet gate: fresh row {k:?} has no committed counterpart — \
+                 regenerate BENCH_fleet.json with the new sweep"
+            ));
+        };
+        if base != row {
+            return Err(format!(
+                "fleet gate: row {k:?} drifted from the committed baseline ({})\n\
+                 regenerate BENCH_fleet.json if the change is intended",
+                first_diff(base, row)
+            ));
+        }
+    }
+    Ok(got_rows.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +460,61 @@ mod tests {
     fn race_gate_requires_both_objects() {
         assert!(race_check("{}", RACES).is_err());
         assert!(race_check(RACES, "{}").is_err());
+    }
+
+    const FLEET: &str = r#"{"figure":"fleet","pinned":{"fleet_seconds":4,"quality":{"loss_ppm":30000},"rows":[{"motes":10,"seed":1,"heard":5},{"motes":10,"seed":2,"heard":6},{"motes":100,"seed":1,"heard":50}],"campaign":{"motes":9,"victim":4,"sites":6,"detected":3,"benign":1},"equivalence_ok":true},"dynamics":{"threads":4}}"#;
+
+    fn fleet_subset() -> String {
+        FLEET
+            .replace(r#"{"motes":10,"seed":2,"heard":6},"#, "")
+            .replace(r#",{"motes":100,"seed":1,"heard":50}"#, "")
+    }
+
+    #[test]
+    fn extract_arr_and_split_objs_round_trip() {
+        let rows = extract_arr(FLEET, "rows").unwrap();
+        let objs = split_objs(rows);
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0], r#"{"motes":10,"seed":1,"heard":5}"#);
+        assert_eq!(extract_arr(FLEET, "missing"), None);
+        assert!(split_objs("[]").is_empty());
+    }
+
+    #[test]
+    fn fleet_gate_passes_identical_and_subset_runs() {
+        assert_eq!(fleet_check(FLEET, FLEET), Ok(3));
+        // CI runs a smaller sweep: only the surviving row is compared.
+        assert_eq!(fleet_check(FLEET, &fleet_subset()), Ok(1));
+    }
+
+    #[test]
+    fn fleet_gate_fails_on_row_drift_and_unknown_rows() {
+        let drift = FLEET.replace(r#""seed":1,"heard":5"#, r#""seed":1,"heard":4"#);
+        assert!(fleet_check(FLEET, &drift).unwrap_err().contains("drifted"));
+        let unknown = FLEET.replace(r#""motes":100,"seed":1"#, r#""motes":200,"seed":1"#);
+        assert!(fleet_check(FLEET, &unknown)
+            .unwrap_err()
+            .contains("no committed counterpart"));
+    }
+
+    #[test]
+    fn fleet_gate_fails_on_campaign_drift() {
+        let drift = FLEET.replace(r#""detected":3"#, r#""detected":2"#);
+        let err = fleet_check(FLEET, &drift).unwrap_err();
+        assert!(err.contains("campaign"), "{err}");
+    }
+
+    #[test]
+    fn fleet_gate_fails_on_broken_equivalence_or_horizon() {
+        let diverged = FLEET.replace(r#""equivalence_ok":true"#, r#""equivalence_ok":false"#);
+        assert!(fleet_check(FLEET, &diverged)
+            .unwrap_err()
+            .contains("lockstep"));
+        let horizon = FLEET.replace(r#""fleet_seconds":4"#, r#""fleet_seconds":2"#);
+        assert!(fleet_check(FLEET, &horizon)
+            .unwrap_err()
+            .contains("horizon"));
+        assert!(fleet_check("{}", FLEET).is_err());
+        assert!(fleet_check(FLEET, "{}").is_err());
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod diff;
 pub mod fault;
+pub mod fleet;
 pub mod gate;
 pub mod kernels;
 pub mod races;
@@ -113,6 +114,44 @@ pub mod knobs {
     pub fn kernel_cycles() -> u64 {
         static CELL: OnceLock<u64> = OnceLock::new();
         *CELL.get_or_init(|| parse_u64("STOS_KERNEL_CYCLES", 200_000_000))
+    }
+
+    /// Fleet sizes the `fleet` harness sweeps, as a comma-separated
+    /// list. The committed `BENCH_fleet.json` carries the full
+    /// `10,100,1000` sweep; CI overrides with a smaller population via
+    /// `STOS_MOTES` and the gate compares only the rows the fresh run
+    /// produced.
+    pub fn fleet_motes() -> &'static [usize] {
+        static CELL: OnceLock<Vec<usize>> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let parsed: Option<Vec<usize>> = std::env::var("STOS_MOTES").ok().map(|s| {
+                s.split(',')
+                    .filter(|t| !t.trim().is_empty())
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect()
+            });
+            match parsed {
+                Some(v) if !v.is_empty() => v,
+                _ => vec![10, 100, 1000],
+            }
+        })
+    }
+
+    /// Seeds per fleet size in the `fleet` harness's sweep. Override
+    /// with `STOS_FLEET_SEEDS` (CI uses 1).
+    pub fn fleet_seeds() -> u64 {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_FLEET_SEEDS", 2))
+    }
+
+    /// Simulated seconds per fleet run. Deliberately independent of
+    /// [`sim_seconds`]: CI shortens `STOS_SECONDS` for the single-mote
+    /// harnesses, but the fleet rows are byte-pinned against the
+    /// committed baseline, so their horizon must not move with it.
+    /// Override with `STOS_FLEET_SECONDS`.
+    pub fn fleet_seconds() -> u64 {
+        static CELL: OnceLock<u64> = OnceLock::new();
+        *CELL.get_or_init(|| parse_u64("STOS_FLEET_SECONDS", 4))
     }
 }
 

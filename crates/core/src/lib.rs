@@ -39,6 +39,7 @@
 pub mod campaign;
 pub mod diag;
 pub mod difftest;
+pub mod fleet;
 pub mod pipeline;
 pub mod spec;
 
@@ -59,6 +60,11 @@ pub use campaign::{
 };
 pub use diag::{Diagnostic, Severity};
 pub use difftest::{DiffCase, DiffConfig, DiffCounts, DiffVerdict, SubjectReport};
+pub use fleet::{
+    build_fleet, lockstep_matches_event_driven, run_fleet_campaign, sink_report,
+    FleetCampaignConfig, FleetCampaignReport, FleetSpec, FleetVerdict, FleetVerdictCounts,
+    SinkReport,
+};
 pub use pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
     PipelineBuilder, PruneErrmsgPass, RacesPass, PRESET_NAMES,

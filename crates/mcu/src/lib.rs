@@ -21,6 +21,11 @@
 //! * [`devices`] — memory-mapped timer, ADC, byte radio, UART, and LEDs,
 //! * [`net`] — a shared broadcast radio channel for multi-node simulations
 //!   (the Avrora "network of motes" role),
+//! * [`fleet`] — the fleet-scale event-driven network simulator: a global
+//!   event queue over per-mote wake times, directed lossy topologies,
+//!   node churn, and network-level fault injection (hundreds to
+//!   thousands of motes; the lockstep [`net`] stays as the byte-exact
+//!   reference model),
 //! * [`faults`] — deterministic fault injection: seeded corruption plans
 //!   (RAM bit flips, wild pointer words, register upsets) applied to a
 //!   live machine, the substrate of the detection-rate campaigns.
@@ -63,6 +68,7 @@ pub mod bbcache;
 pub mod devices;
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod image;
 pub mod isa;
 pub mod machine;
@@ -71,6 +77,7 @@ pub mod net;
 pub use bbcache::{BlockCache, CacheStats};
 pub use engine::Engine;
 pub use faults::{FaultKind, FaultPlan};
+pub use fleet::{Fleet, FleetStats, LinkQuality, MoteObservation, MoteSetup, Topology};
 pub use image::{CodeFunction, Image, Profile};
 pub use machine::{Fault, Machine, RunState, TornWatch};
 

@@ -302,6 +302,44 @@ impl Machine {
         self.irq_enabled
     }
 
+    /// The earliest cycle at which the machine's device-event queue has
+    /// work, clamped to the current cycle count so wake times never move
+    /// backwards. `None` when the queue is empty.
+    pub fn next_event_at(&self) -> Option<u64> {
+        self.events
+            .peek()
+            .map(|Reverse((t, _))| (*t).max(self.cycles))
+    }
+
+    /// The wake-time contract with event-driven schedulers (see
+    /// [`crate::fleet`]): the earliest cycle at which this machine can
+    /// execute another instruction (or fault), or `None` if it never
+    /// will absent outside input such as a radio delivery.
+    ///
+    /// - `Running` → now (`cycles`): the machine is mid-execution.
+    /// - `Sleeping` with a pending enabled interrupt → now (the next
+    ///   `run` wakes immediately), and likewise with interrupts globally
+    ///   disabled (the next `run` faults with a dead sleep).
+    /// - `Sleeping` otherwise → the next queued device event (timer
+    ///   compare, ADC completion, radio edge), or `None` when the queue
+    ///   is empty.
+    /// - `Halted` / `Faulted` → `None`.
+    pub fn next_wake(&self) -> Option<u64> {
+        match self.state {
+            RunState::Running => Some(self.cycles),
+            RunState::Sleeping => {
+                // Deliverable pending interrupt, or interrupts globally
+                // disabled (a dead sleep the next `run` must fault).
+                if self.pending != 0 || !self.irq_enabled {
+                    Some(self.cycles)
+                } else {
+                    self.next_event_at()
+                }
+            }
+            RunState::Halted | RunState::Faulted => None,
+        }
+    }
+
     /// Arms a torn-16-bit-update watchpoint (see [`TornWatch`]). At most
     /// one watch is armed at a time; arming replaces any previous one.
     pub fn arm_torn_watch(&mut self, addr: u16, nth: u32, mask: u8, hi: bool) {

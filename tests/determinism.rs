@@ -153,6 +153,33 @@ fn race_analysis_matches_serial_under_8_threads() {
 }
 
 #[test]
+fn fleet_json_matches_serial_under_8_threads() {
+    // A scaled-down fleet harness run: the mote-count sweep and the
+    // network-level fault campaign, serial vs 8 workers. Every pinned
+    // field of BENCH_fleet.json is a pure function of the build and the
+    // seeds, so the rendered "pinned" object must be byte-identical
+    // whatever the thread count or shard order.
+    let spec = tosapps::spec("Surge_Mica2").expect("known app");
+    let build = bench::must_build(&spec, &safe_tinyos::Pipeline::safe_flid_inline_cxprop());
+    let cells = bench::fleet::sweep_cells(&[5, 12], 2);
+    let body_with = |threads: usize| {
+        let runner = ExperimentRunner::with_threads(threads);
+        let rows = bench::fleet::measure(&runner, &build, &cells, 2);
+        let campaign = bench::fleet::run_campaign(&runner, &build);
+        bench::fleet::pinned_json(&rows, 2, campaign, true)
+    };
+    let serial = body_with(1);
+    let parallel = body_with(8);
+    assert_eq!(
+        serial, parallel,
+        "fleet sweep/campaign diverged between serial and 8-thread runs"
+    );
+    // Non-trivial: traffic flowed and the campaign reached verdicts.
+    assert!(!serial.contains("\"offered\":0"), "{serial}");
+    assert!(serial.contains("\"sites\":6"), "{serial}");
+}
+
+#[test]
 fn campaigns_trigger_identically_under_both_engines() {
     // The block-translation engine must take every observable exit —
     // trap, crash, torn-watch access count — exactly where the
