@@ -1,0 +1,38 @@
+//! CI's pass-cache effectiveness gate: `cache_gate <speed.json>...`
+//! checks each published `BENCH_toolchain_speed.json` in turn and exits
+//! non-zero when any of them shows the cure pass executing more often
+//! than its distinct (app, cure spec) inputs demand, or a warm re-run
+//! of the fig3 grid that is not at least 3× faster than the cold one.
+//! Run over both the committed baseline and the fresh artifact so the
+//! invariant holds in the bytes people read, not just the latest run.
+
+use bench::gate;
+
+/// The warm grid must beat the cold grid by at least this factor; the
+/// acceptance bar for content-addressed pass caching on the fig3 grid.
+const WARM_FACTOR: f64 = 3.0;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: cache_gate <BENCH_toolchain_speed.json>...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cache_gate: {path}: {e}");
+            std::process::exit(2);
+        });
+        match gate::cache_check(&body, WARM_FACTOR) {
+            Ok(out) => println!(
+                "cache gate ok: {path}: cure ran {}x for {} distinct inputs, \
+                 warm wall {:.1}ms vs cold {:.1}ms",
+                out.cure_runs, out.cure_unique, out.warm_wall_ms, out.wall_ms
+            ),
+            Err(msg) => {
+                eprintln!("cache_gate: {path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

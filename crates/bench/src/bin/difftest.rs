@@ -22,7 +22,7 @@ use bench::diff::{
     app_reports, cured_strength_reductions, default_presets, print_table, render_json,
     seed_reports, tally, total_miscompiles,
 };
-use bench::{emit_json, knobs, ExperimentRunner};
+use bench::{emit_json, ExperimentRunner, Knobs};
 use safe_tinyos::{pipelines_from_env_or, DiffConfig};
 
 fn main() {
@@ -30,16 +30,15 @@ fn main() {
     let default_grid = std::env::var("STOS_PIPELINE").is_err();
     let presets = pipelines_from_env_or(default_presets);
     let cfg = DiffConfig::default();
-    let seconds = knobs::sim_seconds();
-    let seeds: Vec<u64> = (0..knobs::diff_seeds())
-        .map(|i| knobs::diff_base() + i)
-        .collect();
+    let knobs = Knobs::from_env();
+    let seconds = knobs.sim_seconds;
+    let seeds: Vec<u64> = (0..knobs.diff_seeds).map(|i| knobs.diff_base + i).collect();
     let apps = tosapps::mica2_apps();
 
     println!(
         "Differential oracle — {} seeds (base {}), {} apps, {} presets vs cure-only reference",
         seeds.len(),
-        knobs::diff_base(),
+        knobs.diff_base,
         apps.len(),
         presets.len()
     );

@@ -18,16 +18,17 @@
 use bench::fault::{
     campaign_grid, default_pipelines, detection_totals, print_table, render_json, NOHARDEN_STACK,
 };
-use bench::{emit_json, knobs, ExperimentRunner};
+use bench::{emit_json, ExperimentRunner, Knobs};
 use safe_tinyos::{pipelines_from_env_or, CampaignConfig};
 
 fn main() {
     let runner = ExperimentRunner::from_env();
     let default_grid = std::env::var("STOS_PIPELINE").is_err();
     let pipelines = pipelines_from_env_or(default_pipelines);
+    let knobs = Knobs::from_env();
     let config = CampaignConfig {
-        seconds: knobs::sim_seconds(),
-        sites: knobs::fault_sites(),
+        seconds: knobs.sim_seconds,
+        sites: knobs.fault_sites,
         ..CampaignConfig::default()
     };
     let apps = tosapps::mica2_apps();

@@ -2,12 +2,12 @@
 //! unsafe baseline, for the eleven Mica2 applications, each run in its
 //! workload context.
 
-use bench::{emit_json, json, knobs, row, ExperimentRunner};
+use bench::{emit_json, json, row, ExperimentRunner, Knobs};
 use safe_tinyos::{pipelines_from_env_or, simulate, Pipeline};
 
 fn main() {
     let runner = ExperimentRunner::from_env();
-    let seconds = knobs::sim_seconds();
+    let seconds = Knobs::from_env().sim_seconds;
     // The four duty-cycle-relevant configurations: safe unoptimized,
     // safe fully optimized, unsafe optimized — compared to the baseline
     // in grid column 0.

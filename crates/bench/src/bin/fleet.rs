@@ -20,20 +20,21 @@
 //! wall times.
 
 use bench::fleet::{dynamics_json, measure, pinned_json, run_campaign, sweep_cells, SWEEP_QUALITY};
-use bench::{emit_json, json, knobs, row, ExperimentRunner};
+use bench::{emit_json, json, row, ExperimentRunner, Knobs};
 use safe_tinyos::fleet::{lockstep_matches_event_driven, FleetSpec};
 use safe_tinyos::Pipeline;
 
 fn main() {
     let runner = ExperimentRunner::from_env();
-    let seconds = knobs::fleet_seconds();
-    let motes = knobs::fleet_motes();
-    let cells = sweep_cells(motes, knobs::fleet_seeds());
+    let knobs = Knobs::from_env();
+    let seconds = knobs.fleet_seconds;
+    let motes = &knobs.fleet_motes;
+    let cells = sweep_cells(motes, knobs.fleet_seeds);
     println!(
         "Fleet simulator — {} cells ({motes:?} motes × {} seeds), {seconds}s each, \
          loss {} ppm",
         cells.len(),
-        knobs::fleet_seeds(),
+        knobs.fleet_seeds,
         SWEEP_QUALITY.loss_ppm
     );
 

@@ -13,7 +13,7 @@
 //! replaces the default stack list, so any composition question is a
 //! shell variable away.
 
-use bench::{emit_json, json, knobs, ExperimentRunner};
+use bench::{emit_json, json, ExperimentRunner, Knobs};
 use safe_tinyos::{pipelines_from_env_or, simulate, Pipeline};
 
 /// Three apps spanning the size range: the smallest, a mid-size sensing
@@ -61,7 +61,7 @@ struct Cell {
 
 fn main() {
     let runner = ExperimentRunner::from_env();
-    let seconds = knobs::sim_seconds();
+    let seconds = Knobs::from_env().sim_seconds;
     let stacks = pipelines_from_env_or(default_stacks);
     let grid = runner.run_grid(&APPS, &stacks, |job| {
         let build = job.build(job.item);

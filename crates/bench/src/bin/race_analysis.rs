@@ -22,25 +22,26 @@
 //! miscompiles.
 
 use bench::races::{analysis_json, dynamics_json, measure, oracle_check};
-use bench::{emit_json, json, knobs, row, ExperimentRunner};
+use bench::{emit_json, json, row, ExperimentRunner, Knobs};
 
 fn main() {
     let runner = ExperimentRunner::from_env();
-    let seconds = knobs::sim_seconds();
+    let knobs = Knobs::from_env();
+    let seconds = knobs.sim_seconds;
     let apps = tosapps::mica2_apps();
     // The oracle spot check is a sanity pass, not the difftest sweep:
     // cap the seed population so the harness stays quick even with
     // default knobs.
-    let seeds: Vec<u64> = (0..knobs::diff_seeds().min(12))
-        .map(|i| knobs::diff_base() + i)
+    let seeds: Vec<u64> = (0..knobs.diff_seeds.min(12))
+        .map(|i| knobs.diff_base + i)
         .collect();
 
     println!(
         "Race & atomicity analysis — {} apps, {} torn injections/target, {seconds}s workloads",
         apps.len(),
-        knobs::torn_sites()
+        knobs.torn_sites
     );
-    let rows = measure(&runner, &apps, seconds);
+    let rows = measure(&runner, &apps, seconds, knobs.torn_sites);
     let oracle = oracle_check(&runner, &seeds, &apps, seconds);
 
     println!(
@@ -73,7 +74,7 @@ fn main() {
         .raw("analysis", &analysis_json(&rows))
         .raw(
             "dynamics",
-            &dynamics_json(&rows, seconds, oracle, seeds.len()),
+            &dynamics_json(&rows, seconds, knobs.torn_sites, oracle, seeds.len()),
         )
         .build();
     emit_json("races", &body).expect("write BENCH_races.json");

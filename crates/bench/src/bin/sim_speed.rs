@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use bench::{emit_json, json, kernels, knobs, row};
+use bench::{emit_json, json, kernels, row, Knobs};
 use safe_tinyos::{prepare_machine, BuildSession, Pipeline};
 
 /// One engine's measurement for one subject.
@@ -82,14 +82,6 @@ fn measure_app(
     sample(&m, start.elapsed().as_secs_f64())
 }
 
-fn speedup_min() -> f64 {
-    std::env::var("STOS_SPEEDUP_MIN")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|f: &f64| f.is_finite() && *f > 0.0)
-        .unwrap_or(10.0)
-}
-
 fn report_divergence(name: &str, a: &Sample, b: &Sample) {
     eprintln!(
         "ENGINE DIVERGENCE on {name}: interp (cycles {}, awake {}, instrs {}, {} {:?}) \
@@ -108,9 +100,10 @@ fn report_divergence(name: &str, a: &Sample, b: &Sample) {
 }
 
 fn main() {
-    let seconds = knobs::sim_seconds();
-    let kernel_cycles = knobs::kernel_cycles();
-    let min = speedup_min();
+    let knobs = Knobs::from_env();
+    let seconds = knobs.sim_seconds;
+    let kernel_cycles = knobs.kernel_cycles;
+    let min = knobs.speedup_min;
     let mut identical = true;
 
     // ── Kernel section: the speedup gate ────────────────────────────

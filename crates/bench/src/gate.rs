@@ -168,6 +168,64 @@ pub fn extract_obj<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
+/// The cache gate's measurement, all read from one published
+/// `BENCH_toolchain_speed.json` body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheOutcome {
+    /// The cold grid's wall time (ms).
+    pub wall_ms: f64,
+    /// The warm re-run's wall time (ms).
+    pub warm_wall_ms: f64,
+    /// Actual cure-pass executions (cache misses) on the cold grid.
+    pub cure_runs: f64,
+    /// Required cure-pass executions: one per distinct (app, cure spec)
+    /// pair.
+    pub cure_unique: f64,
+}
+
+/// Gates the pass cache's effectiveness from a published
+/// `BENCH_toolchain_speed.json` body (the canonical fig3 grid):
+/// the `cure` pass must have executed exactly once per distinct
+/// (app, cure spec) input — not once per grid cell — and the warm
+/// re-run of the grid must be at least `factor`× faster than the cold
+/// one.
+///
+/// # Errors
+///
+/// Returns a description when the body lacks the `cache` section or any
+/// of its fields, when cure ran a different number of times than its
+/// distinct inputs demand, or when the warm window isn't `factor`×
+/// faster than the cold wall.
+pub fn cache_check(body: &str, factor: f64) -> Result<CacheOutcome, String> {
+    let wall_ms = extract_num(body, "wall_ms").ok_or("toolchain_speed JSON has no wall_ms")?;
+    let cache = extract_obj(body, "cache")
+        .ok_or("toolchain_speed JSON has no cache section — regenerate it from the fig3 grid")?;
+    let warm_wall_ms =
+        extract_num(cache, "warm_wall_ms").ok_or("cache section has no warm_wall_ms")?;
+    let cure_runs = extract_num(cache, "cure_runs").ok_or("cache section has no cure_runs")?;
+    let cure_unique =
+        extract_num(cache, "cure_unique").ok_or("cache section has no cure_unique")?;
+    let outcome = CacheOutcome {
+        wall_ms,
+        warm_wall_ms,
+        cure_runs,
+        cure_unique,
+    };
+    if cure_runs != cure_unique {
+        return Err(format!(
+            "cache gate: cure ran {cure_runs} times for {cure_unique} distinct inputs — \
+             the pass cache is not deduplicating shared prefixes"
+        ));
+    }
+    if warm_wall_ms * factor > wall_ms {
+        return Err(format!(
+            "cache gate: warm grid wall {warm_wall_ms:.1}ms is not {factor:.1}x below the \
+             cold wall {wall_ms:.1}ms"
+        ));
+    }
+    Ok(outcome)
+}
+
 /// Gates a published `BENCH_races.json` body against the committed
 /// baseline: the `"analysis"` objects must be byte-identical (it holds
 /// only time-independent facts — diagnostic censuses, hardening counts,
@@ -421,6 +479,37 @@ mod tests {
         let lost = r#"{"total_miscompiles":0,"total_cured_strength_reductions":3}"#;
         assert!(difftest_check(lost).unwrap_err().contains("3 detection"));
         assert!(difftest_check("{}").is_err());
+    }
+
+    const SPEED: &str = r#"{"figure":"toolchain_speed","wall_ms":150.0,"stage_ms":{"frontend":5.0},"cache":{"warm_wall_ms":20.0,"warm_compile_ms":4.0,"cure_runs":48,"cure_unique":48,"passes":{"cure":{"hits":24,"misses":48,"bytes":100}}}}"#;
+
+    #[test]
+    fn cache_gate_passes_effective_cache() {
+        let out = cache_check(SPEED, 3.0).unwrap();
+        assert_eq!(out.wall_ms, 150.0);
+        assert_eq!(out.warm_wall_ms, 20.0);
+        assert_eq!(out.cure_runs, 48.0);
+    }
+
+    #[test]
+    fn cache_gate_fails_on_duplicate_cure_runs() {
+        let dup = SPEED.replace(r#""cure_runs":48"#, r#""cure_runs":72"#);
+        let err = cache_check(&dup, 3.0).unwrap_err();
+        assert!(err.contains("not deduplicating"), "{err}");
+    }
+
+    #[test]
+    fn cache_gate_fails_on_slow_warm_window() {
+        let slow = SPEED.replace(r#""warm_wall_ms":20.0"#, r#""warm_wall_ms":80.0"#);
+        let err = cache_check(&slow, 3.0).unwrap_err();
+        assert!(err.contains("warm grid wall"), "{err}");
+    }
+
+    #[test]
+    fn cache_gate_requires_the_cache_section() {
+        assert!(cache_check(BASE, 3.0).is_err());
+        let gutted = SPEED.replace(r#""warm_wall_ms":20.0,"#, "");
+        assert!(cache_check(&gutted, 3.0).is_err());
     }
 
     const RACES: &str = r#"{"figure":"race_analysis","analysis":{"apps":[{"app":"A","r001":2}],"totals":{"r001":2}},"dynamics":{"hardened_divergences":0,"unhardened_divergences":5}}"#;

@@ -26,18 +26,20 @@ pub mod kernels;
 pub mod races;
 pub mod runner;
 
-use safe_tinyos::{build_app, Build, Pipeline};
+use safe_tinyos::{Build, BuildSession, Pipeline};
 use tosapps::AppSpec;
 
-pub use knobs::sim_seconds;
-pub use runner::{ExperimentRunner, GridJob, SpeedReport};
+pub use knobs::Knobs;
+pub use runner::{ExperimentRunner, GridJob, SpeedReport, WarmCache};
 
-/// Builds one app under one pipeline with a throwaway frontend,
+/// Builds one app under one pipeline with a throwaway session,
 /// panicking with context on failure. Grid-shaped experiments should use
-/// [`ExperimentRunner`] instead, which caches frontend artifacts and
-/// parallelizes.
+/// [`ExperimentRunner`] instead, which shares the frontend and pass
+/// caches across cells and parallelizes.
 pub fn must_build(spec: &AppSpec, pipeline: &Pipeline) -> Build {
-    build_app(spec, pipeline).unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name, pipeline.name()))
+    BuildSession::new()
+        .build(spec, pipeline)
+        .unwrap_or_else(|e| panic!("{} / {}: {e}", spec.name, pipeline.name()))
 }
 
 /// Percent change of `new` relative to `base`.
@@ -60,7 +62,9 @@ pub fn row(label: &str, cells: &[String]) -> String {
 /// Run-shortening environment knobs, shared by every harness and parsed
 /// exactly once per process (CI shortens runs by exporting these; the
 /// harnesses must all agree on what they saw, even if the environment
-/// mutates mid-run).
+/// mutates mid-run). Harness mains call [`Knobs::from_env`] once and
+/// pass the values they need down explicitly — library code takes plain
+/// parameters and never reads the environment itself.
 pub mod knobs {
     use std::sync::OnceLock;
 
@@ -71,87 +75,88 @@ pub mod knobs {
             .unwrap_or(default)
     }
 
-    /// Simulated seconds for duty-cycle and fault-campaign runs: the
-    /// paper uses 3 minutes; a smaller default keeps the harnesses
-    /// quick. Override with `STOS_SECONDS`.
-    pub fn sim_seconds() -> u64 {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_SECONDS", 10))
+    /// The typed view of every `STOS_*` run-shaping variable.
+    #[derive(Debug, Clone)]
+    pub struct Knobs {
+        /// Simulated seconds for duty-cycle and fault-campaign runs:
+        /// the paper uses 3 minutes; a smaller default keeps the
+        /// harnesses quick. `STOS_SECONDS`, default 10.
+        pub sim_seconds: u64,
+        /// Injection sites per app × pipeline cell of a fault campaign.
+        /// `STOS_FAULTS`, default 16.
+        pub fault_sites: usize,
+        /// Generated-program subjects for the differential oracle.
+        /// `STOS_DIFF_SEEDS`, default 50.
+        pub diff_seeds: u64,
+        /// First seed of the differential oracle's range (the subjects
+        /// are `diff_base .. diff_base + diff_seeds`) — set
+        /// `STOS_DIFF_SEEDS=1 STOS_DIFF_BASE=N` to replay one
+        /// divergence-triggering seed. `STOS_DIFF_BASE`, default 1.
+        pub diff_base: u64,
+        /// Torn-update injections per flagged target in the
+        /// race-analysis campaign. `STOS_TORN`, default 4.
+        pub torn_sites: usize,
+        /// Simulated cycles each `sim_speed` compute kernel runs per
+        /// engine. `STOS_KERNEL_CYCLES`, default 200M.
+        pub kernel_cycles: u64,
+        /// Aggregate kernel speedup the `sim_speed` harness gates on.
+        /// `STOS_SPEEDUP_MIN`, default 10×.
+        pub speedup_min: f64,
+        /// Fleet sizes the `fleet` harness sweeps. The committed
+        /// `BENCH_fleet.json` carries the full `10,100,1000` sweep; CI
+        /// overrides with a smaller population via `STOS_MOTES`
+        /// (comma-separated) and the gate compares only the rows the
+        /// fresh run produced.
+        pub fleet_motes: Vec<usize>,
+        /// Seeds per fleet size in the `fleet` harness's sweep.
+        /// `STOS_FLEET_SEEDS`, default 2 (CI uses 1).
+        pub fleet_seeds: u64,
+        /// Simulated seconds per fleet run. Deliberately independent of
+        /// [`Knobs::sim_seconds`]: CI shortens `STOS_SECONDS` for the
+        /// single-mote harnesses, but the fleet rows are byte-pinned
+        /// against the committed baseline, so their horizon must not
+        /// move with it. `STOS_FLEET_SECONDS`, default 4.
+        pub fleet_seconds: u64,
     }
 
-    /// Injection sites per app × pipeline cell of a fault campaign.
-    /// Override with `STOS_FAULTS`.
-    pub fn fault_sites() -> usize {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_FAULTS", 16)) as usize
-    }
+    impl Knobs {
+        /// The process-wide knob set, parsed from the environment on
+        /// first use and frozen thereafter.
+        pub fn from_env() -> &'static Knobs {
+            static CELL: OnceLock<Knobs> = OnceLock::new();
+            CELL.get_or_init(Knobs::parse)
+        }
 
-    /// Generated-program subjects for the differential oracle.
-    /// Override with `STOS_DIFF_SEEDS`.
-    pub fn diff_seeds() -> u64 {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_DIFF_SEEDS", 50))
-    }
-
-    /// First seed of the differential oracle's range (the subjects are
-    /// `STOS_DIFF_BASE .. STOS_DIFF_BASE + STOS_DIFF_SEEDS`). Override
-    /// with `STOS_DIFF_BASE` — set `STOS_DIFF_SEEDS=1 STOS_DIFF_BASE=N`
-    /// to replay one divergence-triggering seed.
-    pub fn diff_base() -> u64 {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_DIFF_BASE", 1))
-    }
-
-    /// Torn-update injections per flagged target in the race-analysis
-    /// campaign. Override with `STOS_TORN`.
-    pub fn torn_sites() -> usize {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_TORN", 4)) as usize
-    }
-
-    /// Simulated cycles each `sim_speed` compute kernel runs per
-    /// engine. Override with `STOS_KERNEL_CYCLES`.
-    pub fn kernel_cycles() -> u64 {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_KERNEL_CYCLES", 200_000_000))
-    }
-
-    /// Fleet sizes the `fleet` harness sweeps, as a comma-separated
-    /// list. The committed `BENCH_fleet.json` carries the full
-    /// `10,100,1000` sweep; CI overrides with a smaller population via
-    /// `STOS_MOTES` and the gate compares only the rows the fresh run
-    /// produced.
-    pub fn fleet_motes() -> &'static [usize] {
-        static CELL: OnceLock<Vec<usize>> = OnceLock::new();
-        CELL.get_or_init(|| {
-            let parsed: Option<Vec<usize>> = std::env::var("STOS_MOTES").ok().map(|s| {
-                s.split(',')
-                    .filter(|t| !t.trim().is_empty())
-                    .filter_map(|t| t.trim().parse().ok())
-                    .collect()
-            });
-            match parsed {
-                Some(v) if !v.is_empty() => v,
-                _ => vec![10, 100, 1000],
+        fn parse() -> Knobs {
+            let fleet_motes = {
+                let parsed: Option<Vec<usize>> = std::env::var("STOS_MOTES").ok().map(|s| {
+                    s.split(',')
+                        .filter(|t| !t.trim().is_empty())
+                        .filter_map(|t| t.trim().parse().ok())
+                        .collect()
+                });
+                match parsed {
+                    Some(v) if !v.is_empty() => v,
+                    _ => vec![10, 100, 1000],
+                }
+            };
+            Knobs {
+                sim_seconds: parse_u64("STOS_SECONDS", 10),
+                fault_sites: parse_u64("STOS_FAULTS", 16) as usize,
+                diff_seeds: parse_u64("STOS_DIFF_SEEDS", 50),
+                diff_base: parse_u64("STOS_DIFF_BASE", 1),
+                torn_sites: parse_u64("STOS_TORN", 4) as usize,
+                kernel_cycles: parse_u64("STOS_KERNEL_CYCLES", 200_000_000),
+                speedup_min: std::env::var("STOS_SPEEDUP_MIN")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|f: &f64| f.is_finite() && *f > 0.0)
+                    .unwrap_or(10.0),
+                fleet_motes,
+                fleet_seeds: parse_u64("STOS_FLEET_SEEDS", 2),
+                fleet_seconds: parse_u64("STOS_FLEET_SECONDS", 4),
             }
-        })
-    }
-
-    /// Seeds per fleet size in the `fleet` harness's sweep. Override
-    /// with `STOS_FLEET_SEEDS` (CI uses 1).
-    pub fn fleet_seeds() -> u64 {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_FLEET_SEEDS", 2))
-    }
-
-    /// Simulated seconds per fleet run. Deliberately independent of
-    /// [`sim_seconds`]: CI shortens `STOS_SECONDS` for the single-mote
-    /// harnesses, but the fleet rows are byte-pinned against the
-    /// committed baseline, so their horizon must not move with it.
-    /// Override with `STOS_FLEET_SECONDS`.
-    pub fn fleet_seconds() -> u64 {
-        static CELL: OnceLock<u64> = OnceLock::new();
-        *CELL.get_or_init(|| parse_u64("STOS_FLEET_SECONDS", 4))
+        }
     }
 }
 

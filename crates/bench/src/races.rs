@@ -19,7 +19,7 @@
 use safe_tinyos::{run_torn_campaign, simulate, torn_target_names, Diagnostic, Pipeline};
 
 use crate::diff::{tally, total_miscompiles};
-use crate::{json, knobs, pct_change, ExperimentRunner};
+use crate::{json, pct_change, ExperimentRunner};
 
 /// The three stacks every app is built under, in grid-column order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,9 +134,13 @@ pub struct AppRaceRow {
 /// analysis censuses, hardening cost, and the torn campaign (targets
 /// enumerated by name from each app's *baseline* build, so hardened and
 /// unhardened builds face the same logical faults).
-pub fn measure(runner: &ExperimentRunner, apps: &[&'static str], seconds: u64) -> Vec<AppRaceRow> {
+pub fn measure(
+    runner: &ExperimentRunner,
+    apps: &[&'static str],
+    seconds: u64,
+    per_target: usize,
+) -> Vec<AppRaceRow> {
     let pipelines = stacks();
-    let per_target = knobs::torn_sites();
     let grid = runner.run_grid(apps, &pipelines, |job| job.build(job.item));
     runner.run_items(apps, |i, app| {
         let [baseline, analysis, fix] = &grid[i][..] else {
@@ -238,6 +242,7 @@ pub fn analysis_json(rows: &[AppRaceRow]) -> String {
 pub fn dynamics_json(
     rows: &[AppRaceRow],
     seconds: u64,
+    per_target: usize,
     oracle: (usize, usize),
     oracle_seeds: usize,
 ) -> String {
@@ -260,7 +265,7 @@ pub fn dynamics_json(
         .collect::<Vec<_>>();
     json::Obj::new()
         .int("seconds", seconds as i64)
-        .int("torn_per_target", knobs::torn_sites() as i64)
+        .int("torn_per_target", per_target as i64)
         .int("unhardened_divergences", unhardened as i64)
         .int("hardened_divergences", hardened as i64)
         .int("oracle_miscompiles", oracle.0 as i64)

@@ -15,11 +15,10 @@
 //! `BENCH_toolchain_speed.json` so the toolchain's own performance is
 //! tracked alongside the paper's figures.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use safe_tinyos::{Build, BuildSession, Pipeline, Stage, StageTimes};
+use safe_tinyos::{Build, BuildService, BuildSession, CacheStats, Pipeline, Stage, StageTimes};
 use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
@@ -47,10 +46,10 @@ struct SpeedAgg {
 }
 
 /// Expands app × config grids into jobs and runs them in parallel over a
-/// shared [`BuildSession`].
+/// shared [`BuildService`] (frontend *and* pass caches shared across
+/// every cell).
 pub struct ExperimentRunner {
-    session: BuildSession,
-    threads: usize,
+    service: BuildService,
     agg: Mutex<SpeedAgg>,
 }
 
@@ -84,7 +83,7 @@ impl<C> GridJob<'_, C> {
     ///
     /// Propagates compile errors from any pass.
     pub fn try_build(&self, pipeline: &Pipeline) -> Result<Build, CompileError> {
-        let build = self.runner.session.build(&self.spec, pipeline)?;
+        let build = self.runner.service.build(&self.spec, pipeline)?;
         self.record(&build.metrics.stage_times);
         Ok(build)
     }
@@ -97,7 +96,8 @@ impl<C> GridJob<'_, C> {
     pub fn frontend(&self) -> Program {
         let (artifact, fresh) = self
             .runner
-            .session
+            .service
+            .session()
             .frontend_entry(&self.spec)
             .unwrap_or_else(|e| panic!("{}: frontend: {e}", self.spec.name));
         if fresh {
@@ -139,20 +139,24 @@ impl ExperimentRunner {
     /// A runner with an explicit worker count (`1` = serial).
     pub fn with_threads(threads: usize) -> ExperimentRunner {
         ExperimentRunner {
-            session: BuildSession::new(),
-            threads: threads.max(1),
+            service: BuildService::with_threads(threads),
             agg: Mutex::new(SpeedAgg::default()),
         }
     }
 
+    /// The underlying batch build service (worker pool + both caches).
+    pub fn service(&self) -> &BuildService {
+        &self.service
+    }
+
     /// The shared build session (frontend cache and compile counter).
     pub fn session(&self) -> &BuildSession {
-        &self.session
+        self.service.session()
     }
 
     /// The worker-thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.service.threads()
     }
 
     /// Runs `f` over every cell of the `apps` × `items` grid and returns
@@ -205,50 +209,22 @@ impl ExperimentRunner {
         self.run_indexed(items.len(), |j| f(j, &items[j]))
     }
 
-    /// The shared work-stealing core behind [`ExperimentRunner::run_grid`]
-    /// and [`ExperimentRunner::run_items`]: runs `f(0..n)` across the
-    /// configured workers. Jobs are claimed from a shared counter in
-    /// index order, but each result lands in its own slot, so the output
-    /// is byte-for-byte independent of scheduling. A panicking job
-    /// panics the whole run when the scope joins. Wall time and job
-    /// count are folded into the speed report.
+    /// The timing wrapper behind [`ExperimentRunner::run_grid`] and
+    /// [`ExperimentRunner::run_items`]: runs `f(0..n)` across the
+    /// service's worker pool ([`BuildService::run_jobs`]) and folds the
+    /// batch's wall time and job count into the speed report. A
+    /// panicking job panics the whole run when the scope joins.
     fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         let start = Instant::now();
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let worker = || loop {
-            let j = next.fetch_add(1, Ordering::Relaxed);
-            if j >= n {
-                break;
-            }
-            *slots[j].lock().unwrap() = Some(f(j));
-        };
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            worker();
-        } else {
-            std::thread::scope(|s| {
-                // The worker captures only shared references, so it is
-                // `Copy`: each spawn gets its own handle to the same
-                // job counter and result slots.
-                for _ in 0..workers {
-                    s.spawn(worker);
-                }
-            });
-        }
-        {
-            let mut agg = self.agg.lock().unwrap();
-            agg.wall += start.elapsed();
-            agg.jobs += n;
-        }
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("every job ran"))
-            .collect()
+        let out = self.service.run_jobs(n, f);
+        let mut agg = self.agg.lock().unwrap();
+        agg.wall += start.elapsed();
+        agg.jobs += n;
+        out
     }
 
     /// [`ExperimentRunner::run_grid`] specialized to building each cell's
@@ -266,12 +242,25 @@ impl ExperimentRunner {
         let agg = self.agg.lock().unwrap();
         SpeedReport {
             harness: harness.to_string(),
-            threads: self.threads,
+            threads: self.threads(),
             jobs: agg.jobs,
-            frontend_compiles: self.session.frontend_compiles(),
+            frontend_compiles: self.session().frontend_compiles(),
             wall: agg.wall,
             stages: agg.stages,
+            cache: self.service.cache_stats(),
+            warm: None,
         }
+    }
+
+    /// [`ExperimentRunner::speed_report`], additionally resetting the
+    /// wall/stage/job accumulators so a follow-up window (e.g. a warm
+    /// re-run of the same grid) can be measured on its own. The frontend
+    /// and pass caches are *not* reset — that is the point of the second
+    /// window.
+    pub fn take_speed(&self, harness: &str) -> SpeedReport {
+        let report = self.speed_report(harness);
+        *self.agg.lock().unwrap() = SpeedAgg::default();
+        report
     }
 
     /// Writes `BENCH_toolchain_speed_<harness>.json` for this runner's
@@ -281,15 +270,6 @@ impl ExperimentRunner {
         let report = self.speed_report(harness);
         emit_json(&format!("toolchain_speed_{harness}"), &report.to_json())
             .expect("write BENCH_toolchain_speed_*.json");
-    }
-
-    /// [`ExperimentRunner::emit_speed`], additionally writing the
-    /// unsuffixed `BENCH_toolchain_speed.json`. Called by the canonical
-    /// toolchain-speed benchmark (the fig3 grid in `fig3a_code_size`).
-    pub fn emit_speed_canonical(&self, harness: &str) {
-        self.emit_speed(harness);
-        emit_json("toolchain_speed", &self.speed_report(harness).to_json())
-            .expect("write BENCH_toolchain_speed.json");
     }
 }
 
@@ -308,6 +288,28 @@ pub struct SpeedReport {
     pub wall: Duration,
     /// Per-stage compile time summed over all builds.
     pub stages: StageTimes,
+    /// Pass-cache counters at snapshot time (hits/misses/bytes per pass
+    /// name).
+    pub cache: CacheStats,
+    /// The warm re-run window, when the harness measured one (the
+    /// canonical fig3 grid does).
+    pub warm: Option<WarmCache>,
+}
+
+/// Measurements from re-running a grid against already-warm caches,
+/// plus the cache-effectiveness census the gate pins.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmCache {
+    /// Wall time of the warm re-run.
+    pub wall: Duration,
+    /// Stage (compile) time of the warm re-run.
+    pub compile: Duration,
+    /// How many times the `cure` pass actually executed (cache misses).
+    pub cure_runs: u64,
+    /// How many times it *had* to: one per distinct (app, cure spec)
+    /// pair in the grid. `cure_runs == cure_unique` is the gate's
+    /// cache-effectiveness invariant.
+    pub cure_unique: u64,
 }
 
 impl SpeedReport {
@@ -334,13 +336,33 @@ impl SpeedReport {
     /// Serializes the report (times in milliseconds). `wall_ms` covers
     /// everything the grid ran, including simulation; the
     /// `compile_ms` / `serial_compile_est_ms` pair isolates the
-    /// toolchain cost with and without the frontend cache.
+    /// toolchain cost with and without the frontend cache; the `cache`
+    /// object carries the pass-cache counters (and, for the canonical
+    /// fig3 grid, the warm-window numbers the cache gate enforces).
     pub fn to_json(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         let mut stage_obj = json::Obj::new();
         for (stage, t) in self.stages.iter() {
             stage_obj = stage_obj.num(stage.name(), ms(t));
         }
+        let mut cache_obj = json::Obj::new();
+        if let Some(w) = &self.warm {
+            cache_obj = cache_obj
+                .num("warm_wall_ms", ms(w.wall))
+                .num("warm_compile_ms", ms(w.compile))
+                .int("cure_runs", w.cure_runs as i64)
+                .int("cure_unique", w.cure_unique as i64);
+        }
+        let mut passes_obj = json::Obj::new();
+        for (name, c) in &self.cache.passes {
+            let counters = json::Obj::new()
+                .int("hits", c.hits as i64)
+                .int("misses", c.misses as i64)
+                .int("bytes", c.bytes as i64)
+                .build();
+            passes_obj = passes_obj.raw(name, &counters);
+        }
+        cache_obj = cache_obj.raw("passes", &passes_obj.build());
         json::Obj::new()
             .str("figure", "toolchain_speed")
             .str("harness", &self.harness)
@@ -351,6 +373,7 @@ impl SpeedReport {
             .num("compile_ms", ms(self.compile_time()))
             .num("serial_compile_est_ms", ms(self.serial_compile_estimate()))
             .raw("stage_ms", &stage_obj.build())
+            .raw("cache", &cache_obj.build())
             .build()
     }
 }

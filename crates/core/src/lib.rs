@@ -36,11 +36,13 @@
 //! assert!(build.metrics.checks_inserted > 0);
 //! ```
 
+pub mod cache;
 pub mod campaign;
 pub mod diag;
 pub mod difftest;
 pub mod fleet;
 pub mod pipeline;
+pub mod service;
 pub mod spec;
 
 use std::collections::HashMap;
@@ -54,6 +56,7 @@ use mcu::{Image, Machine, RunState};
 use tcil::{CompileError, Program};
 use tosapps::AppSpec;
 
+pub use cache::{ir_digest, CacheKey, CacheStats, PassCache, PassCounters};
 pub use campaign::{
     run_campaign, run_torn_campaign, torn_plans, torn_target_names, CampaignConfig, CampaignReport,
     SiteResult,
@@ -69,6 +72,7 @@ pub use pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
     PipelineBuilder, PruneErrmsgPass, RacesPass, PRESET_NAMES,
 };
+pub use service::{BuildRequest, BuildResult, BuildService};
 pub use spec::{parse_pipeline_list, pipelines_from_env_or, SpecError};
 
 /// A coarse, fixed-slot rollup of pipeline timing: every [`Pass`] maps
@@ -292,6 +296,11 @@ pub struct BuildSession {
     sources: nesc::SourceSet,
     state: Mutex<SessionState>,
     frontend_compiles: AtomicUsize,
+    /// The shared pass-output cache (`None` for [`BuildSession::uncached`]
+    /// sessions). Builds through this session consult it before every
+    /// cacheable pass, so pipeline prefixes shared across the session's
+    /// builds are computed once.
+    pass_cache: Option<Arc<PassCache>>,
 }
 
 /// The lazily-parsed frontend and the per-app artifact cache, under one
@@ -303,18 +312,46 @@ struct SessionState {
 }
 
 impl BuildSession {
-    /// A session over the stock TinyOS-lite source set.
+    /// A session over the stock TinyOS-lite source set, with the pass
+    /// cache enabled.
     pub fn new() -> BuildSession {
         Self::with_sources(tosapps::source_set())
     }
 
-    /// A session over a custom source set.
+    /// A session over a custom source set, with the pass cache enabled.
     pub fn with_sources(sources: nesc::SourceSet) -> BuildSession {
         BuildSession {
             sources,
             state: Mutex::new(SessionState::default()),
             frontend_compiles: AtomicUsize::new(0),
+            pass_cache: Some(Arc::new(PassCache::new())),
         }
+    }
+
+    /// A session with no pass cache: every build runs every pass. The
+    /// comparison baseline for the cache-correctness tests; everything
+    /// else wants [`BuildSession::new`].
+    pub fn uncached() -> BuildSession {
+        BuildSession {
+            pass_cache: None,
+            ..Self::new()
+        }
+    }
+
+    /// The session's shared pass cache, if caching is enabled.
+    pub fn pass_cache(&self) -> Option<&Arc<PassCache>> {
+        self.pass_cache.as_ref()
+    }
+
+    /// A snapshot of the pass cache's per-pass hit/miss/size counters
+    /// (empty for uncached sessions). Misses count actual pass
+    /// executions — on a warm grid, `cure` misses once per distinct
+    /// (app, cure-spec) pair, however many presets share it.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pass_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 
     /// How many times the frontend actually compiled an app (cache
@@ -380,7 +417,11 @@ impl BuildSession {
     /// Propagates compile errors from any pass.
     pub fn build(&self, spec: &AppSpec, pipeline: &Pipeline) -> Result<Build, CompileError> {
         let (artifact, fresh) = self.frontend_entry(spec)?;
-        let mut build = pipeline.build(artifact.program(), spec.platform.clone())?;
+        let mut build = pipeline.build_with_cache(
+            artifact.program(),
+            spec.platform.clone(),
+            self.pass_cache.as_deref(),
+        )?;
         if fresh {
             build
                 .metrics
@@ -420,9 +461,10 @@ impl Default for BuildSession {
 }
 
 /// Compiles `spec` under `pipeline` with a throwaway one-shot
-/// [`BuildSession`] (so frontend timing and attribution follow the
-/// session rules). Anything building the same app more than once should
-/// hold a session instead.
+/// [`BuildSession`] — a convenience for doctests and true one-offs.
+/// Anything building more than once should hold a [`BuildSession`],
+/// and anything batch-shaped should go through [`BuildService`], so the
+/// frontend and pass caches actually pay off.
 ///
 /// # Errors
 ///

@@ -25,10 +25,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use backend::BackendOptions;
-use ccured::CureOptions;
-use cxprop::{CxpropOptions, InlineOptions};
+use ccured::{CureOptions, CureStats};
+use cxprop::{CxpropOptions, CxpropStats, InlineOptions};
 use tcil::{CompileError, Program};
 
+use crate::cache::{ir_digest, CacheKey, PassCache, PassOutput};
 use crate::diag::{Diagnostic, Severity};
 use crate::{Build, Metrics, Stage};
 
@@ -85,8 +86,31 @@ pub trait Pass: Send + Sync {
 
     /// The pass's canonical spec-language rendering, including any
     /// non-default options (e.g. `cxprop(domain=constants,rounds=1)`).
+    /// Doubles as the pass half of a [`crate::cache::CacheKey`]: two
+    /// pass instances with equal specs must transform programs
+    /// identically.
     fn spec(&self) -> String {
         self.name().to_string()
+    }
+
+    /// Whether this pass's output may be served from a shared
+    /// [`crate::cache::PassCache`]. Only passes that are pure functions
+    /// of `(input program, spec)` may opt in; the default is `false`, so
+    /// a user-defined pass with hidden state is never cached by
+    /// accident. Cacheable passes with metrics must also implement
+    /// [`Pass::absorb`].
+    fn cacheable(&self) -> bool {
+        false
+    }
+
+    /// Replays this pass's metrics deposit from a cached run. `effect`
+    /// is what [`Pass::run`] wrote into a *fresh* [`Metrics`] when the
+    /// entry was computed; implementations must merge it into `into`
+    /// exactly as a direct run would have (diagnostics are replayed by
+    /// the pipeline itself). The default does nothing — correct for
+    /// passes that deposit no metrics.
+    fn absorb(&self, into: &mut Metrics, effect: &Metrics) {
+        let _ = (into, effect);
     }
 
     /// Transforms `program` in place.
@@ -154,6 +178,27 @@ pub struct CurePass {
     pub options: CureOptions,
 }
 
+impl CurePass {
+    /// Deposits one cure run's `stats` into `metrics` — shared by the
+    /// direct path ([`Pass::run`]) and the cached replay
+    /// ([`Pass::absorb`]) so the two are identical by construction.
+    fn deposit(metrics: &mut Metrics, mut stats: CureStats) {
+        if let Some(prior) = metrics.cure.take() {
+            // Accumulate counters across repeated cure passes (each run
+            // really does insert its own checks); the pointer-kind and
+            // runtime censuses are point-in-time, so latest wins.
+            stats.checks_inserted += prior.checks_inserted;
+            stats.checks_removed_locally += prior.checks_removed_locally;
+            stats.locks_inserted += prior.locks_inserted;
+            stats.message_bytes.0 += prior.message_bytes.0;
+            stats.message_bytes.1 += prior.message_bytes.1;
+        }
+        metrics.checks_inserted = stats.checks_inserted;
+        metrics.locks_inserted = stats.locks_inserted;
+        metrics.cure = Some(stats);
+    }
+}
+
 impl Pass for CurePass {
     fn name(&self) -> &str {
         "cure"
@@ -167,21 +212,19 @@ impl Pass for CurePass {
         crate::spec::render_cure(&self.options)
     }
 
-    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
-        let mut stats = ccured::cure(program, &self.options)?;
-        if let Some(prior) = cx.metrics.cure.take() {
-            // Accumulate counters across repeated cure passes (each run
-            // really does insert its own checks); the pointer-kind and
-            // runtime censuses are point-in-time, so latest wins.
-            stats.checks_inserted += prior.checks_inserted;
-            stats.checks_removed_locally += prior.checks_removed_locally;
-            stats.locks_inserted += prior.locks_inserted;
-            stats.message_bytes.0 += prior.message_bytes.0;
-            stats.message_bytes.1 += prior.message_bytes.1;
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn absorb(&self, into: &mut Metrics, effect: &Metrics) {
+        if let Some(stats) = effect.cure.clone() {
+            Self::deposit(into, stats);
         }
-        cx.metrics.checks_inserted = stats.checks_inserted;
-        cx.metrics.locks_inserted = stats.locks_inserted;
-        cx.metrics.cure = Some(stats);
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        let stats = ccured::cure(program, &self.options)?;
+        Self::deposit(&mut cx.metrics, stats);
         Ok(())
     }
 }
@@ -206,6 +249,15 @@ impl Pass for InlinePass {
 
     fn spec(&self) -> String {
         crate::spec::render_inline(&self.options)
+    }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn absorb(&self, into: &mut Metrics, effect: &Metrics) {
+        let inlined = effect.cxprop.as_ref().map_or(0, |c| c.inlined);
+        into.cxprop.get_or_insert_with(Default::default).inlined += inlined;
     }
 
     fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
@@ -240,27 +292,17 @@ impl Default for CxpropPass {
     }
 }
 
-impl Pass for CxpropPass {
-    fn name(&self) -> &str {
-        "cxprop"
-    }
-
-    fn stage(&self) -> Stage {
-        Stage::Opt
-    }
-
-    fn spec(&self) -> String {
-        crate::spec::render_cxprop(&self.options)
-    }
-
-    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
-        let mut stats = cxprop::optimize(program, &self.options);
+impl CxpropPass {
+    /// Deposits one cXprop run's `stats` into `metrics` — shared by the
+    /// direct path and the cached replay so the two are identical by
+    /// construction.
+    fn deposit(&self, metrics: &mut Metrics, mut stats: CxpropStats) {
         {
             // Surface the concurrency counts in the build-level rollup:
             // refinement censuses are point-in-time (latest wins, and
             // only when refinement actually ran), atomic-section work
             // accumulates across the stack.
-            let races = cx.metrics.races.get_or_insert_with(Default::default);
+            let races = metrics.races.get_or_insert_with(Default::default);
             if self.options.refine_races {
                 races.racy_globals = stats.races.racy.len();
                 races.cleared_globals = stats.races.cleared.len();
@@ -268,7 +310,7 @@ impl Pass for CxpropPass {
             races.atomics_removed += stats.atomics.removed;
             races.atomics_demoted += stats.atomics.demoted;
         }
-        if let Some(prior) = cx.metrics.cxprop.take() {
+        if let Some(prior) = metrics.cxprop.take() {
             // Accumulate across repeated cxprop/inline passes so the
             // metrics report what the whole stack did, not just the last
             // run. The race report is point-in-time, so latest wins.
@@ -283,7 +325,36 @@ impl Pass for CxpropPass {
             stats.atomics.removed += prior.atomics.removed;
             stats.atomics.demoted += prior.atomics.demoted;
         }
-        cx.metrics.cxprop = Some(stats);
+        metrics.cxprop = Some(stats);
+    }
+}
+
+impl Pass for CxpropPass {
+    fn name(&self) -> &str {
+        "cxprop"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Opt
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_cxprop(&self.options)
+    }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn absorb(&self, into: &mut Metrics, effect: &Metrics) {
+        if let Some(stats) = effect.cxprop.clone() {
+            self.deposit(into, stats);
+        }
+    }
+
+    fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
+        let stats = cxprop::optimize(program, &self.options);
+        self.deposit(&mut cx.metrics, stats);
         Ok(())
     }
 }
@@ -301,6 +372,10 @@ impl Pass for PruneErrmsgPass {
 
     fn stage(&self) -> Stage {
         Stage::Opt
+    }
+
+    fn cacheable(&self) -> bool {
+        true
     }
 
     fn run(&self, program: &mut Program, _cx: &mut PassCx) -> Result<(), CompileError> {
@@ -342,6 +417,27 @@ impl Pass for RacesPass {
 
     fn spec(&self) -> String {
         crate::spec::render_races(self.fix)
+    }
+
+    fn cacheable(&self) -> bool {
+        true
+    }
+
+    fn absorb(&self, into: &mut Metrics, effect: &Metrics) {
+        // Replay the same merge `run` performs: cleanup and hardening
+        // counters accumulate, the site censuses are point-in-time
+        // (cleared keeps its high-water mark), and the fixpoint
+        // iteration count only exists under `fix`.
+        let er = effect.races.unwrap_or_default();
+        let races = into.races.get_or_insert_with(Default::default);
+        races.atomics_removed += er.atomics_removed;
+        races.atomics_demoted += er.atomics_demoted;
+        races.racy_globals = er.racy_globals;
+        races.cleared_globals = races.cleared_globals.max(er.cleared_globals);
+        races.sections_added += er.sections_added;
+        if self.fix {
+            races.fix_iterations = er.fix_iterations;
+        }
     }
 
     fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
@@ -402,6 +498,10 @@ impl Pass for BackendPass {
 
     fn spec(&self) -> String {
         crate::spec::render_backend(&self.options)
+    }
+
+    fn cacheable(&self) -> bool {
+        true
     }
 
     fn run(&self, program: &mut Program, cx: &mut PassCx) -> Result<(), CompileError> {
@@ -486,13 +586,40 @@ impl Pipeline {
     /// pass's options (defaults if there was none), so every composition
     /// yields a linkable image.
     ///
+    /// Equivalent to [`Pipeline::build_with_cache`] with no cache.
+    ///
     /// # Errors
     ///
     /// Propagates compile errors from any pass or from the link.
-    pub fn build(
+    pub fn build(&self, program: Program, platform: mcu::Profile) -> Result<Build, CompileError> {
+        self.build_with_cache(program, platform, None)
+    }
+
+    /// Runs the pipeline, consulting `cache` before each
+    /// [cacheable](Pass::cacheable) pass and populating it after. A hit
+    /// replays the stored output program and metric deposit (via
+    /// [`Pass::absorb`]) instead of re-running the pass; the result is
+    /// byte-identical to an uncached build. The final link is never
+    /// cached (it is cheap and produces the per-build image), but the
+    /// implicit link-time backend prepare is — under the same key a
+    /// spelled-out `backend` pass would use, so `…|cxprop` and
+    /// `…|cxprop|backend` share one entry.
+    ///
+    /// Timing buckets record what *this* build spent: a hit charges its
+    /// (cheap) lookup to the pass's bucket, so stage/pass rollup
+    /// invariants hold with or without a cache while warm wall times
+    /// collapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors from any pass or from the link. Errors
+    /// are cached too — every build of a failing key reports the same
+    /// error without re-running the pass.
+    pub fn build_with_cache(
         &self,
-        mut program: Program,
+        program: Program,
         platform: mcu::Profile,
+        cache: Option<&PassCache>,
     ) -> Result<Build, CompileError> {
         let mut cx = PassCx {
             platform,
@@ -500,18 +627,81 @@ impl Pipeline {
             prepared: None,
             backend_options: None,
         };
+        let mut state = Arc::new(program);
+        // The digest of `state`, when known: computed lazily on the
+        // first cached lookup, chained from entry to entry on hits, and
+        // invalidated whenever an uncacheable pass mutates `state`
+        // directly.
+        let mut digest: Option<(u64, usize)> = None;
+        let mut prepared: Option<Arc<Program>> = None;
+        let mut backend_options: Option<BackendOptions> = None;
         for pass in &self.passes {
-            // A later pass invalidates any staged preparation: the
-            // backend's output is only reusable when nothing ran after
-            // it, whatever order a generated sweep put the passes in.
+            // Both arms below overwrite `prepared`, so a later pass
+            // invalidates any staged preparation: the backend's output is
+            // only reusable when nothing ran after it, whatever order a
+            // generated sweep put the passes in.
             cx.prepared = None;
             let start = Instant::now();
-            pass.run(&mut program, &mut cx)?;
+            match cache.filter(|_| pass.cacheable()) {
+                Some(cache) => {
+                    let (d, _) = *digest.get_or_insert_with(|| ir_digest(&state));
+                    let slot = cache.slot(&CacheKey::new(d, pass.spec()));
+                    let mut computed = false;
+                    let out = slot.get_or_init(|| {
+                        computed = true;
+                        // Run against a scratch context so the entry
+                        // records the pass's *own* deposit, replayable
+                        // into any build's accumulated metrics.
+                        let mut scratch = PassCx {
+                            platform: cx.platform.clone(),
+                            metrics: Metrics::default(),
+                            prepared: None,
+                            backend_options: None,
+                        };
+                        let mut program = (*state).clone();
+                        pass.run(&mut program, &mut scratch).map(|()| {
+                            let (digest, bytes) = ir_digest(&program);
+                            PassOutput {
+                                program: Arc::new(program),
+                                digest,
+                                bytes,
+                                effect: scratch.metrics,
+                                prepared: scratch.prepared.take().map(Arc::new),
+                                backend_options: scratch.backend_options.take(),
+                            }
+                        })
+                    });
+                    cache.note(
+                        pass.name(),
+                        computed,
+                        out.as_ref().map(|o| o.bytes).unwrap_or(0),
+                    );
+                    let out = out.as_ref().map_err(Clone::clone)?;
+                    state = out.program.clone();
+                    digest = Some((out.digest, out.bytes));
+                    prepared = out.prepared.clone();
+                    if let Some(options) = &out.backend_options {
+                        backend_options = Some(options.clone());
+                    }
+                    cx.metrics
+                        .diagnostics
+                        .extend(out.effect.diagnostics.iter().cloned());
+                    pass.absorb(&mut cx.metrics, &out.effect);
+                }
+                None => {
+                    pass.run(Arc::make_mut(&mut state), &mut cx)?;
+                    digest = None;
+                    prepared = cx.prepared.take().map(Arc::new);
+                    if let Some(options) = cx.backend_options.take() {
+                        backend_options = Some(options);
+                    }
+                }
+            }
             let elapsed = start.elapsed();
             cx.metrics.stage_times.record(pass.stage(), elapsed);
             cx.metrics.pass_times.record(pass.name(), elapsed);
         }
-        let prepared = match cx.prepared.take() {
+        let prepared = match prepared {
             Some(prepared) => prepared,
             None => {
                 // No usable preparation staged: re-prepare with the most
@@ -519,9 +709,38 @@ impl Pipeline {
                 // An invalidated prepare's time stays on the books — the
                 // work really happened — so a backend-mid-pipeline stack
                 // honestly shows two prepares in its timing.
-                let options = cx.backend_options.take().unwrap_or_default();
+                let options = backend_options.unwrap_or_default();
                 let start = Instant::now();
-                let prepared = backend::prepare(&program, &options);
+                let prepared = match cache {
+                    Some(cache) => {
+                        // Same keyspace as a spelled-out `backend` pass:
+                        // whichever computes first, the other hits, and
+                        // the entries are identical (the backend never
+                        // mutates the program, so output digest == input
+                        // digest).
+                        let (d, b) = *digest.get_or_insert_with(|| ir_digest(&state));
+                        let spec = crate::spec::render_backend(&options);
+                        let slot = cache.slot(&CacheKey::new(d, spec));
+                        let mut computed = false;
+                        let out = slot.get_or_init(|| {
+                            computed = true;
+                            Ok(PassOutput {
+                                program: state.clone(),
+                                digest: d,
+                                bytes: b,
+                                effect: Metrics::default(),
+                                prepared: Some(Arc::new(backend::prepare(&state, &options))),
+                                backend_options: Some(options.clone()),
+                            })
+                        });
+                        cache.note("backend", computed, b);
+                        let out = out.as_ref().map_err(Clone::clone)?;
+                        out.prepared
+                            .clone()
+                            .expect("backend entries stage a prepared program")
+                    }
+                    None => Arc::new(backend::prepare(&state, &options)),
+                };
                 let elapsed = start.elapsed();
                 cx.metrics.stage_times.record(Stage::Backend, elapsed);
                 cx.metrics.pass_times.record("backend", elapsed);
@@ -538,6 +757,7 @@ impl Pipeline {
         metrics.flash_bytes = image.flash_bytes();
         metrics.sram_bytes = image.sram_bytes();
         metrics.checks_surviving = image.surviving_checks();
+        let program = Arc::try_unwrap(state).unwrap_or_else(|shared| (*shared).clone());
         Ok(Build::new(image, metrics, program))
     }
 }

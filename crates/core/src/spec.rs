@@ -107,8 +107,11 @@ pub fn parse(spec: &str) -> Result<Pipeline, SpecError> {
     Ok(Pipeline::from_parts(name, passes))
 }
 
-/// Splits one segment into `(name, options)`.
-fn split_segment(segment: &str) -> Result<(&str, Vec<&str>), SpecError> {
+/// Splits one segment into `(name, options)`. Options are normalized
+/// for whitespace — around commas and around a `key=value`'s `=` — so
+/// hand-typed spellings land on the same canonical spec (and therefore
+/// the same cache key) as `Display` output.
+fn split_segment(segment: &str) -> Result<(&str, Vec<String>), SpecError> {
     if segment.is_empty() {
         return Err(SpecError::new("empty pass segment"));
     }
@@ -129,6 +132,10 @@ fn split_segment(segment: &str) -> Result<(&str, Vec<&str>), SpecError> {
         .split(',')
         .map(str::trim)
         .filter(|o| !o.is_empty())
+        .map(|o| match o.split_once('=') {
+            Some((key, value)) => format!("{}={}", key.trim_end(), value.trim_start()),
+            None => o.to_string(),
+        })
         .collect();
     Ok((name, opts))
 }
@@ -198,7 +205,8 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         "cure" => {
             let mut options = CureOptions::default();
             let mut seen = SeenOpts::new("cure");
-            for opt in opts {
+            for opt in &opts {
+                let opt = opt.as_str();
                 // Each arm claims its canonical key before acting, so a
                 // flag and its negation (or two error modes) collide.
                 match opt {
@@ -245,7 +253,8 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         "inline" => {
             let mut options = InlineOptions::default();
             let mut seen = SeenOpts::new("inline");
-            for opt in opts {
+            for opt in &opts {
+                let opt = opt.as_str();
                 if opt.starts_with("max-size=") {
                     let v = parse_count("inline", opt)?;
                     seen.set("max-size", opt, &mut options.max_size, v)?;
@@ -268,7 +277,8 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         "cxprop" => {
             let mut options = CxpropPass::default().options;
             let mut seen = SeenOpts::new("cxprop");
-            for opt in opts {
+            for opt in &opts {
+                let opt = opt.as_str();
                 match opt {
                     "inline" => seen.set("inline", opt, &mut options.inline, true),
                     "dce" => seen.set("dce", opt, &mut options.dce, true),
@@ -315,7 +325,8 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         "races" => {
             let mut fix = false;
             let mut seen = SeenOpts::new("races");
-            for opt in opts {
+            for opt in &opts {
+                let opt = opt.as_str();
                 match opt {
                     "fix" => seen.set("fix", opt, &mut fix, true),
                     _ => Err(unknown_option("races", opt, "fix")),
@@ -326,7 +337,8 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
         "backend" => {
             let mut options = BackendOptions::default();
             let mut seen = SeenOpts::new("backend");
-            for opt in opts {
+            for opt in &opts {
+                let opt = opt.as_str();
                 match opt {
                     "opt" => seen.set("optimizer", opt, &mut options.optimize, true),
                     "noopt" => seen.set("optimizer", opt, &mut options.optimize, false),

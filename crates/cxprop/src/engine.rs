@@ -89,6 +89,14 @@ pub struct Summaries {
     pub async_touched: Vec<bool>,
     /// Function reachable from any root.
     pub reachable: Vec<bool>,
+    /// `mentions[f][g]`: function `f`'s body mentions global `g` directly
+    /// (load, store, or address-of — anywhere, including check operands
+    /// and place subscripts). The sparse engine's dependency edges: only
+    /// mentioning functions can observe a change to the global's
+    /// whole-program value.
+    pub mentions: Vec<Vec<bool>>,
+    /// Direct callees per function, in call-site order (duplicates kept).
+    pub callees: Vec<Vec<u32>>,
 }
 
 /// Computes [`Summaries`] for `program`.
@@ -101,19 +109,25 @@ pub fn summarize(program: &Program) -> Summaries {
         addr_taken: vec![false; ng],
         async_touched: vec![false; ng],
         reachable: vec![false; nf],
+        mentions: vec![vec![false; ng]; nf],
+        callees: vec![Vec::new(); nf],
     };
-    let mut callees: Vec<Vec<u32>> = vec![Vec::new(); nf];
     for (fi, f) in program.functions.iter().enumerate() {
         visit::walk_stmts(&f.body, &mut |st| {
-            let mut dest = |p: &Place| match &p.base {
-                PlaceBase::Global(g) => s.writes[fi][g.0 as usize] = true,
-                PlaceBase::Deref(_) => s.indirect_writes[fi] = true,
-                _ => {}
+            let mut dest = |p: &Place| {
+                match &p.base {
+                    PlaceBase::Global(g) => {
+                        s.writes[fi][g.0 as usize] = true;
+                        s.mentions[fi][g.0 as usize] = true;
+                    }
+                    PlaceBase::Deref(_) => s.indirect_writes[fi] = true,
+                    _ => {}
+                };
             };
             match st {
                 Stmt::Assign(p, _) => dest(p),
                 Stmt::Call { dst, func, .. } => {
-                    callees[fi].push(func.0);
+                    s.callees[fi].push(func.0);
                     if let Some(p) = dst {
                         dest(p);
                     }
@@ -123,15 +137,21 @@ pub fn summarize(program: &Program) -> Summaries {
             }
             visit::stmt_exprs(st, &mut |e| {
                 visit::walk_expr(e, &mut |x| {
-                    if let ExprKind::AddrOf(p) = &x.kind {
+                    if let ExprKind::Load(p) | ExprKind::AddrOf(p) = &x.kind {
                         if let PlaceBase::Global(g) = &p.base {
-                            s.addr_taken[g.0 as usize] = true;
+                            s.mentions[fi][g.0 as usize] = true;
+                            if matches!(x.kind, ExprKind::AddrOf(_)) {
+                                s.addr_taken[g.0 as usize] = true;
+                            }
                         }
                     }
                 });
             });
         });
     }
+    // Take the callee lists out so the closure below can mutate the
+    // other summary fields; restored before returning.
+    let callees = std::mem::take(&mut s.callees);
     // Transitive closure of writes / indirect writes.
     loop {
         let mut changed = false;
@@ -217,6 +237,7 @@ pub fn summarize(program: &Program) -> Summaries {
             });
         });
     }
+    s.callees = callees;
     s
 }
 
@@ -289,6 +310,18 @@ pub struct Engine {
     /// Fault-hardened twin of [`Engine::retv`].
     pub retv_hard: Vec<AVal>,
     changed: bool,
+    /// `gdeps[g]`: functions whose walk reads global `g` — the ones a
+    /// change to `wpv[g]` can re-derive facts in.
+    gdeps: Vec<Vec<u32>>,
+    /// Call-graph inverse: `callers[f]` = functions with a call to `f`
+    /// (deduplicated), dirtied when `f`'s return summary grows.
+    callers: Vec<Vec<u32>>,
+    /// The sparse worklist: functions whose analysis inputs (entry
+    /// values, mentioned globals, callee return summaries) changed since
+    /// their last walk. A function whose inputs are unchanged re-derives
+    /// exactly the same joins (the walk is idempotent), so clean
+    /// functions are skipped without changing any result.
+    dirty: Vec<bool>,
 }
 
 impl Engine {
@@ -323,6 +356,25 @@ impl Engine {
             };
             wpv.push(v);
         }
+        // Dependency edges for the sparse worklist: which functions a
+        // changed global summary or return summary can affect.
+        let mut gdeps: Vec<Vec<u32>> = vec![Vec::new(); ng];
+        for (fi, row) in sums.mentions.iter().enumerate() {
+            for (gi, &m) in row.iter().enumerate() {
+                if m {
+                    gdeps[gi].push(fi as u32);
+                }
+            }
+        }
+        let mut callers: Vec<Vec<u32>> = vec![Vec::new(); nf];
+        for (fi, callees) in sums.callees.iter().enumerate() {
+            for &c in callees {
+                let row = &mut callers[c as usize];
+                if row.last() != Some(&(fi as u32)) && !row.contains(&(fi as u32)) {
+                    row.push(fi as u32);
+                }
+            }
+        }
         let mut eng = Engine {
             domain,
             harden,
@@ -333,6 +385,11 @@ impl Engine {
             retv: vec![AVal::Bot; nf],
             retv_hard: vec![AVal::Bot; nf],
             changed: true,
+            gdeps,
+            callers,
+            // Everyone starts dirty: round 1 walks every live function,
+            // exactly like the dense engine did.
+            dirty: vec![true; nf],
         };
         // Roots have no parameters.
         for (i, f) in program.functions.iter().enumerate() {
@@ -349,10 +406,22 @@ impl Engine {
             .map(|f| std::mem::take(&mut f.body))
             .collect();
         let mut rounds = 0;
+        // The loop condition (and therefore the fixpoint reached) is the
+        // same as the dense engine's; `dirty` only filters *within* a
+        // round. A clean function's inputs — its entry values, the
+        // globals it mentions, its callees' return summaries — are
+        // unchanged since its last walk, and a walk over unchanged
+        // inputs re-derives exactly the joins it already published
+        // (joins are monotone and idempotent), so skipping it cannot
+        // alter any summary or the round count.
         while eng.changed && rounds < 12 {
             eng.changed = false;
             rounds += 1;
             for (fi, body) in bodies.iter_mut().enumerate() {
+                if !eng.dirty[fi] {
+                    continue;
+                }
+                eng.dirty[fi] = false;
                 if !eng.sums.reachable[fi] || eng.entry[fi].is_none() {
                     continue;
                 }
@@ -364,6 +433,24 @@ impl Engine {
             f.body = body;
         }
         eng
+    }
+
+    /// Re-queues every function that mentions global `gi` (its walk can
+    /// derive different facts once `wpv[gi]` widens).
+    fn mark_global_deps(&mut self, gi: usize) {
+        for i in 0..self.gdeps[gi].len() {
+            let f = self.gdeps[gi][i] as usize;
+            self.dirty[f] = true;
+        }
+    }
+
+    /// Re-queues every caller of `fi` (their call sites read its return
+    /// summary).
+    fn mark_callers(&mut self, fi: usize) {
+        for i in 0..self.callers[fi].len() {
+            let f = self.callers[fi][i] as usize;
+            self.dirty[f] = true;
+        }
     }
 
     /// Applies the analysis results: folds constants and branches, deletes
@@ -676,6 +763,9 @@ impl Walker<'_> {
                 if j != self.eng.wpv[gi] {
                     self.eng.wpv[gi] = j;
                     self.eng.changed = true;
+                    // A wider summary can re-derive facts in any function
+                    // that mentions this global.
+                    self.eng.mark_global_deps(gi);
                 }
             }
             PlaceBase::Deref(_) => {}
@@ -742,6 +832,12 @@ impl Walker<'_> {
                 // Join into the callee's entry summaries (both worlds).
                 let params = self.prog.functions[callee].params as usize;
                 let mut changed = false;
+                // First call site discovered for this callee: it needs a
+                // walk even if every slot join below is a no-op (a
+                // 0-param callee has no slots at all). Note that mere
+                // discovery does not set `eng.changed` — the dense
+                // engine didn't either, and the round count must match.
+                let created = self.eng.entry[callee].is_none();
                 let entry = self.eng.entry[callee].get_or_insert_with(|| vec![AVal::Bot; params]);
                 for (slot, v) in entry.iter_mut().zip(vals.iter()) {
                     let j = slot.join(*v);
@@ -761,6 +857,9 @@ impl Walker<'_> {
                 }
                 if changed {
                     self.eng.changed = true;
+                }
+                if created || changed {
+                    self.eng.dirty[callee] = true;
                 }
                 // Havoc globals the callee writes (indexing into the
                 // summary row directly — no clone per call site).
@@ -831,15 +930,23 @@ impl Walker<'_> {
                     } else {
                         v
                     };
+                    let mut grew = false;
                     let j = self.eng.retv[self.fidx].join(v);
                     if j != self.eng.retv[self.fidx] {
                         self.eng.retv[self.fidx] = j;
                         self.eng.changed = true;
+                        grew = true;
                     }
                     let jh = self.eng.retv_hard[self.fidx].join(vh);
                     if jh != self.eng.retv_hard[self.fidx] {
                         self.eng.retv_hard[self.fidx] = jh;
                         self.eng.changed = true;
+                        grew = true;
+                    }
+                    if grew {
+                        // A wider return summary feeds back into every
+                        // call site.
+                        self.eng.mark_callers(self.fidx);
                     }
                 }
                 env.reachable = false;

@@ -4,21 +4,27 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use safe_tinyos::{simulate, BuildSession, Pipeline};
+use safe_tinyos::{simulate, BuildRequest, BuildService, Pipeline};
 
 fn main() {
     let spec = tosapps::spec("BlinkTask_Mica2").expect("known app");
-    // One session: the frontend compiles Blink once, every pipeline
-    // below reuses the cached artifact.
-    let session = BuildSession::new();
+    // One service: the frontend compiles Blink once and shared pass
+    // prefixes are computed once, however many pipelines run below.
+    let service = BuildService::new();
 
     println!("== Safe TinyOS quickstart: {} ==\n", spec.name);
-    for pipeline in [
+    let stacks = [
         Pipeline::unsafe_baseline(),
         Pipeline::safe_flid(),
         Pipeline::safe_flid_inline_cxprop(),
-    ] {
-        let build = session.build(&spec, &pipeline).expect("build");
+    ];
+    // The batch API: results come back in request order.
+    let requests: Vec<BuildRequest> = stacks
+        .iter()
+        .map(|p| BuildRequest::new(spec.clone(), p.clone()))
+        .collect();
+    for (pipeline, build) in stacks.iter().zip(service.submit(requests)) {
+        let build = build.expect("build");
         let run = simulate(&build, &spec, 5);
         println!(
             "{:<26} code {:>5} B  sram {:>4} B  checks {:>3} -> {:<3} duty {:>5.2}%  leds {}",
@@ -35,21 +41,26 @@ fn main() {
     // Any other stack is one spec string away (`STOS_PIPELINE` takes
     // the same notation).
     let custom = Pipeline::parse("cure(terse)|cxprop(rounds=1)|prune").expect("valid spec");
-    let build = session.build(&spec, &custom).expect("build");
+    let build = service.build(&spec, &custom).expect("build");
     println!(
         "\ncustom {custom}: code {} B, {} of {} checks survive",
         build.metrics.flash_bytes, build.metrics.checks_surviving, build.metrics.checks_inserted,
     );
 
-    // The host-side FLID decompression table (free on the node).
-    let build = session.build(&spec, &Pipeline::safe_flid()).expect("build");
+    // The host-side FLID decompression table (free on the node). The
+    // safe-flid stack already ran above, so this build replays cached
+    // pass outputs (see the cache report at the end).
+    let build = service.build(&spec, &Pipeline::safe_flid()).expect("build");
     println!("\nFLID table sample (host side):");
     for (flid, msg) in build.image.flid_table.iter().take(5) {
         println!("  {flid:>4} -> {msg}");
     }
 
+    let stats = service.cache_stats();
     println!(
-        "\n(5 builds, {} frontend compile — the session cached the artifact)",
-        session.frontend_compiles()
+        "\n(5 builds, {} frontend compile; pass cache: {} hits / {} misses)",
+        service.session().frontend_compiles(),
+        stats.hits(),
+        stats.misses(),
     );
 }

@@ -242,6 +242,58 @@ fn campaigns_trigger_identically_under_both_engines() {
 }
 
 #[test]
+fn shared_pass_cache_is_schedule_independent() {
+    // The content-addressed pass cache must be invisible to scheduling:
+    // a 1-worker and an 8-worker BuildService over the same batch have
+    // to produce byte-identical images AND byte-identical cache
+    // counters. Misses are exactly-once per distinct (digest, spec) key
+    // (each slot is compute-once), hits are the remaining lookups, and
+    // bytes accrue only on misses — so the whole CacheStats snapshot is
+    // a pure function of the request set, never of thread interleaving.
+    let mut configs = Pipeline::fig2_stacks();
+    configs.extend(Pipeline::fig3_bars());
+    let batch_with = |threads: usize| {
+        let service = safe_tinyos::BuildService::with_threads(threads);
+        let requests: Vec<safe_tinyos::BuildRequest> = tosapps::APP_NAMES
+            .iter()
+            .flat_map(|app| {
+                let spec = tosapps::spec(app).expect("known app");
+                configs
+                    .iter()
+                    .map(move |p| safe_tinyos::BuildRequest::new(spec.clone(), p.clone()))
+            })
+            .collect();
+        let images: Vec<mcu::Image> = service
+            .submit(requests)
+            .into_iter()
+            .map(|r| r.expect("batch build failed").image)
+            .collect();
+        (images, service.cache_stats())
+    };
+    let (serial_images, serial_stats) = batch_with(1);
+    let (parallel_images, parallel_stats) = batch_with(8);
+    assert_eq!(
+        serial_images, parallel_images,
+        "shared-cache batch images diverged between serial and 8-thread runs"
+    );
+    assert_eq!(
+        serial_stats, parallel_stats,
+        "cache hit/miss/byte counters diverged with thread count"
+    );
+    // Non-trivial: the grids overlap (the fig2 stacks and fig3 bars
+    // share cure specs per app), so the cache actually deduplicated
+    // work rather than computing one entry per grid cell.
+    let cure = serial_stats.get("cure");
+    assert!(cure.misses > 0, "cure never consulted the cache");
+    assert!(
+        cure.hits >= cure.misses,
+        "fig2+fig3 grids share cure prefixes; expected hits ({}) >= misses ({})",
+        cure.hits,
+        cure.misses
+    );
+}
+
+#[test]
 fn grid_results_land_in_grid_order() {
     let configs = [Pipeline::unsafe_baseline(), Pipeline::safe_flid()];
     let runner = ExperimentRunner::with_threads(4);

@@ -3,7 +3,7 @@
 //! a safe and an unsafe configuration, and repeated cache hits must not
 //! drift (the middle-end mutates its copy, never the cached artifact).
 
-use safe_tinyos::{build_app, BuildSession, Pipeline, Stage};
+use safe_tinyos::{BuildSession, Pipeline, Stage};
 use safe_tinyos_suite as _;
 
 #[test]
@@ -15,7 +15,7 @@ fn cached_artifact_builds_byte_identical_images() {
             Pipeline::unsafe_baseline(),
             Pipeline::safe_flid_inline_cxprop(),
         ] {
-            let fresh = build_app(&spec, &config).unwrap();
+            let fresh = BuildSession::uncached().build(&spec, &config).unwrap();
             let cached = session.build(&spec, &config).unwrap();
             let cached_again = session.build(&spec, &config).unwrap();
             assert_eq!(

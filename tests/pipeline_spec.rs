@@ -192,8 +192,9 @@ fn mid_pipeline_backend_options_are_honored() {
     let spec = tosapps::spec("BlinkTask_Mica2").unwrap();
     let mid = Pipeline::parse("cure(flid)|backend(noopt)|prune").unwrap();
     let last = Pipeline::parse("cure(flid)|prune|backend(noopt)").unwrap();
-    let a = safe_tinyos::build_app(&spec, &mid).unwrap();
-    let b = safe_tinyos::build_app(&spec, &last).unwrap();
+    let service = safe_tinyos::BuildService::new();
+    let a = service.build(&spec, &mid).unwrap();
+    let b = service.build(&spec, &last).unwrap();
     assert_eq!(a.image, b.image);
 }
 
