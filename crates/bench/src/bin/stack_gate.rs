@@ -1,0 +1,34 @@
+//! CI's stack-bound gate: `stack_gate <committed> <fresh>` compares the
+//! time-independent `"analysis"` object of a freshly published
+//! `BENCH_stack.json` against the committed baseline byte-for-byte,
+//! fails if any certified bound or S00x census drifted or if the fresh
+//! run observed a watermark its bound does not dominate, and — when the
+//! two runs share a simulated horizon — byte-compares their watermark
+//! tables (that is how the interp-vs-bt rerun proves both engines
+//! observe identical stack depths).
+
+use bench::gate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(committed), Some(fresh)) = (args.next(), args.next()) else {
+        eprintln!("usage: stack_gate <committed BENCH_stack.json> <fresh BENCH_stack.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("stack_gate: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match gate::stack_check(&read(&committed), &read(&fresh)) {
+        Ok(bytes) => println!(
+            "stack gate ok: analysis object matches the committed baseline \
+             ({bytes} bytes), every observed watermark within its certified bound"
+        ),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,6 +16,12 @@
 //!   deltas is a behavior change someone must sign off on by
 //!   regenerating the baseline — and checks the fresh `"dynamics"`
 //!   object still shows hardened builds immune to torn updates.
+//! * The **stack gate** ([`stack_check`], the `stack_gate` binary)
+//!   byte-compares the `"analysis"` object of a published
+//!   `BENCH_stack.json` (certified bounds and S00x censuses), requires
+//!   zero `watermark_violations` in the fresh dynamics, and — for
+//!   same-horizon runs — byte-compares the observed watermark tables,
+//!   which is how the `STOS_ENGINE=bt` rerun proves engine invariance.
 //!
 //! CI's `gates` job downloads the harness job's artifacts and runs the
 //! gate binaries over them, so a failure always points at bytes you can
@@ -269,6 +275,67 @@ pub fn race_check(committed: &str, fresh: &str) -> Result<usize, String> {
             "race gate: {hardened} torn-update divergence(s) on races(fix) builds — \
              the hardening is no longer airtight"
         ));
+    }
+    Ok(got.len())
+}
+
+/// Gates a published `BENCH_stack.json` body against the committed
+/// baseline: the `"analysis"` objects must be byte-identical (certified
+/// bounds, task/ISR splits, budgets, and S00x censuses are pure
+/// functions of toolchain + sources — and of nothing else, so the bytes
+/// also pin worker-count and engine invariance), and the fresh
+/// `"dynamics"` object must report zero `watermark_violations` (every
+/// observed watermark dominated by a finite certified bound). When both
+/// bodies simulated the same horizon (`seconds` match), their
+/// `"watermarks"` tables must also be byte-identical — the
+/// engine-invariance check CI's interp-vs-bt rerun leans on. Returns
+/// the matched `"analysis"` byte length.
+///
+/// # Errors
+///
+/// Returns a description when either body lacks a required object or
+/// field, the analysis bytes drifted, soundness was violated, or
+/// same-horizon watermarks diverged.
+pub fn stack_check(committed: &str, fresh: &str) -> Result<usize, String> {
+    let want = extract_obj(committed, "analysis")
+        .ok_or("committed BENCH_stack.json has no analysis object")?;
+    let got =
+        extract_obj(fresh, "analysis").ok_or("fresh BENCH_stack.json has no analysis object")?;
+    if want != got {
+        return Err(format!(
+            "stack gate: analysis object drifted from the committed baseline ({})\n\
+             regenerate BENCH_stack.json if the change is intended",
+            first_diff(want, got)
+        ));
+    }
+    let violations = extract_num(fresh, "watermark_violations")
+        .ok_or("fresh BENCH_stack.json has no watermark_violations field")?
+        as usize;
+    if violations > 0 {
+        return Err(format!(
+            "stack gate: {violations} cell(s) observed a stack watermark their certified \
+             bound does not dominate — the analysis is unsound"
+        ));
+    }
+    let same_horizon = match (
+        extract_num(committed, "seconds"),
+        extract_num(fresh, "seconds"),
+    ) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    };
+    if same_horizon {
+        let want_w = extract_obj(committed, "watermarks")
+            .ok_or("committed BENCH_stack.json has no watermarks object")?;
+        let got_w = extract_obj(fresh, "watermarks")
+            .ok_or("fresh BENCH_stack.json has no watermarks object")?;
+        if want_w != got_w {
+            return Err(format!(
+                "stack gate: same-horizon runs observed different watermarks ({})\n\
+                 the execution engines (or worker counts) no longer agree on stack depth",
+                first_diff(want_w, got_w)
+            ));
+        }
     }
     Ok(got.len())
 }
@@ -549,6 +616,48 @@ mod tests {
     fn race_gate_requires_both_objects() {
         assert!(race_check("{}", RACES).is_err());
         assert!(race_check(RACES, "{}").is_err());
+    }
+
+    const STACK: &str = r#"{"figure":"stack_analysis","analysis":{"apps":[{"app":"A","presets":[{"preset":"unsafe","bound":56,"s001":0}]}],"totals":{"s001":0,"bounded_cells":1}},"dynamics":{"seconds":10,"watermark_violations":0,"watermarks":{"A":[44]},"apps":[{"app":"A","bound":56,"watermark":44}]}}"#;
+
+    #[test]
+    fn stack_gate_passes_identical_bodies() {
+        let n = stack_check(STACK, STACK).unwrap();
+        assert_eq!(n, extract_obj(STACK, "analysis").unwrap().len());
+    }
+
+    #[test]
+    fn stack_gate_fails_on_analysis_drift() {
+        let fresh = STACK.replace(r#""bound":56,"s001":0"#, r#""bound":64,"s001":0"#);
+        let err = stack_check(STACK, &fresh).unwrap_err();
+        assert!(err.contains("drifted"), "{err}");
+    }
+
+    #[test]
+    fn stack_gate_fails_on_watermark_violations() {
+        let fresh = STACK.replace(r#""watermark_violations":0"#, r#""watermark_violations":2"#);
+        let err = stack_check(STACK, &fresh).unwrap_err();
+        assert!(err.contains("unsound"), "{err}");
+    }
+
+    #[test]
+    fn stack_gate_compares_watermarks_only_on_matching_horizons() {
+        // Same horizon, different watermarks: the engines disagreed.
+        let diverged = STACK.replace(r#""watermarks":{"A":[44]}"#, r#""watermarks":{"A":[45]}"#);
+        let err = stack_check(STACK, &diverged).unwrap_err();
+        assert!(err.contains("no longer agree"), "{err}");
+        // Different horizon: watermarks legitimately differ — only the
+        // pinned analysis and the soundness field are checked.
+        let short = diverged.replace(r#""seconds":10"#, r#""seconds":2"#);
+        assert!(stack_check(STACK, &short).is_ok());
+    }
+
+    #[test]
+    fn stack_gate_requires_both_objects() {
+        assert!(stack_check("{}", STACK).is_err());
+        assert!(stack_check(STACK, "{}").is_err());
+        let gutted = STACK.replace(r#""watermark_violations":0,"#, "");
+        assert!(stack_check(STACK, &gutted).is_err());
     }
 
     const FLEET: &str = r#"{"figure":"fleet","pinned":{"fleet_seconds":4,"quality":{"loss_ppm":30000},"rows":[{"motes":10,"seed":1,"heard":5},{"motes":10,"seed":2,"heard":6},{"motes":100,"seed":1,"heard":50}],"campaign":{"motes":9,"victim":4,"sites":6,"detected":3,"benign":1},"equivalence_ok":true},"dynamics":{"threads":4}}"#;

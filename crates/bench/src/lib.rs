@@ -25,6 +25,7 @@ pub mod gate;
 pub mod kernels;
 pub mod races;
 pub mod runner;
+pub mod stack;
 
 use safe_tinyos::{Build, BuildSession, Pipeline};
 use tosapps::AppSpec;

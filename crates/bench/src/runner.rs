@@ -166,25 +166,30 @@ impl ExperimentRunner {
     /// one app's configurations first, so its frontend artifact is hot),
     /// but each result lands in its grid slot: the output is
     /// byte-for-byte independent of scheduling. A panicking job panics
-    /// the whole run when the scope joins.
+    /// the whole run when the scope joins, with the failing cell's
+    /// app × item label prepended to the panic message.
     pub fn run_grid<C, R, F>(&self, apps: &[&'static str], items: &[C], f: F) -> Vec<Vec<R>>
     where
         C: Sync,
         R: Send,
         F: Fn(&GridJob<'_, C>) -> R + Sync,
     {
-        let flat = self.run_indexed(apps.len() * items.len(), |j| {
-            let (app_index, item_index) = (j / items.len(), j % items.len());
-            let job = GridJob {
-                spec: tosapps::spec(apps[app_index])
-                    .unwrap_or_else(|| panic!("unknown app {}", apps[app_index])),
-                item: &items[item_index],
-                app_index,
-                item_index,
-                runner: self,
-            };
-            f(&job)
-        });
+        let flat = self.run_indexed(
+            apps.len() * items.len(),
+            |j| {
+                let (app_index, item_index) = (j / items.len(), j % items.len());
+                let job = GridJob {
+                    spec: tosapps::spec(apps[app_index])
+                        .unwrap_or_else(|| panic!("unknown app {}", apps[app_index])),
+                    item: &items[item_index],
+                    app_index,
+                    item_index,
+                    runner: self,
+                };
+                f(&job)
+            },
+            |j| format!("{} / item {}", apps[j / items.len()], j % items.len()),
+        );
         let mut flat = flat.into_iter();
         (0..apps.len())
             .map(|_| {
@@ -206,21 +211,23 @@ impl ExperimentRunner {
         R: Send,
         F: Fn(usize, &C) -> R + Sync,
     {
-        self.run_indexed(items.len(), |j| f(j, &items[j]))
+        self.run_indexed(items.len(), |j| f(j, &items[j]), |j| format!("item {j}"))
     }
 
     /// The timing wrapper behind [`ExperimentRunner::run_grid`] and
     /// [`ExperimentRunner::run_items`]: runs `f(0..n)` across the
-    /// service's worker pool ([`BuildService::run_jobs`]) and folds the
-    /// batch's wall time and job count into the speed report. A
-    /// panicking job panics the whole run when the scope joins.
-    fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    /// service's worker pool ([`BuildService::run_jobs_labeled`]) and
+    /// folds the batch's wall time and job count into the speed report.
+    /// A panicking job panics the whole run when the scope joins, with
+    /// `label(i)` prepended so the failing cell is nameable.
+    fn run_indexed<R, F, L>(&self, n: usize, f: F, label: L) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
+        L: Fn(usize) -> String + Sync,
     {
         let start = Instant::now();
-        let out = self.service.run_jobs(n, f);
+        let out = self.service.run_jobs_labeled(n, f, label);
         let mut agg = self.agg.lock().unwrap();
         agg.wall += start.elapsed();
         agg.jobs += n;

@@ -16,6 +16,9 @@
 //! | `R001` | `unprotected-sync-write` | synchronous write to a racy global outside any atomic section |
 //! | `R002` | `torn-16bit-access` | unprotected access wider than the 8-bit bus (interruptible between the two bus transfers) |
 //! | `R003` | `async-rmw` | unprotected synchronous read-modify-write of a global that async context also updates (lost-update hazard) |
+//! | `S001` | `unbounded-recursion` | the call graph has a cycle, so no finite stack bound exists |
+//! | `S002` | `unresolved-call-target` | a call's target set could not be resolved (out-of-range function index or a vector wired to a missing function) |
+//! | `S003` | `stack-budget-exceeded` | the certified worst-case stack bound exceeds the SRAM stack budget |
 
 use std::fmt;
 

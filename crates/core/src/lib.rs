@@ -44,6 +44,7 @@ pub mod fleet;
 pub mod pipeline;
 pub mod service;
 pub mod spec;
+pub mod stackbound;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,10 +71,11 @@ pub use fleet::{
 };
 pub use pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, PassCx, PassTimes, Pipeline,
-    PipelineBuilder, PruneErrmsgPass, RacesPass, PRESET_NAMES,
+    PipelineBuilder, PruneErrmsgPass, RacesPass, StackboundPass, PRESET_NAMES,
 };
 pub use service::{BuildRequest, BuildResult, BuildService};
 pub use spec::{parse_pipeline_list, pipelines_from_env_or, SpecError};
+pub use stackbound::{StackReport, StackStats};
 
 /// A coarse, fixed-slot rollup of pipeline timing: every [`Pass`] maps
 /// onto one of these five buckets (see [`Pass::stage`]), keeping the
@@ -199,6 +201,8 @@ pub struct Metrics {
     pub cxprop: Option<CxpropStats>,
     /// Concurrency-analysis rollup, if a race-aware pass ran.
     pub races: Option<RaceStats>,
+    /// Stack-bound analysis rollup, if the `stackbound` pass ran.
+    pub stack: Option<StackStats>,
     /// Structured diagnostics emitted by analysis passes, in emission
     /// order (see [`diag`]).
     pub diagnostics: Vec<Diagnostic>,
@@ -490,6 +494,10 @@ pub struct SimResult {
     pub uart_bytes: usize,
     /// Instructions executed.
     pub instructions: u64,
+    /// Deepest call-stack extent observed, in bytes below the top of
+    /// SRAM — the dynamic ground truth the `stackbound` analyzer's
+    /// certified bound must dominate.
+    pub stack_watermark: u16,
 }
 
 /// Creates a machine for `build` with `spec`'s workload context applied
@@ -531,6 +539,7 @@ pub fn simulate(build: &Build, spec: &AppSpec, seconds: u64) -> SimResult {
         radio_tx_bytes: m.radio_out.len(),
         uart_bytes: m.uart_out.len(),
         instructions: m.instr_count,
+        stack_watermark: m.stack_watermark(),
     }
 }
 

@@ -113,6 +113,17 @@ pub trait Pass: Send + Sync {
         let _ = (into, effect);
     }
 
+    /// If this pass requests the post-link stack-bound analysis,
+    /// returns the budget override it was configured with
+    /// (`Some(None)` = analyze with the platform's default budget).
+    /// Post-link analyses cannot run inside [`Pass::run`] — the linked
+    /// image does not exist yet — so the pipeline collects these
+    /// requests and runs [`crate::stackbound::analyze`] after the link.
+    /// The default requests nothing.
+    fn stackbound_request(&self) -> Option<Option<u32>> {
+        None
+    }
+
     /// Transforms `program` in place.
     ///
     /// # Errors
@@ -477,6 +488,54 @@ impl Pass for RacesPass {
     }
 }
 
+/// The whole-program interrupt-aware stack-bound analysis pass
+/// (`stackbound`, optionally `stackbound(budget=N)`).
+///
+/// The IR-level [`Pass::run`] is a no-op: stack frames only exist after
+/// the backend has laid them out, so the real work —
+/// [`crate::stackbound::analyze`] over the linked [`mcu::Image`] — runs
+/// post-link, requested through [`Pass::stackbound_request`]. It emits
+/// `S001`/`S002`/`S003` [`Diagnostic`]s and deposits [`crate::StackStats`]
+/// into [`Metrics::stack`]. Because the analyzer is a pure function of
+/// the image (and the link is never cached), its results are
+/// byte-identical with or without a pass cache, across worker counts,
+/// and across execution engines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackboundPass {
+    /// SRAM stack budget override in bytes (`None` = the space between
+    /// the image's static data and the top of SRAM).
+    pub budget: Option<u32>,
+}
+
+impl Pass for StackboundPass {
+    fn name(&self) -> &str {
+        "stackbound"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Opt
+    }
+
+    fn spec(&self) -> String {
+        crate::spec::render_stackbound(self.budget)
+    }
+
+    fn cacheable(&self) -> bool {
+        // The IR transform is the identity and the effect is empty, so
+        // caching is trivially correct; the post-link analysis is
+        // outside the cache entirely.
+        true
+    }
+
+    fn stackbound_request(&self) -> Option<Option<u32>> {
+        Some(self.budget)
+    }
+
+    fn run(&self, _program: &mut Program, _cx: &mut PassCx) -> Result<(), CompileError> {
+        Ok(())
+    }
+}
+
 /// The backend-prepare stage: the weak GCC-class optimizer over a copy of
 /// the program, staged for the final link. If other passes run after it,
 /// the pipeline re-prepares at link time with this pass's options; a
@@ -757,6 +816,25 @@ impl Pipeline {
         metrics.flash_bytes = image.flash_bytes();
         metrics.sram_bytes = image.sram_bytes();
         metrics.checks_surviving = image.surviving_checks();
+        // Post-link analyses: passes that certify properties of the
+        // linked image (today `stackbound`) run here, after the link
+        // stamped the image but before the build is sealed. The link is
+        // never cached and the analyzer is a pure function of the
+        // image, so the results — diagnostics included — are identical
+        // with or without the pass cache and for any worker count. The
+        // time lands in the requesting pass's own buckets, preserving
+        // the stage/pass rollup invariant.
+        for pass in &self.passes {
+            if let Some(budget) = pass.stackbound_request() {
+                let start = Instant::now();
+                let report = crate::stackbound::analyze(&image, budget);
+                metrics.diagnostics.extend(report.diagnostics);
+                metrics.stack = Some(report.stats);
+                let elapsed = start.elapsed();
+                metrics.stage_times.record(pass.stage(), elapsed);
+                metrics.pass_times.record(pass.name(), elapsed);
+            }
+        }
         let program = Arc::try_unwrap(state).unwrap_or_else(|shared| (*shared).clone());
         Ok(Build::new(image, metrics, program))
     }
@@ -850,6 +928,20 @@ impl PipelineBuilder {
     /// (`races(fix)`).
     pub fn races_fix(self) -> Self {
         self.pass(RacesPass { fix: true })
+    }
+
+    /// Appends the stack-bound analysis pass with the platform's
+    /// default SRAM budget.
+    pub fn stackbound(self) -> Self {
+        self.pass(StackboundPass { budget: None })
+    }
+
+    /// Appends the stack-bound analysis pass with an explicit budget in
+    /// bytes (`stackbound(budget=N)`).
+    pub fn stackbound_budget(self, budget: u32) -> Self {
+        self.pass(StackboundPass {
+            budget: Some(budget),
+        })
     }
 
     /// Appends the backend-prepare pass (weak optimizer on).

@@ -129,10 +129,17 @@ impl BuildService {
         order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
 
         let mut scattered: Vec<Option<BuildResult>> = self
-            .run_jobs(order.len(), |slot| {
-                let request = &requests[order[slot]];
-                self.session.build(&request.spec, &request.pipeline)
-            })
+            .run_jobs_labeled(
+                order.len(),
+                |slot| {
+                    let request = &requests[order[slot]];
+                    self.session.build(&request.spec, &request.pipeline)
+                },
+                |slot| {
+                    let request = &requests[order[slot]];
+                    format!("{} / {}", request.spec.config, request.pipeline.spec())
+                },
+            )
             .into_iter()
             .map(Some)
             .collect();
@@ -158,12 +165,33 @@ impl BuildService {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.run_jobs_labeled(n, f, |i| format!("job {i}"))
+    }
+
+    /// [`BuildService::run_jobs`] with a caller-supplied job label. If a
+    /// job panics, the pool re-raises the *first* panic (by job index)
+    /// on the caller's thread with the label prepended — `label(i):
+    /// original message` — so a grid failure names the app × spec that
+    /// died instead of surfacing as a bare worker-thread panic.
+    pub fn run_jobs_labeled<R, F, L>(&self, n: usize, f: F, label: L) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        L: Fn(usize) -> String + Sync,
+    {
         let threads = self.threads.min(n.max(1));
         if threads <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n)
+                .map(|i| {
+                    run_labeled(&label, i, || f(i)).unwrap_or_else(|msg| std::panic::panic_any(msg))
+                })
+                .collect();
         }
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        // The first panic by *job index* (not arrival order), so the
+        // error a caller sees is deterministic across worker counts.
+        let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -171,11 +199,21 @@ impl BuildService {
                     if i >= n {
                         break;
                     }
-                    let r = f(i);
-                    *slots[i].lock().unwrap() = Some(r);
+                    match run_labeled(&label, i, || f(i)) {
+                        Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                        Err(msg) => {
+                            let mut failure = failure.lock().unwrap();
+                            if failure.as_ref().is_none_or(|(j, _)| i < *j) {
+                                *failure = Some((i, msg));
+                            }
+                        }
+                    }
                 });
             }
         });
+        if let Some((_, msg)) = failure.into_inner().unwrap() {
+            std::panic::panic_any(msg);
+        }
         slots
             .into_iter()
             .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
@@ -187,6 +225,24 @@ impl Default for BuildService {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Runs `body`, converting a panic into `Err("label: message")` with
+/// the payload stringified the way the default hook renders it
+/// (`&str`/`String` payloads verbatim, anything else opaque).
+fn run_labeled<R>(
+    label: &(impl Fn(usize) -> String + Sync),
+    i: usize,
+    body: impl FnOnce() -> R,
+) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("{}: {msg}", label(i))
+    })
 }
 
 #[cfg(test)]
@@ -237,5 +293,29 @@ mod tests {
         // cxprop forks: same input after cure in stacks 2–4? Stack 4
         // inlines first, so cxprop sees two distinct inputs.
         assert_eq!(stats.get("cxprop").misses, 2);
+    }
+
+    #[test]
+    fn worker_panics_carry_the_job_label() {
+        // Jobs 5..8 panic; the pool must re-raise the lowest-index
+        // failure with its label prepended, for any worker count.
+        for threads in [1, 4] {
+            let service = BuildService::with_threads(threads);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                service.run_jobs_labeled(
+                    8,
+                    |i| {
+                        if i >= 5 {
+                            panic!("boom {i}");
+                        }
+                        i
+                    },
+                    |i| format!("App{i}_Mica2 / cure(flid)"),
+                )
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().expect("string payload");
+            assert_eq!(msg, "App5_Mica2 / cure(flid): boom 5");
+        }
     }
 }

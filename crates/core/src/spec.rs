@@ -25,6 +25,7 @@
 //! | `cxprop` | flag `inline` (run the inliner inside the fixpoint, after race refinement — the paper's composite); `domain=constants`/`intervals`; `rounds=N`; flags `dce`/`nodce`, `copyprop`/`nocopyprop`, `atomic`/`noatomic`, `refine`/`norefine`, `harden`/`noharden` (fault-hardened check elimination; `noharden` restores the classical policy) |
 //! | `prune` | (none) |
 //! | `races` | flag `fix` (auto-harden flagged access sites in minimal atomic sections and re-analyze to a zero-diagnostic fixpoint; without it the pass only reports `R001`–`R003` diagnostics) |
+//! | `stackbound` | `budget=N` (override the SRAM stack budget in bytes; must be positive — the default budget is the space between the image's static data and the top of SRAM). Certifies a worst-case stack bound on the linked image and reports `S001`–`S003` diagnostics |
 //! | `backend` | `opt`/`noopt` (weak GCC-class optimizer) |
 //!
 //! Examples: `cure(flid)|inline|cxprop(rounds=3)`,
@@ -58,6 +59,7 @@ use cxprop::{CxpropOptions, DomainKind, InlineOptions};
 
 use crate::pipeline::{
     BackendPass, CurePass, CxpropPass, InlinePass, Pass, Pipeline, PruneErrmsgPass, RacesPass,
+    StackboundPass,
 };
 
 /// A pipeline-spec parse error, with the offending fragment named.
@@ -79,7 +81,15 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// The spec-language pass keywords, for error messages.
-pub const PASS_NAMES: [&str; 6] = ["cure", "inline", "cxprop", "prune", "races", "backend"];
+pub const PASS_NAMES: [&str; 7] = [
+    "cure",
+    "inline",
+    "cxprop",
+    "prune",
+    "races",
+    "stackbound",
+    "backend",
+];
 
 /// Parses a spec string into a [`Pipeline`] named by its canonical
 /// rendering.
@@ -334,6 +344,29 @@ fn parse_pass(segment: &str) -> Result<Arc<dyn Pass>, SpecError> {
             }
             Ok(Arc::new(RacesPass { fix }))
         }
+        "stackbound" => {
+            let mut budget = None;
+            let mut seen = SeenOpts::new("stackbound");
+            for opt in &opts {
+                let opt = opt.as_str();
+                if opt.starts_with("budget=") {
+                    let v = parse_count("stackbound", opt)?;
+                    if v == 0 {
+                        return Err(SpecError::new(
+                            "stackbound: `budget` must be positive, got `0` \
+                             (omit the option for the profile's default budget)",
+                        ));
+                    }
+                    let v = u32::try_from(v).map_err(|_| {
+                        SpecError::new(format!("stackbound: `budget={v}` out of range"))
+                    })?;
+                    seen.set("budget", opt, &mut budget, Some(v))?;
+                } else {
+                    return Err(unknown_option("stackbound", opt, "budget=N"));
+                }
+            }
+            Ok(Arc::new(StackboundPass { budget }))
+        }
         "backend" => {
             let mut options = BackendOptions::default();
             let mut seen = SeenOpts::new("backend");
@@ -437,6 +470,14 @@ pub(crate) fn render_races(fix: bool) -> String {
         Vec::new()
     };
     render("races", opts)
+}
+
+pub(crate) fn render_stackbound(budget: Option<u32>) -> String {
+    let opts = match budget {
+        Some(n) => vec![format!("budget={n}")],
+        None => Vec::new(),
+    };
+    render("stackbound", opts)
 }
 
 pub(crate) fn render_backend(options: &BackendOptions) -> String {

@@ -1,0 +1,454 @@
+//! Whole-program interrupt-aware stack-bound analysis (`stackbound`).
+//!
+//! Runs over the *linked* [`mcu::Image`] — after every optimization and
+//! the backend have had their say — so the frames it sums are exactly
+//! the frames the machine's `do_call` pushes. On the M16, RAM stack
+//! usage is precisely the sum of frame sizes along the active call
+//! chain: return addresses, saved registers, and the evaluation stack
+//! are host-side machine state that occupies no simulated SRAM, so a
+//! function's worst-case stack effect is its `frame_size` and nothing
+//! else.
+//!
+//! The analysis:
+//!
+//! 1. builds the whole-program call graph — direct `Call` edges plus
+//!    the interrupt-vector entry points. The M16 ISA has no indirect
+//!    calls, so a call's target set is unresolved only when its
+//!    function index is out of the image's function table (the static
+//!    shadow of the machine's `BadCode("bad function index")` fault) or
+//!    a vector is wired to a missing function;
+//! 2. computes each function's worst-case depth,
+//!    `worst(f) = frame(f) + max over callees of worst(c)`, by DFS
+//!    with cycle detection;
+//! 3. composes the certified bound the way the machine model nests
+//!    interrupts: handler frames stack on top of the deepest task-mode
+//!    point; handlers enter with interrupts disabled, so unless some
+//!    handler-reachable code executes `IrqEnable`, at most one handler
+//!    is ever on the stack (max over wired vectors). If a handler *can*
+//!    re-enable, the bound conservatively lets every wired vector
+//!    preempt once (sum over vectors; each vector's pending bit is
+//!    cleared at dispatch, so a second frame of the same vector needs a
+//!    fresh device event).
+//!
+//! Findings are structured [`Diagnostic`]s — `S001` (recursion: no
+//! finite bound exists), `S002` (unresolved call target), `S003`
+//! (bound exceeds the SRAM stack budget) — and the numbers land in
+//! [`StackStats`] ([`crate::Metrics::stack`]). The simulator's
+//! [`mcu::Machine::stack_watermark`] is the dynamic ground truth every
+//! certified bound must dominate; the `stack_analysis` harness and the
+//! property tests assert exactly that across the app suite.
+
+use mcu::isa::Instr;
+use mcu::Image;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Stack-bound analysis rollup for one build (`None` in
+/// [`crate::Metrics::stack`] when the `stackbound` pass did not run).
+/// All byte counts measure down from the top of SRAM, the same unit as
+/// [`mcu::Machine::stack_watermark`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// The certified worst-case stack bound: task depth plus interrupt
+    /// overhead. `None` when no finite bound exists (`S001`).
+    pub bound_bytes: Option<u32>,
+    /// Worst-case task-mode depth (the entry function's chain).
+    pub task_bytes: Option<u32>,
+    /// Worst-case interrupt overhead stacked on top of the task depth.
+    pub isr_bytes: Option<u32>,
+    /// The SRAM stack budget the bound was checked against: the space
+    /// between the image's static data and the top of SRAM, unless the
+    /// spec overrode it with `stackbound(budget=N)`.
+    pub budget_bytes: u32,
+    /// Interrupt vectors wired to a handler.
+    pub wired_vectors: usize,
+    /// Whether handler-reachable code can re-enable interrupts, forcing
+    /// the conservative sum-over-vectors nesting policy.
+    pub nested_irqs: bool,
+}
+
+/// What [`analyze`] certifies: the numbers and the findings.
+#[derive(Debug, Clone, Default)]
+pub struct StackReport {
+    /// The analysis rollup (deposited into [`crate::Metrics::stack`]).
+    pub stats: StackStats,
+    /// `S001`–`S003` findings, in deterministic traversal order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Per-function DFS state: worst-case depth and IrqEnable reachability,
+/// memoized under a white/grey/black coloring for cycle detection.
+struct Dfs<'a> {
+    image: &'a Image,
+    /// `(pc, callee)` call sites per function, in code order.
+    edges: Vec<Vec<(u32, u32)>>,
+    /// 0 = unvisited, 1 = on the DFS stack, 2 = done.
+    color: Vec<u8>,
+    /// Valid when black: `(worst depth, subtree contains IrqEnable)`.
+    memo: Vec<(Option<u32>, bool)>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Dfs<'_> {
+    fn new(image: &Image) -> Dfs<'_> {
+        let n = image.functions.len();
+        let edges = image
+            .functions
+            .iter()
+            .map(|f| {
+                f.code
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pc, i)| match i {
+                        Instr::Call { func } => Some((pc as u32, *func)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        Dfs {
+            image,
+            edges,
+            color: vec![0; n],
+            memo: vec![(None, false); n],
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Worst-case stack depth rooted at `f` (its own frame included) and
+    /// whether `f`'s call subtree can execute `IrqEnable`. Emits `S001`
+    /// on every cycle-closing edge and `S002` on every out-of-range
+    /// call; each function is expanded once, so each finding is emitted
+    /// once, in deterministic DFS order.
+    fn worst(&mut self, f: u32) -> (Option<u32>, bool) {
+        let fi = f as usize;
+        match self.color[fi] {
+            2 => return self.memo[fi],
+            1 => return (None, false), // callers handle the back edge
+            _ => {}
+        }
+        self.color[fi] = 1;
+        let me = &self.image.functions[fi];
+        let frame = me.frame_size as u32;
+        let mut enables = me.code.iter().any(|i| matches!(i, Instr::IrqEnable));
+        let mut deepest_callee: u32 = 0;
+        let mut unbounded = false;
+        for k in 0..self.edges[fi].len() {
+            let (pc, callee) = self.edges[fi][k];
+            let caller_name = &self.image.functions[fi].name;
+            if callee as usize >= self.image.functions.len() {
+                // The machine faults `BadCode` here before pushing a
+                // frame, so the edge's stack effect is exactly zero —
+                // but the image is broken and the bound is advisory.
+                self.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    "S002",
+                    format!("{caller_name}:{pc}"),
+                    format!(
+                        "unresolved call target: function index {callee} is out of range \
+                         (image has {} functions)",
+                        self.image.functions.len()
+                    ),
+                ));
+                continue;
+            }
+            if self.color[callee as usize] == 1 {
+                let callee_name = &self.image.functions[callee as usize].name;
+                self.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    "S001",
+                    format!("{caller_name}:{pc}"),
+                    format!(
+                        "recursive call to `{callee_name}`: the call graph has a cycle, \
+                         so no finite stack bound exists"
+                    ),
+                ));
+                unbounded = true;
+                continue;
+            }
+            let (w, e) = self.worst(callee);
+            enables |= e;
+            match w {
+                None => unbounded = true,
+                Some(w) => deepest_callee = deepest_callee.max(w),
+            }
+        }
+        let result = if unbounded {
+            None
+        } else {
+            Some(frame + deepest_callee)
+        };
+        self.color[fi] = 2;
+        self.memo[fi] = (result, enables);
+        (result, enables)
+    }
+}
+
+/// Certifies a worst-case stack bound for `image` against the SRAM
+/// stack budget (`budget_override` in bytes, or the space between the
+/// image's static data and the top of SRAM). A pure function of its
+/// arguments — byte-identical across worker counts, pass-cache states,
+/// and execution engines by construction.
+pub fn analyze(image: &Image, budget_override: Option<u32>) -> StackReport {
+    let mut dfs = Dfs::new(image);
+
+    // Task mode: the entry function's worst chain (its frame counts —
+    // `Machine::new` places it on the stack before the first cycle).
+    let task = match image.entry {
+        Some(e) => dfs.worst(e).0,
+        None => Some(0),
+    };
+
+    // Interrupt mode: wired vectors in vector order.
+    let mut wired = Vec::new();
+    for (v, slot) in image.vectors.iter().enumerate() {
+        if let Some(h) = *slot {
+            if h as usize >= image.functions.len() {
+                dfs.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    "S002",
+                    format!("vector{v}"),
+                    format!(
+                        "interrupt vector {v} is wired to missing function index {h} \
+                         (image has {} functions)",
+                        image.functions.len()
+                    ),
+                ));
+                continue;
+            }
+            wired.push(h);
+        }
+    }
+    let mut nested_irqs = false;
+    let handler_worsts: Option<Vec<u32>> = wired
+        .iter()
+        .map(|&h| {
+            let (w, e) = dfs.worst(h);
+            nested_irqs |= e;
+            w
+        })
+        .collect();
+    let isr = handler_worsts.map(|ws| {
+        if nested_irqs {
+            // Some handler-reachable code re-enables interrupts: any
+            // wired vector may preempt the running handler. Each
+            // vector's pending bit clears at dispatch, so one frame per
+            // vector bounds the pile-up.
+            ws.iter().sum()
+        } else {
+            // Handlers run interrupts-disabled to the Reti: at most one
+            // handler chain is ever on the stack.
+            ws.iter().copied().max().unwrap_or(0)
+        }
+    });
+
+    let bound = match (task, isr) {
+        (Some(t), Some(i)) => Some(t + i),
+        _ => None,
+    };
+    let budget =
+        budget_override.unwrap_or_else(|| u32::from(image.profile.sram_end() - image.static_top));
+    let site = match image.entry {
+        Some(e) => image.functions[e as usize].name.clone(),
+        None => "image".to_string(),
+    };
+    match bound {
+        None => dfs.diagnostics.push(Diagnostic::new(
+            Severity::Error,
+            "S003",
+            site,
+            format!(
+                "no finite worst-case stack bound exists (see S001); \
+                 the SRAM stack budget is {budget} bytes"
+            ),
+        )),
+        Some(b) if b > budget => dfs.diagnostics.push(Diagnostic::new(
+            Severity::Error,
+            "S003",
+            site,
+            format!(
+                "worst-case stack of {b} bytes exceeds the SRAM stack budget of {budget} bytes"
+            ),
+        )),
+        Some(_) => {}
+    }
+
+    StackReport {
+        stats: StackStats {
+            bound_bytes: bound,
+            task_bytes: task,
+            isr_bytes: isr,
+            budget_bytes: budget,
+            wired_vectors: wired.len(),
+            nested_irqs,
+        },
+        diagnostics: dfs.diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcu::image::CodeFunction;
+    use mcu::Profile;
+
+    /// An image whose functions are `(name, frame, calls, interrupt)`.
+    fn image(fns: &[(&str, u16, &[u32], Option<u8>)]) -> Image {
+        let mut img = Image::new(Profile::mica2());
+        for (name, frame, calls, irq) in fns {
+            let mut f = CodeFunction::new(*name);
+            f.frame_size = *frame;
+            f.interrupt = *irq;
+            f.code = calls.iter().map(|&c| Instr::Call { func: c }).collect();
+            f.code.push(if irq.is_some() {
+                Instr::Reti
+            } else {
+                Instr::Ret
+            });
+            img.add_function(f);
+        }
+        img.entry = img.find_function("main");
+        img
+    }
+
+    fn codes(r: &StackReport) -> Vec<&str> {
+        r.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn straight_chain_sums_frames() {
+        // main(16) -> a(32) -> b(8)
+        let img = image(&[
+            ("b", 8, &[], None),
+            ("a", 32, &[0], None),
+            ("main", 16, &[1], None),
+        ]);
+        let r = analyze(&img, None);
+        assert_eq!(r.stats.bound_bytes, Some(56));
+        assert_eq!(r.stats.task_bytes, Some(56));
+        assert_eq!(r.stats.isr_bytes, Some(0));
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn diamond_takes_the_deeper_branch() {
+        // main(4) calls thin(8) and fat(100); both call leaf(2).
+        let img = image(&[
+            ("leaf", 2, &[], None),
+            ("thin", 8, &[0], None),
+            ("fat", 100, &[0], None),
+            ("main", 4, &[1, 2], None),
+        ]);
+        let r = analyze(&img, None);
+        assert_eq!(r.stats.bound_bytes, Some(4 + 100 + 2));
+    }
+
+    #[test]
+    fn recursion_is_unbounded_and_flagged() {
+        let img = image(&[("rec", 64, &[0], None), ("main", 16, &[0], None)]);
+        let r = analyze(&img, None);
+        assert_eq!(r.stats.bound_bytes, None);
+        assert_eq!(codes(&r), ["S001", "S003"]);
+        assert!(r.diagnostics[0].site.starts_with("rec:"));
+        assert!(r.diagnostics[0].message.contains("`rec`"));
+    }
+
+    #[test]
+    fn mutual_recursion_is_flagged_once() {
+        let img = image(&[
+            ("ping", 8, &[1], None),
+            ("pong", 8, &[0], None),
+            ("main", 4, &[0], None),
+        ]);
+        let r = analyze(&img, None);
+        assert_eq!(r.stats.bound_bytes, None);
+        assert_eq!(codes(&r), ["S001", "S003"]);
+    }
+
+    #[test]
+    fn out_of_range_call_is_unresolved_but_bounded() {
+        // The machine faults before pushing a frame, so the bound holds.
+        let img = image(&[("main", 16, &[7], None)]);
+        let r = analyze(&img, None);
+        assert_eq!(codes(&r), ["S002"]);
+        assert_eq!(r.stats.bound_bytes, Some(16));
+    }
+
+    #[test]
+    fn single_handler_stacks_on_deepest_task_point() {
+        let img = image(&[
+            ("leaf", 10, &[], None),
+            ("tick", 24, &[0], Some(mcu::vectors::TIMER0)),
+            ("main", 16, &[0], None),
+        ]);
+        let r = analyze(&img, None);
+        assert_eq!(r.stats.task_bytes, Some(26));
+        assert_eq!(r.stats.isr_bytes, Some(34));
+        assert_eq!(r.stats.bound_bytes, Some(60));
+        assert_eq!(r.stats.wired_vectors, 1);
+        assert!(!r.stats.nested_irqs);
+    }
+
+    #[test]
+    fn handlers_take_max_unless_one_reenables() {
+        let fns: &[(&str, u16, &[u32], Option<u8>)] = &[
+            ("tick", 24, &[], Some(mcu::vectors::TIMER0)),
+            ("adc", 40, &[], Some(mcu::vectors::ADC)),
+            ("main", 16, &[], None),
+        ];
+        let img = image(fns);
+        let r = analyze(&img, None);
+        assert_eq!(r.stats.isr_bytes, Some(40), "disjoint handlers: max");
+
+        // Same image, but `tick` re-enables interrupts mid-handler:
+        // every wired vector may now preempt once, so the ISR overhead
+        // is the sum.
+        let mut img = image(fns);
+        img.functions[0].code.insert(0, Instr::IrqEnable);
+        let r = analyze(&img, None);
+        assert!(r.stats.nested_irqs);
+        assert_eq!(r.stats.isr_bytes, Some(64));
+        assert_eq!(r.stats.bound_bytes, Some(16 + 64));
+    }
+
+    #[test]
+    fn budget_override_trips_s003() {
+        let img = image(&[("main", 16, &[], None)]);
+        let ok = analyze(&img, Some(16));
+        assert!(ok.diagnostics.is_empty());
+        let tight = analyze(&img, Some(15));
+        assert_eq!(codes(&tight), ["S003"]);
+        assert!(tight.diagnostics[0].message.contains("16 bytes"));
+        assert_eq!(tight.stats.budget_bytes, 15);
+    }
+
+    #[test]
+    fn default_budget_is_sram_above_static_data() {
+        let mut img = image(&[("main", 16, &[], None)]);
+        img.static_top = img.profile.sram_base() + 100;
+        let r = analyze(&img, None);
+        let expect = u32::from(img.profile.sram_end() - img.static_top);
+        assert_eq!(r.stats.budget_bytes, expect);
+    }
+
+    #[test]
+    fn bound_dominates_observed_watermark() {
+        // End-to-end on a real machine: run the chain and compare.
+        let img = image(&[
+            ("b", 8, &[], None),
+            ("a", 32, &[0], None),
+            ("main", 16, &[1], None),
+        ]);
+        let mut img = img;
+        // Make main halt instead of returning so the run is clean.
+        let main = img.entry.unwrap() as usize;
+        *img.functions[main].code.last_mut().unwrap() = Instr::Halt;
+        let bound = analyze(&img, None).stats.bound_bytes.unwrap();
+        let mut m = mcu::Machine::new(&img);
+        m.run(10_000);
+        assert_eq!(m.state, mcu::RunState::Halted);
+        assert!(u32::from(m.stack_watermark()) <= bound);
+        // And here the chain is unconditional, so the bound is tight.
+        assert_eq!(u32::from(m.stack_watermark()), bound);
+    }
+}

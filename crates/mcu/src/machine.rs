@@ -131,6 +131,11 @@ pub struct Machine {
     pub radio_out: Vec<(u64, u8)>,
     /// Number of instructions executed (profiling aid).
     pub instr_count: u64,
+    /// Deepest call-stack extent observed so far, in bytes below the top
+    /// of SRAM (`sram_end - sp` at its maximum). Updated in `do_call`,
+    /// which both engines share, so the watermark is engine-invariant by
+    /// construction. Ground truth for the `stackbound` static analyzer.
+    pub(crate) stack_peak: u16,
     pub(crate) torn_watch: Option<TornWatch>,
     /// Cached `img.profile.sram_base()` (memory-map hot path).
     pub(crate) sram_base: u16,
@@ -190,6 +195,7 @@ impl Machine {
             uart_out: Vec::new(),
             radio_out: Vec::new(),
             instr_count: 0,
+            stack_peak: frame,
             torn_watch: None,
             sram_base,
             sram_end,
@@ -295,6 +301,15 @@ impl Machine {
     /// state for fault-injection campaigns (see [`crate::faults`]).
     pub fn corrupt_fp(&mut self, mask: u16) {
         self.fp ^= mask;
+    }
+
+    /// The deepest call-stack extent observed so far, in bytes measured
+    /// down from the top of SRAM (the entry frame counts). The dynamic
+    /// ground truth that the `stackbound` static analyzer's certified
+    /// bound must dominate; identical under both execution engines
+    /// because the one `do_call` they share maintains it.
+    pub fn stack_watermark(&self) -> u16 {
+        self.stack_peak
     }
 
     /// Whether the global interrupt-enable flag is set.
@@ -736,6 +751,10 @@ impl Machine {
         if new_sp < self.img.static_top || new_sp > self.sp {
             self.fail(Fault::StackOverflow);
             return;
+        }
+        let depth = self.sram_end.wrapping_sub(new_sp);
+        if depth > self.stack_peak {
+            self.stack_peak = depth;
         }
         // Pop arguments (last argument on top) into the callee frame.
         // A fixed buffer keeps the common case allocation-free.
@@ -1253,6 +1272,31 @@ mod tests {
         let mut m = Machine::new(&img);
         m.run(100_000);
         assert_eq!(m.fault, Some(Fault::StackOverflow));
+    }
+
+    #[test]
+    fn stack_watermark_tracks_deepest_chain() {
+        // main (16) calls leaf (40) twice: the watermark records the
+        // deepest extent, not the current one, and survives the returns.
+        let mut img = Image::new(Profile::mica2());
+        let mut leaf = CodeFunction::new("leaf");
+        leaf.frame_size = 40;
+        leaf.code = vec![Instr::Ret];
+        let leaf_idx = img.add_function(leaf);
+        let mut main = CodeFunction::new("main");
+        main.frame_size = 16;
+        main.code = vec![
+            Instr::Call { func: leaf_idx },
+            Instr::Call { func: leaf_idx },
+            Instr::Halt,
+        ];
+        let e = img.add_function(main);
+        img.entry = Some(e);
+        let mut m = Machine::new(&img);
+        assert_eq!(m.stack_watermark(), 16, "entry frame counts");
+        m.run(1000);
+        assert_eq!(m.state, RunState::Halted);
+        assert_eq!(m.stack_watermark(), 16 + 40);
     }
 
     #[test]

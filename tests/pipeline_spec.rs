@@ -36,6 +36,12 @@ fn parse_display_round_trips() {
         ("cxprop(harden)", "cxprop"),
         ("races", "races"),
         ("races(fix)", "races(fix)"),
+        ("stackbound", "stackbound"),
+        ("stackbound(budget=2048)", "stackbound(budget=2048)"),
+        (
+            " cure ( flid ) | prune | stackbound ( budget = 512 ) ",
+            "cure(flid)|prune|stackbound(budget=512)",
+        ),
         (
             " cure ( flid ) | races ( fix ) | cxprop ( norefine ) ",
             "cure(flid)|races(fix)|cxprop(norefine)",
@@ -94,6 +100,12 @@ fn malformed_specs_are_rejected_with_context() {
         ("backend(opt,noopt)", "duplicate option"),
         ("races(hard)", "unknown option"),
         ("races(fix,fix)", "duplicate option"),
+        ("stackbound(hard)", "unknown option"),
+        ("stackbound(budget=lots)", "needs a number"),
+        // A zero budget would certify nothing; the profile default is
+        // spelled by omitting the option, never by `budget=0`.
+        ("stackbound(budget=0)", "must be positive"),
+        ("stackbound(budget=1,budget=2)", "duplicate option"),
     ];
     for (input, expect) in cases {
         let err = Pipeline::parse(input).expect_err(input).to_string();

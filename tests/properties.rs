@@ -155,6 +155,31 @@ proptest! {
     }
 
     #[test]
+    fn stack_bound_dominates_observed_watermark(seed in 1u64..5000) {
+        // Soundness of the static stack analyzer over the difftest
+        // generator's program space: whatever call tree and interrupt
+        // wiring the generated program ends up with, the certified
+        // worst-case bound must dominate the deepest stack extent the
+        // simulator ever observes. (The converse — tightness — is a
+        // quality metric, reported by the `stack_analysis` harness, not
+        // an invariant.)
+        let program = safe_tinyos::difftest::generate_program(seed).unwrap();
+        let pipeline = safe_tinyos::Pipeline::parse(
+            "cure(flid)|inline|cxprop|prune|stackbound",
+        ).unwrap();
+        let build = pipeline.build(program, mcu::Profile::mica2()).unwrap();
+        let stack = build.metrics.stack.expect("stackbound ran");
+        let bound = stack.bound_bytes.expect("generated programs never recurse");
+        let mut m = mcu::Machine::new(&build.image);
+        m.run(200_000);
+        prop_assert!(
+            u32::from(m.stack_watermark()) <= bound,
+            "seed {}: watermark {}B exceeds certified bound {}B (task {:?} + isr {:?})",
+            seed, m.stack_watermark(), bound, stack.task_bytes, stack.isr_bytes
+        );
+    }
+
+    #[test]
     fn frame_round_trips_through_radio_framing(payload in prop::collection::vec(any::<u8>(), 0..20)) {
         // The Rust frame builder and the in-language CRC must agree: a
         // packet injected into RfmToLeds-style parsing is never dropped.
